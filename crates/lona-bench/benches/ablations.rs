@@ -1,0 +1,117 @@
+//! Criterion benches for the ablations (A1, A2, A5, A6): the design
+//! choices DESIGN.md §5 calls out, measured at smoke scale. A3 (index
+//! build) and A4 (blacking sweep) involve whole-workload rebuilds and
+//! are covered by the `figures --ablation` harness instead.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lona_bench::workload::Workload;
+use lona_core::{
+    Aggregate, Algorithm, BackwardOptions, ForwardOptions, GammaSpec, LonaEngine,
+    ProcessingOrder, TopKQuery,
+};
+use lona_gen::DatasetKind;
+use lona_relational::{topk_aggregation, EdgeTable, ScoreColumn};
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+}
+
+/// A1 — forward processing order.
+fn ordering(c: &mut Criterion) {
+    let workload = Workload::paper(DatasetKind::Collaboration, 0.1, 0.01, 42);
+    let (g, scores) = workload.build();
+    let mut engine = LonaEngine::new(&g, 2);
+    engine.prepare_diff_index();
+    let query = TopKQuery::new(100, Aggregate::Sum);
+
+    let mut group = c.benchmark_group("a1_forward_order");
+    configure(&mut group);
+    for order in [
+        ProcessingOrder::NodeId,
+        ProcessingOrder::DegreeDescending,
+        ProcessingOrder::ScoreDescending,
+    ] {
+        let alg = Algorithm::LonaForward(ForwardOptions { order });
+        group.bench_function(order.name(), |b| b.iter(|| engine.run(&alg, &query, &scores)));
+    }
+    group.finish();
+}
+
+/// A2 — backward γ quantile.
+fn gamma(c: &mut Criterion) {
+    let workload = Workload::paper(DatasetKind::Collaboration, 0.1, 0.01, 42);
+    let (g, scores) = workload.build();
+    let mut engine = LonaEngine::new(&g, 2);
+    engine.prepare_size_index();
+    let query = TopKQuery::new(100, Aggregate::Sum);
+
+    let mut group = c.benchmark_group("a2_backward_gamma");
+    configure(&mut group);
+    for q in [0.5, 0.7, 0.9, 0.99] {
+        let alg = Algorithm::LonaBackward(BackwardOptions {
+            gamma: GammaSpec::NonzeroQuantile(q),
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, _| {
+            b.iter(|| engine.run(&alg, &query, &scores))
+        });
+    }
+    group.finish();
+}
+
+/// A5 — hop radius.
+fn hops(c: &mut Criterion) {
+    let workload = Workload::paper(DatasetKind::Collaboration, 0.05, 0.01, 42);
+    let (g, scores) = workload.build();
+
+    let mut group = c.benchmark_group("a5_hops");
+    configure(&mut group);
+    for h in 1..=3u32 {
+        let mut engine = LonaEngine::new(&g, h);
+        engine.prepare_diff_index();
+        let query = TopKQuery::new(100, Aggregate::Sum);
+        for (name, alg) in [("Base", Algorithm::Base), ("Forward", Algorithm::forward())] {
+            group.bench_with_input(BenchmarkId::new(name, h), &h, |b, _| {
+                b.iter(|| engine.run(&alg, &query, &scores))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// A6 — graph engine vs relational self-join plan.
+fn relational(c: &mut Criterion) {
+    let workload = Workload::paper(DatasetKind::Collaboration, 0.05, 0.01, 42);
+    let (g, scores) = workload.build();
+    let mut engine = LonaEngine::new(&g, 2);
+    engine.prepare_diff_index();
+    let query = TopKQuery::new(100, Aggregate::Sum);
+    let table = EdgeTable::from_graph(&g);
+    let col = ScoreColumn::new(scores.as_slice().to_vec());
+
+    let mut group = c.benchmark_group("a6_relational");
+    configure(&mut group);
+    group.bench_function("graph_base", |b| {
+        b.iter(|| engine.run(&Algorithm::Base, &query, &scores))
+    });
+    group.bench_function("graph_backward", |b| {
+        b.iter(|| engine.run(&Algorithm::backward(), &query, &scores))
+    });
+    group.bench_function("relational_selfjoin", |b| {
+        b.iter_custom(|iters| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                let _ = topk_aggregation(&table, &col, g.num_nodes(), 2, query.k, false, true);
+            }
+            t.elapsed()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ordering, gamma, hops, relational);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Shared scaffolding for the per-figure criterion benches.
+//!
+//! Each figure bench measures the three paper algorithms at smoke
+//! scale over a k sweep. Index builds happen once, outside the
+//! measured region, matching the paper's pre-computed-index setting.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+
+use lona_bench::figures::FigureSpec;
+use lona_bench::workload::Workload;
+use lona_core::{Algorithm, LonaEngine, TopKQuery};
+use lona_gen::DatasetProfile;
+
+/// Ks measured by the criterion benches (subset of the paper's sweep;
+/// the `figures` binary runs the full 7-point axis).
+pub const BENCH_KS: [usize; 3] = [1, 150, 300];
+
+/// Run one figure's bench group.
+pub fn bench_figure(c: &mut Criterion, spec: &FigureSpec, seed: u64) {
+    let scale = DatasetProfile::smoke(spec.dataset, seed).scale;
+    let workload = Workload::paper(spec.dataset, scale, spec.blacking_ratio, seed);
+    let (g, scores) = workload.build();
+    let mut engine = LonaEngine::new(&g, 2);
+    engine.prepare_diff_index();
+
+    let mut group = c.benchmark_group(format!(
+        "fig{}_{}_{}",
+        spec.id,
+        spec.dataset.name(),
+        spec.aggregate.name()
+    ));
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    for &k in &BENCH_KS {
+        let query = TopKQuery::new(k.min(g.num_nodes()), spec.aggregate);
+        for (name, algorithm) in [
+            ("Base", Algorithm::Base),
+            ("Forward", Algorithm::forward()),
+            ("Backward", Algorithm::backward()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, k), &query, |b, q| {
+                b.iter(|| engine.run(&algorithm, q, &scores));
+            });
+        }
+    }
+    group.finish();
+}

@@ -1,0 +1,14 @@
+//! Criterion bench regenerating the k-sweep of the paper's Figure 6
+//! at smoke scale. See `figures --fig 6` for the full-scale sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+#[path = "common.rs"]
+mod common;
+
+fn bench(c: &mut Criterion) {
+    common::bench_figure(c, &lona_bench::figures::FIGURES[5], 42);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Figure definitions and the sweep runner.
+
+use std::time::{Duration, Instant};
+
+use lona_core::{Aggregate, Algorithm, LonaEngine, QueryStats, TopKQuery};
+use lona_gen::DatasetKind;
+
+use crate::workload::Workload;
+
+/// The paper's x-axis: `k` from 1 to 300.
+pub const K_VALUES: [usize; 7] = [1, 50, 100, 150, 200, 250, 300];
+
+/// Static description of one paper figure.
+#[derive(Copy, Clone, Debug)]
+pub struct FigureSpec {
+    /// Figure number (1–6).
+    pub id: u32,
+    /// Dataset the figure runs on.
+    pub dataset: DatasetKind,
+    /// Aggregate function.
+    pub aggregate: Aggregate,
+    /// Blacking ratio used in the paper's caption.
+    pub blacking_ratio: f64,
+}
+
+impl FigureSpec {
+    /// Human title matching the paper ("Fig. 3. Intrusion (SUM)").
+    pub fn title(&self) -> String {
+        format!(
+            "Fig. {}. {} ({})",
+            self.id,
+            capitalize(self.dataset.name()),
+            self.aggregate.name().to_uppercase()
+        )
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// All six figures of the evaluation section. Figure 3's caption uses
+/// `r = 0.2`; every other figure uses `r = 0.01`.
+pub const FIGURES: [FigureSpec; 6] = [
+    FigureSpec { id: 1, dataset: DatasetKind::Collaboration, aggregate: Aggregate::Sum, blacking_ratio: 0.01 },
+    FigureSpec { id: 2, dataset: DatasetKind::Citation, aggregate: Aggregate::Sum, blacking_ratio: 0.01 },
+    FigureSpec { id: 3, dataset: DatasetKind::Intrusion, aggregate: Aggregate::Sum, blacking_ratio: 0.2 },
+    FigureSpec { id: 4, dataset: DatasetKind::Collaboration, aggregate: Aggregate::Avg, blacking_ratio: 0.01 },
+    FigureSpec { id: 5, dataset: DatasetKind::Citation, aggregate: Aggregate::Avg, blacking_ratio: 0.01 },
+    FigureSpec { id: 6, dataset: DatasetKind::Intrusion, aggregate: Aggregate::Avg, blacking_ratio: 0.01 },
+];
+
+/// One `(k, algorithm)` measurement.
+#[derive(Clone, Debug)]
+pub struct SeriesPoint {
+    /// Query size.
+    pub k: usize,
+    /// Algorithm label ("Base", "Forward", "Backward").
+    pub algorithm: &'static str,
+    /// Best-of-reps wall time.
+    pub runtime: Duration,
+    /// Work counters from the best run.
+    pub stats: QueryStats,
+}
+
+/// A regenerated figure: workload description + the measured series.
+#[derive(Clone, Debug)]
+pub struct FigureData {
+    /// Which figure.
+    pub spec: FigureSpec,
+    /// Workload description line (graph + score stats).
+    pub workload: String,
+    /// Index build time (paid once, outside the per-query series).
+    pub index_build: Duration,
+    /// All measurements, grouped by k in `K_VALUES` order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl FigureData {
+    /// The runtime series of one algorithm, in `K_VALUES` order.
+    pub fn series(&self, algorithm: &str) -> Vec<(usize, Duration)> {
+        self.points
+            .iter()
+            .filter(|p| p.algorithm == algorithm)
+            .map(|p| (p.k, p.runtime))
+            .collect()
+    }
+
+    /// max(Base) / max(algorithm) speedup over the whole sweep.
+    pub fn speedup_vs_base(&self, algorithm: &str) -> f64 {
+        let total = |name: &str| -> f64 {
+            self.points
+                .iter()
+                .filter(|p| p.algorithm == name)
+                .map(|p| p.runtime.as_secs_f64())
+                .sum()
+        };
+        let base = total("Base");
+        let alg = total(algorithm);
+        if alg == 0.0 {
+            f64::INFINITY
+        } else {
+            base / alg
+        }
+    }
+}
+
+/// Regenerate one figure: sweep k over [`K_VALUES`] for Base,
+/// LONA-Forward and LONA-Backward, `reps` repetitions each (best run
+/// kept, standard practice for cold-cache-free comparisons).
+///
+/// Index builds are paid before the sweep (the paper's indexes are
+/// "pre-computed and stored") and reported separately.
+pub fn run_figure(spec: &FigureSpec, scale: f64, seed: u64, reps: usize) -> FigureData {
+    let workload = Workload::paper(spec.dataset, scale, spec.blacking_ratio, seed);
+    let (g, scores) = workload.build();
+    let description = workload.describe(&g, &scores);
+
+    let mut engine = LonaEngine::new(&g, 2);
+    let mut index_build = engine.prepare_size_index();
+    index_build += engine.prepare_diff_index();
+
+    let algorithms: [(&'static str, Algorithm); 3] = [
+        ("Base", Algorithm::Base),
+        ("Forward", Algorithm::forward()),
+        ("Backward", Algorithm::backward()),
+    ];
+
+    let mut points = Vec::with_capacity(K_VALUES.len() * algorithms.len());
+    for &k in &K_VALUES {
+        let k = k.min(g.num_nodes());
+        let query = TopKQuery::new(k, spec.aggregate);
+        for (name, algorithm) in &algorithms {
+            let mut best: Option<(Duration, QueryStats)> = None;
+            for _ in 0..reps.max(1) {
+                let t = Instant::now();
+                let result = engine.run(algorithm, &query, &scores);
+                let took = t.elapsed();
+                if best.as_ref().is_none_or(|(b, _)| took < *b) {
+                    best = Some((took, result.stats));
+                }
+            }
+            let (runtime, stats) = best.unwrap();
+            points.push(SeriesPoint { k, algorithm: name, runtime, stats });
+        }
+    }
+
+    FigureData { spec: *spec, workload: description, index_build, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_table_is_consistent() {
+        assert_eq!(FIGURES.len(), 6);
+        assert_eq!(FIGURES[2].blacking_ratio, 0.2);
+        assert!(FIGURES.iter().filter(|f| f.aggregate == Aggregate::Sum).count() == 3);
+        assert_eq!(FIGURES[4].title(), "Fig. 5. Citation (AVG)");
+    }
+
+    #[test]
+    fn tiny_figure_run_produces_full_series() {
+        let spec = FIGURES[0];
+        let data = run_figure(&spec, 0.003, 7, 1);
+        // 7 k-values × 3 algorithms
+        assert_eq!(data.points.len(), 21);
+        assert_eq!(data.series("Base").len(), 7);
+        assert!(data.speedup_vs_base("Backward") > 0.0);
+        assert!(data.workload.contains("collaboration"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Report rendering: paper-style ASCII series tables and CSV.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::figures::{FigureData, K_VALUES};
+
+/// Render one figure as the ASCII table EXPERIMENTS.md embeds.
+pub fn ascii_table(data: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", data.spec.title());
+    let _ = writeln!(out, "  workload: {}", data.workload);
+    let _ = writeln!(
+        out,
+        "  index build (size + differential, paid once): {:?}",
+        data.index_build
+    );
+    let _ = writeln!(out);
+    let _ = write!(out, "  {:>8} ", "k");
+    for alg in ["Base", "Forward", "Backward"] {
+        let _ = write!(out, "{:>14} ", alg);
+    }
+    let _ = writeln!(out, "{:>14} {:>14}", "Base/Fwd", "Base/Bwd");
+
+    for &k in &K_VALUES {
+        let get = |alg: &str| -> Option<Duration> {
+            data.points
+                .iter()
+                .find(|p| p.k == k && p.algorithm == alg)
+                .map(|p| p.runtime)
+        };
+        // k may have been clamped to num_nodes; match on position instead.
+        let row: Vec<Option<Duration>> = ["Base", "Forward", "Backward"]
+            .iter()
+            .map(|alg| {
+                get(alg).or_else(|| {
+                    data.points
+                        .iter()
+                        .filter(|p| p.algorithm == *alg)
+                        .nth(K_VALUES.iter().position(|&kk| kk == k).unwrap())
+                        .map(|p| p.runtime)
+                })
+            })
+            .collect();
+        let _ = write!(out, "  {k:>8} ");
+        for cell in &row {
+            match cell {
+                Some(d) => {
+                    let _ = write!(out, "{:>14} ", format_duration(*d));
+                }
+                None => {
+                    let _ = write!(out, "{:>14} ", "-");
+                }
+            }
+        }
+        let ratio = |num: Option<Duration>, den: Option<Duration>| -> String {
+            match (num, den) {
+                (Some(n), Some(d)) if d.as_nanos() > 0 => {
+                    format!("{:.1}x", n.as_secs_f64() / d.as_secs_f64())
+                }
+                _ => "-".into(),
+            }
+        };
+        let _ = writeln!(out, "{:>14} {:>14}", ratio(row[0], row[1]), ratio(row[0], row[2]));
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  sweep speedup vs Base: Forward {:.1}x, Backward {:.1}x",
+        data.speedup_vs_base("Forward"),
+        data.speedup_vs_base("Backward")
+    );
+    out
+}
+
+/// Render one figure as CSV (`fig,k,algorithm,runtime_s,evaluated,pruned,edges,distributed`).
+pub fn csv(data: &FigureData) -> String {
+    let mut out = String::from("fig,k,algorithm,runtime_s,evaluated,pruned,edges,distributed\n");
+    for p in &data.points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.6},{},{},{},{}",
+            data.spec.id,
+            p.k,
+            p.algorithm,
+            p.runtime.as_secs_f64(),
+            p.stats.nodes_evaluated,
+            p.stats.nodes_pruned,
+            p.stats.edges_traversed,
+            p.stats.nodes_distributed,
+        );
+    }
+    out
+}
+
+/// Compact duration formatting (µs/ms/s with 3 significant figures).
+pub fn format_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{run_figure, FIGURES};
+
+    #[test]
+    fn table_and_csv_render() {
+        let data = run_figure(&FIGURES[0], 0.003, 5, 1);
+        let t = ascii_table(&data);
+        assert!(t.contains("Fig. 1"));
+        assert!(t.contains("Backward"));
+        let c = csv(&data);
+        assert_eq!(c.lines().count(), 1 + 21);
+        assert!(c.starts_with("fig,k,"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000s");
+        assert_eq!(format_duration(Duration::from_millis(5)), "5.000ms");
+        assert_eq!(format_duration(Duration::from_micros(7)), "7.0us");
+    }
+}

@@ -1,0 +1,108 @@
+//! Workload construction: dataset profile + paper-style relevance.
+
+use lona_gen::{DatasetKind, DatasetProfile};
+use lona_graph::CsrGraph;
+use lona_relevance::{MixtureBuilder, ScoreStats, ScoreVec};
+
+/// A fully-specified experimental workload: which network, at what
+/// scale, with which relevance distribution.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Dataset recipe.
+    pub profile: DatasetProfile,
+    /// Blacking ratio `r` (fraction of nodes scored exactly 1).
+    pub blacking_ratio: f64,
+    /// Fraction of non-blacked nodes with a non-zero exponential
+    /// score. The figure workloads use 0.05: query relevance is
+    /// sparse in every application the paper motivates (owners of one
+    /// product, watchlisted IPs, classifier-flagged users), and exact
+    /// zeros are what the backward family's skip-zero rule exploits
+    /// (see EXPERIMENTS.md "workload calibration").
+    pub support: f64,
+    /// Use pure 0/1 relevance instead of the exponential mixture.
+    pub binary: bool,
+    /// Assign the blacked 1s along random walks of this length (the
+    /// paper's `f_w` component: homophilous relevance like interests
+    /// or topics clusters over the network). `None` = uniform blacking
+    /// for exogenous relevance such as watchlist membership.
+    pub walk_blacking: Option<usize>,
+    /// Relevance seed (decoupled from the graph seed so score
+    /// redraws reuse the same network).
+    pub relevance_seed: u64,
+}
+
+impl Workload {
+    /// The paper's §V setup for one dataset: exponential mixture `f_r`
+    /// with the figure's blacking ratio, at 5% support.
+    ///
+    /// Blacking assignment is per-dataset: collaboration and citation
+    /// relevance (interests, research topics) is homophilous and uses
+    /// 4-step walk blacking; intrusion relevance (a watchlist of
+    /// known-bad IPs) is external evidence and stays uniform.
+    pub fn paper(kind: DatasetKind, scale: f64, r: f64, seed: u64) -> Self {
+        Workload {
+            profile: DatasetProfile { kind, scale, seed },
+            blacking_ratio: r,
+            support: 0.05,
+            binary: false,
+            walk_blacking: match kind {
+                DatasetKind::Intrusion => None,
+                _ => Some(4),
+            },
+            relevance_seed: seed.wrapping_add(0xabcd),
+        }
+    }
+
+    /// Materialize the graph and the scores.
+    pub fn build(&self) -> (CsrGraph, ScoreVec) {
+        let g = self.profile.generate().expect("workload graph generation failed");
+        let mut mix =
+            MixtureBuilder::new(self.blacking_ratio).support(self.support).lambda(5.0);
+        if let Some(walk_len) = self.walk_blacking {
+            mix = mix.walk_blacking(walk_len);
+        }
+        if self.binary {
+            mix = mix.binary();
+        }
+        let scores = mix.build(&g, self.relevance_seed);
+        (g, scores)
+    }
+
+    /// One-line description for reports.
+    pub fn describe(&self, g: &CsrGraph, scores: &ScoreVec) -> String {
+        format!(
+            "{} | scores: {}",
+            self.profile.describe(g),
+            ScoreStats::of(scores)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_matching_sizes() {
+        let w = Workload::paper(DatasetKind::Collaboration, 0.02, 0.01, 3);
+        let (g, s) = w.build();
+        assert_eq!(g.num_nodes(), s.len());
+        assert!(s.nonzero_count() > 0);
+    }
+
+    #[test]
+    fn binary_mode_is_binary() {
+        let mut w = Workload::paper(DatasetKind::Intrusion, 0.01, 0.2, 3);
+        w.binary = true;
+        let (_, s) = w.build();
+        assert!(s.as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    #[test]
+    fn describe_includes_both_parts() {
+        let w = Workload::paper(DatasetKind::Citation, 0.005, 0.01, 3);
+        let (g, s) = w.build();
+        let d = w.describe(&g, &s);
+        assert!(d.contains("citation") && d.contains("ones="));
+    }
+}

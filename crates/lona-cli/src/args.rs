@@ -1,0 +1,303 @@
+//! Hand-rolled argument parsing.
+
+use lona_core::Aggregate;
+use lona_gen::DatasetKind;
+
+/// Which algorithm the `topk` subcommand should run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AlgorithmChoice {
+    /// Naive forward baseline.
+    Base,
+    /// Thread-parallel baseline.
+    ParallelBase,
+    /// LONA-Forward (differential index).
+    Forward,
+    /// Full backward distribution.
+    BackwardNaive,
+    /// LONA-Backward (partial distribution).
+    Backward,
+}
+
+impl std::str::FromStr for AlgorithmChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "base" => Ok(AlgorithmChoice::Base),
+            "parallel" | "parallel-base" => Ok(AlgorithmChoice::ParallelBase),
+            "forward" => Ok(AlgorithmChoice::Forward),
+            "backward-naive" => Ok(AlgorithmChoice::BackwardNaive),
+            "backward" => Ok(AlgorithmChoice::Backward),
+            other => Err(format!(
+                "unknown algorithm `{other}` (base|parallel|forward|backward|backward-naive)"
+            )),
+        }
+    }
+}
+
+/// A parsed invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `lona stats <edgelist>`
+    Stats {
+        /// Input edge-list path.
+        input: String,
+    },
+    /// `lona generate <kind> --out <file> [--scale S] [--seed N]`
+    Generate {
+        /// Dataset profile kind.
+        kind: DatasetKind,
+        /// Output path (edge-list text).
+        out: String,
+        /// Linear scale (default 0.1).
+        scale: f64,
+        /// Generator seed (default 42).
+        seed: u64,
+    },
+    /// `lona topk <edgelist> [flags]`
+    TopK {
+        /// Input edge-list path.
+        input: String,
+        /// Number of results (default 10).
+        k: usize,
+        /// Hop radius (default 2).
+        hops: u32,
+        /// Aggregate function (default sum).
+        aggregate: Aggregate,
+        /// Algorithm (default backward).
+        algorithm: AlgorithmChoice,
+        /// Score file (one score per line); `None` = generate.
+        scores: Option<String>,
+        /// Blacking ratio for generated scores (default 0.01).
+        blacking: f64,
+        /// Generate pure 0/1 scores.
+        binary: bool,
+        /// Score generation seed (default 42).
+        seed: u64,
+        /// Exclude each node's own score from its aggregate.
+        exclude_self: bool,
+    },
+    /// `lona convert <edgelist> <snapshot>`
+    Convert {
+        /// Input edge-list path.
+        input: String,
+        /// Output binary snapshot path.
+        output: String,
+    },
+    /// `lona help` / `--help`
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+lona — top-k neighborhood aggregation queries over large networks (ICDE 2010)
+
+USAGE:
+  lona stats    <edgelist>
+  lona generate <collaboration|citation|intrusion> --out FILE [--scale S] [--seed N]
+  lona topk     <edgelist> [--k N] [--hops H] [--aggregate sum|avg|max|dwsum]
+                [--algorithm base|parallel|forward|backward|backward-naive]
+                [--scores FILE | --blacking R [--binary]] [--seed N] [--exclude-self]
+  lona convert  <edgelist> <snapshot>
+  lona help
+";
+
+/// Parse a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(String::as_str);
+    let sub = it.next().ok_or_else(|| USAGE.to_string())?;
+    let rest: Vec<&str> = it.collect();
+
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "stats" => {
+            let input = positional(&rest, 0, "edgelist path")?;
+            Ok(Command::Stats { input })
+        }
+        "convert" => {
+            let input = positional(&rest, 0, "edgelist path")?;
+            let output = positional(&rest, 1, "snapshot path")?;
+            Ok(Command::Convert { input, output })
+        }
+        "generate" => {
+            let kind: DatasetKind = positional(&rest, 0, "dataset kind")?.parse()?;
+            let out = flag_value(&rest, "--out")?.ok_or("generate requires --out FILE")?;
+            Ok(Command::Generate {
+                kind,
+                out,
+                scale: parse_flag(&rest, "--scale")?.unwrap_or(0.1),
+                seed: parse_flag(&rest, "--seed")?.unwrap_or(42),
+            })
+        }
+        "topk" => {
+            let input = positional(&rest, 0, "edgelist path")?;
+            Ok(Command::TopK {
+                input,
+                k: parse_flag(&rest, "--k")?.unwrap_or(10),
+                hops: parse_flag(&rest, "--hops")?.unwrap_or(2),
+                aggregate: parse_flag(&rest, "--aggregate")?.unwrap_or(Aggregate::Sum),
+                algorithm: parse_flag(&rest, "--algorithm")?
+                    .unwrap_or(AlgorithmChoice::Backward),
+                scores: flag_value(&rest, "--scores")?,
+                blacking: parse_flag(&rest, "--blacking")?.unwrap_or(0.01),
+                binary: has_flag(&rest, "--binary"),
+                seed: parse_flag(&rest, "--seed")?.unwrap_or(42),
+                exclude_self: has_flag(&rest, "--exclude-self"),
+            })
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+/// The i-th non-flag argument.
+fn positional(rest: &[&str], index: usize, what: &str) -> Result<String, String> {
+    let mut seen = 0usize;
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i];
+        if a.starts_with("--") {
+            // Boolean flags take no value; skip the value of the rest.
+            if !matches!(a, "--binary" | "--exclude-self") {
+                i += 1;
+            }
+        } else {
+            if seen == index {
+                return Ok(a.to_string());
+            }
+            seen += 1;
+        }
+        i += 1;
+    }
+    Err(format!("missing {what}"))
+}
+
+/// Raw value of `--flag`, if present.
+fn flag_value(rest: &[&str], flag: &str) -> Result<Option<String>, String> {
+    for (i, a) in rest.iter().enumerate() {
+        if *a == flag {
+            return rest
+                .get(i + 1)
+                .map(|v| Some(v.to_string()))
+                .ok_or_else(|| format!("{flag} requires a value"));
+        }
+    }
+    Ok(None)
+}
+
+/// Parsed value of `--flag`, if present.
+fn parse_flag<T: std::str::FromStr>(rest: &[&str], flag: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag_value(rest, flag)? {
+        None => Ok(None),
+        Some(v) => v.parse::<T>().map(Some).map_err(|e| format!("bad {flag} `{v}`: {e}")),
+    }
+}
+
+/// Whether a boolean flag is present.
+fn has_flag(rest: &[&str], flag: &str) -> bool {
+    rest.contains(&flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn stats_parses() {
+        assert_eq!(
+            parse(&v(&["stats", "g.txt"])).unwrap(),
+            Command::Stats { input: "g.txt".into() }
+        );
+        assert!(parse(&v(&["stats"])).is_err());
+    }
+
+    #[test]
+    fn generate_parses_with_defaults() {
+        let c = parse(&v(&["generate", "citation", "--out", "x.txt"])).unwrap();
+        match c {
+            Command::Generate { kind, out, scale, seed } => {
+                assert_eq!(kind, DatasetKind::Citation);
+                assert_eq!(out, "x.txt");
+                assert_eq!(scale, 0.1);
+                assert_eq!(seed, 42);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        assert!(parse(&v(&["generate", "citation"])).is_err());
+    }
+
+    #[test]
+    fn topk_full_flags() {
+        let c = parse(&v(&[
+            "topk", "g.txt", "--k", "25", "--hops", "3", "--aggregate", "avg",
+            "--algorithm", "forward", "--blacking", "0.2", "--binary", "--seed", "7",
+            "--exclude-self",
+        ]))
+        .unwrap();
+        match c {
+            Command::TopK { k, hops, aggregate, algorithm, binary, blacking, seed, exclude_self, .. } => {
+                assert_eq!(k, 25);
+                assert_eq!(hops, 3);
+                assert_eq!(aggregate, Aggregate::Avg);
+                assert_eq!(algorithm, AlgorithmChoice::Forward);
+                assert!(binary);
+                assert_eq!(blacking, 0.2);
+                assert_eq!(seed, 7);
+                assert!(exclude_self);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn topk_defaults() {
+        let c = parse(&v(&["topk", "g.txt"])).unwrap();
+        match c {
+            Command::TopK { k, hops, aggregate, algorithm, scores, .. } => {
+                assert_eq!(k, 10);
+                assert_eq!(hops, 2);
+                assert_eq!(aggregate, Aggregate::Sum);
+                assert_eq!(algorithm, AlgorithmChoice::Backward);
+                assert!(scores.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_values_error_cleanly() {
+        assert!(parse(&v(&["topk", "g.txt", "--k", "many"])).is_err());
+        assert!(parse(&v(&["topk", "g.txt", "--aggregate", "median"])).is_err());
+        assert!(parse(&v(&["generate", "socialnet", "--out", "x"])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse(&v(&[h])).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn positional_after_flags() {
+        let c = parse(&v(&["topk", "--k", "5", "g.txt"])).unwrap();
+        match c {
+            Command::TopK { input, k, .. } => {
+                assert_eq!(input, "g.txt");
+                assert_eq!(k, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

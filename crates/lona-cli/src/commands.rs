@@ -1,0 +1,290 @@
+//! Subcommand implementations. Each returns its report as a `String`
+//! so the logic is unit-testable; `main` only prints.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read};
+
+use lona_core::{Algorithm, LonaEngine, TopKQuery};
+use lona_gen::DatasetProfile;
+use lona_graph::algo::{
+    clustering_coefficient, connected_components, core_decomposition, estimate_distances,
+    DegreeStats,
+};
+use lona_graph::io::{read_edge_list, write_edge_list, write_snapshot, EdgeListOptions};
+use lona_graph::CsrGraph;
+use lona_relevance::{MixtureBuilder, ScoreVec};
+
+use crate::args::{AlgorithmChoice, Command};
+
+/// Execute a parsed command; returns the text to print.
+pub fn execute(command: &Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Stats { input } => stats(input),
+        Command::Generate { kind, out, scale, seed } => {
+            let profile = DatasetProfile { kind: *kind, scale: *scale, seed: *seed };
+            generate(&profile, out)
+        }
+        Command::Convert { input, output } => convert(input, output),
+        Command::TopK {
+            input,
+            k,
+            hops,
+            aggregate,
+            algorithm,
+            scores,
+            blacking,
+            binary,
+            seed,
+            exclude_self,
+        } => {
+            let g = load_graph(input)?;
+            let score_vec = match scores {
+                Some(path) => load_scores(path, g.num_nodes())?,
+                None => {
+                    let mut mix = MixtureBuilder::new(*blacking);
+                    if *binary {
+                        mix = mix.binary();
+                    }
+                    mix.build(&g, *seed)
+                }
+            };
+            topk(&g, &score_vec, *k, *hops, *aggregate, *algorithm, !*exclude_self)
+        }
+    }
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_edge_list(BufReader::new(file), &EdgeListOptions::default())
+        .map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_scores(path: &str, n: usize) -> Result<ScoreVec, String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let values: Result<Vec<f64>, String> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .map(|(i, l)| {
+            l.trim().parse::<f64>().map_err(|e| format!("{path}:{}: bad score: {e}", i + 1))
+        })
+        .collect();
+    let values = values?;
+    if values.len() != n {
+        return Err(format!("{path} has {} scores but the graph has {n} nodes", values.len()));
+    }
+    Ok(ScoreVec::new(values))
+}
+
+fn stats(input: &str) -> Result<String, String> {
+    let g = load_graph(input)?;
+    let deg = DegreeStats::of(&g);
+    let cc = connected_components(&g);
+    let cores = core_decomposition(&g);
+    let dist = estimate_distances(&g, 16);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "graph: {input}");
+    let _ = writeln!(
+        out,
+        "  nodes {}  edges {}  {}  memory {:.1} MiB",
+        g.num_nodes(),
+        g.num_edges(),
+        if g.is_directed() { "directed" } else { "undirected" },
+        g.memory_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    let _ = writeln!(
+        out,
+        "  degree: mean {:.2}  median {}  p99 {}  max {}",
+        deg.mean, deg.median, deg.p99, deg.max
+    );
+    let _ = writeln!(
+        out,
+        "  components: {} (largest {})",
+        cc.num_components(),
+        cc.largest()
+    );
+    let _ = writeln!(out, "  degeneracy (max k-core): {}", cores.degeneracy);
+    if g.num_edges() <= 2_000_000 {
+        let _ = writeln!(out, "  clustering (transitivity): {:.4}", clustering_coefficient(&g));
+    }
+    let _ = writeln!(
+        out,
+        "  distances (sampled {} sources): mean {:.2}  eff. diameter {}  max seen {}",
+        dist.sources, dist.mean_distance, dist.effective_diameter, dist.max_distance
+    );
+    Ok(out)
+}
+
+fn generate(profile: &DatasetProfile, out_path: &str) -> Result<String, String> {
+    let g = profile.generate().map_err(|e| format!("generation failed: {e}"))?;
+    let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    write_edge_list(&g, BufWriter::new(file)).map_err(|e| format!("write failed: {e}"))?;
+    Ok(format!("{}\nwritten to {out_path}\n", profile.describe(&g)))
+}
+
+fn convert(input: &str, output: &str) -> Result<String, String> {
+    let g = load_graph(input)?;
+    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    write_snapshot(&g, BufWriter::new(file)).map_err(|e| format!("write failed: {e}"))?;
+    Ok(format!(
+        "{} nodes, {} edges -> binary snapshot {output}\n",
+        g.num_nodes(),
+        g.num_edges()
+    ))
+}
+
+fn topk(
+    g: &CsrGraph,
+    scores: &ScoreVec,
+    k: usize,
+    hops: u32,
+    aggregate: lona_core::Aggregate,
+    choice: AlgorithmChoice,
+    include_self: bool,
+) -> Result<String, String> {
+    let algorithm = match choice {
+        AlgorithmChoice::Base => Algorithm::Base,
+        AlgorithmChoice::ParallelBase => Algorithm::ParallelBase(0),
+        AlgorithmChoice::Forward => Algorithm::forward(),
+        AlgorithmChoice::BackwardNaive => Algorithm::BackwardNaive,
+        AlgorithmChoice::Backward => Algorithm::backward(),
+    };
+    let mut engine = LonaEngine::new(g, hops);
+    let query = TopKQuery::new(k.max(1), aggregate).include_self(include_self);
+    let result = engine.run(&algorithm, &query, scores);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "top-{k} {} over {hops}-hop neighborhoods via {}:",
+        aggregate.name().to_uppercase(),
+        algorithm.name()
+    );
+    for (rank, (node, value)) in result.entries.iter().enumerate() {
+        let _ = writeln!(out, "  #{:<3} node {:<8} F = {:.6}", rank + 1, node, value);
+    }
+    let _ = writeln!(out, "\nwork: {}", result.stats);
+    if result.stats.index_build > std::time::Duration::ZERO {
+        let _ = writeln!(out, "index build charged: {:?}", result.stats.index_build);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("lona-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn write_sample_graph(path: &str) {
+        std::fs::write(path, "# sample\n0 1\n1 2\n2 0\n2 3\n3 4\n").unwrap();
+    }
+
+    #[test]
+    fn stats_reports_counts() {
+        let p = tmp("stats.txt");
+        write_sample_graph(&p);
+        let out = stats(&p).unwrap();
+        assert!(out.contains("nodes 5"));
+        assert!(out.contains("edges 5"));
+        assert!(out.contains("degeneracy"));
+    }
+
+    #[test]
+    fn generate_and_stats_round_trip() {
+        let p = tmp("gen.txt");
+        let cmd = parse(&[
+            "generate".into(),
+            "collaboration".into(),
+            "--out".into(),
+            p.clone(),
+            "--scale".into(),
+            "0.003".into(),
+        ])
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("written to"));
+        assert!(stats(&p).unwrap().contains("nodes"));
+    }
+
+    #[test]
+    fn convert_emits_readable_snapshot() {
+        let p = tmp("conv_in.txt");
+        let q = tmp("conv_out.bin");
+        write_sample_graph(&p);
+        let out = convert(&p, &q).unwrap();
+        assert!(out.contains("binary snapshot"));
+        let g = lona_graph::io::read_snapshot(File::open(&q).unwrap()).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+    }
+
+    #[test]
+    fn topk_with_generated_scores() {
+        let p = tmp("topk.txt");
+        write_sample_graph(&p);
+        let cmd = parse(&[
+            "topk".into(),
+            p,
+            "--k".into(),
+            "3".into(),
+            "--algorithm".into(),
+            "base".into(),
+        ])
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("top-3 SUM"));
+        assert!(out.lines().filter(|l| l.trim_start().starts_with('#')).count() == 3);
+    }
+
+    #[test]
+    fn topk_with_score_file_and_all_algorithms() {
+        let p = tmp("topk2.txt");
+        write_sample_graph(&p);
+        let s = tmp("scores.txt");
+        std::fs::write(&s, "1.0\n0.0\n0.5\n0.0\n1.0\n").unwrap();
+        for alg in ["base", "parallel", "forward", "backward", "backward-naive"] {
+            let cmd = parse(&[
+                "topk".into(),
+                p.clone(),
+                "--scores".into(),
+                s.clone(),
+                "--algorithm".into(),
+                alg.into(),
+                "--k".into(),
+                "2".into(),
+            ])
+            .unwrap();
+            let out = execute(&cmd).unwrap();
+            assert!(out.contains("top-2"), "{alg}: {out}");
+        }
+    }
+
+    #[test]
+    fn score_length_mismatch_is_an_error() {
+        let p = tmp("topk3.txt");
+        write_sample_graph(&p);
+        let s = tmp("short_scores.txt");
+        std::fs::write(&s, "1.0\n0.0\n").unwrap();
+        let cmd =
+            parse(&["topk".into(), p, "--scores".into(), s]).unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.contains("2 scores"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let err = stats("/nonexistent/graph.txt").unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # lona-cli
+//!
+//! Command-line front end for the LONA framework. Four subcommands:
+//!
+//! ```text
+//! lona stats    <edgelist>                      structural summary
+//! lona generate <kind> --out <file> [...]       synthesize a dataset
+//! lona topk     <edgelist> [...]                run a top-k query
+//! lona convert  <edgelist> <snapshot>           text -> binary snapshot
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency) and lives in
+//! [`args`]; command implementations live in [`commands`] so they are
+//! unit-testable without spawning processes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod commands;

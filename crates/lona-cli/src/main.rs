@@ -1,0 +1,19 @@
+//! `lona` binary entry point: parse, execute, print.
+
+use std::process::ExitCode;
+
+use lona_cli::{args, commands};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv).and_then(|cmd| commands::execute(&cmd)) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Neighborhood aggregation functions (paper Definition 2 and
+//! footnote 1).
+
+/// The aggregate `F(u)` computed over a node's h-hop neighborhood.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Aggregate {
+    /// `F(u) = Σ_{v ∈ S_h(u)} f(v)` (plus `f(u)` when the query
+    /// includes self).
+    Sum,
+    /// `F(u) = Σ f(v) / |S_h(u)|` — the SUM divided by the exact
+    /// neighborhood size.
+    Avg,
+    /// Footnote 1's connection-strength weighting with
+    /// `w(u, v) = 1 / dist(u, v)` (inverse hop distance):
+    /// `F(u) = Σ f(v) / dist(u, v)`.
+    ///
+    /// Every term is ≤ its SUM counterpart, so all SUM upper bounds
+    /// remain valid (just looser) and both LONA pruners accept this
+    /// aggregate unchanged.
+    DistanceWeightedSum,
+    /// `F(u) = max_{v ∈ S_h(u)} f(v)` — the extension exercise from
+    /// the paper's conclusion ("the similar ideas could be extended
+    /// to other more complicated functions"). The accumulated "mass"
+    /// for this aggregate is a running maximum, the backward
+    /// distribution takes per-node maxima, and dedicated max bounds
+    /// replace Eq. 1/3 (see `bounds::forward_max_bound`).
+    Max,
+}
+
+impl Aggregate {
+    /// Short name used in bench ids and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregate::Sum => "sum",
+            Aggregate::Avg => "avg",
+            Aggregate::DistanceWeightedSum => "dwsum",
+            Aggregate::Max => "max",
+        }
+    }
+
+    /// Whether computing this aggregate requires the exact
+    /// neighborhood size `N(v)` even when the raw sum is known.
+    pub fn needs_size(self) -> bool {
+        matches!(self, Aggregate::Avg)
+    }
+
+    /// Finalize an aggregate value from the accumulated neighbor mass.
+    ///
+    /// * `mass` — Σ f(v) over the proper neighborhood (already
+    ///   distance-weighted for [`Aggregate::DistanceWeightedSum`];
+    ///   the running *maximum* for [`Aggregate::Max`]);
+    /// * `n` — `|S_h(u)|`, the proper neighborhood size;
+    /// * `self_score` — `Some(f(u))` when the query includes self.
+    ///
+    /// The empty average (no neighborhood, self excluded) is defined
+    /// as 0, as is the empty maximum (scores are non-negative).
+    #[inline]
+    pub fn finalize(self, mass: f64, n: usize, self_score: Option<f64>) -> f64 {
+        match self {
+            Aggregate::Sum | Aggregate::DistanceWeightedSum => {
+                mass + self_score.unwrap_or(0.0)
+            }
+            Aggregate::Avg => {
+                let numerator = mass + self_score.unwrap_or(0.0);
+                let denom = n + usize::from(self_score.is_some());
+                if denom == 0 {
+                    0.0
+                } else {
+                    numerator / denom as f64
+                }
+            }
+            Aggregate::Max => mass.max(self_score.unwrap_or(0.0)).max(0.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Aggregate {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sum" => Ok(Aggregate::Sum),
+            "avg" | "average" => Ok(Aggregate::Avg),
+            "dwsum" | "weighted" => Ok(Aggregate::DistanceWeightedSum),
+            "max" => Ok(Aggregate::Max),
+            other => Err(format!("unknown aggregate `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_adds_self_when_included() {
+        assert_eq!(Aggregate::Sum.finalize(2.0, 4, Some(0.5)), 2.5);
+        assert_eq!(Aggregate::Sum.finalize(2.0, 4, None), 2.0);
+    }
+
+    #[test]
+    fn avg_divides_by_inclusive_count() {
+        assert_eq!(Aggregate::Avg.finalize(2.0, 3, Some(1.0)), 0.75); // (2+1)/4
+        assert_eq!(Aggregate::Avg.finalize(2.0, 4, None), 0.5);
+    }
+
+    #[test]
+    fn empty_average_is_zero() {
+        assert_eq!(Aggregate::Avg.finalize(0.0, 0, None), 0.0);
+        // Self-only average is just the self score.
+        assert_eq!(Aggregate::Avg.finalize(0.0, 0, Some(0.8)), 0.8);
+    }
+
+    #[test]
+    fn weighted_behaves_like_sum_at_finalize() {
+        assert_eq!(Aggregate::DistanceWeightedSum.finalize(1.5, 9, Some(0.5)), 2.0);
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!("sum".parse::<Aggregate>().unwrap(), Aggregate::Sum);
+        assert_eq!("AVG".parse::<Aggregate>().unwrap(), Aggregate::Avg);
+        assert!("median".parse::<Aggregate>().is_err());
+    }
+
+    #[test]
+    fn needs_size_only_for_avg() {
+        assert!(Aggregate::Avg.needs_size());
+        assert!(!Aggregate::Sum.needs_size());
+        assert!(!Aggregate::DistanceWeightedSum.needs_size());
+    }
+}

@@ -1,0 +1,81 @@
+//! The "Base" algorithm: naive forward processing without pruning.
+//!
+//! This is the paper's baseline in every figure: "check each node in
+//! the network, find its h-hop neighbors, aggregate their values
+//! together and then choose the k nodes with the highest aggregate
+//! values." Cost: one full h-hop expansion per node — the `m^h · |V|`
+//! edge accesses the introduction calls unaffordable.
+
+use lona_graph::NodeId;
+
+use crate::algo::context::Ctx;
+use crate::neighborhood::NeighborhoodScanner;
+use crate::result::QueryResult;
+use crate::stats::QueryStats;
+use crate::topk::TopKHeap;
+
+pub(crate) fn run(ctx: &Ctx<'_>) -> QueryResult {
+    let n = ctx.g.num_nodes();
+    let mut scanner = NeighborhoodScanner::new(n);
+    let mut topk = TopKHeap::new(ctx.query.k);
+    let mut stats = QueryStats::default();
+
+    for i in 0..n as u32 {
+        let u = NodeId(i);
+        let (_, value) = ctx.evaluate(&mut scanner, u, &mut stats);
+        topk.offer(u, value);
+    }
+
+    QueryResult { entries: topk.into_sorted_vec(), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Aggregate;
+    use crate::engine::TopKQuery;
+    use lona_graph::GraphBuilder;
+
+    #[test]
+    fn star_center_wins_sum() {
+        // Star: center 0, leaves 1..=4, all scores 1.
+        let g = GraphBuilder::undirected()
+            .extend_edges((1..=4).map(|i| (0, i)))
+            .build()
+            .unwrap();
+        let scores = vec![1.0; 5];
+        let query = TopKQuery::new(1, Aggregate::Sum);
+        let ctx = Ctx { g: &g, hops: 1, scores: &scores, query: &query, sizes: None, diffs: None };
+        let res = run(&ctx);
+        assert_eq!(res.entries[0].0, NodeId(0));
+        assert_eq!(res.entries[0].1, 5.0); // 4 leaves + self
+        assert_eq!(res.stats.nodes_evaluated, 5);
+        assert_eq!(res.stats.nodes_pruned, 0);
+    }
+
+    #[test]
+    fn avg_normalizes_by_size() {
+        // Path 0-1-2: with h=1, ends average over 2 nodes, middle over 3.
+        let g = GraphBuilder::undirected().extend_edges([(0, 1), (1, 2)]).build().unwrap();
+        let scores = vec![0.0, 1.0, 0.0];
+        let query = TopKQuery::new(3, Aggregate::Avg);
+        let ctx = Ctx { g: &g, hops: 1, scores: &scores, query: &query, sizes: None, diffs: None };
+        let res = run(&ctx);
+        // F(0) = (0 + 1)/2 = 0.5 = F(2); F(1) = 1/3.
+        let values = res.values();
+        assert!((values[0] - 0.5).abs() < 1e-12);
+        assert!((values[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclude_self_changes_values() {
+        let g = GraphBuilder::undirected().add_edge(0, 1).build().unwrap();
+        let scores = vec![1.0, 0.25];
+        let query = TopKQuery::new(2, Aggregate::Sum).include_self(false);
+        let ctx = Ctx { g: &g, hops: 1, scores: &scores, query: &query, sizes: None, diffs: None };
+        let res = run(&ctx);
+        // F(1) = f(0) = 1.0 ; F(0) = f(1) = 0.25
+        assert_eq!(res.entries[0], (NodeId(1), 1.0));
+        assert_eq!(res.entries[1], (NodeId(0), 0.25));
+    }
+}

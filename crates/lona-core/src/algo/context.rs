@@ -1,0 +1,81 @@
+//! Shared execution context handed to each algorithm.
+
+use lona_graph::{CsrGraph, NodeId};
+
+use crate::aggregate::Aggregate;
+use crate::engine::TopKQuery;
+use crate::index::{DiffIndex, SizeIndex};
+use crate::neighborhood::{NeighborhoodScanner, ScanResult};
+use crate::stats::QueryStats;
+
+/// Everything an algorithm needs to run one query.
+pub(crate) struct Ctx<'a> {
+    pub g: &'a CsrGraph,
+    pub hops: u32,
+    /// Raw score slice (`scores[u]` = `f(u)`).
+    pub scores: &'a [f64],
+    pub query: &'a TopKQuery,
+    pub sizes: Option<&'a SizeIndex>,
+    pub diffs: Option<&'a DiffIndex>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Non-zero `(node, score)` pairs in descending score order — the
+    /// backward distribution order. (Recomputed per run; the sort is
+    /// O(nnz log nnz), negligible next to the distribution itself.)
+    pub fn nonzero_descending(&self) -> Vec<(NodeId, f64)> {
+        let mut v: Vec<(NodeId, f64)> = self
+            .scores
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s > 0.0)
+            .map(|(i, &s)| (NodeId(i as u32), s))
+            .collect();
+        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
+    }
+
+}
+
+impl<'a> Ctx<'a> {
+    /// `f(u)` — the relevance score of `u`.
+    #[inline(always)]
+    pub fn f(&self, u: NodeId) -> f64 {
+        self.scores[u.index()]
+    }
+
+    /// `Some(f(u))` when the query includes self, else `None`.
+    #[inline(always)]
+    pub fn self_score(&self, u: NodeId) -> Option<f64> {
+        self.query.include_self.then(|| self.f(u))
+    }
+
+    /// Run the aggregate-appropriate exact scan of `u` and record its
+    /// work in `stats`. Returns the scan plus the finalized aggregate.
+    #[inline]
+    pub fn evaluate(
+        &self,
+        scanner: &mut NeighborhoodScanner,
+        u: NodeId,
+        stats: &mut QueryStats,
+    ) -> (ScanResult, f64) {
+        let scan = match self.query.aggregate {
+            Aggregate::DistanceWeightedSum => {
+                scanner.distance_weighted_scan(self.g, u, self.hops, self.scores)
+            }
+            Aggregate::Max => scanner.max_scan(self.g, u, self.hops, self.scores),
+            _ => scanner.sum_scan(self.g, u, self.hops, self.scores),
+        };
+        stats.nodes_evaluated += 1;
+        stats.edges_traversed += scan.edges;
+        let value = self.query.aggregate.finalize(scan.mass, scan.count, self.self_score(u));
+        (scan, value)
+    }
+
+    /// The size index, which the engine guarantees is present for the
+    /// algorithms that declared they need it.
+    #[inline]
+    pub fn sizes(&self) -> &SizeIndex {
+        self.sizes.expect("engine must prepare the size index for this algorithm")
+    }
+}

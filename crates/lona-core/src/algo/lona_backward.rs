@@ -1,0 +1,285 @@
+//! LONA-Backward (§IV): partial backward distribution with
+//! threshold-algorithm verification.
+//!
+//! 1. Every node with `f(u) > γ` scatters its score to `S_h(u)` in
+//!    descending score order;
+//! 2. every node then carries the Eq. 3 upper bound
+//!    `partial + γ·(N(v) − received) + [self]·f(v)`;
+//! 3. candidates are verified best-bound-first with exact forward
+//!    expansions until the next bound cannot beat `topklbound` —
+//!    everything after that line is discarded unevaluated.
+//!
+//! Two structural fast paths fall out of the bound:
+//!
+//! * γ = 0 (binary scores): the bound *is* the exact sum, so no
+//!   verification expansions run at all;
+//! * a candidate all of whose neighbors distributed (`received =
+//!   N(v)`) is likewise exact.
+
+use lona_graph::NodeId;
+
+use crate::aggregate::Aggregate;
+use crate::algo::context::Ctx;
+use crate::algo::BackwardOptions;
+use crate::bounds::{backward_max_bound, backward_sum_bound};
+use crate::neighborhood::NeighborhoodScanner;
+use crate::result::QueryResult;
+use crate::stats::QueryStats;
+use crate::topk::TopKHeap;
+
+pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions) -> QueryResult {
+    assert!(
+        !ctx.g.is_directed(),
+        "backward distribution requires an undirected graph (u ∈ S(v) ⟺ v ∈ S(u))"
+    );
+    let n = ctx.g.num_nodes();
+    let mut scanner = NeighborhoodScanner::new(n);
+    let mut stats = QueryStats::default();
+    let aggregate = ctx.query.aggregate;
+    let include_self = ctx.query.include_self;
+    let weighted = aggregate == Aggregate::DistanceWeightedSum;
+
+    // --- Phase 1: partial distribution above γ, descending order. ---
+    let gamma = opts.gamma.resolve_slice(ctx.scores);
+
+    let mut partial = vec![0.0f64; n];
+    let mut received = vec![0u32; n];
+    for (u, f_u) in ctx.nonzero_descending() {
+        if f_u <= gamma {
+            break; // descending order: nothing further qualifies
+        }
+        stats.nodes_distributed += 1;
+        let edges = match aggregate {
+            Aggregate::DistanceWeightedSum => {
+                let (_, e) = scanner.for_each_depth(ctx.g, u, ctx.hops, |v, depth| {
+                    partial[v as usize] += f_u / depth as f64;
+                    received[v as usize] += 1;
+                });
+                e
+            }
+            Aggregate::Max => {
+                let (_, e) = scanner.for_each(ctx.g, u, ctx.hops, |v| {
+                    let p = &mut partial[v as usize];
+                    if f_u > *p {
+                        *p = f_u;
+                    }
+                    received[v as usize] += 1;
+                });
+                e
+            }
+            Aggregate::Sum | Aggregate::Avg => {
+                let (_, e) = scanner.for_each(ctx.g, u, ctx.hops, |v| {
+                    partial[v as usize] += f_u;
+                    received[v as usize] += 1;
+                });
+                e
+            }
+        };
+        stats.edges_traversed += edges;
+    }
+
+    // --- Phase 2: Eq. 3 bounds for every node. ---
+    // With γ = 0 the unknown term vanishes and N(v) is only needed for
+    // AVG denominators — this is how the backward method runs
+    // index-free on binary workloads.
+    let mut candidates: Vec<(NodeId, f64)> = Vec::with_capacity(n);
+    for i in 0..n as u32 {
+        let v = NodeId(i);
+        let f_v = ctx.f(v);
+        let bound = match aggregate {
+            Aggregate::Max => {
+                if gamma > 0.0 {
+                    backward_max_bound(
+                        partial[v.index()],
+                        received[v.index()],
+                        ctx.sizes().get(v),
+                        gamma,
+                        f_v,
+                        include_self,
+                    )
+                } else {
+                    // γ = 0: unknown neighbors contribute nothing.
+                    aggregate.finalize(partial[v.index()], 0, include_self.then_some(f_v))
+                }
+            }
+            _ => {
+                let sum_bound = if gamma > 0.0 {
+                    let n_v = ctx.sizes().get(v);
+                    backward_sum_bound(
+                        partial[v.index()],
+                        received[v.index()],
+                        n_v,
+                        gamma,
+                        f_v,
+                        include_self,
+                    )
+                } else {
+                    partial[v.index()] + if include_self { f_v } else { 0.0 }
+                };
+                match aggregate {
+                    Aggregate::Avg => {
+                        let denom = ctx.sizes().get(v) + usize::from(include_self);
+                        if denom == 0 {
+                            0.0
+                        } else {
+                            sum_bound / denom as f64
+                        }
+                    }
+                    _ => sum_bound,
+                }
+            }
+        };
+        candidates.push((v, bound));
+    }
+    candidates
+        .sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    // --- Phase 3: verification in bound order with TA early stop. ---
+    let mut topk = TopKHeap::new(ctx.query.k);
+    let mut verified = 0usize;
+    for &(v, bound) in &candidates {
+        if topk.is_full() && bound <= topk.threshold() {
+            // Everything from here on is bounded below the current
+            // top-k floor; discard it unevaluated.
+            break;
+        }
+        verified += 1;
+        let exact_known = gamma == 0.0
+            || (received[v.index()] as usize == ctx.sizes().get(v) && !weighted);
+        let value = if exact_known {
+            stats.exact_from_bound += 1;
+            let mass = partial[v.index()];
+            let count = match aggregate {
+                Aggregate::Avg => ctx.sizes().get(v),
+                _ => 0,
+            };
+            aggregate.finalize(mass, count, ctx.self_score(v))
+        } else {
+            let (_, value) = ctx.evaluate(&mut scanner, v, &mut stats);
+            value
+        };
+        topk.offer(v, value);
+    }
+    stats.nodes_pruned = n - verified;
+
+    QueryResult { entries: topk.into_sorted_vec(), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::base_forward;
+    use crate::algo::GammaSpec;
+    use crate::engine::TopKQuery;
+    use crate::index::SizeIndex;
+    use lona_graph::{CsrGraph, GraphBuilder};
+
+    fn gadget() -> (CsrGraph, Vec<f64>) {
+        // Two triangles bridged: {0,1,2} hot, {3,4,5} cold.
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+            .build()
+            .unwrap();
+        let scores = vec![1.0, 0.8, 0.6, 0.3, 0.1, 0.05];
+        (g, scores)
+    }
+
+    fn run_backward(
+        g: &CsrGraph,
+        scores: &[f64],
+        h: u32,
+        query: &TopKQuery,
+        gamma: GammaSpec,
+    ) -> QueryResult {
+        let sizes = SizeIndex::build(g, h);
+        let ctx = Ctx { g, hops: h, scores, query, sizes: Some(&sizes), diffs: None };
+        run(&ctx, &BackwardOptions { gamma })
+    }
+
+    #[test]
+    fn agrees_with_base_across_gammas() {
+        let (g, scores) = gadget();
+        for aggregate in [Aggregate::Sum, Aggregate::Avg, Aggregate::DistanceWeightedSum] {
+            for h in 1..=3 {
+                for k in [1, 3, 6] {
+                    for gamma in [
+                        GammaSpec::Fixed(0.0),
+                        GammaSpec::Fixed(0.2),
+                        GammaSpec::Fixed(0.7),
+                        GammaSpec::Fixed(2.0), // nothing distributes
+                        GammaSpec::NonzeroQuantile(0.5),
+                        GammaSpec::NonzeroQuantile(0.9),
+                    ] {
+                        let query = TopKQuery::new(k, aggregate);
+                        let ctx = Ctx {
+                            g: &g,
+                            hops: h,
+                            scores: &scores,
+                            query: &query,
+                            sizes: None,
+                            diffs: None,
+                        };
+                        let expect = base_forward::run(&ctx);
+                        let got = run_backward(&g, &scores, h, &query, gamma);
+                        assert!(
+                            got.same_values(&expect, 1e-9),
+                            "{aggregate:?} h={h} k={k} {gamma:?}: {:?} vs {:?}",
+                            got.values(),
+                            expect.values()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_scores_never_expand() {
+        let mut b = GraphBuilder::undirected();
+        for i in 0..50u32 {
+            b.push_edge(i, (i + 1) % 50);
+            b.push_edge(i, (i + 7) % 50);
+        }
+        let g = b.build().unwrap();
+        let scores: Vec<f64> = (0..50).map(|i| if i % 10 == 0 { 1.0 } else { 0.0 }).collect();
+        let query = TopKQuery::new(5, Aggregate::Sum);
+        // Quantile of identical non-zero scores falls back to γ = 0.
+        let res = run_backward(&g, &scores, 2, &query, GammaSpec::default());
+        assert_eq!(res.stats.nodes_evaluated, 0, "binary path must not expand");
+        assert_eq!(res.stats.nodes_distributed, 5);
+        assert!(res.stats.exact_from_bound > 0);
+    }
+
+    #[test]
+    fn early_termination_prunes_most_candidates() {
+        // Hot region far above everything else -> verification stops
+        // after a handful of candidates.
+        let mut b = GraphBuilder::undirected();
+        for i in 0..200u32 {
+            b.push_edge(i, (i + 1) % 200);
+        }
+        let g = b.build().unwrap();
+        let mut scores = vec![0.001; 200];
+        for s in scores.iter_mut().take(5) {
+            *s = 1.0;
+        }
+        let query = TopKQuery::new(3, Aggregate::Sum);
+        let res = run_backward(&g, &scores, 2, &query, GammaSpec::Fixed(0.5));
+        assert!(
+            res.stats.nodes_pruned > 150,
+            "expected strong pruning, got {}",
+            res.stats.nodes_pruned
+        );
+    }
+
+    #[test]
+    fn include_self_false_agrees() {
+        let (g, scores) = gadget();
+        let query = TopKQuery::new(4, Aggregate::Avg).include_self(false);
+        let ctx =
+            Ctx { g: &g, hops: 2, scores: &scores, query: &query, sizes: None, diffs: None };
+        let expect = base_forward::run(&ctx);
+        let got = run_backward(&g, &scores, 2, &query, GammaSpec::Fixed(0.4));
+        assert!(got.same_values(&expect, 1e-9));
+    }
+}

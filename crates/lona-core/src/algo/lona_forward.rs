@@ -1,0 +1,228 @@
+//! LONA-Forward (Algorithm 1): forward processing with
+//! differential-index pruning.
+//!
+//! After evaluating `F(u)` exactly, every unpruned neighbor `v` gets
+//! the Eq. 1/2 upper bound from `delta(v − u)`; neighbors whose bound
+//! falls strictly below `topklbound` are added to the pruned list and
+//! never pay an exact expansion.
+
+use lona_graph::NodeId;
+
+use crate::aggregate::Aggregate;
+use crate::algo::context::Ctx;
+use crate::algo::ForwardOptions;
+use crate::algo::ProcessingOrder;
+use crate::bounds::{avg_from_sum_bound, forward_max_bound, forward_sum_bound};
+use crate::neighborhood::NeighborhoodScanner;
+use crate::result::QueryResult;
+use crate::stats::QueryStats;
+use crate::topk::TopKHeap;
+
+/// Per-node processing state (stats invariant: every node ends up
+/// either evaluated or pruned).
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum NodeState {
+    Pending,
+    Evaluated,
+    Pruned,
+}
+
+pub(crate) fn run(ctx: &Ctx<'_>, opts: &ForwardOptions) -> QueryResult {
+    assert!(
+        !ctx.g.is_directed(),
+        "LONA-Forward pruning requires an undirected graph (Eq. 1 needs mutual adjacency)"
+    );
+    let diffs = ctx.diffs.expect("engine must prepare the differential index");
+    let sizes = ctx.sizes();
+    let n = ctx.g.num_nodes();
+
+    let mut scanner = NeighborhoodScanner::new(n);
+    let mut topk = TopKHeap::new(ctx.query.k);
+    let mut stats = QueryStats::default();
+    let mut state = vec![NodeState::Pending; n];
+
+    for u in order(ctx, opts.order) {
+        if state[u.index()] != NodeState::Pending {
+            continue;
+        }
+        state[u.index()] = NodeState::Evaluated;
+
+        let (scan, value) = ctx.evaluate(&mut scanner, u, &mut stats);
+        topk.offer(u, value);
+
+        let lbound = topk.threshold();
+        if lbound == f64::NEG_INFINITY {
+            continue; // no pruning power until k results exist
+        }
+
+        // pruneNodes(u, F(u), G, topklbound): bound each 1-hop
+        // neighbor via its differential-index entry.
+        let include_self = ctx.query.include_self;
+        // Eq. 1 operates on the plain-sum aggregate of u under the
+        // query's self-inclusion semantics.
+        let f_sum_u = scan.raw_mass + ctx.self_score(u).unwrap_or(0.0);
+        let range = ctx.g.adjacency_range(u);
+        for (i, &v) in ctx.g.neighbors(u).iter().enumerate() {
+            if state[v.index()] != NodeState::Pending {
+                continue;
+            }
+            let delta = diffs.delta_at(range.start + i);
+            let n_v = sizes.get(v);
+            let f_v = ctx.f(v);
+            let bound = match ctx.query.aggregate {
+                Aggregate::Avg => {
+                    let sum_bound =
+                        forward_sum_bound(f_sum_u, delta, n_v, f_v, include_self);
+                    avg_from_sum_bound(sum_bound, n_v, include_self)
+                }
+                // DistanceWeightedSum values are ≤ their plain-sum
+                // counterparts, so the SUM bound stays valid.
+                Aggregate::Sum | Aggregate::DistanceWeightedSum => {
+                    forward_sum_bound(f_sum_u, delta, n_v, f_v, include_self)
+                }
+                // MAX uses its own (weaker) differential bound; `value`
+                // here is F_max(u).
+                Aggregate::Max => forward_max_bound(value, delta, f_v, include_self),
+            };
+            if bound < lbound {
+                state[v.index()] = NodeState::Pruned;
+                stats.nodes_pruned += 1;
+            }
+        }
+    }
+
+    debug_assert_eq!(stats.nodes_evaluated + stats.nodes_pruned, n);
+    QueryResult { entries: topk.into_sorted_vec(), stats }
+}
+
+/// Materialize the processing order.
+fn order(ctx: &Ctx<'_>, order: ProcessingOrder) -> Vec<NodeId> {
+    let n = ctx.g.num_nodes() as u32;
+    let mut ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+    match order {
+        ProcessingOrder::NodeId => {}
+        ProcessingOrder::DegreeDescending => {
+            ids.sort_by_key(|&u| std::cmp::Reverse(ctx.g.degree(u)));
+        }
+        ProcessingOrder::ScoreDescending => {
+            ids.sort_by(|&a, &b| ctx.f(b).total_cmp(&ctx.f(a)).then(a.cmp(&b)));
+        }
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::base_forward;
+    use crate::engine::TopKQuery;
+    use crate::index::{DiffIndex, SizeIndex};
+    use lona_graph::{CsrGraph, GraphBuilder};
+
+    fn run_forward(
+        g: &CsrGraph,
+        scores: &[f64],
+        h: u32,
+        query: &TopKQuery,
+        order: ProcessingOrder,
+    ) -> QueryResult {
+        let sizes = SizeIndex::build(g, h);
+        let diffs = DiffIndex::build(g, h, &sizes);
+        let ctx = Ctx { g, hops: h, scores, query, sizes: Some(&sizes), diffs: Some(&diffs) };
+        run(&ctx, &ForwardOptions { order })
+    }
+
+    fn two_communities() -> (CsrGraph, Vec<f64>) {
+        // Dense high-scoring triangle {0,1,2} + low-scoring tail 3-4-5.
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)])
+            .build()
+            .unwrap();
+        let scores = vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0];
+        (g, scores)
+    }
+
+    #[test]
+    fn agrees_with_base_on_all_orders() {
+        let (g, scores) = two_communities();
+        for aggregate in [Aggregate::Sum, Aggregate::Avg, Aggregate::DistanceWeightedSum] {
+            for h in 1..=3 {
+                for k in [1, 2, 4] {
+                    let query = TopKQuery::new(k, aggregate);
+                    let ctx = Ctx {
+                        g: &g,
+                        hops: h,
+                        scores: &scores,
+                        query: &query,
+                        sizes: None,
+                        diffs: None,
+                    };
+                    let expect = base_forward::run(&ctx);
+                    for order in [
+                        ProcessingOrder::NodeId,
+                        ProcessingOrder::DegreeDescending,
+                        ProcessingOrder::ScoreDescending,
+                    ] {
+                        let got = run_forward(&g, &scores, h, &query, order);
+                        assert!(
+                            got.same_values(&expect, 1e-9),
+                            "h={h} k={k} {aggregate:?} {order:?}: {:?} vs {:?}",
+                            got.values(),
+                            expect.values()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_actually_fires() {
+        // Big clustered graph where differential deltas are small:
+        // a clique ring. With k=1 most of the ring must be prunable.
+        let mut b = GraphBuilder::undirected();
+        let n = 60u32;
+        for c in 0..n / 6 {
+            let base = c * 6;
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    b.push_edge(base + i, base + j);
+                }
+            }
+            b.push_edge(base, (base + 6) % n); // ring link
+        }
+        let g = b.build().unwrap();
+        // One hot clique, everything else cold.
+        let scores: Vec<f64> = (0..n).map(|i| if i < 6 { 1.0 } else { 0.01 }).collect();
+        let query = TopKQuery::new(1, Aggregate::Sum);
+        let res = run_forward(&g, &scores, 2, &query, ProcessingOrder::NodeId);
+        assert!(res.stats.nodes_pruned > 0, "no pruning on a pruning-friendly graph");
+        assert_eq!(
+            res.stats.nodes_pruned + res.stats.nodes_evaluated,
+            g.num_nodes(),
+            "state accounting broken"
+        );
+    }
+
+    #[test]
+    fn exclude_self_agrees_with_base() {
+        let (g, scores) = two_communities();
+        let query = TopKQuery::new(3, Aggregate::Avg).include_self(false);
+        let ctx =
+            Ctx { g: &g, hops: 2, scores: &scores, query: &query, sizes: None, diffs: None };
+        let expect = base_forward::run(&ctx);
+        let got = run_forward(&g, &scores, 2, &query, ProcessingOrder::NodeId);
+        assert!(got.same_values(&expect, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn directed_rejected() {
+        let g = GraphBuilder::directed().add_edge(0, 1).build().unwrap();
+        let scores = vec![1.0, 1.0];
+        let query = TopKQuery::new(1, Aggregate::Sum);
+        let ctx =
+            Ctx { g: &g, hops: 1, scores: &scores, query: &query, sizes: None, diffs: None };
+        let _ = run(&ctx, &ForwardOptions::default());
+    }
+}

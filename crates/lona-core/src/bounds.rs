@@ -1,0 +1,206 @@
+//! Upper-bound formulas: the paper's Equations 1, 2 and 3 adapted to
+//! the exclusive-`S_h` semantics pinned down in DESIGN.md §1.
+//!
+//! Notation used throughout:
+//!
+//! * `S(v)` — nodes at distance `1..=h` from `v` (excludes `v`);
+//! * `N(v) = |S(v)|`;
+//! * `F_sum(v) = Σ_{w ∈ S(v)} f(w) (+ f(v) when self is included)`;
+//! * `delta(v − u) = |S(v) \ S(u)|` — the differential index.
+//!
+//! Soundness sketches live next to each function; the property tests
+//! in `tests/bound_props.rs` machine-check them on random graphs.
+
+/// The maximum possible aggregate of `v` regardless of other
+/// information: every one of its `n_v` proper neighbors scores 1, plus
+/// `f(v)` itself when self is included (the second operand of Eq. 1;
+/// the paper writes it `N(v) − 1 + f(v)` with a self-inclusive `N`).
+#[inline]
+pub fn capacity_bound(n_v: usize, f_v: f64, include_self: bool) -> f64 {
+    n_v as f64 + if include_self { f_v } else { 0.0 }
+}
+
+/// Eq. 1 — forward differential bound on `F_sum(v)` for a neighbor `v`
+/// of an already-evaluated node `u`:
+///
+/// ```text
+/// F̄_sum(v) = min(F_sum(u) + delta(v − u),  N(v) + [self]·f(v))
+/// ```
+///
+/// Soundness (undirected `G`, `v` adjacent to `u`, scores in `[0, 1]`):
+/// split `S(v)` into `S(v) ∩ S(u)` and `S(v) \ S(u)`. The intersection
+/// is a subset of `S(u)` not containing `v` (as `v ∉ S(v)`), so its
+/// score mass is at most `F_sum(u)` minus the terms `S(u)` contributes
+/// for `v` (and `u` itself under self-inclusion); the difference set
+/// has `delta(v − u)` members each bounded by 1. Summing and bounding
+/// `f(v) ≤ 1` yields the formula. Requires mutual adjacency, hence the
+/// undirected restriction on LONA-Forward.
+#[inline]
+pub fn forward_sum_bound(
+    f_sum_u: f64,
+    delta_vu: u32,
+    n_v: usize,
+    f_v: f64,
+    include_self: bool,
+) -> f64 {
+    let differential = f_sum_u + delta_vu as f64;
+    differential.min(capacity_bound(n_v, f_v, include_self))
+}
+
+/// Eq. 2 — AVG bound: the SUM bound divided by the *exact* element
+/// count of `v`'s aggregate. Dividing an upper bound by an exact
+/// positive denominator preserves the bound.
+#[inline]
+pub fn avg_from_sum_bound(sum_bound: f64, n_v: usize, include_self: bool) -> f64 {
+    let denom = n_v + usize::from(include_self);
+    if denom == 0 {
+        // Exclusive-self empty neighborhood: the aggregate is defined
+        // as 0, so 0 is the tight bound.
+        0.0
+    } else {
+        sum_bound / denom as f64
+    }
+}
+
+/// Eq. 3 — backward partial-distribution bound. After every node with
+/// `f > gamma` has scattered its score (so `v` has received `partial`
+/// total mass from `received` distinct distributors), each of the
+/// remaining `N(v) − received` neighbors can score at most `gamma`:
+///
+/// ```text
+/// F̄_sum(v) = partial + gamma · (N(v) − received) + [self]·f(v)
+/// ```
+///
+/// The paper's Eq. 3 bounds the unknown rest by `f(u_l)` (the last
+/// distributed score); after a *complete* pass over `{f > gamma}`,
+/// `gamma ≤ f(u_l)` makes this form at least as tight.
+#[inline]
+pub fn backward_sum_bound(
+    partial: f64,
+    received: u32,
+    n_v: usize,
+    gamma: f64,
+    f_v: f64,
+    include_self: bool,
+) -> f64 {
+    debug_assert!(
+        received as usize <= n_v,
+        "received {received} distributors exceed neighborhood size {n_v}"
+    );
+    let unknown = (n_v as u32 - received) as f64;
+    partial + gamma * unknown + if include_self { f_v } else { 0.0 }
+}
+
+/// MAX analogue of Eq. 1 (extension aggregate). For `v` adjacent to an
+/// evaluated `u`:
+///
+/// ```text
+/// F̄_max(v) = max(F_max(u),  1 if delta(v − u) > 0 else 0,  [self]·f(v))
+/// ```
+///
+/// Soundness: `max_{S(v) ∩ S(u)} f ≤ max_{S(u)} f ≤ F_max(u)`, and
+/// the difference set contributes at most 1 — but only exists when
+/// `delta(v − u) > 0`. In tight communities (`delta = 0`) the bound
+/// collapses to `F_max(u)` and prunes; elsewhere it is vacuous, which
+/// is *why* the paper's differential index targets SUM/AVG.
+#[inline]
+pub fn forward_max_bound(f_max_u: f64, delta_vu: u32, f_v: f64, include_self: bool) -> f64 {
+    let mut bound = f_max_u;
+    if delta_vu > 0 {
+        bound = bound.max(1.0);
+    }
+    if include_self {
+        bound = bound.max(f_v);
+    }
+    bound
+}
+
+/// MAX analogue of Eq. 3: after distributing every score above
+/// `gamma`, a node's unknown neighbors each carry at most `gamma`:
+///
+/// ```text
+/// F̄_max(v) = max(partial_max,  gamma if received < N(v) else 0,  [self]·f(v))
+/// ```
+#[inline]
+pub fn backward_max_bound(
+    partial_max: f64,
+    received: u32,
+    n_v: usize,
+    gamma: f64,
+    f_v: f64,
+    include_self: bool,
+) -> f64 {
+    let mut bound = partial_max;
+    if (received as usize) < n_v {
+        bound = bound.max(gamma);
+    }
+    if include_self {
+        bound = bound.max(f_v);
+    }
+    bound.max(0.0)
+}
+
+/// Mid-distribution form of Eq. 3, exactly as printed in the paper:
+/// bounds the unknown rest by the score of the most recent (lowest)
+/// distributor `f_last` instead of `gamma`. Used when distribution is
+/// cut short rather than run to the threshold.
+#[inline]
+pub fn backward_sum_bound_running(
+    partial: f64,
+    received: u32,
+    n_v: usize,
+    f_last: f64,
+    f_v: f64,
+    include_self: bool,
+) -> f64 {
+    backward_sum_bound(partial, received, n_v, f_last, f_v, include_self)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_counts_neighbors_and_self() {
+        assert_eq!(capacity_bound(5, 0.5, true), 5.5);
+        assert_eq!(capacity_bound(5, 0.5, false), 5.0);
+        assert_eq!(capacity_bound(0, 1.0, true), 1.0);
+    }
+
+    #[test]
+    fn forward_bound_takes_the_minimum() {
+        // differential side smaller
+        assert_eq!(forward_sum_bound(2.0, 1, 100, 0.0, false), 3.0);
+        // capacity side smaller
+        assert_eq!(forward_sum_bound(50.0, 10, 4, 0.5, true), 4.5);
+    }
+
+    #[test]
+    fn avg_bound_divides_by_exact_count() {
+        assert_eq!(avg_from_sum_bound(3.0, 2, true), 1.0);
+        assert_eq!(avg_from_sum_bound(3.0, 3, false), 1.0);
+        assert_eq!(avg_from_sum_bound(3.0, 0, false), 0.0);
+    }
+
+    #[test]
+    fn backward_bound_components() {
+        // 2 of 5 neighbors known (mass 1.5), gamma 0.2, self 0.3.
+        let b = backward_sum_bound(1.5, 2, 5, 0.2, 0.3, true);
+        assert!((b - (1.5 + 0.2 * 3.0 + 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_bound_zero_gamma_is_exact_partial() {
+        // The binary fast path: nothing unknown can contribute.
+        let b = backward_sum_bound(4.0, 3, 10, 0.0, 1.0, true);
+        assert_eq!(b, 5.0);
+    }
+
+    #[test]
+    fn running_form_matches_gamma_form() {
+        assert_eq!(
+            backward_sum_bound_running(1.0, 1, 4, 0.7, 0.0, false),
+            backward_sum_bound(1.0, 1, 4, 0.7, 0.0, false)
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! The differential index `delta(v − u) = |S_h(v) \ S_h(u)|`.
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use lona_graph::{CsrGraph, GraphError, NodeId};
+
+use crate::index::SizeIndex;
+use crate::neighborhood::NeighborhoodScanner;
+
+const MAGIC: &[u8; 8] = b"LONADIF1";
+
+/// Per-edge differential index (paper §III).
+///
+/// For every adjacency entry `u -> v` the index stores
+/// `delta(v − u) = |S_h(v) \ S_h(u)|`: how many of `v`'s h-hop
+/// neighbors are *not* h-hop neighbors of `u`. When forward processing
+/// has just evaluated `F(u)` exactly, Eq. 1 turns this number into an
+/// upper bound for the yet-unevaluated neighbor `v`.
+///
+/// Entries are laid out parallel to the CSR adjacency array, so the
+/// lookup for neighbor `i` of `u` is one array read.
+///
+/// ## Build strategy
+///
+/// `delta(v − u) = N(v) − |S(u) ∩ S(v)|`, and the intersection is
+/// symmetric — so per undirected edge one intersection count yields
+/// *both* directions:
+///
+/// 1. mark `S(u)` in an epoch set (one h-hop expansion);
+/// 2. for each neighbor `v > u`, expand `S(v)` counting marked nodes
+///    → `|S(u) ∩ S(v)|`;
+/// 3. `delta(v − u) = N(v) − inter`, `delta(u − v) = N(u) − inter`.
+///
+/// Total: `n + m` neighborhood expansions — the offline cost the paper
+/// accepts for its pre-computed index. The build parallelizes over
+/// source nodes; both directions of an edge are written by the thread
+/// owning the lower endpoint, through relaxed atomics (each slot is
+/// written exactly once).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffIndex {
+    hops: u32,
+    deltas: Vec<u32>,
+}
+
+impl DiffIndex {
+    /// Build the index for `g` at radius `hops`, given the matching
+    /// [`SizeIndex`].
+    ///
+    /// # Panics
+    /// Panics if `g` is directed (Eq. 1's soundness needs mutual
+    /// adjacency; see `bounds.rs`) or if `sizes` was built at a
+    /// different radius.
+    pub fn build(g: &CsrGraph, hops: u32, sizes: &SizeIndex) -> Self {
+        assert!(!g.is_directed(), "the differential index requires an undirected graph");
+        assert_eq!(sizes.hops(), hops, "size index was built for h={}", sizes.hops());
+        assert_eq!(sizes.len(), g.num_nodes(), "size index covers a different graph");
+
+        let entries = g.num_adjacency_entries();
+        let deltas: Vec<AtomicU32> = (0..entries).map(|_| AtomicU32::new(0)).collect();
+        Self::build_impl(g, hops, sizes, deltas)
+    }
+
+    fn build_impl(
+        g: &CsrGraph,
+        hops: u32,
+        sizes: &SizeIndex,
+        deltas: Vec<AtomicU32>,
+    ) -> Self {
+        let n = g.num_nodes();
+        let threads =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        let deltas_ref = &deltas;
+
+        crossbeam::scope(|scope| {
+            for t in 0..threads {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(n);
+                if start >= end {
+                    break;
+                }
+                scope.spawn(move |_| {
+                    let mut marker = NeighborhoodScanner::new(n);
+                    let mut expander = NeighborhoodScanner::new(n);
+                    for u_idx in start..end {
+                        let u = NodeId(u_idx as u32);
+                        let n_u = sizes.get(u) as u32;
+                        if g.neighbors(u).iter().all(|&v| v.0 < u.0) {
+                            continue;
+                        }
+                        marker.mark(g, u, hops);
+                        let u_range = g.adjacency_range(u);
+                        for (i, &v) in g.neighbors(u).iter().enumerate() {
+                            if v.0 < u.0 {
+                                continue;
+                            }
+                            let mut inter = 0u32;
+                            expander.for_each(g, v, hops, |w| {
+                                if marker.marked(NodeId(w)) {
+                                    inter += 1;
+                                }
+                            });
+                            let n_v = sizes.get(v) as u32;
+                            debug_assert!(inter <= n_v && inter <= n_u);
+                            // delta(v − u) lives at u's entry for v:
+                            deltas_ref[u_range.start + i]
+                                .store(n_v - inter, Ordering::Relaxed);
+                            // delta(u − v) lives at v's entry for u:
+                            let back = g
+                                .adjacency_index(v, u)
+                                .expect("undirected edge must exist both ways");
+                            deltas_ref[back].store(n_u - inter, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("diff-index worker panicked");
+
+        let deltas = deltas.into_iter().map(AtomicU32::into_inner).collect();
+        DiffIndex { hops, deltas }
+    }
+
+    /// The hop radius this index was built for.
+    pub fn hops(&self) -> u32 {
+        self.hops
+    }
+
+    /// Number of adjacency entries covered.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// `delta(v − u)` where `v` is the neighbor at `adjacency_pos`
+    /// within `u`'s adjacency range (see
+    /// [`CsrGraph::adjacency_range`]).
+    #[inline(always)]
+    pub fn delta_at(&self, adjacency_pos: usize) -> u32 {
+        self.deltas[adjacency_pos]
+    }
+
+    /// `delta(v − u)` by endpoint lookup (binary search; prefer
+    /// [`DiffIndex::delta_at`] in loops that already track positions).
+    pub fn delta(&self, g: &CsrGraph, u: NodeId, v: NodeId) -> Option<u32> {
+        g.adjacency_index(u, v).map(|pos| self.deltas[pos])
+    }
+
+    /// Approximate resident memory, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.deltas.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Serialize.
+    pub fn write_to<W: Write>(&self, mut w: W) -> lona_graph::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&self.hops.to_le_bytes())?;
+        w.write_all(&(self.deltas.len() as u64).to_le_bytes())?;
+        let mut buf = Vec::with_capacity(4 * 16384);
+        for chunk in self.deltas.chunks(16384) {
+            buf.clear();
+            for &d in chunk {
+                buf.extend_from_slice(&d.to_le_bytes());
+            }
+            w.write_all(&buf)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize.
+    pub fn read_from<R: Read>(mut r: R) -> lona_graph::Result<Self> {
+        let mut header = [0u8; 8 + 4 + 8];
+        r.read_exact(&mut header).map_err(GraphError::Io)?;
+        if &header[..8] != MAGIC {
+            return Err(GraphError::BadSnapshot("bad diff-index magic".into()));
+        }
+        let hops = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let len = u64::from_le_bytes(header[12..20].try_into().unwrap()) as usize;
+        let mut raw = vec![0u8; len * 4];
+        r.read_exact(&mut raw).map_err(GraphError::Io)?;
+        let deltas =
+            raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
+        Ok(DiffIndex { hops, deltas })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lona_graph::traversal::bfs_distances;
+    use lona_graph::GraphBuilder;
+
+    /// Brute-force `delta(v − u)` via BFS distance sets.
+    fn reference_delta(g: &CsrGraph, u: NodeId, v: NodeId, h: u32) -> u32 {
+        let du = bfs_distances(g, u);
+        let dv = bfs_distances(g, v);
+        (0..g.num_nodes() as u32)
+            .filter(|&w| {
+                let in_sv = w != v.0 && dv[w as usize] <= h;
+                let in_su = w != u.0 && du[w as usize] <= h;
+                in_sv && !in_su
+            })
+            .count() as u32
+    }
+
+    fn check_graph(g: &CsrGraph, h: u32) {
+        let sizes = SizeIndex::build(g, h);
+        let idx = DiffIndex::build(g, h, &sizes);
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                assert_eq!(
+                    idx.delta(g, u, v).unwrap(),
+                    reference_delta(g, u, v, h),
+                    "delta({v:?} - {u:?}) at h={h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_path() {
+        let g = GraphBuilder::undirected()
+            .extend_edges((0..5).map(|i| (i, i + 1)))
+            .build()
+            .unwrap();
+        check_graph(&g, 1);
+        check_graph(&g, 2);
+    }
+
+    #[test]
+    fn matches_reference_on_clustered_graph() {
+        // Two triangles joined by a bridge.
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+            .build()
+            .unwrap();
+        check_graph(&g, 1);
+        check_graph(&g, 2);
+        check_graph(&g, 3);
+    }
+
+    #[test]
+    fn matches_reference_on_star() {
+        let g = GraphBuilder::undirected()
+            .extend_edges((1..=6).map(|i| (0, i)))
+            .build()
+            .unwrap();
+        check_graph(&g, 1);
+        check_graph(&g, 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        let sizes = SizeIndex::build(&g, 2);
+        let idx = DiffIndex::build(&g, 2, &sizes);
+        let mut buf = Vec::new();
+        idx.write_to(&mut buf).unwrap();
+        assert_eq!(DiffIndex::read_from(&buf[..]).unwrap(), idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn directed_graph_rejected() {
+        let g = GraphBuilder::directed().add_edge(0, 1).build().unwrap();
+        let sizes = SizeIndex::build(&g, 2);
+        let _ = DiffIndex::build(&g, 2, &sizes);
+    }
+
+    #[test]
+    #[should_panic(expected = "size index was built for")]
+    fn hop_mismatch_rejected() {
+        let g = GraphBuilder::undirected().add_edge(0, 1).build().unwrap();
+        let sizes = SizeIndex::build(&g, 1);
+        let _ = DiffIndex::build(&g, 2, &sizes);
+    }
+}

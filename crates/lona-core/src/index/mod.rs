@@ -1,0 +1,17 @@
+//! Pre-computed per-node and per-edge indexes.
+//!
+//! * [`SizeIndex`] — `N(v) = |S_h(v)|` for every node; needed by the
+//!   capacity side of Eq. 1, by Eq. 2/3, and by AVG finalization in
+//!   the backward algorithms.
+//! * [`DiffIndex`] — the paper's *differential index*
+//!   `delta(v − u) = |S_h(v) \ S_h(u)|` for every directed adjacency
+//!   entry; the heart of forward pruning.
+//!
+//! Both are built once per `(graph, h)` pair, in parallel, and can be
+//! serialized so benchmark runs amortize the build.
+
+mod diff;
+mod size;
+
+pub use diff::DiffIndex;
+pub use size::SizeIndex;

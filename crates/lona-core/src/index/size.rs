@@ -1,0 +1,185 @@
+//! The h-hop neighborhood-size index `N(v)`.
+
+use std::io::{Read, Write};
+
+use lona_graph::{CsrGraph, GraphError, NodeId};
+
+use crate::neighborhood::NeighborhoodScanner;
+
+const MAGIC: &[u8; 8] = b"LONASIZ1";
+
+/// `N(v) = |S_h(v)|` for every node, at a fixed hop radius.
+///
+/// One full sweep of the graph (the cost of a single Base query);
+/// amortized across every subsequent query on the same graph. The
+/// build runs on all available cores.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SizeIndex {
+    hops: u32,
+    sizes: Vec<u32>,
+}
+
+impl SizeIndex {
+    /// Build the index for `g` at radius `hops`.
+    pub fn build(g: &CsrGraph, hops: u32) -> Self {
+        let n = g.num_nodes();
+        let mut sizes = vec![0u32; n];
+        let threads = num_threads(n);
+
+        if threads <= 1 || n < 1024 {
+            let mut scanner = NeighborhoodScanner::new(n);
+            for (i, slot) in sizes.iter_mut().enumerate() {
+                let (count, _) = scanner.size_scan(g, NodeId(i as u32), hops);
+                *slot = count as u32;
+            }
+        } else {
+            let chunk = n.div_ceil(threads);
+            crossbeam::scope(|scope| {
+                for (t, slice) in sizes.chunks_mut(chunk).enumerate() {
+                    let start = t * chunk;
+                    scope.spawn(move |_| {
+                        let mut scanner = NeighborhoodScanner::new(n);
+                        for (i, slot) in slice.iter_mut().enumerate() {
+                            let u = NodeId((start + i) as u32);
+                            let (count, _) = scanner.size_scan(g, u, hops);
+                            *slot = count as u32;
+                        }
+                    });
+                }
+            })
+            .expect("size-index worker panicked");
+        }
+        SizeIndex { hops, sizes }
+    }
+
+    /// The hop radius this index was built for.
+    pub fn hops(&self) -> u32 {
+        self.hops
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// `N(v)` — the proper h-hop neighborhood size of `v`.
+    #[inline(always)]
+    pub fn get(&self, v: NodeId) -> usize {
+        self.sizes[v.index()] as usize
+    }
+
+    /// Raw slice access for hot loops.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Serialize (see `io::binary` for the format conventions).
+    pub fn write_to<W: Write>(&self, mut w: W) -> lona_graph::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&self.hops.to_le_bytes())?;
+        w.write_all(&(self.sizes.len() as u64).to_le_bytes())?;
+        let mut buf = Vec::with_capacity(4 * 16384);
+        for chunk in self.sizes.chunks(16384) {
+            buf.clear();
+            for &s in chunk {
+                buf.extend_from_slice(&s.to_le_bytes());
+            }
+            w.write_all(&buf)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize.
+    pub fn read_from<R: Read>(mut r: R) -> lona_graph::Result<Self> {
+        let mut header = [0u8; 8 + 4 + 8];
+        r.read_exact(&mut header).map_err(GraphError::Io)?;
+        if &header[..8] != MAGIC {
+            return Err(GraphError::BadSnapshot("bad size-index magic".into()));
+        }
+        let hops = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let len = u64::from_le_bytes(header[12..20].try_into().unwrap()) as usize;
+        let mut raw = vec![0u8; len * 4];
+        r.read_exact(&mut raw).map_err(GraphError::Io)?;
+        let sizes =
+            raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
+        Ok(SizeIndex { hops, sizes })
+    }
+}
+
+fn num_threads(work_items: usize) -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(work_items.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lona_graph::traversal::bfs_distances;
+    use lona_graph::GraphBuilder;
+
+    fn reference_sizes(g: &CsrGraph, h: u32) -> Vec<u32> {
+        (0..g.num_nodes() as u32)
+            .map(|u| {
+                let d = bfs_distances(g, NodeId(u));
+                d.iter().filter(|&&x| x != 0 && x <= h).count() as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_bfs_reference_small() {
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (0, 5)])
+            .build()
+            .unwrap();
+        for h in 1..=3 {
+            let idx = SizeIndex::build(&g, h);
+            assert_eq!(idx.as_slice(), &reference_sizes(&g, h)[..], "h={h}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        // Big enough to take the parallel path (>= 1024 nodes).
+        let mut b = GraphBuilder::undirected();
+        for i in 0u32..2000 {
+            b.push_edge(i, (i + 1) % 2000);
+            b.push_edge(i, (i * 13 + 7) % 2000);
+        }
+        let g = b.build().unwrap();
+        let idx = SizeIndex::build(&g, 2);
+        assert_eq!(idx.as_slice(), &reference_sizes(&g, 2)[..]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = GraphBuilder::undirected().extend_edges([(0, 1), (1, 2)]).build().unwrap();
+        let idx = SizeIndex::build(&g, 2);
+        let mut buf = Vec::new();
+        idx.write_to(&mut buf).unwrap();
+        let idx2 = SizeIndex::read_from(&buf[..]).unwrap();
+        assert_eq!(idx, idx2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let g = GraphBuilder::undirected().add_edge(0, 1).build().unwrap();
+        let idx = SizeIndex::build(&g, 1);
+        let mut buf = Vec::new();
+        idx.write_to(&mut buf).unwrap();
+        buf[0] ^= 0xff;
+        assert!(SizeIndex::read_from(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn isolated_nodes_have_zero() {
+        let g = GraphBuilder::undirected().with_num_nodes(3).add_edge(0, 1).build().unwrap();
+        let idx = SizeIndex::build(&g, 2);
+        assert_eq!(idx.get(NodeId(2)), 0);
+    }
+}

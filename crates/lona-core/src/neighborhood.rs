@@ -1,0 +1,319 @@
+//! Instrumented h-hop neighborhood scanning.
+//!
+//! This is the single hot loop shared by every algorithm in the
+//! suite. Unlike the generic [`lona_graph::traversal::KhopCollector`],
+//! the scanner fuses score accumulation into the traversal and counts
+//! *edge accesses* — the cost unit of the paper's analysis ("the
+//! number of edges to be accessed could be around `m^h · |V|`").
+
+use lona_graph::traversal::EpochSet;
+use lona_graph::{CsrGraph, NodeId};
+
+/// Outcome of one neighborhood scan.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct ScanResult {
+    /// `|S_h(u)|` — distinct proper neighbors found.
+    pub count: usize,
+    /// Accumulated score mass over `S_h(u)` (distance-weighted for the
+    /// weighted scan).
+    pub mass: f64,
+    /// Plain (unweighted) score mass over `S_h(u)`. Equal to `mass`
+    /// for [`NeighborhoodScanner::sum_scan`]; the weighted scan tracks
+    /// it separately because Eq. 1 bounds operate on plain sums.
+    pub raw_mass: f64,
+    /// Adjacency entries touched during the expansion.
+    pub edges: u64,
+}
+
+/// Reusable, allocation-free h-hop scanner.
+#[derive(Clone, Debug)]
+pub struct NeighborhoodScanner {
+    visited: EpochSet,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl NeighborhoodScanner {
+    /// Create a scanner for graphs of up to `n` nodes.
+    pub fn new(n: usize) -> Self {
+        NeighborhoodScanner { visited: EpochSet::new(n), frontier: Vec::new(), next: Vec::new() }
+    }
+
+    /// Sum `scores` over `S_h(u)`.
+    pub fn sum_scan(&mut self, g: &CsrGraph, u: NodeId, h: u32, scores: &[f64]) -> ScanResult {
+        let mut res = ScanResult::default();
+        self.visited.clear();
+        self.visited.insert(u.0);
+        self.frontier.clear();
+        self.frontier.push(u.0);
+
+        for _ in 0..h {
+            if self.frontier.is_empty() {
+                break;
+            }
+            self.next.clear();
+            for &x in &self.frontier {
+                let nbrs = g.neighbors(NodeId(x));
+                res.edges += nbrs.len() as u64;
+                for &v in nbrs {
+                    if self.visited.insert(v.0) {
+                        res.count += 1;
+                        res.mass += scores[v.index()];
+                        self.next.push(v.0);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        res.raw_mass = res.mass;
+        res
+    }
+
+    /// Sum `scores[v] / dist(u, v)` over `S_h(u)` (footnote 1's
+    /// inverse-distance connection strength).
+    pub fn distance_weighted_scan(
+        &mut self,
+        g: &CsrGraph,
+        u: NodeId,
+        h: u32,
+        scores: &[f64],
+    ) -> ScanResult {
+        let mut res = ScanResult::default();
+        self.visited.clear();
+        self.visited.insert(u.0);
+        self.frontier.clear();
+        self.frontier.push(u.0);
+
+        for depth in 1..=h {
+            if self.frontier.is_empty() {
+                break;
+            }
+            let inv = 1.0 / depth as f64;
+            self.next.clear();
+            for &x in &self.frontier {
+                let nbrs = g.neighbors(NodeId(x));
+                res.edges += nbrs.len() as u64;
+                for &v in nbrs {
+                    if self.visited.insert(v.0) {
+                        res.count += 1;
+                        let f = scores[v.index()];
+                        res.mass += f * inv;
+                        res.raw_mass += f;
+                        self.next.push(v.0);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        res
+    }
+
+    /// Max of `scores` over `S_h(u)` (reported in `mass`; `raw_mass`
+    /// carries the plain sum so SUM-based bounds stay available).
+    pub fn max_scan(&mut self, g: &CsrGraph, u: NodeId, h: u32, scores: &[f64]) -> ScanResult {
+        let mut res = ScanResult::default();
+        self.visited.clear();
+        self.visited.insert(u.0);
+        self.frontier.clear();
+        self.frontier.push(u.0);
+
+        for _ in 0..h {
+            if self.frontier.is_empty() {
+                break;
+            }
+            self.next.clear();
+            for &x in &self.frontier {
+                let nbrs = g.neighbors(NodeId(x));
+                res.edges += nbrs.len() as u64;
+                for &v in nbrs {
+                    if self.visited.insert(v.0) {
+                        res.count += 1;
+                        let f = scores[v.index()];
+                        res.mass = res.mass.max(f);
+                        res.raw_mass += f;
+                        self.next.push(v.0);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        res
+    }
+
+    /// Depth-aware visit of `S_h(u)`: `f(v, dist)` with `dist` the
+    /// 1-based hop distance. Returns `(|S_h(u)|, edges touched)`;
+    /// used by the distance-weighted backward distribution.
+    pub fn for_each_depth(
+        &mut self,
+        g: &CsrGraph,
+        u: NodeId,
+        h: u32,
+        mut f: impl FnMut(u32, u32),
+    ) -> (usize, u64) {
+        let mut count = 0usize;
+        let mut edges = 0u64;
+        self.visited.clear();
+        self.visited.insert(u.0);
+        self.frontier.clear();
+        self.frontier.push(u.0);
+
+        for depth in 1..=h {
+            if self.frontier.is_empty() {
+                break;
+            }
+            self.next.clear();
+            for &x in &self.frontier {
+                let nbrs = g.neighbors(NodeId(x));
+                edges += nbrs.len() as u64;
+                for &v in nbrs {
+                    if self.visited.insert(v.0) {
+                        count += 1;
+                        f(v.0, depth);
+                        self.next.push(v.0);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        (count, edges)
+    }
+
+    /// Visit each member of `S_h(u)` (backward distribution). Returns
+    /// `(|S_h(u)|, edges touched)`.
+    pub fn for_each(
+        &mut self,
+        g: &CsrGraph,
+        u: NodeId,
+        h: u32,
+        mut f: impl FnMut(u32),
+    ) -> (usize, u64) {
+        let mut count = 0usize;
+        let mut edges = 0u64;
+        self.visited.clear();
+        self.visited.insert(u.0);
+        self.frontier.clear();
+        self.frontier.push(u.0);
+
+        for _ in 0..h {
+            if self.frontier.is_empty() {
+                break;
+            }
+            self.next.clear();
+            for &x in &self.frontier {
+                let nbrs = g.neighbors(NodeId(x));
+                edges += nbrs.len() as u64;
+                for &v in nbrs {
+                    if self.visited.insert(v.0) {
+                        count += 1;
+                        f(v.0);
+                        self.next.push(v.0);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        (count, edges)
+    }
+
+    /// `|S_h(u)|` plus the edge count of the expansion.
+    pub fn size_scan(&mut self, g: &CsrGraph, u: NodeId, h: u32) -> (usize, u64) {
+        self.for_each(g, u, h, |_| {})
+    }
+
+    /// Mark `S_h(u)` in this scanner's visited set and return
+    /// `|S_h(u)|`. The marks stay valid until the next scan and can be
+    /// probed with [`NeighborhoodScanner::marked`]; the differential
+    /// index builder uses this for its intersection counting.
+    pub fn mark(&mut self, g: &CsrGraph, u: NodeId, h: u32) -> usize {
+        let (count, _) = self.for_each(g, u, h, |_| {});
+        // `for_each` marked u too; unmark so probes see S(u) exactly.
+        self.visited.remove(u.0);
+        count
+    }
+
+    /// Whether `v` was marked by the last [`NeighborhoodScanner::mark`].
+    #[inline]
+    pub fn marked(&self, v: NodeId) -> bool {
+        self.visited.contains(v.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lona_graph::GraphBuilder;
+
+    fn sample() -> CsrGraph {
+        // 0-1-2-3 path + 1-4
+        GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 3), (1, 4)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sum_scan_counts_and_mass() {
+        let g = sample();
+        let scores = vec![0.1, 0.2, 0.3, 0.4, 0.5];
+        let mut s = NeighborhoodScanner::new(g.num_nodes());
+        let r = s.sum_scan(&g, NodeId(0), 2, &scores);
+        // S_2(0) = {1, 2, 4}
+        assert_eq!(r.count, 3);
+        assert!((r.mass - (0.2 + 0.3 + 0.5)).abs() < 1e-12);
+        // edges: deg(0)=1 at level 1; deg(1)=3 at level 2
+        assert_eq!(r.edges, 4);
+    }
+
+    #[test]
+    fn distance_weighted_scan_divides_by_depth() {
+        let g = sample();
+        let scores = vec![1.0; 5];
+        let mut s = NeighborhoodScanner::new(g.num_nodes());
+        let r = s.distance_weighted_scan(&g, NodeId(0), 2, &scores);
+        // node 1 at depth 1 (1.0), nodes 2 and 4 at depth 2 (0.5 each)
+        assert!((r.mass - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_each_visits_neighborhood() {
+        let g = sample();
+        let mut s = NeighborhoodScanner::new(g.num_nodes());
+        let mut seen = vec![];
+        let (count, _) = s.for_each(&g, NodeId(3), 2, |v| seen.push(v));
+        seen.sort_unstable();
+        assert_eq!(count, 2);
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn mark_and_probe() {
+        let g = sample();
+        let mut s = NeighborhoodScanner::new(g.num_nodes());
+        let n = s.mark(&g, NodeId(0), 2);
+        assert_eq!(n, 3);
+        assert!(s.marked(NodeId(1)));
+        assert!(s.marked(NodeId(2)));
+        assert!(s.marked(NodeId(4)));
+        assert!(!s.marked(NodeId(0)), "source must not be marked");
+        assert!(!s.marked(NodeId(3)));
+    }
+
+    #[test]
+    fn scan_resets_between_calls() {
+        let g = sample();
+        let scores = vec![1.0; 5];
+        let mut s = NeighborhoodScanner::new(g.num_nodes());
+        let a = s.sum_scan(&g, NodeId(0), 2, &scores);
+        let _ = s.sum_scan(&g, NodeId(3), 1, &scores);
+        let a2 = s.sum_scan(&g, NodeId(0), 2, &scores);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn zero_hop_scan_is_empty() {
+        let g = sample();
+        let mut s = NeighborhoodScanner::new(g.num_nodes());
+        let r = s.sum_scan(&g, NodeId(1), 0, &[0.0; 5]);
+        assert_eq!(r, ScanResult::default());
+    }
+}

@@ -1,0 +1,81 @@
+//! Query results.
+
+use lona_graph::NodeId;
+
+use crate::stats::QueryStats;
+
+/// Result of a top-k aggregation query: the best `≤ k` nodes in
+/// descending aggregate order plus the work counters.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// `(node, aggregate)` pairs, best first. Fewer than `k` entries
+    /// only when the graph has fewer than `k` nodes.
+    pub entries: Vec<(NodeId, f64)>,
+    /// Work counters for this run.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// The aggregate values, best first.
+    pub fn values(&self) -> Vec<f64> {
+        self.entries.iter().map(|e| e.1).collect()
+    }
+
+    /// The node ids, best first.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.entries.iter().map(|e| e.0).collect()
+    }
+
+    /// The k-th best value (the final `topklbound`), or `-∞` when the
+    /// result is empty.
+    pub fn threshold(&self) -> f64 {
+        self.entries.last().map(|e| e.1).unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// Whether two results report the same value sequence within
+    /// `eps`. Node sets may differ on ties — the paper's top-k
+    /// semantics allow any tie-breaking — so cross-algorithm agreement
+    /// is defined over values.
+    pub fn same_values(&self, other: &QueryResult, eps: f64) -> bool {
+        self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|(a, b)| (a.1 - b.1).abs() <= eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(values: &[f64]) -> QueryResult {
+        QueryResult {
+            entries: values.iter().enumerate().map(|(i, &v)| (NodeId(i as u32), v)).collect(),
+            stats: QueryStats::default(),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = result(&[3.0, 2.0, 1.0]);
+        assert_eq!(r.values(), vec![3.0, 2.0, 1.0]);
+        assert_eq!(r.nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(r.threshold(), 1.0);
+    }
+
+    #[test]
+    fn empty_threshold_is_neg_inf() {
+        assert_eq!(result(&[]).threshold(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn same_values_tolerates_eps() {
+        let a = result(&[1.0, 0.5]);
+        let b = result(&[1.0 + 1e-12, 0.5 - 1e-12]);
+        assert!(a.same_values(&b, 1e-9));
+        assert!(!a.same_values(&result(&[1.0]), 1e-9));
+        assert!(!a.same_values(&result(&[1.0, 0.4]), 1e-9));
+    }
+}

@@ -1,0 +1,82 @@
+//! Work counters for query execution.
+
+use std::time::Duration;
+
+/// Instrumentation collected during one query run.
+///
+/// Wall-clock comparisons between machines are noisy; these counters
+/// express the paper's cost model directly (edge accesses, expansions,
+/// prunes) so the *shape* of each figure can be checked independent of
+/// hardware.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Exact aggregate evaluations (full h-hop expansions).
+    pub nodes_evaluated: usize,
+    /// Nodes eliminated by an upper bound before evaluation.
+    pub nodes_pruned: usize,
+    /// Adjacency entries touched by all expansions.
+    pub edges_traversed: u64,
+    /// Backward only: nodes whose score was distributed.
+    pub nodes_distributed: usize,
+    /// Backward only: candidates whose exact value came straight from
+    /// the bound (zero-unknown fast path — the paper's binary case).
+    pub exact_from_bound: usize,
+    /// Index build time charged to this query (zero when the index
+    /// was already prepared).
+    pub index_build: Duration,
+    /// End-to-end query runtime (excluding charged index builds).
+    pub runtime: Duration,
+}
+
+impl QueryStats {
+    /// Fraction of the graph's nodes that never paid an exact
+    /// evaluation (`pruned / (evaluated + pruned)`).
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.nodes_evaluated + self.nodes_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.nodes_pruned as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for QueryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "evaluated={}, pruned={} ({:.1}%), edges={}, distributed={}, exact-from-bound={}, runtime={:.3?}",
+            self.nodes_evaluated,
+            self.nodes_pruned,
+            self.prune_rate() * 100.0,
+            self.edges_traversed,
+            self.nodes_distributed,
+            self.exact_from_bound,
+            self.runtime,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_rate_handles_zero() {
+        assert_eq!(QueryStats::default().prune_rate(), 0.0);
+    }
+
+    #[test]
+    fn prune_rate_basic() {
+        let s = QueryStats { nodes_evaluated: 25, nodes_pruned: 75, ..Default::default() };
+        assert!((s.prune_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = QueryStats { nodes_evaluated: 10, edges_traversed: 42, ..Default::default() };
+        let text = s.to_string();
+        assert!(text.contains("evaluated=10"));
+        assert!(text.contains("edges=42"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Bounded top-k tracking (problem P3 and the `topklbound` of
+//! Algorithm 1).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use lona_graph::NodeId;
+
+/// One scored node.
+#[derive(Copy, Clone, Debug)]
+struct Entry {
+    value: f64,
+    node: NodeId,
+}
+
+// Min-heap ordering: the *worst* entry sits at the heap top so it can
+// be evicted in O(log k). Ties on value are broken by node id, larger
+// ids being "worse", which makes every algorithm in the suite return
+// the same node set on tied inputs.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller value = greater heap priority (min-heap),
+        // and on equal values the larger node id is evicted first.
+        other
+            .value
+            .total_cmp(&self.value)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+/// A bounded heap retaining the `k` highest-scoring nodes.
+///
+/// `threshold()` is the paper's `topklbound`: the k-th best value once
+/// k results exist, `-∞` before that. Pruning rules must use strict
+/// `<` against it so boundary ties are never wrongly discarded.
+#[derive(Clone, Debug)]
+pub struct TopKHeap {
+    k: usize,
+    heap: BinaryHeap<Entry>,
+}
+
+impl TopKHeap {
+    /// Create a tracker for the best `k` entries.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` — a top-0 query is meaningless.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        TopKHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether `k` entries are held.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Current `topklbound`: the k-th best value seen, or `-∞` until
+    /// the heap is full.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        if self.is_full() {
+            self.heap.peek().map(|e| e.value).unwrap_or(f64::NEG_INFINITY)
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Offer a scored node; returns `true` if it entered the top-k.
+    #[inline]
+    pub fn offer(&mut self, node: NodeId, value: f64) -> bool {
+        let entry = Entry { value, node };
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+            return true;
+        }
+        // Full: replace the current worst if strictly better under the
+        // same total order used by the heap.
+        let worst = *self.heap.peek().expect("full heap is non-empty");
+        if entry.cmp(&worst) == Ordering::Less {
+            // entry has lower heap priority than worst => entry ranks higher
+            self.heap.pop();
+            self.heap.push(entry);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drain into a `(node, value)` list sorted best-first.
+    pub fn into_sorted_vec(self) -> Vec<(NodeId, f64)> {
+        let mut v: Vec<Entry> = self.heap.into_vec();
+        v.sort_unstable_by(|a, b| {
+            b.value.total_cmp(&a.value).then_with(|| a.node.cmp(&b.node))
+        });
+        v.into_iter().map(|e| (e.node, e.value)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offer_all(heap: &mut TopKHeap, items: &[(u32, f64)]) {
+        for &(n, v) in items {
+            heap.offer(NodeId(n), v);
+        }
+    }
+
+    #[test]
+    fn keeps_k_best() {
+        let mut h = TopKHeap::new(3);
+        offer_all(&mut h, &[(0, 1.0), (1, 5.0), (2, 3.0), (3, 4.0), (4, 0.5)]);
+        let out = h.into_sorted_vec();
+        let values: Vec<f64> = out.iter().map(|e| e.1).collect();
+        assert_eq!(values, vec![5.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn threshold_is_neg_inf_until_full() {
+        let mut h = TopKHeap::new(2);
+        assert_eq!(h.threshold(), f64::NEG_INFINITY);
+        h.offer(NodeId(0), 1.0);
+        assert_eq!(h.threshold(), f64::NEG_INFINITY);
+        h.offer(NodeId(1), 2.0);
+        assert_eq!(h.threshold(), 1.0);
+        h.offer(NodeId(2), 3.0);
+        assert_eq!(h.threshold(), 2.0);
+    }
+
+    #[test]
+    fn ties_prefer_lower_node_id() {
+        let mut h = TopKHeap::new(2);
+        offer_all(&mut h, &[(5, 1.0), (1, 1.0), (3, 1.0)]);
+        let nodes: Vec<u32> = h.into_sorted_vec().iter().map(|e| e.0 .0).collect();
+        assert_eq!(nodes, vec![1, 3]);
+    }
+
+    #[test]
+    fn equal_value_does_not_replace_when_id_is_larger() {
+        let mut h = TopKHeap::new(1);
+        assert!(h.offer(NodeId(1), 1.0));
+        assert!(!h.offer(NodeId(2), 1.0));
+        assert!(h.offer(NodeId(0), 1.0)); // same value, smaller id wins
+        assert_eq!(h.into_sorted_vec()[0].0, NodeId(0));
+    }
+
+    #[test]
+    fn matches_sort_truncate_reference() {
+        // 200 pseudo-random values vs the obvious reference.
+        let items: Vec<(u32, f64)> =
+            (0..200u32).map(|i| (i, (i.wrapping_mul(2654435761).wrapping_add(i) % 1000) as f64)).collect();
+        let mut h = TopKHeap::new(10);
+        offer_all(&mut h, &items);
+        let got: Vec<f64> = h.into_sorted_vec().iter().map(|e| e.1).collect();
+        let mut expect: Vec<f64> = items.iter().map(|e| e.1).collect();
+        expect.sort_unstable_by(|a, b| b.total_cmp(a));
+        expect.truncate(10);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn fewer_offers_than_k() {
+        let mut h = TopKHeap::new(5);
+        offer_all(&mut h, &[(0, 1.0), (1, 2.0)]);
+        assert!(!h.is_full());
+        assert_eq!(h.into_sorted_vec().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = TopKHeap::new(0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests: every algorithm agrees with the brute-force oracle
+//! on random graphs, scores, hop radii, aggregates and k.
+
+use proptest::prelude::*;
+
+use lona_core::validate::brute_force_topk;
+use lona_core::{Aggregate, Algorithm, BackwardOptions, ForwardOptions, GammaSpec, LonaEngine, ProcessingOrder, TopKQuery};
+use lona_graph::{CsrGraph, GraphBuilder};
+use lona_relevance::ScoreVec;
+
+#[derive(Debug, Clone)]
+struct Case {
+    g: CsrGraph,
+    scores: ScoreVec,
+    h: u32,
+    k: usize,
+    aggregate: Aggregate,
+    include_self: bool,
+}
+
+fn arb_aggregate() -> impl Strategy<Value = Aggregate> {
+    prop_oneof![
+        Just(Aggregate::Sum),
+        Just(Aggregate::Avg),
+        Just(Aggregate::DistanceWeightedSum),
+        Just(Aggregate::Max)
+    ]
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (3u32..24, 0usize..60)
+        .prop_flat_map(|(n, m)| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n, 0..n), m),
+                proptest::collection::vec(0.0f64..=1.0, n as usize),
+                1u32..4,
+                1usize..8,
+                arb_aggregate(),
+                proptest::bool::ANY,
+            )
+        })
+        .prop_map(|(n, edges, scores, h, k, aggregate, include_self)| {
+            // Sparsify scores: graph queries with mostly-zero scores are
+            // the paper's regime, so zero out two thirds.
+            let scores: Vec<f64> = scores
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| if i % 3 == 0 { s } else { 0.0 })
+                .collect();
+            Case {
+                g: GraphBuilder::undirected()
+                    .with_num_nodes(n)
+                    .extend_edges(edges)
+                    .build()
+                    .unwrap(),
+                scores: ScoreVec::new(scores),
+                h,
+                k,
+                aggregate,
+                include_self,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Base, LONA-Forward (all orders), BackwardNaive and
+    /// LONA-Backward (several γ) all return the oracle's value
+    /// sequence.
+    #[test]
+    fn all_algorithms_match_oracle(case in arb_case()) {
+        let query = TopKQuery::new(case.k, case.aggregate).include_self(case.include_self);
+        let expect = brute_force_topk(&case.g, &case.scores, case.h, &query);
+        let mut engine = LonaEngine::new(&case.g, case.h);
+
+        let algorithms = [
+            Algorithm::Base,
+            Algorithm::LonaForward(ForwardOptions { order: ProcessingOrder::NodeId }),
+            Algorithm::LonaForward(ForwardOptions { order: ProcessingOrder::DegreeDescending }),
+            Algorithm::LonaForward(ForwardOptions { order: ProcessingOrder::ScoreDescending }),
+            Algorithm::BackwardNaive,
+            Algorithm::LonaBackward(BackwardOptions { gamma: GammaSpec::Fixed(0.0) }),
+            Algorithm::LonaBackward(BackwardOptions { gamma: GammaSpec::Fixed(0.3) }),
+            Algorithm::LonaBackward(BackwardOptions { gamma: GammaSpec::NonzeroQuantile(0.9) }),
+            Algorithm::LonaBackward(BackwardOptions { gamma: GammaSpec::NonzeroQuantile(0.5) }),
+        ];
+        for alg in algorithms {
+            let got = engine.run(&alg, &query, &case.scores);
+            prop_assert!(
+                got.same_values(&expect, 1e-9),
+                "{alg} disagrees: got {:?}, expected {:?} (h={}, k={}, {:?}, self={})",
+                got.values(),
+                expect.values(),
+                case.h,
+                case.k,
+                case.aggregate,
+                case.include_self,
+            );
+        }
+    }
+
+    /// The pruned forward algorithm never evaluates more nodes than
+    /// Base, and its evaluated + pruned counts cover the graph.
+    #[test]
+    fn forward_work_accounting(case in arb_case()) {
+        let query = TopKQuery::new(case.k, case.aggregate).include_self(case.include_self);
+        let mut engine = LonaEngine::new(&case.g, case.h);
+        let base = engine.run(&Algorithm::Base, &query, &case.scores);
+        let fwd = engine.run(&Algorithm::forward(), &query, &case.scores);
+        prop_assert_eq!(base.stats.nodes_evaluated, case.g.num_nodes());
+        prop_assert!(fwd.stats.nodes_evaluated <= base.stats.nodes_evaluated);
+        prop_assert_eq!(
+            fwd.stats.nodes_evaluated + fwd.stats.nodes_pruned,
+            case.g.num_nodes()
+        );
+    }
+
+    /// Binary relevance: LONA-Backward must answer without a single
+    /// exact forward expansion (the paper's skip-zero fast path).
+    #[test]
+    fn backward_binary_never_expands(
+        n in 4u32..30,
+        edges in proptest::collection::vec((0u32..30, 0u32..30), 0..80),
+        ones in proptest::collection::vec(0u32..30, 1..6),
+        k in 1usize..5,
+    ) {
+        let edges: Vec<(u32, u32)> =
+            edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let g = GraphBuilder::undirected().with_num_nodes(n).extend_edges(edges).build().unwrap();
+        let mut scores = vec![0.0; n as usize];
+        for o in ones {
+            scores[(o % n) as usize] = 1.0;
+        }
+        let scores = ScoreVec::new(scores);
+        let query = TopKQuery::new(k, Aggregate::Sum);
+        let mut engine = LonaEngine::new(&g, 2);
+        let res = engine.run(&Algorithm::backward(), &query, &scores);
+        prop_assert_eq!(res.stats.nodes_evaluated, 0);
+        // And it still matches the oracle.
+        let expect = brute_force_topk(&g, &scores, 2, &query);
+        prop_assert!(res.same_values(&expect, 1e-9));
+    }
+}

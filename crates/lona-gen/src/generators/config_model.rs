@@ -1,0 +1,118 @@
+//! Configuration model and power-law degree sequences.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use lona_graph::{CsrGraph, GraphBuilder, Result};
+
+/// Sample a degree sequence `d_i ∝ i^(-1/(gamma-1))` rescaled into
+/// `[min_degree, max_degree]` — the standard inverse-CDF power-law
+/// sampler. The sum is forced even so stubs can pair.
+pub fn power_law_degree_sequence(
+    n: usize,
+    gamma: f64,
+    min_degree: usize,
+    max_degree: usize,
+    seed: u64,
+) -> Vec<usize> {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    assert!(min_degree >= 1 && max_degree >= min_degree);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (lo, hi) = (min_degree as f64, max_degree as f64 + 1.0);
+    // Inverse transform for the truncated Pareto: x = (lo^(1-γ) +
+    // u·(hi^(1-γ) − lo^(1-γ)))^(1/(1-γ)).
+    let (lo_pow, hi_pow) = (lo.powf(1.0 - gamma), hi.powf(1.0 - gamma));
+    let mut seq: Vec<usize> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let x = (lo_pow + u * (hi_pow - lo_pow)).powf(1.0 / (1.0 - gamma));
+            (x as usize).clamp(min_degree, max_degree)
+        })
+        .collect();
+    if seq.iter().sum::<usize>() % 2 == 1 {
+        seq[0] += 1;
+    }
+    seq
+}
+
+/// Configuration model: wire random stub pairs from a degree sequence,
+/// dropping self-loops and parallel edges (the "erased" configuration
+/// model). Realized degrees are therefore ≤ requested.
+pub fn configuration_model(degrees: &[usize], seed: u64) -> Result<CsrGraph> {
+    let stub_total: usize = degrees.iter().sum();
+    assert!(stub_total.is_multiple_of(2), "degree sum must be even, got {stub_total}");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut stubs: Vec<u32> = Vec::with_capacity(stub_total);
+    for (node, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat_n(node as u32, d));
+    }
+    stubs.shuffle(&mut rng);
+
+    let mut builder =
+        GraphBuilder::undirected().with_num_nodes(degrees.len() as u32).reserve(stub_total / 2);
+    for pair in stubs.chunks_exact(2) {
+        builder.push_edge(pair[0], pair[1]); // loops/dups erased by builder
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lona_graph::NodeId;
+
+    #[test]
+    fn degree_sequence_respects_bounds() {
+        let seq = power_law_degree_sequence(1000, 2.5, 2, 100, 1);
+        assert_eq!(seq.len(), 1000);
+        assert!(seq.iter().all(|&d| (2..=101).contains(&d))); // +1 for parity fix
+        assert_eq!(seq.iter().sum::<usize>() % 2, 0);
+    }
+
+    #[test]
+    fn degree_sequence_is_heavy_tailed() {
+        let seq = power_law_degree_sequence(5000, 2.2, 1, 500, 7);
+        let mean = seq.iter().sum::<usize>() as f64 / seq.len() as f64;
+        let max = *seq.iter().max().unwrap();
+        assert!(max as f64 > 8.0 * mean, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn config_model_respects_node_count() {
+        let seq = vec![2, 2, 2, 2];
+        let g = configuration_model(&seq, 3).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert!(g.num_edges() <= 4);
+    }
+
+    #[test]
+    fn config_model_realized_degree_bounded_by_request() {
+        let seq = power_law_degree_sequence(300, 2.5, 1, 40, 11);
+        let g = configuration_model(&seq, 11).unwrap();
+        for (i, &want) in seq.iter().enumerate() {
+            assert!(
+                g.degree(NodeId(i as u32)) <= want,
+                "node {i} got {} > requested {want}",
+                g.degree(NodeId(i as u32))
+            );
+        }
+    }
+
+    #[test]
+    fn config_model_deterministic() {
+        let seq = vec![3; 100];
+        let a = configuration_model(&seq, 5).unwrap();
+        let b = configuration_model(&seq, 5).unwrap();
+        for u in a.nodes() {
+            assert_eq!(a.neighbors(u), b.neighbors(u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_degree_sum_rejected() {
+        let _ = configuration_model(&[1, 1, 1], 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Erdős–Rényi random graphs.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lona_graph::{CsrGraph, GraphBuilder, Result};
+
+/// G(n, m): exactly `m` distinct edges sampled uniformly from all
+/// non-loop pairs.
+///
+/// Rejection sampling against a hash set of packed endpoint pairs;
+/// fine while `m` is well below `n(n-1)/2` (always true for the sparse
+/// networks LONA targets).
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible simple edges.
+pub fn erdos_renyi_gnm(n: u32, m: usize, seed: u64) -> Result<CsrGraph> {
+    let possible = n as u64 * (n as u64 - 1) / 2;
+    assert!(
+        (m as u64) <= possible,
+        "cannot place {m} simple edges in a {n}-node graph (max {possible})"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
+    let mut builder = GraphBuilder::undirected().with_num_nodes(n).reserve(m);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        if seen.insert((a as u64) << 32 | b as u64) {
+            builder.push_edge(a, b);
+        }
+    }
+    builder.build()
+}
+
+/// G(n, p): every pair independently with probability `p`, via the
+/// standard geometric-skip sampler (O(n + m), never O(n²)).
+pub fn erdos_renyi_gnp(n: u32, p: f64, seed: u64) -> Result<CsrGraph> {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut builder = GraphBuilder::undirected().with_num_nodes(n);
+    if p > 0.0 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let log_q = (1.0 - p).ln();
+        let (mut u, mut v): (u64, i64) = (1, -1);
+        let n = n as u64;
+        while u < n {
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = if p >= 1.0 { 1.0 } else { (r.ln() / log_q).floor() + 1.0 };
+            v += skip as i64;
+            while v >= u as i64 && u < n {
+                v -= u as i64;
+                u += 1;
+            }
+            if u < n {
+                builder.push_edge(u as u32, v as u32);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi_gnm(50, 200, 7).unwrap();
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        let a = erdos_renyi_gnm(30, 60, 99).unwrap();
+        let b = erdos_renyi_gnm(30, 60, 99).unwrap();
+        for u in a.nodes() {
+            assert_eq!(a.neighbors(u), b.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn gnm_different_seed_different_graph() {
+        let a = erdos_renyi_gnm(30, 60, 1).unwrap();
+        let b = erdos_renyi_gnm(30, 60, 2).unwrap();
+        let same = a.nodes().all(|u| a.neighbors(u) == b.neighbors(u));
+        assert!(!same);
+    }
+
+    #[test]
+    fn gnm_full_graph() {
+        let g = erdos_renyi_gnm(5, 10, 3).unwrap();
+        assert_eq!(g.num_edges(), 10);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn gnm_rejects_impossible_m() {
+        let _ = erdos_renyi_gnm(4, 7, 0);
+    }
+
+    #[test]
+    fn gnp_zero_probability_empty() {
+        let g = erdos_renyi_gnp(40, 0.0, 5).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 300u32;
+        let p = 0.05;
+        let g = erdos_renyi_gnp(n, p, 11).unwrap();
+        let expect = p * (n as f64) * (n as f64 - 1.0) / 2.0;
+        let got = g.num_edges() as f64;
+        // Binomial concentration: allow ±25%.
+        assert!(got > expect * 0.75 && got < expect * 1.25, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn gnp_deterministic() {
+        let a = erdos_renyi_gnp(60, 0.1, 42).unwrap();
+        let b = erdos_renyi_gnp(60, 0.1, 42).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn gnp_no_self_loops() {
+        let g = erdos_renyi_gnp(50, 0.2, 8).unwrap();
+        for u in g.nodes() {
+            assert!(!g.has_edge(u, u));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Random-graph models.
+//!
+//! Every generator is deterministic given its seed and returns a
+//! simple undirected [`lona_graph::CsrGraph`] (self-loops dropped,
+//! parallel edges deduplicated).
+
+mod ba;
+mod config_model;
+mod er;
+mod rmat;
+mod sbm;
+mod ws;
+
+pub use ba::barabasi_albert;
+pub use config_model::{configuration_model, power_law_degree_sequence};
+pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use rmat::{rmat, RmatParams};
+pub use sbm::planted_partition;
+pub use ws::watts_strogatz;

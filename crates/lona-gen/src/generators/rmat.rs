@@ -1,0 +1,129 @@
+//! R-MAT (recursive matrix) graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lona_graph::{CsrGraph, GraphBuilder, Result};
+
+/// Quadrant probabilities for the recursive R-MAT split.
+#[derive(Copy, Clone, Debug)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (self-community edges).
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+    /// Bottom-right.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The Graph500-style skew commonly used for internet/attack
+    /// topologies; produces a heavy-tailed core-periphery structure.
+    pub const SKEWED: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+
+    /// Uniform quadrants: degenerates to (near) Erdős–Rényi.
+    pub const UNIFORM: RmatParams = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!((sum - 1.0).abs() < 1e-9, "R-MAT quadrants must sum to 1, got {sum}");
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            "negative quadrant probability"
+        );
+    }
+}
+
+/// Generate an R-MAT graph over `2^scale_exp` nodes with `edges` edge
+/// *samples* (dedup may shrink the final count; heavy skew
+/// concentrates edges on low-id hubs, like IP scan traffic on popular
+/// targets).
+///
+/// The intrusion profile uses this with [`RmatParams::SKEWED`]: attack
+/// graphs are sparse, have a small dense core of attackers/victims and
+/// a huge periphery of one-shot IPs.
+pub fn rmat(scale_exp: u32, edges: usize, params: RmatParams, seed: u64) -> Result<CsrGraph> {
+    params.validate();
+    assert!(scale_exp > 0 && scale_exp < 31, "scale_exp must be in 1..31");
+    let n: u32 = 1 << scale_exp;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::undirected().with_num_nodes(n).reserve(edges);
+
+    // Per-level noise keeps the degree distribution from being
+    // perfectly self-similar (standard smoothing, ±10%).
+    for _ in 0..edges {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale_exp {
+            u <<= 1;
+            v <<= 1;
+            let noise = 0.9 + 0.2 * rng.gen::<f64>();
+            let a = params.a * noise;
+            let b = params.b * noise;
+            let c = params.c * noise;
+            let d = params.d * noise;
+            let total = a + b + c + d;
+            let r: f64 = rng.gen::<f64>() * total;
+            if r < a {
+                // top-left: both bits 0
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            builder.push_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lona_graph::algo::DegreeStats;
+
+    #[test]
+    fn node_count_is_power_of_two() {
+        let g = rmat(8, 500, RmatParams::SKEWED, 1).unwrap();
+        assert_eq!(g.num_nodes(), 256);
+    }
+
+    #[test]
+    fn dedup_and_self_loop_shrinkage_is_bounded() {
+        let g = rmat(12, 4000, RmatParams::SKEWED, 2).unwrap();
+        assert!(g.num_edges() > 2000, "only {} edges survived", g.num_edges());
+        assert!(g.num_edges() <= 4000);
+    }
+
+    #[test]
+    fn skew_produces_heavier_tail_than_uniform() {
+        let skew = rmat(12, 8000, RmatParams::SKEWED, 3).unwrap();
+        let unif = rmat(12, 8000, RmatParams::UNIFORM, 3).unwrap();
+        let s = DegreeStats::of(&skew);
+        let u = DegreeStats::of(&unif);
+        assert!(s.max > 2 * u.max, "skew max {} vs uniform max {}", s.max, u.max);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(10, 2000, RmatParams::SKEWED, 77).unwrap();
+        let b = rmat(10, 2000, RmatParams::SKEWED, 77).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        for u in a.nodes() {
+            assert_eq!(a.neighbors(u), b.neighbors(u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_params_rejected() {
+        let p = RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 };
+        let _ = rmat(4, 10, p, 0);
+    }
+}

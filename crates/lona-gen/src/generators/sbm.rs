@@ -1,0 +1,134 @@
+//! Planted-partition (equal-block stochastic block model) graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lona_graph::{CsrGraph, GraphBuilder, Result};
+
+/// Planted partition: `n` nodes split into consecutive communities of
+/// size `community_size`; node pairs connect with probability `p_in`
+/// inside a community and `p_out` across communities.
+///
+/// Collaboration networks are the textbook case — papers induce
+/// co-author cliques, so 2-hop neighborhoods of adjacent researchers
+/// overlap almost entirely. That overlap is what keeps `delta(v−u)`
+/// small and makes the paper's forward pruning effective on cond-mat
+/// (DESIGN.md §4).
+///
+/// Cross-community edges use the geometric-skip sampler, so the cost
+/// is O(n·community_size + cross_edges), not O(n²).
+pub fn planted_partition(
+    n: u32,
+    community_size: u32,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Result<CsrGraph> {
+    assert!(community_size >= 1 && community_size <= n);
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::undirected().with_num_nodes(n);
+
+    // Intra-community pairs: dense, enumerate directly.
+    let mut start = 0u32;
+    while start < n {
+        let end = (start + community_size).min(n);
+        for u in start..end {
+            for v in (u + 1)..end {
+                if rng.gen_bool(p_in) {
+                    builder.push_edge(u, v);
+                }
+            }
+        }
+        start = end;
+    }
+
+    // Cross-community pairs via geometric skips over the strictly
+    // lower-triangular pair space, skipping intra pairs.
+    if p_out > 0.0 {
+        let log_q = (1.0 - p_out).ln();
+        let total_pairs = n as u64 * (n as u64 - 1) / 2;
+        let mut idx: u64 = 0;
+        loop {
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = if p_out >= 1.0 { 1 } else { (r.ln() / log_q).floor() as u64 + 1 };
+            idx = match idx.checked_add(skip) {
+                Some(i) => i,
+                None => break,
+            };
+            if idx > total_pairs {
+                break;
+            }
+            // Unrank pair index -> (u, v), u > v, 1-based idx.
+            let k = idx - 1;
+            let u = ((1.0 + (1.0 + 8.0 * k as f64).sqrt()) / 2.0) as u64;
+            let u = if u * (u - 1) / 2 > k { u - 1 } else { u }; // float guard
+            let v = k - u * (u - 1) / 2;
+            let (u, v) = (u as u32, v as u32);
+            if u / community_size == v / community_size {
+                continue; // intra pair, already handled
+            }
+            builder.push_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lona_graph::algo::clustering_coefficient;
+
+    #[test]
+    fn pure_communities_are_cliques_at_p1() {
+        let g = planted_partition(12, 4, 1.0, 0.0, 1).unwrap();
+        // 3 communities of 4 -> 3 * C(4,2) = 18 edges
+        assert_eq!(g.num_edges(), 18);
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_edges_appear_with_p_out() {
+        let g = planted_partition(100, 10, 0.0, 0.05, 2).unwrap();
+        assert!(g.num_edges() > 0);
+        // all edges must be cross-community
+        for (u, v, _) in g.edges() {
+            assert_ne!(u.0 / 10, v.0 / 10, "intra edge {u:?}-{v:?} leaked");
+        }
+    }
+
+    #[test]
+    fn expected_cross_edge_count_roughly_matches() {
+        let n = 200u32;
+        let cs = 20u32;
+        let p_out = 0.01;
+        let g = planted_partition(n, cs, 0.0, p_out, 3).unwrap();
+        let pairs = n as f64 * (n as f64 - 1.0) / 2.0;
+        let intra = (n / cs) as f64 * (cs as f64 * (cs as f64 - 1.0) / 2.0);
+        let expect = p_out * (pairs - intra);
+        let got = g.num_edges() as f64;
+        assert!(got > expect * 0.6 && got < expect * 1.4, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn clustering_higher_than_er_shape() {
+        let clustered = planted_partition(300, 10, 0.7, 0.002, 5).unwrap();
+        assert!(clustering_coefficient(&clustered) > 0.3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = planted_partition(60, 6, 0.5, 0.02, 9).unwrap();
+        let b = planted_partition(60, 6, 0.5, 0.02, 9).unwrap();
+        for u in a.nodes() {
+            assert_eq!(a.neighbors(u), b.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn ragged_final_community_ok() {
+        // 10 nodes, size-4 communities -> sizes 4, 4, 2.
+        let g = planted_partition(10, 4, 1.0, 0.0, 0).unwrap();
+        assert_eq!(g.num_edges(), 6 + 6 + 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Watts–Strogatz small-world graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lona_graph::{CsrGraph, GraphBuilder, Result};
+
+/// Watts–Strogatz: ring lattice where each node connects to its `k`
+/// nearest neighbors (`k` even), then each edge is rewired with
+/// probability `beta` to a uniform random endpoint.
+///
+/// Low `beta` keeps the lattice's high clustering — the regime where
+/// adjacent nodes share most of their h-hop neighborhoods and the
+/// differential index `delta(v−u)` stays small (strong forward
+/// pruning). Used as the local-overlap component of the collaboration
+/// profile.
+///
+/// # Panics
+/// Panics if `k` is odd, `k == 0`, or `k >= n`.
+pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> Result<CsrGraph> {
+    assert!(k > 0 && k.is_multiple_of(2), "k must be positive and even, got {k}");
+    assert!(k < n, "k must be < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let half = k / 2;
+    let mut builder = GraphBuilder::undirected().with_num_nodes(n).reserve((n * half) as usize);
+    for u in 0..n {
+        for d in 1..=half {
+            let v = (u + d) % n;
+            if rng.gen_bool(beta) {
+                // Rewire: pick a random non-u endpoint. Duplicates are
+                // deduped by the builder; occasional collisions merely
+                // shave an edge, matching the standard WS formulation.
+                let mut w = rng.gen_range(0..n);
+                while w == u {
+                    w = rng.gen_range(0..n);
+                }
+                builder.push_edge(u, w);
+            } else {
+                builder.push_edge(u, v);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lona_graph::algo::clustering_coefficient;
+    use lona_graph::NodeId;
+
+    #[test]
+    fn lattice_when_beta_zero() {
+        let g = watts_strogatz(10, 4, 0.0, 1).unwrap();
+        assert_eq!(g.num_edges(), 20);
+        // Node 0 connects to 1, 2 (forward) and 8, 9 (backward).
+        assert_eq!(
+            g.neighbors(NodeId(0)),
+            &[NodeId(1), NodeId(2), NodeId(8), NodeId(9)]
+        );
+    }
+
+    #[test]
+    fn rewiring_reduces_clustering() {
+        let ordered = watts_strogatz(400, 8, 0.0, 2).unwrap();
+        let random = watts_strogatz(400, 8, 1.0, 2).unwrap();
+        assert!(clustering_coefficient(&ordered) > clustering_coefficient(&random));
+    }
+
+    #[test]
+    fn edge_count_stable_under_rewiring() {
+        // Rewiring may collide with existing edges; allow small loss.
+        let g = watts_strogatz(200, 6, 0.3, 3).unwrap();
+        let target = 200 * 3;
+        assert!(g.num_edges() > target * 95 / 100, "{} vs {target}", g.num_edges());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = watts_strogatz(64, 4, 0.2, 9).unwrap();
+        let b = watts_strogatz(64, 4, 0.2, 9).unwrap();
+        for u in a.nodes() {
+            assert_eq!(a.neighbors(u), b.neighbors(u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_rejected() {
+        let _ = watts_strogatz(10, 3, 0.1, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # lona-gen
+//!
+//! Synthetic network generators and dataset profiles for the LONA
+//! reproduction (ICDE 2010).
+//!
+//! The paper evaluates on three real networks — the cond-mat-2005
+//! collaboration network, the NBER patent citation network and a
+//! proprietary IPsec intrusion network — none of which can be shipped
+//! with this repository. This crate generates structural stand-ins
+//! whose *pruning-relevant* properties (clustering, degree tails,
+//! sparsity; see DESIGN.md §4) match each dataset class:
+//!
+//! * [`generators`] — classic random-graph models: Erdős–Rényi,
+//!   Barabási–Albert, Watts–Strogatz, R-MAT, the configuration model,
+//!   and planted partitions.
+//! * [`profiles`] — the three paper-shaped datasets, parameterized by
+//!   a linear `scale` so experiments can run anywhere from laptop-smoke
+//!   to full paper size.
+//!
+//! All generators take an explicit `u64` seed and are deterministic.
+//!
+//! ```
+//! use lona_gen::generators::erdos_renyi_gnm;
+//! let g = erdos_renyi_gnm(100, 300, 42).unwrap();
+//! assert_eq!(g.num_nodes(), 100);
+//! assert_eq!(g.num_edges(), 300);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generators;
+pub mod profiles;
+
+pub use profiles::{DatasetKind, DatasetProfile};

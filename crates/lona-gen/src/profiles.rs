@@ -1,0 +1,283 @@
+//! Paper-shaped dataset profiles.
+//!
+//! Each profile is a structural stand-in for one of the paper's three
+//! evaluation networks (DESIGN.md §4 documents the substitution
+//! argument). Profiles are parameterized by a linear `scale`: node and
+//! edge targets scale proportionally, so `scale = 1.0` reproduces the
+//! paper's published sizes and smaller scales give laptop-friendly
+//! variants with the same structure.
+
+use lona_graph::algo::{clustering_coefficient, connected_components, DegreeStats};
+use lona_graph::{CsrGraph, GraphBuilder, Result};
+
+use crate::generators::{barabasi_albert, planted_partition, rmat, RmatParams};
+
+/// Which paper dataset a profile mimics.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// cond-mat-2005 co-authorship network: 40k nodes / 180k edges,
+    /// highly clustered.
+    Collaboration,
+    /// NBER patent citations (cite75_99): 3M nodes / 16M edges,
+    /// scale-free with strong hubs.
+    Citation,
+    /// Proprietary IPsec IP-traffic attack graph: 2.5M nodes / 4.3M
+    /// edges, very sparse, core-periphery.
+    Intrusion,
+}
+
+impl DatasetKind {
+    /// Paper-reported node count at `scale = 1.0`.
+    pub fn paper_nodes(self) -> u64 {
+        match self {
+            DatasetKind::Collaboration => 40_000,
+            DatasetKind::Citation => 3_000_000,
+            DatasetKind::Intrusion => 2_500_000,
+        }
+    }
+
+    /// Paper-reported edge count at `scale = 1.0`.
+    pub fn paper_edges(self) -> u64 {
+        match self {
+            DatasetKind::Collaboration => 180_000,
+            DatasetKind::Citation => 16_000_000,
+            DatasetKind::Intrusion => 4_300_000,
+        }
+    }
+
+    /// Short lowercase name used in CLI flags and bench ids.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Collaboration => "collaboration",
+            DatasetKind::Citation => "citation",
+            DatasetKind::Intrusion => "intrusion",
+        }
+    }
+
+    /// All three kinds, in figure order.
+    pub const ALL: [DatasetKind; 3] =
+        [DatasetKind::Collaboration, DatasetKind::Citation, DatasetKind::Intrusion];
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DatasetKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "collaboration" | "collab" | "condmat" => Ok(DatasetKind::Collaboration),
+            "citation" | "cite" => Ok(DatasetKind::Citation),
+            "intrusion" | "ipsec" => Ok(DatasetKind::Intrusion),
+            other => Err(format!("unknown dataset `{other}`")),
+        }
+    }
+}
+
+/// A generated-dataset recipe: kind + scale + seed.
+#[derive(Copy, Clone, Debug)]
+pub struct DatasetProfile {
+    /// Which paper dataset to mimic.
+    pub kind: DatasetKind,
+    /// Linear size factor (1.0 = paper size).
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl DatasetProfile {
+    /// A profile at the paper's published size.
+    pub fn paper_size(kind: DatasetKind, seed: u64) -> Self {
+        DatasetProfile { kind, scale: 1.0, seed }
+    }
+
+    /// The default scale used by the `figures` harness: full size for
+    /// the small collaboration network, 1/10 linear scale for the two
+    /// multi-million-node networks.
+    pub fn figure_default(kind: DatasetKind, seed: u64) -> Self {
+        let scale = match kind {
+            DatasetKind::Collaboration => 1.0,
+            DatasetKind::Citation => 0.1,
+            DatasetKind::Intrusion => 0.1,
+        };
+        DatasetProfile { kind, scale, seed }
+    }
+
+    /// A small variant for unit/integration tests and criterion runs.
+    pub fn smoke(kind: DatasetKind, seed: u64) -> Self {
+        let scale = match kind {
+            DatasetKind::Collaboration => 0.1,  // 4k nodes
+            DatasetKind::Citation => 0.01,      // 30k nodes
+            DatasetKind::Intrusion => 0.02,     // ~65k nodes (power of 2)
+        };
+        DatasetProfile { kind, scale, seed }
+    }
+
+    /// Target node count after scaling.
+    pub fn target_nodes(&self) -> u64 {
+        ((self.kind.paper_nodes() as f64) * self.scale).round() as u64
+    }
+
+    /// Target edge count after scaling.
+    pub fn target_edges(&self) -> u64 {
+        ((self.kind.paper_edges() as f64) * self.scale).round() as u64
+    }
+
+    /// Generate the graph.
+    ///
+    /// * `Collaboration`: planted-partition communities (co-author
+    ///   groups of ~9, supplying ~55% of the edges and the high
+    ///   clustering) **overlaid with** a Barabási–Albert hub layer
+    ///   (the remaining edges). Real co-authorship networks combine
+    ///   both: dense groups *and* heavy-tailed author productivity.
+    ///   The heavy tail matters to LONA directly — Eq. 1's capacity
+    ///   bound `N(v) + f(v)` only prunes when neighborhood sizes are
+    ///   heterogeneous.
+    /// * `Citation`: Barabási–Albert with `m = edges/nodes ≈ 5`.
+    /// * `Intrusion`: skewed R-MAT; node count rounds up to the next
+    ///   power of two (documented paper-vs-built delta).
+    pub fn generate(&self) -> Result<CsrGraph> {
+        let n = self.target_nodes().max(32) as u32;
+        let m = self.target_edges().max(64) as usize;
+        match self.kind {
+            DatasetKind::Collaboration => {
+                let community = 9u32;
+                let intra_target = 0.75 * m as f64;
+                let communities = (n / community).max(1) as f64;
+                let intra_pairs =
+                    communities * (community as f64 * (community as f64 - 1.0) / 2.0);
+                let p_in = (intra_target / intra_pairs).min(1.0);
+                let groups = planted_partition(n, community, p_in, 0.0, self.seed)?;
+
+                let hub_edges = m as f64 - intra_target;
+                let m_ba = ((hub_edges / n as f64).round() as u32).max(1);
+                let hubs = barabasi_albert(n, m_ba, self.seed ^ 0x9e37_79b9)?;
+
+                // Union of the two layers on the same node set.
+                let mut builder = GraphBuilder::undirected()
+                    .with_num_nodes(n)
+                    .reserve(groups.num_edges() + hubs.num_edges());
+                for (u, v, _) in groups.edges() {
+                    builder.push_edge(u.0, v.0);
+                }
+                for (u, v, _) in hubs.edges() {
+                    builder.push_edge(u.0, v.0);
+                }
+                builder.build()
+            }
+            DatasetKind::Citation => {
+                let m_per_node = ((m as f64 / n as f64).round() as u32).max(1);
+                barabasi_albert(n, m_per_node, self.seed)
+            }
+            DatasetKind::Intrusion => {
+                let scale_exp = (n as f64).log2().ceil() as u32;
+                // Oversample ~20% to compensate dedup + self-loop drops.
+                let samples = (m as f64 * 1.2) as usize;
+                rmat(scale_exp, samples, RmatParams::SKEWED, self.seed)
+            }
+        }
+    }
+
+    /// Human-readable structural summary, used by the bench harness to
+    /// document the generated data next to each figure.
+    pub fn describe(&self, g: &CsrGraph) -> String {
+        let stats = DegreeStats::of(g);
+        let cc = connected_components(g);
+        // Clustering is O(Σ min-deg per edge); skip on huge graphs.
+        let clustering = if g.num_edges() <= 2_000_000 {
+            format!("{:.3}", clustering_coefficient(g))
+        } else {
+            "skipped".to_string()
+        };
+        format!(
+            "{name}: {n} nodes, {m} edges (paper: {pn}x{pm}, scale {s:.3}), \
+             mean degree {mean:.2}, max degree {max}, p99 {p99}, \
+             {ncc} components (largest {lcc}), clustering {clustering}",
+            name = self.kind.name(),
+            n = g.num_nodes(),
+            m = g.num_edges(),
+            pn = self.kind.paper_nodes(),
+            pm = self.kind.paper_edges(),
+            s = self.scale,
+            mean = stats.mean,
+            max = stats.max,
+            p99 = stats.p99,
+            ncc = cc.num_components(),
+            lcc = cc.largest(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collaboration_hits_size_targets() {
+        let p = DatasetProfile { kind: DatasetKind::Collaboration, scale: 0.1, seed: 1 };
+        let g = p.generate().unwrap();
+        assert_eq!(g.num_nodes(), 4000);
+        let target = p.target_edges() as f64;
+        let got = g.num_edges() as f64;
+        assert!(got > target * 0.8 && got < target * 1.2, "{got} vs {target}");
+    }
+
+    #[test]
+    fn collaboration_is_clustered_and_heavy_tailed() {
+        let p = DatasetProfile::smoke(DatasetKind::Collaboration, 2);
+        let g = p.generate().unwrap();
+        // Global transitivity: the hub overlay's wedges dominate the
+        // denominator, so 0.1+ here corresponds to strong community
+        // structure (an ER graph of this density would sit near 0.002).
+        assert!(clustering_coefficient(&g) > 0.08);
+        let s = DegreeStats::of(&g);
+        assert!(s.max as f64 > 8.0 * s.mean, "hub layer missing: max {} mean {}", s.max, s.mean);
+    }
+
+    #[test]
+    fn citation_is_scale_free_shaped() {
+        let p = DatasetProfile::smoke(DatasetKind::Citation, 3);
+        let g = p.generate().unwrap();
+        let s = DegreeStats::of(&g);
+        assert!(s.max as f64 > 10.0 * s.mean, "max {} mean {}", s.max, s.mean);
+    }
+
+    #[test]
+    fn intrusion_is_sparse() {
+        let p = DatasetProfile::smoke(DatasetKind::Intrusion, 4);
+        let g = p.generate().unwrap();
+        let s = DegreeStats::of(&g);
+        assert!(s.mean < 5.0, "intrusion should be sparse, mean degree {}", s.mean);
+        // Power-of-two node count by construction.
+        assert!(g.num_nodes().is_power_of_two());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = DatasetProfile::smoke(DatasetKind::Citation, 7);
+        let a = p.generate().unwrap();
+        let b = p.generate().unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn kind_parsing() {
+        assert_eq!("collab".parse::<DatasetKind>().unwrap(), DatasetKind::Collaboration);
+        assert_eq!("citation".parse::<DatasetKind>().unwrap(), DatasetKind::Citation);
+        assert_eq!("ipsec".parse::<DatasetKind>().unwrap(), DatasetKind::Intrusion);
+        assert!("nope".parse::<DatasetKind>().is_err());
+    }
+
+    #[test]
+    fn describe_mentions_key_numbers() {
+        let p = DatasetProfile::smoke(DatasetKind::Collaboration, 5);
+        let g = p.generate().unwrap();
+        let d = p.describe(&g);
+        assert!(d.contains("collaboration"));
+        assert!(d.contains("nodes"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Degree statistics and log-binned histograms.
+
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+
+/// Summary statistics of the degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// Standard deviation of the degree distribution.
+    pub std_dev: f64,
+    /// 99th-percentile degree — heavy-tail indicator for the scale-free
+    /// profiles (citation, intrusion).
+    pub p99: usize,
+}
+
+impl DegreeStats {
+    /// Compute from a graph.
+    pub fn of(g: &CsrGraph) -> DegreeStats {
+        let n = g.num_nodes();
+        if n == 0 {
+            return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0, std_dev: 0.0, p99: 0 };
+        }
+        let mut degs: Vec<usize> = (0..n).map(|i| g.degree(NodeId(i as u32))).collect();
+        degs.sort_unstable();
+        let sum: usize = degs.iter().sum();
+        let mean = sum as f64 / n as f64;
+        let var = degs.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        DegreeStats {
+            min: degs[0],
+            max: degs[n - 1],
+            mean,
+            median: degs[n / 2],
+            std_dev: var.sqrt(),
+            p99: degs[((n - 1) as f64 * 0.99) as usize],
+        }
+    }
+}
+
+/// Log2-binned degree histogram: `bins[i]` counts nodes with degree in
+/// `[2^i, 2^(i+1))`; bin 0 counts degree 0 *and* 1 nodes together is
+/// avoided by giving degree 0 its own leading bucket via the returned
+/// `zero_count`.
+pub fn degree_histogram(g: &CsrGraph) -> (usize, Vec<usize>) {
+    let mut zero = 0usize;
+    let mut bins: Vec<usize> = Vec::new();
+    for i in 0..g.num_nodes() {
+        let d = g.degree(NodeId(i as u32));
+        if d == 0 {
+            zero += 1;
+            continue;
+        }
+        let bin = usize::BITS as usize - 1 - d.leading_zeros() as usize;
+        if bin >= bins.len() {
+            bins.resize(bin + 1, 0);
+        }
+        bins[bin] += 1;
+    }
+    (zero, bins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_on_star() {
+        // Star: center 0 with 4 leaves.
+        let g = GraphBuilder::undirected()
+            .extend_edges((1..=4).map(|i| (0, i)))
+            .build()
+            .unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.median, 1);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = GraphBuilder::undirected().with_num_nodes(0).build().unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_powers_of_two() {
+        // degrees: node0 -> 4 (bin 2), leaves -> 1 (bin 0), node5 isolated
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(6)
+            .extend_edges((1..=4).map(|i| (0, i)))
+            .build()
+            .unwrap();
+        let (zero, bins) = degree_histogram(&g);
+        assert_eq!(zero, 1);
+        assert_eq!(bins[0], 4); // degree 1
+        assert_eq!(bins[2], 1); // degree 4
+    }
+
+    #[test]
+    fn histogram_total_matches_node_count() {
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)])
+            .build()
+            .unwrap();
+        let (zero, bins) = degree_histogram(&g);
+        assert_eq!(zero + bins.iter().sum::<usize>(), g.num_nodes());
+    }
+}

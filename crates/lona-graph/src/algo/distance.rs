@@ -1,0 +1,112 @@
+//! Sampled shortest-path distance estimates.
+
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+use crate::traversal::bfs_distances;
+
+/// Distance estimates obtained from a sample of BFS sources.
+#[derive(Clone, Debug)]
+pub struct DistanceEstimate {
+    /// Mean finite pairwise distance over the sample.
+    pub mean_distance: f64,
+    /// Maximum observed finite distance (a lower bound on the diameter).
+    pub max_distance: u32,
+    /// 90th-percentile distance ("effective diameter").
+    pub effective_diameter: u32,
+    /// Number of BFS sources actually used.
+    pub sources: usize,
+}
+
+/// Run exact BFS from `sources.min(n)` deterministic sources (evenly
+/// strided node ids, so results are reproducible without an RNG) and
+/// summarize pairwise hop distances.
+///
+/// This is the standard "sampled BFS" estimator — exact all-pairs is
+/// O(n·m) and pointless at millions of nodes.
+pub fn estimate_distances(g: &CsrGraph, sources: usize) -> DistanceEstimate {
+    let n = g.num_nodes();
+    if n == 0 || sources == 0 {
+        return DistanceEstimate {
+            mean_distance: 0.0,
+            max_distance: 0,
+            effective_diameter: 0,
+            sources: 0,
+        };
+    }
+    let take = sources.min(n);
+    let stride = (n / take).max(1);
+
+    let mut all: Vec<u32> = Vec::new();
+    let mut used = 0usize;
+    for s in (0..n).step_by(stride).take(take) {
+        used += 1;
+        let d = bfs_distances(g, NodeId(s as u32));
+        all.extend(d.into_iter().filter(|&x| x != 0 && x != u32::MAX));
+    }
+    if all.is_empty() {
+        return DistanceEstimate {
+            mean_distance: 0.0,
+            max_distance: 0,
+            effective_diameter: 0,
+            sources: used,
+        };
+    }
+    all.sort_unstable();
+    let sum: u64 = all.iter().map(|&d| d as u64).sum();
+    DistanceEstimate {
+        mean_distance: sum as f64 / all.len() as f64,
+        max_distance: *all.last().unwrap(),
+        effective_diameter: all[((all.len() - 1) as f64 * 0.9) as usize],
+        sources: used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn path_distances() {
+        let g = GraphBuilder::undirected()
+            .extend_edges((0..9).map(|i| (i, i + 1)))
+            .build()
+            .unwrap();
+        let est = estimate_distances(&g, 10);
+        assert_eq!(est.sources, 10);
+        assert_eq!(est.max_distance, 9);
+        assert!(est.mean_distance > 1.0 && est.mean_distance < 9.0);
+    }
+
+    #[test]
+    fn clique_distance_is_one() {
+        let mut b = GraphBuilder::undirected();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                b.push_edge(i, j);
+            }
+        }
+        let est = estimate_distances(&b.build().unwrap(), 5);
+        assert_eq!(est.max_distance, 1);
+        assert_eq!(est.effective_diameter, 1);
+        assert!((est.mean_distance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_pairs_ignored() {
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(4)
+            .extend_edges([(0, 1), (2, 3)])
+            .build()
+            .unwrap();
+        let est = estimate_distances(&g, 4);
+        assert_eq!(est.max_distance, 1);
+    }
+
+    #[test]
+    fn empty_graph_safe() {
+        let g = GraphBuilder::undirected().with_num_nodes(0).build().unwrap();
+        let est = estimate_distances(&g, 8);
+        assert_eq!(est.sources, 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Structural analytics used to characterize datasets in the
+//! experiment reports (EXPERIMENTS.md): connected components, degree
+//! statistics, clustering, and sampled distance estimates.
+
+mod components;
+mod degree;
+mod distance;
+mod kcore;
+mod pagerank;
+mod triangles;
+
+pub use components::{connected_components, ComponentInfo};
+pub use degree::{degree_histogram, DegreeStats};
+pub use distance::{estimate_distances, DistanceEstimate};
+pub use kcore::{core_decomposition, CoreDecomposition};
+pub use pagerank::{pagerank, PageRankConfig};
+pub use triangles::{clustering_coefficient, count_triangles, TriangleCounts};

@@ -1,0 +1,149 @@
+//! PageRank.
+//!
+//! The paper's introduction frames LONA against linkage analysis
+//! ("Linkage analysis has evolved into powerful and easy-to-use search
+//! tools like Google"); a PageRank vector is also a natural *relevance
+//! function* input for aggregation queries ("find nodes whose
+//! neighborhoods concentrate authority"), which
+//! `lona-relevance::pagerank_relevance` exposes.
+
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+
+/// Configuration for the power-iteration PageRank solver.
+#[derive(Copy, Clone, Debug)]
+pub struct PageRankConfig {
+    /// Damping factor (classic 0.85).
+    pub damping: f64,
+    /// Stop when the L1 change between iterations drops below this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig { damping: 0.85, tolerance: 1e-9, max_iterations: 100 }
+    }
+}
+
+/// Power-iteration PageRank over the (out-)adjacency of `g`.
+///
+/// Dangling nodes (out-degree 0) redistribute their mass uniformly,
+/// the standard fix that keeps the result a probability distribution.
+/// Returns `(ranks, iterations_used)`.
+pub fn pagerank(g: &CsrGraph, config: &PageRankConfig) -> (Vec<f64>, usize) {
+    let n = g.num_nodes();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    assert!(
+        (0.0..1.0).contains(&config.damping),
+        "damping must be in [0, 1), got {}",
+        config.damping
+    );
+
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+
+    for iteration in 1..=config.max_iterations {
+        // Dangling mass redistributed uniformly.
+        let dangling: f64 = (0..n as u32)
+            .filter(|&u| g.degree(NodeId(u)) == 0)
+            .map(|u| rank[u as usize])
+            .sum();
+        let base = (1.0 - config.damping) * uniform + config.damping * dangling * uniform;
+        next.fill(base);
+
+        for u in 0..n as u32 {
+            let out = g.neighbors(NodeId(u));
+            if out.is_empty() {
+                continue;
+            }
+            let share = config.damping * rank[u as usize] / out.len() as f64;
+            for &v in out {
+                next[v.index()] += share;
+            }
+        }
+
+        let l1: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if l1 < config.tolerance {
+            return (rank, iteration);
+        }
+    }
+    (rank, config.max_iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn ranks(g: &CsrGraph) -> Vec<f64> {
+        pagerank(g, &PageRankConfig::default()).0
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+            .build()
+            .unwrap();
+        let r = ranks(&g);
+        let total: f64 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+    }
+
+    #[test]
+    fn symmetric_graph_uniform_ranks() {
+        // A cycle: every node identical by symmetry.
+        let g = GraphBuilder::undirected()
+            .extend_edges((0..6).map(|i| (i, (i + 1) % 6)))
+            .build()
+            .unwrap();
+        let r = ranks(&g);
+        for &x in &r {
+            assert!((x - 1.0 / 6.0).abs() < 1e-6, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn hub_outranks_leaves() {
+        let g = GraphBuilder::undirected()
+            .extend_edges((1..=6).map(|i| (0u32, i)))
+            .build()
+            .unwrap();
+        let r = ranks(&g);
+        assert!(r[0] > 3.0 * r[1], "hub {} leaf {}", r[0], r[1]);
+    }
+
+    #[test]
+    fn dangling_nodes_keep_distribution_normalized() {
+        let g = GraphBuilder::directed().add_edge(0, 1).add_edge(2, 1).build().unwrap();
+        // node 1 is dangling (no out-edges).
+        let r = ranks(&g);
+        let total: f64 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(r[1] > r[0]);
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        let (_, iters) = pagerank(&g, &PageRankConfig::default());
+        assert!(iters > 0 && iters < 100, "unexpected iteration count {iters}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::undirected().with_num_nodes(0).build().unwrap();
+        let (r, iters) = pagerank(&g, &PageRankConfig::default());
+        assert!(r.is_empty());
+        assert_eq!(iters, 0);
+    }
+}

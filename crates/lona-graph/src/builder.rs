@@ -1,0 +1,347 @@
+//! Edge-list graph construction.
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::node::NodeId;
+use crate::Result;
+
+/// Self-loop handling policy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SelfLoopPolicy {
+    /// Silently drop self-loops (default: the paper's networks are simple).
+    Drop,
+    /// Keep self-loops as single adjacency entries.
+    Keep,
+    /// Fail the build with [`GraphError::SelfLoop`].
+    Error,
+}
+
+/// Builds a [`CsrGraph`] from an edge list.
+///
+/// The builder accepts edges in any order, optionally with weights,
+/// deduplicates parallel edges (keeping the first weight), applies the
+/// self-loop policy, and symmetrizes undirected graphs.
+///
+/// ```
+/// use lona_graph::{GraphBuilder, NodeId};
+/// let g = GraphBuilder::undirected()
+///     .add_edge(3, 1)      // node count inferred: max id + 1
+///     .add_edge(1, 3)      // duplicate (reversed) — dropped
+///     .add_edge(0, 2)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.num_nodes(), 4);
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    edges: Vec<(u32, u32, f32)>,
+    num_nodes: Option<u32>,
+    directed: bool,
+    weighted: bool,
+    self_loops: SelfLoopPolicy,
+}
+
+impl GraphBuilder {
+    /// Start an undirected graph (each edge stored in both adjacency lists).
+    pub fn undirected() -> Self {
+        GraphBuilder {
+            edges: Vec::new(),
+            num_nodes: None,
+            directed: false,
+            weighted: false,
+            self_loops: SelfLoopPolicy::Drop,
+        }
+    }
+
+    /// Start a directed graph (arcs stored on the source side only).
+    pub fn directed() -> Self {
+        GraphBuilder { directed: true, ..Self::undirected() }
+    }
+
+    /// Declare the node count explicitly (otherwise inferred as
+    /// `max endpoint + 1`). Useful for graphs with trailing isolated
+    /// nodes.
+    pub fn with_num_nodes(mut self, n: u32) -> Self {
+        self.num_nodes = Some(n);
+        self
+    }
+
+    /// Set the self-loop policy (default [`SelfLoopPolicy::Drop`]).
+    pub fn self_loops(mut self, policy: SelfLoopPolicy) -> Self {
+        self.self_loops = policy;
+        self
+    }
+
+    /// Reserve capacity for `n` more edges.
+    pub fn reserve(mut self, n: usize) -> Self {
+        self.edges.reserve(n);
+        self
+    }
+
+    /// Add an unweighted edge.
+    #[inline]
+    pub fn add_edge(mut self, u: u32, v: u32) -> Self {
+        self.edges.push((u, v, 1.0));
+        self
+    }
+
+    /// Add a weighted edge; the whole graph becomes weighted.
+    #[inline]
+    pub fn add_weighted_edge(mut self, u: u32, v: u32, w: f32) -> Self {
+        self.weighted = true;
+        self.edges.push((u, v, w));
+        self
+    }
+
+    /// Add many unweighted edges at once.
+    pub fn extend_edges(mut self, it: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        self.edges.extend(it.into_iter().map(|(u, v)| (u, v, 1.0)));
+        self
+    }
+
+    /// Add an unweighted edge through a mutable reference (handy in
+    /// generator loops where the builder is threaded through).
+    #[inline]
+    pub fn push_edge(&mut self, u: u32, v: u32) {
+        self.edges.push((u, v, 1.0));
+    }
+
+    /// Add a weighted edge through a mutable reference.
+    #[inline]
+    pub fn push_weighted_edge(&mut self, u: u32, v: u32, w: f32) {
+        self.weighted = true;
+        self.edges.push((u, v, w));
+    }
+
+    /// Number of (raw, pre-dedup) edges currently staged.
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finish the build.
+    ///
+    /// Cost: `O(E log E)` for the sort plus linear passes. This runs
+    /// once per dataset so simplicity beats a radix sort here.
+    pub fn build(self) -> Result<CsrGraph> {
+        let GraphBuilder { mut edges, num_nodes, directed, weighted, self_loops } = self;
+
+        // Resolve node count.
+        let max_endpoint =
+            edges.iter().map(|&(u, v, _)| u.max(v)).max().map(|m| m as u64 + 1).unwrap_or(0);
+        let n: u64 = match num_nodes {
+            Some(n) => {
+                if max_endpoint > n as u64 {
+                    let bad = edges
+                        .iter()
+                        .map(|&(u, v, _)| u.max(v))
+                        .find(|&e| e as u64 >= n as u64)
+                        .unwrap();
+                    return Err(GraphError::NodeOutOfRange { node: bad, num_nodes: n });
+                }
+                n as u64
+            }
+            None => max_endpoint,
+        };
+        if n >= u32::MAX as u64 {
+            return Err(GraphError::TooManyNodes(n as usize));
+        }
+        let n = n as u32;
+
+        // Self-loop policy.
+        match self_loops {
+            SelfLoopPolicy::Drop => edges.retain(|&(u, v, _)| u != v),
+            SelfLoopPolicy::Keep => {}
+            SelfLoopPolicy::Error => {
+                if let Some(&(u, _, _)) = edges.iter().find(|&&(u, v, _)| u == v) {
+                    return Err(GraphError::SelfLoop(u));
+                }
+            }
+        }
+
+        // Canonicalize undirected edges as (min, max) so duplicates in
+        // either orientation collapse together.
+        if !directed {
+            for e in &mut edges {
+                if e.0 > e.1 {
+                    std::mem::swap(&mut e.0, &mut e.1);
+                }
+            }
+        }
+
+        // Sort + dedup by endpoints (first weight wins).
+        edges.sort_unstable_by_key(|a| (a.0, a.1));
+        edges.dedup_by_key(|e| (e.0, e.1));
+        let num_edges = edges.len();
+
+        // Count adjacency entries. Undirected edges appear on both
+        // sides except self-loops, which are stored once.
+        let mut degree = vec![0u32; n as usize];
+        let mut entries: u64 = 0;
+        for &(u, v, _) in &edges {
+            degree[u as usize] += 1;
+            entries += 1;
+            if !directed && u != v {
+                degree[v as usize] += 1;
+                entries += 1;
+            }
+        }
+        if entries > u32::MAX as u64 {
+            return Err(GraphError::TooManyEdges(entries as usize));
+        }
+
+        // Prefix-sum offsets.
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut acc: u32 = 0;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        // Scatter targets (and weights) using a per-node write cursor.
+        let mut cursor: Vec<u32> = offsets[..n as usize].to_vec();
+        let mut targets = vec![NodeId(0); entries as usize];
+        let mut weights_vec = if weighted { vec![0f32; entries as usize] } else { Vec::new() };
+        for &(u, v, w) in &edges {
+            let c = &mut cursor[u as usize];
+            targets[*c as usize] = NodeId(v);
+            if weighted {
+                weights_vec[*c as usize] = w;
+            }
+            *c += 1;
+            if !directed && u != v {
+                let c = &mut cursor[v as usize];
+                targets[*c as usize] = NodeId(u);
+                if weighted {
+                    weights_vec[*c as usize] = w;
+                }
+                *c += 1;
+            }
+        }
+
+        // Sort each adjacency slice by target id (weights tag along).
+        for u in 0..n as usize {
+            let lo = offsets[u] as usize;
+            let hi = offsets[u + 1] as usize;
+            if weighted {
+                let mut pairs: Vec<(NodeId, f32)> =
+                    targets[lo..hi].iter().copied().zip(weights_vec[lo..hi].iter().copied()).collect();
+                pairs.sort_unstable_by_key(|p| p.0);
+                for (i, (t, w)) in pairs.into_iter().enumerate() {
+                    targets[lo + i] = t;
+                    weights_vec[lo + i] = w;
+                }
+            } else {
+                targets[lo..hi].sort_unstable();
+            }
+        }
+
+        Ok(CsrGraph::from_parts(
+            offsets,
+            targets,
+            weighted.then_some(weights_vec),
+            num_edges,
+            directed,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_collapses_both_orientations() {
+        let g = GraphBuilder::undirected()
+            .add_edge(1, 2)
+            .add_edge(2, 1)
+            .add_edge(1, 2)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(NodeId(1)), 1);
+        assert_eq!(g.degree(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn directed_keeps_both_arcs() {
+        let g = GraphBuilder::directed().add_edge(1, 2).add_edge(2, 1).build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(NodeId(1)), &[NodeId(2)]);
+        assert_eq!(g.neighbors(NodeId(2)), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let g = GraphBuilder::undirected().add_edge(0, 0).add_edge(0, 1).build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn self_loops_kept_when_asked() {
+        let g = GraphBuilder::undirected()
+            .self_loops(SelfLoopPolicy::Keep)
+            .add_edge(0, 0)
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 2);
+        // Self-loop stored once.
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn self_loops_error_when_forbidden() {
+        let err = GraphBuilder::undirected()
+            .self_loops(SelfLoopPolicy::Error)
+            .add_edge(3, 3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop(3)));
+    }
+
+    #[test]
+    fn explicit_node_count_validates_endpoints() {
+        let err =
+            GraphBuilder::undirected().with_num_nodes(3).add_edge(1, 7).build().unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 7, num_nodes: 3 }));
+    }
+
+    #[test]
+    fn node_count_inferred_from_max_endpoint() {
+        let g = GraphBuilder::undirected().add_edge(0, 9).build().unwrap();
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn push_edge_api_matches_add_edge() {
+        let mut b = GraphBuilder::undirected();
+        b.push_edge(0, 1);
+        b.push_edge(1, 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn duplicate_weighted_edge_keeps_first_weight() {
+        let g = GraphBuilder::undirected()
+            .add_weighted_edge(0, 1, 5.0)
+            .add_weighted_edge(1, 0, 9.0)
+            .build()
+            .unwrap();
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(5.0));
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(0)), Some(5.0));
+    }
+
+    #[test]
+    fn extend_edges_bulk() {
+        let g = GraphBuilder::undirected()
+            .extend_edges((0..5).map(|i| (i, i + 1)))
+            .build()
+            .unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 5);
+    }
+}

@@ -1,0 +1,363 @@
+//! Compressed-sparse-row graph storage.
+
+use crate::node::NodeId;
+
+/// A static graph in compressed-sparse-row (CSR) form.
+///
+/// Neighbors of node `u` occupy the contiguous slice
+/// `targets[offsets[u] .. offsets[u + 1]]`, sorted by target id. For
+/// undirected graphs every edge is stored in both endpoint lists, so
+/// `degree(u)` is the usual undirected degree. Optional edge weights
+/// are stored in a parallel array.
+///
+/// This layout gives the two properties every LONA inner loop needs:
+/// neighbor access is a bounds-checked slice (no hashing, no pointer
+/// chasing) and iteration over a neighborhood is a linear scan over
+/// adjacent memory.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    /// `num_nodes + 1` offsets into `targets`.
+    offsets: Vec<u32>,
+    /// Flattened, per-source-sorted adjacency lists.
+    targets: Vec<NodeId>,
+    /// Optional weights parallel to `targets`.
+    weights: Option<Vec<f32>>,
+    /// Logical edge count (undirected edges counted once).
+    num_edges: usize,
+    /// Whether the graph was built as directed.
+    directed: bool,
+}
+
+impl CsrGraph {
+    /// Assemble a CSR graph from raw parts. Used by [`crate::GraphBuilder`]
+    /// and the binary snapshot loader; invariants are checked with
+    /// debug assertions (the callers validate eagerly).
+    pub(crate) fn from_parts(
+        offsets: Vec<u32>,
+        targets: Vec<NodeId>,
+        weights: Option<Vec<f32>>,
+        num_edges: usize,
+        directed: bool,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        if let Some(w) = &weights {
+            debug_assert_eq!(w.len(), targets.len());
+        }
+        CsrGraph { offsets, targets, weights, num_edges, directed }
+    }
+
+    /// Number of nodes.
+    #[inline(always)]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of logical edges (an undirected edge counts once).
+    #[inline(always)]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of stored adjacency entries (`2 * num_edges` for
+    /// undirected graphs without self-loops).
+    #[inline(always)]
+    pub fn num_adjacency_entries(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the graph was built as directed.
+    #[inline(always)]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Whether edge weights are stored.
+    #[inline(always)]
+    pub fn has_weights(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Out-degree of `u` (undirected degree for undirected graphs).
+    #[inline(always)]
+    pub fn degree(&self, u: NodeId) -> usize {
+        let i = u.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// The sorted neighbor slice of `u`.
+    #[inline(always)]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let i = u.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The weight slice parallel to [`CsrGraph::neighbors`], if the
+    /// graph carries weights.
+    #[inline(always)]
+    pub fn neighbor_weights(&self, u: NodeId) -> Option<&[f32]> {
+        let w = self.weights.as_ref()?;
+        let i = u.index();
+        Some(&w[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+
+    /// Iterate `(neighbor, weight)` pairs of `u`; weight defaults to
+    /// `1.0` on unweighted graphs.
+    pub fn weighted_neighbors(&self, u: NodeId) -> NeighborIter<'_> {
+        let i = u.index();
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        NeighborIter {
+            targets: &self.targets[lo..hi],
+            weights: self.weights.as_ref().map(|w| &w[lo..hi]),
+            pos: 0,
+        }
+    }
+
+    /// Whether the edge `(u, v)` exists (binary search on the sorted
+    /// neighbor slice — O(log degree)).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The global adjacency-array range holding `u`'s neighbors.
+    ///
+    /// Per-edge side tables (like LONA's differential index) are laid
+    /// out parallel to the adjacency array; this range addresses the
+    /// slice belonging to `u`.
+    #[inline(always)]
+    pub fn adjacency_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        let i = u.index();
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    /// Global adjacency-array position of the entry `u -> v`, if the
+    /// edge exists.
+    pub fn adjacency_index(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let pos = self.neighbors(u).binary_search(&v).ok()?;
+        Some(self.offsets[u.index()] as usize + pos)
+    }
+
+    /// Weight of edge `(u, v)` if present; `1.0` on unweighted graphs.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f32> {
+        let pos = self.neighbors(u).binary_search(&v).ok()?;
+        Some(match &self.weights {
+            Some(w) => w[self.offsets[u.index()] as usize + pos],
+            None => 1.0,
+        })
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Iterator over unique edges. For undirected graphs each edge is
+    /// yielded once with `u <= v`; for directed graphs every stored
+    /// `(source, target)` arc is yielded.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter { g: self, u: 0, pos: 0 }
+    }
+
+    /// Sum of all degrees divided by node count.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        self.targets.len() as f64 / self.num_nodes() as f64
+    }
+
+    /// Approximate resident memory of the structure, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.targets.len() * std::mem::size_of::<NodeId>()
+            + self.weights.as_ref().map_or(0, |w| w.len() * std::mem::size_of::<f32>())
+    }
+
+    /// Internal accessor for snapshot serialization.
+    pub(crate) fn raw_parts(&self) -> (&[u32], &[NodeId], Option<&[f32]>) {
+        (&self.offsets, &self.targets, self.weights.as_deref())
+    }
+}
+
+/// Iterator over `(neighbor, weight)` pairs of one node.
+pub struct NeighborIter<'a> {
+    targets: &'a [NodeId],
+    weights: Option<&'a [f32]>,
+    pos: usize,
+}
+
+impl<'a> Iterator for NeighborIter<'a> {
+    type Item = (NodeId, f32);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.targets.len() {
+            return None;
+        }
+        let v = self.targets[self.pos];
+        let w = self.weights.map_or(1.0, |w| w[self.pos]);
+        self.pos += 1;
+        Some((v, w))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.targets.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+/// Iterator over unique edges of a [`CsrGraph`].
+pub struct EdgeIter<'a> {
+    g: &'a CsrGraph,
+    u: u32,
+    pos: usize,
+}
+
+impl<'a> Iterator for EdgeIter<'a> {
+    type Item = (NodeId, NodeId, f32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.g.num_nodes() as u32;
+        while self.u < n {
+            let u = NodeId(self.u);
+            let nbrs = self.g.neighbors(u);
+            while self.pos < nbrs.len() {
+                let v = nbrs[self.pos];
+                let idx = self.g.offsets[u.index()] as usize + self.pos;
+                self.pos += 1;
+                // For undirected graphs, emit each edge from its lower
+                // endpoint only (self-loops are emitted once).
+                if self.g.directed || u <= v {
+                    let w = self.g.weights.as_ref().map_or(1.0, |w| w[idx]);
+                    return Some((u, v, w));
+                }
+            }
+            self.u += 1;
+            self.pos = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        // 0-1, 1-2, 2-0 triangle, plus 2-3 tail.
+        GraphBuilder::undirected()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .add_edge(2, 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_adjacency_entries(), 8);
+        assert_eq!(g.degree(NodeId(2)), 3);
+        assert_eq!(g.degree(NodeId(3)), 1);
+        assert!((g.mean_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.neighbors(NodeId(2)), &[NodeId(0), NodeId(1), NodeId(3)]);
+        for u in g.nodes() {
+            let nbrs = g.neighbors(u);
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted at {u:?}");
+        }
+    }
+
+    #[test]
+    fn has_edge_is_symmetric_for_undirected() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn edge_iter_yields_each_edge_once() {
+        let g = triangle_plus_tail();
+        let edges: Vec<_> = g.edges().map(|(u, v, _)| (u.0, v.0)).collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn directed_edges_kept_as_arcs() {
+        let g = GraphBuilder::directed()
+            .add_edge(0, 1)
+            .add_edge(1, 0)
+            .add_edge(1, 2)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert_eq!(g.degree(NodeId(2)), 0);
+        let arcs: Vec<_> = g.edges().map(|(u, v, _)| (u.0, v.0)).collect();
+        assert_eq!(arcs, vec![(0, 1), (1, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn weighted_neighbors_default_weight_is_one() {
+        let g = triangle_plus_tail();
+        let pairs: Vec<_> = g.weighted_neighbors(NodeId(2)).collect();
+        assert_eq!(
+            pairs,
+            vec![(NodeId(0), 1.0), (NodeId(1), 1.0), (NodeId(3), 1.0)]
+        );
+        assert_eq!(g.edge_weight(NodeId(2), NodeId(3)), Some(1.0));
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(3)), None);
+    }
+
+    #[test]
+    fn weights_follow_sorted_targets() {
+        let g = GraphBuilder::undirected()
+            .add_weighted_edge(0, 2, 2.5)
+            .add_weighted_edge(0, 1, 0.5)
+            .build()
+            .unwrap();
+        assert!(g.has_weights());
+        assert_eq!(g.neighbor_weights(NodeId(0)), Some(&[0.5, 2.5][..]));
+        assert_eq!(g.edge_weight(NodeId(2), NodeId(0)), Some(2.5));
+    }
+
+    #[test]
+    fn memory_accounting_nonzero() {
+        let g = triangle_plus_tail();
+        assert!(g.memory_bytes() >= 8 * 4 + 5 * 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::undirected().with_num_nodes(0).build().unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_slices() {
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(5)
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert!(g.neighbors(NodeId(4)).is_empty());
+        assert_eq!(g.degree(NodeId(4)), 0);
+    }
+}

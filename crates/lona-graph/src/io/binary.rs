@@ -1,0 +1,232 @@
+//! Compact binary graph snapshots.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   [u8; 8]  = b"LONAGRF1"
+//! flags   u32      bit 0 = directed, bit 1 = weighted
+//! nodes   u64
+//! edges   u64      logical edge count
+//! entries u64      adjacency entry count
+//! offsets [u32; nodes + 1]
+//! targets [u32; entries]
+//! weights [f32; entries]   (only when weighted)
+//! ```
+//!
+//! The generated benchmark datasets are cached in this format so a
+//! bench run does not pay graph generation on every invocation.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::node::NodeId;
+use crate::Result;
+
+const MAGIC: &[u8; 8] = b"LONAGRF1";
+const FLAG_DIRECTED: u32 = 1;
+const FLAG_WEIGHTED: u32 = 2;
+
+/// Serialize a graph snapshot to a writer.
+pub fn write_snapshot<W: Write>(g: &CsrGraph, mut writer: W) -> Result<()> {
+    let (offsets, targets, weights) = g.raw_parts();
+    let mut flags = 0u32;
+    if g.is_directed() {
+        flags |= FLAG_DIRECTED;
+    }
+    if weights.is_some() {
+        flags |= FLAG_WEIGHTED;
+    }
+
+    let mut header = BytesMut::with_capacity(8 + 4 + 24);
+    header.put_slice(MAGIC);
+    header.put_u32_le(flags);
+    header.put_u64_le(g.num_nodes() as u64);
+    header.put_u64_le(g.num_edges() as u64);
+    header.put_u64_le(targets.len() as u64);
+    writer.write_all(&header)?;
+
+    // Bulk-encode the arrays through a reusable chunk buffer rather
+    // than one write per integer.
+    let mut chunk = BytesMut::with_capacity(1 << 16);
+    for &o in offsets {
+        chunk.put_u32_le(o);
+        if chunk.len() >= (1 << 16) {
+            writer.write_all(&chunk)?;
+            chunk.clear();
+        }
+    }
+    for &t in targets {
+        chunk.put_u32_le(t.0);
+        if chunk.len() >= (1 << 16) {
+            writer.write_all(&chunk)?;
+            chunk.clear();
+        }
+    }
+    if let Some(ws) = weights {
+        for &w in ws {
+            chunk.put_f32_le(w);
+            if chunk.len() >= (1 << 16) {
+                writer.write_all(&chunk)?;
+                chunk.clear();
+            }
+        }
+    }
+    writer.write_all(&chunk)?;
+    Ok(())
+}
+
+/// Deserialize a graph snapshot from a reader.
+pub fn read_snapshot<R: Read>(mut reader: R) -> Result<CsrGraph> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+
+    if buf.remaining() < 8 + 4 + 24 {
+        return Err(GraphError::BadSnapshot("truncated header".into()));
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::BadSnapshot(format!("bad magic {magic:?}")));
+    }
+    let flags = buf.get_u32_le();
+    let nodes = buf.get_u64_le() as usize;
+    let edges = buf.get_u64_le() as usize;
+    let entries = buf.get_u64_le() as usize;
+
+    let weighted = flags & FLAG_WEIGHTED != 0;
+    // Checked arithmetic: corrupted counts must not overflow into a
+    // bogus-but-matching length (or a debug panic).
+    let need = nodes
+        .checked_add(1)
+        .and_then(|x| x.checked_add(entries))
+        .and_then(|x| x.checked_mul(4))
+        .and_then(|x| x.checked_add(if weighted { entries.checked_mul(4)? } else { 0 }))
+        .ok_or_else(|| GraphError::BadSnapshot("count fields overflow".into()))?;
+    if buf.remaining() != need {
+        return Err(GraphError::BadSnapshot(format!(
+            "body length {} != expected {need}",
+            buf.remaining()
+        )));
+    }
+
+    let mut offsets = Vec::with_capacity(nodes + 1);
+    for _ in 0..=nodes {
+        offsets.push(buf.get_u32_le());
+    }
+    if offsets[0] != 0 || *offsets.last().unwrap() as usize != entries {
+        return Err(GraphError::BadSnapshot("inconsistent offsets".into()));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(GraphError::BadSnapshot("offsets not monotone".into()));
+    }
+
+    let mut targets = Vec::with_capacity(entries);
+    for _ in 0..entries {
+        let t = buf.get_u32_le();
+        if t as usize >= nodes {
+            return Err(GraphError::BadSnapshot(format!("target {t} out of range")));
+        }
+        targets.push(NodeId(t));
+    }
+    let weights = if weighted {
+        let mut w = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            w.push(buf.get_f32_le());
+        }
+        Some(w)
+    } else {
+        None
+    };
+
+    Ok(CsrGraph::from_parts(offsets, targets, weights, edges, flags & FLAG_DIRECTED != 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn round_trip(g: &CsrGraph) -> CsrGraph {
+        let mut buf = Vec::new();
+        write_snapshot(g, &mut buf).unwrap();
+        read_snapshot(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn unweighted_round_trip() {
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+            .build()
+            .unwrap();
+        let g2 = round_trip(&g);
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert!(!g2.is_directed());
+        for u in g.nodes() {
+            assert_eq!(g.neighbors(u), g2.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn weighted_directed_round_trip() {
+        let g = GraphBuilder::directed()
+            .add_weighted_edge(0, 1, 0.25)
+            .add_weighted_edge(2, 0, -1.5)
+            .build()
+            .unwrap();
+        let g2 = round_trip(&g);
+        assert!(g2.is_directed());
+        assert_eq!(g2.edge_weight(NodeId(0), NodeId(1)), Some(0.25));
+        assert_eq!(g2.edge_weight(NodeId(2), NodeId(0)), Some(-1.5));
+    }
+
+    #[test]
+    fn empty_graph_round_trip() {
+        let g = GraphBuilder::undirected().with_num_nodes(0).build().unwrap();
+        let g2 = round_trip(&g);
+        assert_eq!(g2.num_nodes(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_snapshot(
+            &GraphBuilder::undirected().add_edge(0, 1).build().unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_snapshot(&buf[..]), Err(GraphError::BadSnapshot(_))));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut buf = Vec::new();
+        write_snapshot(
+            &GraphBuilder::undirected().add_edge(0, 1).build().unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_snapshot(&buf[..]), Err(GraphError::BadSnapshot(_))));
+    }
+
+    #[test]
+    fn out_of_range_target_rejected() {
+        // Hand-craft: 1 node, 1 entry pointing at node 5.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes()); // nodes
+        buf.extend_from_slice(&1u64.to_le_bytes()); // edges
+        buf.extend_from_slice(&1u64.to_le_bytes()); // entries
+        buf.extend_from_slice(&0u32.to_le_bytes()); // offsets[0]
+        buf.extend_from_slice(&1u32.to_le_bytes()); // offsets[1]
+        buf.extend_from_slice(&5u32.to_le_bytes()); // bogus target
+        assert!(matches!(read_snapshot(&buf[..]), Err(GraphError::BadSnapshot(_))));
+    }
+}

@@ -1,0 +1,171 @@
+//! Whitespace-separated edge-list text format.
+//!
+//! The format matches common network-repository dumps (including the
+//! cond-mat / NBER files the paper used): one `u v [w]` triple per
+//! line, `#` or `%` comment lines, blank lines ignored.
+
+use std::io::{BufRead, Write};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::Result;
+
+/// Options controlling edge-list parsing.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct EdgeListOptions {
+    /// Build a directed graph.
+    pub directed: bool,
+    /// Node count override (otherwise inferred).
+    pub num_nodes: Option<u32>,
+}
+
+
+/// Parse an edge list from any buffered reader.
+///
+/// A third column, when present, is parsed as an `f32` edge weight;
+/// mixing weighted and unweighted lines is allowed (missing weights
+/// default to 1.0, and the graph is weighted if any line has a weight).
+pub fn read_edge_list<R: BufRead>(reader: R, opts: &EdgeListOptions) -> Result<CsrGraph> {
+    let mut builder =
+        if opts.directed { GraphBuilder::directed() } else { GraphBuilder::undirected() };
+    if let Some(n) = opts.num_nodes {
+        builder = builder.with_num_nodes(n);
+    }
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse_u32 = |tok: Option<&str>, what: &str| -> Result<u32> {
+            let tok = tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                msg: format!("missing {what}"),
+            })?;
+            tok.parse::<u32>().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                msg: format!("bad {what} `{tok}`: {e}"),
+            })
+        };
+        let u = parse_u32(it.next(), "source id")?;
+        let v = parse_u32(it.next(), "target id")?;
+        match it.next() {
+            None => builder.push_edge(u, v),
+            Some(tok) => {
+                let w: f32 = tok.parse().map_err(|e| GraphError::Parse {
+                    line: lineno + 1,
+                    msg: format!("bad weight `{tok}`: {e}"),
+                })?;
+                builder.push_weighted_edge(u, v, w);
+            }
+        }
+        if it.next().is_some() {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                msg: "too many columns (expected `u v [w]`)".into(),
+            });
+        }
+    }
+    builder.build()
+}
+
+/// Write a graph as an edge list (unique edges, weights included when
+/// present).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut writer: W) -> Result<()> {
+    writeln!(
+        writer,
+        "# lona edge list: {} nodes, {} edges, {}",
+        g.num_nodes(),
+        g.num_edges(),
+        if g.is_directed() { "directed" } else { "undirected" }
+    )?;
+    if g.has_weights() {
+        for (u, v, w) in g.edges() {
+            writeln!(writer, "{u} {v} {w}")?;
+        }
+    } else {
+        for (u, v, _) in g.edges() {
+            writeln!(writer, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    #[test]
+    fn parse_simple() {
+        let text = "# comment\n0 1\n1 2\n\n% another comment\n2 0\n";
+        let g = read_edge_list(text.as_bytes(), &EdgeListOptions::default()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn parse_weighted() {
+        let text = "0 1 0.5\n1 2 2.0\n";
+        let g = read_edge_list(text.as_bytes(), &EdgeListOptions::default()).unwrap();
+        assert!(g.has_weights());
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(0.5));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list(text.as_bytes(), &EdgeListOptions::default()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_columns_rejected() {
+        let text = "0 1 2.0 extra\n";
+        assert!(read_edge_list(text.as_bytes(), &EdgeListOptions::default()).is_err());
+    }
+
+    #[test]
+    fn missing_target_rejected() {
+        let text = "7\n";
+        assert!(read_edge_list(text.as_bytes(), &EdgeListOptions::default()).is_err());
+    }
+
+    #[test]
+    fn round_trip_unweighted() {
+        let g = crate::GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (0, 3)])
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], &EdgeListOptions::default()).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for u in g.nodes() {
+            assert_eq!(g.neighbors(u), g2.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn round_trip_weighted_directed() {
+        let g = crate::GraphBuilder::directed()
+            .add_weighted_edge(0, 1, 1.5)
+            .add_weighted_edge(1, 0, 2.5)
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 =
+            read_edge_list(&buf[..], &EdgeListOptions { directed: true, num_nodes: None }).unwrap();
+        assert_eq!(g2.edge_weight(NodeId(0), NodeId(1)), Some(1.5));
+        assert_eq!(g2.edge_weight(NodeId(1), NodeId(0)), Some(2.5));
+    }
+}

@@ -1,0 +1,8 @@
+//! Graph serialization: whitespace edge-list text and a compact
+//! binary snapshot.
+
+mod binary;
+mod edgelist;
+
+pub use binary::{read_snapshot, write_snapshot};
+pub use edgelist::{read_edge_list, write_edge_list, EdgeListOptions};

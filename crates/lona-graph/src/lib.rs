@@ -1,0 +1,57 @@
+//! # lona-graph
+//!
+//! In-memory graph substrate for the LONA top-k neighborhood aggregation
+//! framework (Yan, He, Zhu, Han — *Top-K Aggregation Queries over Large
+//! Networks*, ICDE 2010).
+//!
+//! The paper assumes "memory-resident large networks, as having them on
+//! disk would not be practical in terms of graph traversal". This crate
+//! provides that substrate:
+//!
+//! * [`CsrGraph`] — a compressed-sparse-row adjacency structure with
+//!   `u32` node ids, optional edge weights, and O(1) neighbor slices.
+//! * [`GraphBuilder`] — safe construction from edge lists with
+//!   deduplication, self-loop policy, and undirected symmetrization.
+//! * [`traversal`] — epoch-stamped visited sets and reusable h-hop BFS
+//!   collectors; these are the inner loops of every LONA algorithm.
+//! * [`algo`] — connected components, degree statistics, triangle
+//!   counting and distance sampling used to characterize datasets.
+//! * [`io`] — whitespace edge-list text format and a compact binary
+//!   snapshot format.
+//! * [`view`] — induced subgraphs.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lona_graph::{GraphBuilder, NodeId};
+//!
+//! let g = GraphBuilder::undirected()
+//!     .add_edge(0, 1)
+//!     .add_edge(1, 2)
+//!     .add_edge(2, 0)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(g.num_nodes(), 3);
+//! assert_eq!(g.num_edges(), 3);
+//! assert_eq!(g.degree(NodeId(0)), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algo;
+mod builder;
+mod csr;
+mod error;
+pub mod io;
+mod node;
+pub mod traversal;
+pub mod view;
+
+pub use builder::{GraphBuilder, SelfLoopPolicy};
+pub use csr::{CsrGraph, EdgeIter, NeighborIter};
+pub use error::GraphError;
+pub use node::NodeId;
+
+/// Result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

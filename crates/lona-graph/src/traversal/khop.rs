@@ -1,0 +1,272 @@
+//! Reusable bounded-depth neighborhood expansion.
+
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+
+use super::visited::EpochSet;
+
+/// A reusable h-hop neighborhood collector.
+///
+/// Every LONA algorithm spends almost all of its time enumerating
+/// `S_h(u)` — the set of distinct nodes within `h` hops of `u`,
+/// excluding `u` itself. Allocating a queue and a visited set per
+/// expansion would dominate the runtime, so this collector owns two
+/// frontier buffers and an [`EpochSet`] and reuses them across calls;
+/// a full expansion performs zero heap allocations once the buffers
+/// have grown to the working-set size.
+///
+/// ```
+/// use lona_graph::{GraphBuilder, NodeId};
+/// use lona_graph::traversal::KhopCollector;
+///
+/// // path 0-1-2-3
+/// let g = GraphBuilder::undirected()
+///     .extend_edges([(0, 1), (1, 2), (2, 3)])
+///     .build().unwrap();
+/// let mut c = KhopCollector::new(g.num_nodes());
+/// let mut seen = vec![];
+/// c.for_each(&g, NodeId(0), 2, |v| seen.push(v.0));
+/// seen.sort();
+/// assert_eq!(seen, vec![1, 2]); // S_2(0), excluding node 0 itself
+/// ```
+#[derive(Clone, Debug)]
+pub struct KhopCollector {
+    visited: EpochSet,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl KhopCollector {
+    /// Create a collector for graphs with up to `n` nodes.
+    pub fn new(n: usize) -> Self {
+        KhopCollector { visited: EpochSet::new(n), frontier: Vec::new(), next: Vec::new() }
+    }
+
+    /// Visit every node of `S_h(u)` exactly once (excluding `u`),
+    /// calling `f(v)` per node. Returns `|S_h(u)|`.
+    #[inline]
+    pub fn for_each<F: FnMut(NodeId)>(
+        &mut self,
+        g: &CsrGraph,
+        u: NodeId,
+        h: u32,
+        mut f: F,
+    ) -> usize {
+        self.visited.clear();
+        self.visited.insert(u.0);
+        self.frontier.clear();
+        self.frontier.push(u.0);
+        let mut count = 0usize;
+
+        for _ in 0..h {
+            if self.frontier.is_empty() {
+                break;
+            }
+            self.next.clear();
+            for &x in &self.frontier {
+                for &v in g.neighbors(NodeId(x)) {
+                    if self.visited.insert(v.0) {
+                        count += 1;
+                        f(v);
+                        self.next.push(v.0);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        count
+    }
+
+    /// Like [`KhopCollector::for_each`] but also reports each node's
+    /// hop distance (1-based) from `u`.
+    #[inline]
+    pub fn for_each_with_depth<F: FnMut(NodeId, u32)>(
+        &mut self,
+        g: &CsrGraph,
+        u: NodeId,
+        h: u32,
+        mut f: F,
+    ) -> usize {
+        self.visited.clear();
+        self.visited.insert(u.0);
+        self.frontier.clear();
+        self.frontier.push(u.0);
+        let mut count = 0usize;
+
+        for depth in 1..=h {
+            if self.frontier.is_empty() {
+                break;
+            }
+            self.next.clear();
+            for &x in &self.frontier {
+                for &v in g.neighbors(NodeId(x)) {
+                    if self.visited.insert(v.0) {
+                        count += 1;
+                        f(v, depth);
+                        self.next.push(v.0);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        count
+    }
+
+    /// `|S_h(u)|` without visiting (same traversal, no callback).
+    #[inline]
+    pub fn count(&mut self, g: &CsrGraph, u: NodeId, h: u32) -> usize {
+        self.for_each(g, u, h, |_| {})
+    }
+
+    /// Collect `S_h(u)` into `out` (cleared first). Returns the count.
+    pub fn collect_into(&mut self, g: &CsrGraph, u: NodeId, h: u32, out: &mut Vec<NodeId>) -> usize {
+        out.clear();
+        self.for_each(g, u, h, |v| out.push(v))
+    }
+
+    /// Expand `S_h(u)` while an external predicate keeps the expansion
+    /// alive. `f(v)` returns `false` to abort early (used by bound-
+    /// based early termination in LONA verification). Returns
+    /// `Some(count)` when the expansion completed, `None` when aborted.
+    pub fn try_for_each<F: FnMut(NodeId) -> bool>(
+        &mut self,
+        g: &CsrGraph,
+        u: NodeId,
+        h: u32,
+        mut f: F,
+    ) -> Option<usize> {
+        self.visited.clear();
+        self.visited.insert(u.0);
+        self.frontier.clear();
+        self.frontier.push(u.0);
+        let mut count = 0usize;
+
+        for _ in 0..h {
+            if self.frontier.is_empty() {
+                break;
+            }
+            self.next.clear();
+            for &x in &self.frontier {
+                for &v in g.neighbors(NodeId(x)) {
+                    if self.visited.insert(v.0) {
+                        count += 1;
+                        if !f(v) {
+                            return None;
+                        }
+                        self.next.push(v.0);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        Some(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::traversal::bfs_distances;
+
+    fn sample() -> CsrGraph {
+        // 0 - 1 - 2 - 3
+        //  \  |
+        //   \ 4 - 5
+        GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 3), (0, 4), (1, 4), (4, 5)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn one_hop_is_direct_neighbors() {
+        let g = sample();
+        let mut c = KhopCollector::new(g.num_nodes());
+        let mut s = vec![];
+        let n = c.collect_into(&g, NodeId(1), 1, &mut s);
+        s.sort_unstable();
+        assert_eq!(n, 3);
+        assert_eq!(s, vec![NodeId(0), NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn two_hop_excludes_source() {
+        let g = sample();
+        let mut c = KhopCollector::new(g.num_nodes());
+        let mut s = vec![];
+        c.collect_into(&g, NodeId(0), 2, &mut s);
+        s.sort_unstable();
+        // S_2(0) = {1,4} ∪ {2,5}; node 0 excluded.
+        assert_eq!(s, vec![NodeId(1), NodeId(2), NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn matches_bfs_distances_definition() {
+        let g = sample();
+        let mut c = KhopCollector::new(g.num_nodes());
+        for u in g.nodes() {
+            for h in 1..=3u32 {
+                let dist = bfs_distances(&g, u);
+                let mut expect: Vec<u32> = (0..g.num_nodes() as u32)
+                    .filter(|&v| v != u.0 && dist[v as usize] <= h)
+                    .collect();
+                expect.sort_unstable();
+                let mut got = vec![];
+                c.for_each(&g, u, h, |v| got.push(v.0));
+                got.sort_unstable();
+                assert_eq!(got, expect, "u={u:?} h={h}");
+            }
+        }
+    }
+
+    #[test]
+    fn depths_match_bfs() {
+        let g = sample();
+        let mut c = KhopCollector::new(g.num_nodes());
+        let dist = bfs_distances(&g, NodeId(3));
+        c.for_each_with_depth(&g, NodeId(3), 3, |v, d| {
+            assert_eq!(dist[v.index()], d, "node {v:?}");
+        });
+    }
+
+    #[test]
+    fn zero_hops_is_empty() {
+        let g = sample();
+        let mut c = KhopCollector::new(g.num_nodes());
+        assert_eq!(c.count(&g, NodeId(0), 0), 0);
+    }
+
+    #[test]
+    fn reuse_across_sources_is_clean() {
+        let g = sample();
+        let mut c = KhopCollector::new(g.num_nodes());
+        let a = c.count(&g, NodeId(0), 2);
+        let b = c.count(&g, NodeId(3), 2);
+        let a2 = c.count(&g, NodeId(0), 2);
+        assert_eq!(a, a2);
+        assert_eq!(b, 2); // S_2(3) = {2, 1}
+    }
+
+    #[test]
+    fn try_for_each_aborts() {
+        let g = sample();
+        let mut c = KhopCollector::new(g.num_nodes());
+        let mut seen = 0;
+        let res = c.try_for_each(&g, NodeId(1), 2, |_| {
+            seen += 1;
+            seen < 2
+        });
+        assert!(res.is_none());
+        assert_eq!(seen, 2);
+        // Collector still usable afterwards.
+        assert_eq!(c.count(&g, NodeId(1), 1), 3);
+    }
+
+    #[test]
+    fn isolated_node_has_empty_neighborhood() {
+        let g = GraphBuilder::undirected().with_num_nodes(3).add_edge(0, 1).build().unwrap();
+        let mut c = KhopCollector::new(g.num_nodes());
+        assert_eq!(c.count(&g, NodeId(2), 5), 0);
+    }
+}

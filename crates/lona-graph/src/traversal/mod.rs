@@ -1,0 +1,11 @@
+//! Traversal primitives: epoch-stamped visited sets, BFS, and the
+//! reusable h-hop neighborhood collector that is the inner loop of
+//! every LONA algorithm.
+
+mod bfs;
+mod khop;
+mod visited;
+
+pub use bfs::{bfs_distances, Bfs};
+pub use khop::KhopCollector;
+pub use visited::EpochSet;

@@ -1,0 +1,128 @@
+//! Epoch-stamped visited set.
+
+/// A visited set over dense node ids with O(1) clear.
+///
+/// A plain `Vec<bool>` must be re-zeroed between traversals, which is
+/// O(n) per query — fatal when a top-k query performs one BFS *per
+/// node*. `EpochSet` stamps entries with a generation counter instead:
+/// bumping the epoch invalidates the whole set in O(1). The stamp array
+/// is only rebuilt on the (rare) u32 wrap.
+#[derive(Clone, Debug)]
+pub struct EpochSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochSet {
+    /// Create a set covering ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        EpochSet { stamp: vec![0; n], epoch: 1 }
+    }
+
+    /// Number of ids covered.
+    pub fn capacity(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Invalidate all membership in O(1).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Insert `id`; returns `true` if it was not already present.
+    #[inline(always)]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let s = &mut self.stamp[id as usize];
+        if *s == self.epoch {
+            false
+        } else {
+            *s = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `id` is present.
+    #[inline(always)]
+    pub fn contains(&self, id: u32) -> bool {
+        self.stamp[id as usize] == self.epoch
+    }
+
+    /// Remove `id` if present; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, id: u32) -> bool {
+        let s = &mut self.stamp[id as usize];
+        if *s == self.epoch {
+            *s = self.epoch - 1; // any value != epoch works; epoch >= 1
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = EpochSet::new(10);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    fn clear_invalidates_everything() {
+        let mut s = EpochSet::new(4);
+        for i in 0..4 {
+            s.insert(i);
+        }
+        s.clear();
+        for i in 0..4 {
+            assert!(!s.contains(i));
+            assert!(s.insert(i));
+        }
+    }
+
+    #[test]
+    fn remove_works_within_epoch() {
+        let mut s = EpochSet::new(4);
+        s.insert(1);
+        assert!(s.remove(1));
+        assert!(!s.contains(1));
+        assert!(!s.remove(1));
+        assert!(s.insert(1));
+    }
+
+    #[test]
+    fn epoch_wrap_resets_stamps() {
+        let mut s = EpochSet::new(2);
+        s.epoch = u32::MAX; // force imminent wrap
+        s.insert(0);
+        assert!(s.contains(0));
+        s.clear(); // wraps: stamps zeroed, epoch back to 1
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(s.contains(0));
+    }
+
+    #[test]
+    fn many_clears_stay_correct() {
+        let mut s = EpochSet::new(3);
+        for round in 0..1000u32 {
+            let id = round % 3;
+            assert!(s.insert(id));
+            assert!(s.contains(id));
+            s.clear();
+        }
+    }
+}

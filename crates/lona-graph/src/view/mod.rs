@@ -1,0 +1,5 @@
+//! Graph views: induced subgraphs.
+
+mod subgraph;
+
+pub use subgraph::{induced_subgraph, Subgraph};

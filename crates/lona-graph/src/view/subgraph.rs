@@ -1,0 +1,121 @@
+//! Induced subgraph extraction.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+use crate::Result;
+
+/// An induced subgraph plus the id mappings to and from the parent.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The extracted graph with dense ids `0..nodes.len()`.
+    pub graph: CsrGraph,
+    /// `to_parent[i]` = parent id of subgraph node `i`.
+    pub to_parent: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Map a subgraph node back to its parent id.
+    pub fn parent_id(&self, local: NodeId) -> NodeId {
+        self.to_parent[local.index()]
+    }
+}
+
+/// Extract the subgraph induced by `nodes` (duplicates ignored).
+/// Edge weights are carried over.
+pub fn induced_subgraph(g: &CsrGraph, nodes: &[NodeId]) -> Result<Subgraph> {
+    // Dense mapping parent -> local, NodeId::MAX sentinel = absent.
+    let mut to_local = vec![u32::MAX; g.num_nodes()];
+    let mut to_parent = Vec::with_capacity(nodes.len());
+    for &u in nodes {
+        if to_local[u.index()] == u32::MAX {
+            to_local[u.index()] = to_parent.len() as u32;
+            to_parent.push(u);
+        }
+    }
+
+    let mut builder =
+        if g.is_directed() { GraphBuilder::directed() } else { GraphBuilder::undirected() };
+    builder = builder.with_num_nodes(to_parent.len() as u32);
+    let weighted = g.has_weights();
+    for (local_u, &parent_u) in to_parent.iter().enumerate() {
+        for (v, w) in g.weighted_neighbors(parent_u) {
+            let local_v = to_local[v.index()];
+            if local_v == u32::MAX {
+                continue;
+            }
+            // For undirected graphs each edge appears from both sides;
+            // keep one (builder dedups anyway, this halves staging).
+            if !g.is_directed() && local_v < local_u as u32 {
+                continue;
+            }
+            if weighted {
+                builder.push_weighted_edge(local_u as u32, local_v, w);
+            } else {
+                builder.push_edge(local_u as u32, local_v);
+            }
+        }
+    }
+    Ok(Subgraph { graph: builder.build()?, to_parent })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0-1, 0-2, 1-3, 2-3, 1-2
+        GraphBuilder::undirected()
+            .extend_edges([(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn triangle_extraction() {
+        let g = diamond();
+        let sub = induced_subgraph(&g, &[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(sub.graph.num_nodes(), 3);
+        assert_eq!(sub.graph.num_edges(), 3);
+        assert_eq!(sub.parent_id(NodeId(0)), NodeId(0));
+    }
+
+    #[test]
+    fn duplicates_in_selection_ignored() {
+        let g = diamond();
+        let sub = induced_subgraph(&g, &[NodeId(1), NodeId(1), NodeId(3)]).unwrap();
+        assert_eq!(sub.graph.num_nodes(), 2);
+        assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = diamond();
+        let sub = induced_subgraph(&g, &[]).unwrap();
+        assert_eq!(sub.graph.num_nodes(), 0);
+    }
+
+    #[test]
+    fn weights_survive() {
+        let g = GraphBuilder::undirected()
+            .add_weighted_edge(0, 1, 4.0)
+            .add_weighted_edge(1, 2, 8.0)
+            .build()
+            .unwrap();
+        let sub = induced_subgraph(&g, &[NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(sub.graph.edge_weight(NodeId(0), NodeId(1)), Some(8.0));
+    }
+
+    #[test]
+    fn directed_subgraph_keeps_orientation() {
+        let g = GraphBuilder::directed()
+            .extend_edges([(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        let sub = induced_subgraph(&g, &[NodeId(0), NodeId(1)]).unwrap();
+        // Only arc 0->1 survives.
+        assert_eq!(sub.graph.num_edges(), 1);
+        assert!(sub.graph.has_edge(NodeId(0), NodeId(1)));
+        assert!(!sub.graph.has_edge(NodeId(1), NodeId(0)));
+    }
+}

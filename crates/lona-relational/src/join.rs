@@ -1,0 +1,87 @@
+//! The hash-join operator.
+
+use crate::table::EdgeTable;
+
+/// Equi-join `left.dst == right.src`, producing `(left.src,
+/// right.dst)` rows — one self-join step of the h-hop expansion.
+///
+/// Classic two-phase hash join: build a hash table over the right
+/// input keyed by `src`, then probe with every left row. The output
+/// is the *fully materialized* pair table; for scale-free networks
+/// its row count approaches `Σ deg²`, which is the memory cliff the
+/// paper's introduction warns about.
+pub fn hash_join(left: &EdgeTable, right: &EdgeTable) -> EdgeTable {
+    // Build phase: src -> contiguous run of dst values. A sorted
+    // build side with binary-search probes would also work; a dense
+    // first-fit bucket array keyed by u32 keeps this allocation-lean.
+    let max_key =
+        right.src().iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let mut bucket_heads = vec![u32::MAX; max_key];
+    let mut bucket_next = vec![u32::MAX; right.len()];
+    for (row, &s) in right.src().iter().enumerate() {
+        bucket_next[row] = bucket_heads[s as usize];
+        bucket_heads[s as usize] = row as u32;
+    }
+
+    // Probe phase.
+    let mut out = EdgeTable::new();
+    for (s, d) in left.rows() {
+        if (d as usize) >= max_key {
+            continue;
+        }
+        let mut row = bucket_heads[d as usize];
+        while row != u32::MAX {
+            out.push(s, right.dst()[row as usize]);
+            row = bucket_next[row as usize];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: &[(u32, u32)]) -> EdgeTable {
+        let mut t = EdgeTable::new();
+        for &(s, d) in rows {
+            t.push(s, d);
+        }
+        t
+    }
+
+    #[test]
+    fn two_hop_pairs_on_path() {
+        // path 0-1-2 as arcs both ways
+        let e = table(&[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let joined = hash_join(&e, &e);
+        let mut rows: Vec<_> = joined.rows().collect();
+        rows.sort_unstable();
+        // 0->1->0, 0->1->2, 1->0->1, 1->2->1, 2->1->0, 2->1->2
+        assert_eq!(rows, vec![(0, 0), (0, 2), (1, 1), (1, 1), (2, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = table(&[]);
+        assert!(hash_join(&e, &e).is_empty());
+        let l = table(&[(0, 1)]);
+        assert!(hash_join(&l, &e).is_empty());
+        assert!(hash_join(&e, &l).is_empty());
+    }
+
+    #[test]
+    fn no_matching_keys() {
+        let l = table(&[(0, 5)]);
+        let r = table(&[(1, 2)]);
+        assert!(hash_join(&l, &r).is_empty());
+    }
+
+    #[test]
+    fn duplicate_join_keys_multiply() {
+        let l = table(&[(0, 1), (9, 1)]);
+        let r = table(&[(1, 7), (1, 8)]);
+        let out = hash_join(&l, &r);
+        assert_eq!(out.len(), 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! # lona-relational
+//!
+//! A miniature relational query engine implementing neighborhood
+//! aggregation the way an RDBMS would — the approach the paper's
+//! introduction argues against:
+//!
+//! > "The performance of using a relational query engine to process
+//! > aggregation queries over networks is often costly. For 2-hop
+//! > queries, it has to self-join two gigantic edge tables."
+//!
+//! The pipeline is the faithful relational plan for
+//! `SELECT src, SUM(f) ... GROUP BY src ORDER BY ... LIMIT k`:
+//!
+//! 1. store the network as an [`EdgeTable`] (one row per directed
+//!    arc — both directions for undirected graphs);
+//! 2. [`hash_join`] the edge table with itself per extra hop,
+//!    materializing every `(source, reachable)` row;
+//! 3. sort-distinct the pair rows (`S_h` is a *set* of neighbors);
+//! 4. index-join scores, group by source, aggregate, and take the
+//!    top k.
+//!
+//! Ablation A6 benchmarks this against the graph-native engine; the
+//! intermediate join materialization is exactly why it loses.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod join;
+mod query;
+mod table;
+
+pub use join::hash_join;
+pub use query::{topk_aggregation, RelationalPlanStats};
+pub use table::{EdgeTable, ScoreColumn};

@@ -1,0 +1,134 @@
+//! Column-layout tables.
+
+use lona_graph::{CsrGraph, NodeId};
+
+/// An edge table in column layout: row `i` is the arc
+/// `(src[i], dst[i])`. Undirected graphs contribute both directions,
+/// exactly like the edge tables real deployments self-join.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeTable {
+    src: Vec<u32>,
+    dst: Vec<u32>,
+}
+
+impl EdgeTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Materialize the edge table of a graph (both directions of every
+    /// undirected edge — `2m` rows).
+    pub fn from_graph(g: &CsrGraph) -> Self {
+        let mut t = EdgeTable {
+            src: Vec::with_capacity(g.num_adjacency_entries()),
+            dst: Vec::with_capacity(g.num_adjacency_entries()),
+        };
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                t.src.push(u.0);
+                t.dst.push(v.0);
+            }
+        }
+        t
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, src: u32, dst: u32) {
+        self.src.push(src);
+        self.dst.push(dst);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// Source column.
+    pub fn src(&self) -> &[u32] {
+        &self.src
+    }
+
+    /// Destination column.
+    pub fn dst(&self) -> &[u32] {
+        &self.dst
+    }
+
+    /// Iterate rows.
+    pub fn rows(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.src.iter().copied().zip(self.dst.iter().copied())
+    }
+}
+
+/// A dense score column (`node id -> f(node)`), the relational
+/// equivalent of the relevance attribute table.
+#[derive(Clone, Debug)]
+pub struct ScoreColumn {
+    values: Vec<f64>,
+}
+
+impl ScoreColumn {
+    /// Wrap raw values.
+    pub fn new(values: Vec<f64>) -> Self {
+        ScoreColumn { values }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Score of one node (an index join against the node key).
+    #[inline(always)]
+    pub fn get(&self, node: u32) -> f64 {
+        self.values[node as usize]
+    }
+
+    /// Score of a [`NodeId`].
+    #[inline(always)]
+    pub fn get_node(&self, node: NodeId) -> f64 {
+        self.values[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lona_graph::GraphBuilder;
+
+    #[test]
+    fn from_graph_materializes_both_directions() {
+        let g = GraphBuilder::undirected().extend_edges([(0, 1), (1, 2)]).build().unwrap();
+        let t = EdgeTable::from_graph(&g);
+        assert_eq!(t.len(), 4);
+        let mut rows: Vec<_> = t.rows().collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn directed_graph_single_direction() {
+        let g = GraphBuilder::directed().add_edge(0, 1).build().unwrap();
+        let t = EdgeTable::from_graph(&g);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows().next(), Some((0, 1)));
+    }
+
+    #[test]
+    fn score_column_lookup() {
+        let c = ScoreColumn::new(vec![0.5, 1.0]);
+        assert_eq!(c.get(1), 1.0);
+        assert_eq!(c.get_node(NodeId(0)), 0.5);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! The relational plan must agree with the graph-native engine.
+
+use proptest::prelude::*;
+
+use lona_core::{Aggregate, Algorithm, LonaEngine, TopKQuery};
+use lona_graph::GraphBuilder;
+use lona_relational::{topk_aggregation, EdgeTable, ScoreColumn};
+use lona_relevance::ScoreVec;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn relational_matches_graph_engine(
+        n in 3u32..25,
+        edges in proptest::collection::vec((0u32..25, 0u32..25), 0..70),
+        scores in proptest::collection::vec(0.0f64..=1.0, 25),
+        h in 1u32..4,
+        k in 1usize..6,
+        avg in proptest::bool::ANY,
+        include_self in proptest::bool::ANY,
+    ) {
+        let edges: Vec<(u32, u32)> = edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let g = GraphBuilder::undirected().with_num_nodes(n).extend_edges(edges).build().unwrap();
+        let score_vec = ScoreVec::new(scores[..n as usize].to_vec());
+
+        let aggregate = if avg { Aggregate::Avg } else { Aggregate::Sum };
+        let query = TopKQuery::new(k, aggregate).include_self(include_self);
+        let mut engine = LonaEngine::new(&g, h);
+        let expect = engine.run(&Algorithm::Base, &query, &score_vec);
+
+        let table = EdgeTable::from_graph(&g);
+        let col = ScoreColumn::new(score_vec.as_slice().to_vec());
+        let (rows, _) =
+            topk_aggregation(&table, &col, n as usize, h, k, avg, include_self);
+
+        let got: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        let want = expect.values();
+        prop_assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-9, "values differ: {got:?} vs {want:?}");
+        }
+    }
+}

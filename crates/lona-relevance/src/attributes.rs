@@ -1,0 +1,194 @@
+//! Node attribute tables (the paper's `Λ = {a1, a2, ..., at}`).
+//!
+//! "Most of social and biological networks often have a node attribute
+//! set ... Each node has a value for these attributes" (§I). A query's
+//! relevance function (problem P1) is then derived from attributes —
+//! a raw column ("interest in online RPG games"), a thresholded
+//! predicate, or a weighted combination standing in for a learned
+//! classifier.
+
+use lona_graph::NodeId;
+
+use crate::score_vec::ScoreVec;
+use crate::traits::Relevance;
+
+/// A dense node-attribute table: `t` named columns over `n` nodes.
+#[derive(Clone, Debug, Default)]
+pub struct AttributeTable {
+    num_nodes: usize,
+    names: Vec<String>,
+    columns: Vec<Vec<f64>>,
+}
+
+impl AttributeTable {
+    /// Empty table over `n` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        AttributeTable { num_nodes, names: Vec::new(), columns: Vec::new() }
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Attribute names, in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Add a column.
+    ///
+    /// # Panics
+    /// Panics if the length mismatches the node count or the name is
+    /// already taken.
+    pub fn add_column(&mut self, name: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        let name = name.into();
+        assert_eq!(values.len(), self.num_nodes, "attribute `{name}` length mismatch");
+        assert!(self.column_index(&name).is_none(), "attribute `{name}` already exists");
+        self.names.push(name);
+        self.columns.push(values);
+        self
+    }
+
+    /// Index of a named column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Raw column by name.
+    pub fn column(&self, name: &str) -> Option<&[f64]> {
+        self.column_index(name).map(|i| self.columns[i].as_slice())
+    }
+
+    /// One attribute value.
+    pub fn get(&self, node: NodeId, name: &str) -> Option<f64> {
+        self.column(name).map(|c| c[node.index()])
+    }
+
+    /// Relevance = the raw column, clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on an unknown attribute.
+    pub fn relevance(&self, name: &str) -> ScoreVec {
+        let col = self.column(name).unwrap_or_else(|| panic!("unknown attribute `{name}`"));
+        ScoreVec::new(col.to_vec())
+    }
+
+    /// Relevance = binary predicate `attribute >= threshold`
+    /// (problem P1's "as simple as 1/0").
+    pub fn predicate(&self, name: &str, threshold: f64) -> ScoreVec {
+        let col = self.column(name).unwrap_or_else(|| panic!("unknown attribute `{name}`"));
+        ScoreVec::new(col.iter().map(|&v| if v >= threshold { 1.0 } else { 0.0 }).collect())
+    }
+
+    /// Relevance = clamped linear model `Σ w_i · a_i(u)` — the
+    /// stand-in for "a classification function, e.g., how likely a
+    /// user is a database expert".
+    ///
+    /// # Panics
+    /// Panics if any named attribute is missing.
+    pub fn linear_model(&self, weights: &[(&str, f64)]) -> ScoreVec {
+        let parts: Vec<(&[f64], f64)> = weights
+            .iter()
+            .map(|&(name, w)| {
+                (
+                    self.column(name)
+                        .unwrap_or_else(|| panic!("unknown attribute `{name}`")),
+                    w,
+                )
+            })
+            .collect();
+        ScoreVec::from_fn(self.num_nodes, |u| {
+            parts.iter().map(|(col, w)| col[u.index()] * w).sum()
+        })
+    }
+}
+
+/// An attribute-backed relevance function (borrows the table).
+pub struct AttributeRelevance<'a> {
+    table: &'a AttributeTable,
+    column: usize,
+}
+
+impl<'a> AttributeRelevance<'a> {
+    /// View one column of `table` as a [`Relevance`].
+    ///
+    /// # Panics
+    /// Panics on an unknown attribute.
+    pub fn new(table: &'a AttributeTable, name: &str) -> Self {
+        let column = table
+            .column_index(name)
+            .unwrap_or_else(|| panic!("unknown attribute `{name}`"));
+        AttributeRelevance { table, column }
+    }
+}
+
+impl Relevance for AttributeRelevance<'_> {
+    fn score(&self, node: NodeId) -> f64 {
+        self.table.columns[self.column][node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AttributeTable {
+        let mut t = AttributeTable::new(4);
+        t.add_column("age", vec![0.2, 0.4, 0.6, 0.8])
+            .add_column("gamer", vec![1.0, 0.0, 1.0, 0.0]);
+        t
+    }
+
+    #[test]
+    fn column_access() {
+        let t = sample();
+        assert_eq!(t.get(NodeId(2), "age"), Some(0.6));
+        assert_eq!(t.get(NodeId(2), "nope"), None);
+        assert_eq!(t.names().collect::<Vec<_>>(), vec!["age", "gamer"]);
+    }
+
+    #[test]
+    fn relevance_from_column() {
+        let t = sample();
+        let r = t.relevance("gamer");
+        assert_eq!(r.as_slice(), &[1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn predicate_thresholds() {
+        let t = sample();
+        let r = t.predicate("age", 0.5);
+        assert_eq!(r.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn linear_model_clamps() {
+        let t = sample();
+        let r = t.linear_model(&[("age", 1.0), ("gamer", 1.0)]);
+        // 1.2 and 1.6 clamp to 1.0
+        assert_eq!(r.as_slice(), &[1.0, 0.4, 1.0, 0.8]);
+    }
+
+    #[test]
+    fn attribute_relevance_trait() {
+        let t = sample();
+        let rel = AttributeRelevance::new(&t, "age");
+        let s = rel.materialize(4);
+        assert_eq!(s.get(NodeId(3)), 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_rejected() {
+        let mut t = AttributeTable::new(3);
+        t.add_column("x", vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_name_rejected() {
+        let mut t = AttributeTable::new(1);
+        t.add_column("x", vec![1.0]).add_column("x", vec![2.0]);
+    }
+}

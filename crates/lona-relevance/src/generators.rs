@@ -1,0 +1,412 @@
+//! Score generators reproducing the paper's experimental setup (§V,
+//! "Relevance Functions").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use lona_graph::CsrGraph;
+
+use crate::score_vec::ScoreVec;
+
+/// Pure 0/1 binary relevance: exactly `ceil(r * n)` nodes (chosen
+/// uniformly) get score 1, the rest 0.
+///
+/// `r` is the paper's *blacking ratio*. The binary case is the one
+/// where backward processing "can skip nodes with 0 score, since by
+/// default these zero nodes have no contribution" — with r = 1% that
+/// skips 99% of all distributions.
+pub fn binary_blacking(n: usize, r: f64, seed: u64) -> ScoreVec {
+    assert!((0.0..=1.0).contains(&r), "blacking ratio must be in [0,1], got {r}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ones = ((n as f64) * r).ceil() as usize;
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(&mut rng);
+    let mut scores = vec![0.0; n];
+    for &i in ids.iter().take(ones.min(n)) {
+        scores[i] = 1.0;
+    }
+    ScoreVec::new(scores)
+}
+
+/// The paper's `f_r`: a fraction `r` of nodes is "blacked" to exactly
+/// 1; a further `support` fraction draws an exponential-distributed
+/// score with rate `lambda`, clipped to `[0, 1)`; everyone else
+/// scores exactly 0.
+///
+/// The support models what every application in the paper's
+/// introduction has in common: *most nodes are simply irrelevant to a
+/// query* (don't own the console, aren't on the watchlist, were never
+/// scored by the classifier). Exact zeros are also what gives the
+/// backward family its skip-zero economics; `support = 1.0` recovers
+/// the fully dense variant.
+pub fn exponential_blacking(
+    n: usize,
+    r: f64,
+    support: f64,
+    lambda: f64,
+    seed: u64,
+) -> ScoreVec {
+    assert!((0.0..=1.0).contains(&r), "blacking ratio must be in [0,1], got {r}");
+    assert!((0.0..=1.0).contains(&support), "support must be in [0,1], got {support}");
+    assert!(lambda > 0.0, "exponential rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ones = (((n as f64) * r).ceil() as usize).min(n);
+    let scored = (((n as f64) * support).round() as usize).min(n - ones);
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(&mut rng);
+
+    let mut scores = vec![0.0; n];
+    for (rank, &i) in ids.iter().enumerate() {
+        if rank < ones {
+            scores[i] = 1.0;
+        } else if rank < ones + scored {
+            // Inverse-CDF exponential sample, clipped below 1 so only
+            // blacked nodes carry an exact 1.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let x = -u.ln() / lambda;
+            scores[i] = x.min(1.0 - 1e-9);
+        }
+    }
+    ScoreVec::new(scores)
+}
+
+/// The paper's `f_w`: random-walk smoothing. Each of the `steps`
+/// rounds replaces every node's score with
+/// `retain * f(u) + (1 - retain) * mean(f(neighbors))`
+/// (isolated nodes keep their score), then the result is re-clamped.
+///
+/// This makes neighboring nodes' scores similar — the first "property
+/// unique in network space" LONA exploits ("the aggregate value for
+/// the neighboring nodes should be similar in most cases").
+pub fn random_walk_smooth(g: &CsrGraph, base: &ScoreVec, steps: usize, retain: f64) -> ScoreVec {
+    assert_eq!(base.len(), g.num_nodes(), "score/graph size mismatch");
+    assert!((0.0..=1.0).contains(&retain), "retain must be in [0,1]");
+    let mut cur: Vec<f64> = base.as_slice().to_vec();
+    let mut next = vec![0.0f64; cur.len()];
+    for _ in 0..steps {
+        for u in g.nodes() {
+            let nbrs = g.neighbors(u);
+            let s = cur[u.index()];
+            next[u.index()] = if nbrs.is_empty() {
+                s
+            } else {
+                let sum: f64 = nbrs.iter().map(|v| cur[v.index()]).sum();
+                retain * s + (1.0 - retain) * sum / nbrs.len() as f64
+            };
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    ScoreVec::new(cur)
+}
+
+/// Blacking by random walk (the paper's `f_w` component read as an
+/// *assignment* procedure): repeatedly start a walk at a uniform node
+/// and black every node along `walk_len` steps until `ceil(r·n)`
+/// nodes carry a 1.
+///
+/// Uniform blacking makes every neighborhood's aggregate concentrate
+/// around the same mean, which leaves nothing for pruning to separate;
+/// walks cluster the relevant nodes the way real relevance clusters
+/// (friends own the same console, attacking IPs hit the same subnets).
+/// Hot regions then push `topklbound` far above the cold regions'
+/// bounds — the first of the two "properties unique in network space"
+/// LONA exploits.
+pub fn random_walk_blacking(g: &CsrGraph, r: f64, walk_len: usize, seed: u64) -> ScoreVec {
+    assert!((0.0..=1.0).contains(&r), "blacking ratio must be in [0,1], got {r}");
+    let n = g.num_nodes();
+    let target = (((n as f64) * r).ceil() as usize).min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scores = vec![0.0f64; n];
+    let mut blacked = 0usize;
+    // Each failed/short walk still makes progress via its start node,
+    // so this terminates even on edgeless graphs.
+    while blacked < target {
+        let mut u = rng.gen_range(0..n as u32);
+        for _ in 0..=walk_len {
+            if scores[u as usize] == 0.0 {
+                scores[u as usize] = 1.0;
+                blacked += 1;
+                if blacked == target {
+                    break;
+                }
+            }
+            let nbrs = g.neighbors(lona_graph::NodeId(u));
+            if nbrs.is_empty() {
+                break;
+            }
+            u = nbrs[rng.gen_range(0..nbrs.len())].0;
+        }
+    }
+    ScoreVec::new(scores)
+}
+
+/// Relevance from link analysis: the PageRank vector rescaled so the
+/// highest-authority node scores 1. "Find the nodes whose
+/// neighborhoods concentrate authority" is the linkage-analysis
+/// flavor of the paper's query (§I cites web search as the canonical
+/// network analysis).
+pub fn pagerank_relevance(g: &CsrGraph) -> ScoreVec {
+    let (ranks, _) = lona_graph::algo::pagerank(g, &lona_graph::algo::PageRankConfig::default());
+    let max = ranks.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return ScoreVec::zeros(ranks.len());
+    }
+    ScoreVec::new(ranks.into_iter().map(|r| r / max).collect())
+}
+
+/// Builder for the paper's full mixture function: exponential `f_r`
+/// followed by `f_w` random-walk smoothing.
+///
+/// ```
+/// use lona_gen::generators::erdos_renyi_gnm;
+/// use lona_relevance::MixtureBuilder;
+///
+/// let g = erdos_renyi_gnm(100, 250, 7).unwrap();
+/// let scores = MixtureBuilder::new(0.05)   // blacking ratio r = 5%
+///     .lambda(4.0)
+///     .walk_steps(2)
+///     .build(&g, 42);
+/// assert_eq!(scores.len(), 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MixtureBuilder {
+    r: f64,
+    support: f64,
+    lambda: f64,
+    walk_steps: usize,
+    retain: f64,
+    binary: bool,
+    walk_blacking: Option<usize>,
+}
+
+impl MixtureBuilder {
+    /// Start a mixture with blacking ratio `r`.
+    pub fn new(r: f64) -> Self {
+        MixtureBuilder {
+            r,
+            support: 1.0,
+            lambda: 5.0,
+            walk_steps: 0,
+            retain: 0.5,
+            binary: false,
+            walk_blacking: None,
+        }
+    }
+
+    /// Assign the blacked 1s along random walks of the given length
+    /// instead of uniformly (the `f_w` component as an assignment
+    /// procedure; see [`random_walk_blacking`]).
+    pub fn walk_blacking(mut self, walk_len: usize) -> Self {
+        self.walk_blacking = Some(walk_len);
+        self
+    }
+
+    /// Fraction of non-blacked nodes that receive a non-zero
+    /// exponential score (default 1.0 = dense). Real query workloads
+    /// are sparse — see [`exponential_blacking`].
+    pub fn support(mut self, support: f64) -> Self {
+        self.support = support;
+        self
+    }
+
+    /// Exponential rate for the `f_r` component (default 5.0 —
+    /// concentrates scores near zero).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Number of random-walk smoothing rounds (default 0 = no `f_w`).
+    pub fn walk_steps(mut self, steps: usize) -> Self {
+        self.walk_steps = steps;
+        self
+    }
+
+    /// Self-retention weight of each smoothing round (default 0.5).
+    pub fn retain(mut self, retain: f64) -> Self {
+        self.retain = retain;
+        self
+    }
+
+    /// Use pure 0/1 scores instead of the exponential component —
+    /// the regime of the paper's `BackwardNaive` skip-zero fast path.
+    pub fn binary(mut self) -> Self {
+        self.binary = true;
+        self
+    }
+
+    /// The configured blacking ratio.
+    pub fn blacking_ratio(&self) -> f64 {
+        self.r
+    }
+
+    /// Generate scores for `g`.
+    pub fn build(&self, g: &CsrGraph, seed: u64) -> ScoreVec {
+        let n = g.num_nodes();
+        let base = match (self.walk_blacking, self.binary) {
+            (None, true) => binary_blacking(n, self.r, seed),
+            (None, false) => exponential_blacking(n, self.r, self.support, self.lambda, seed),
+            (Some(walk_len), binary) => {
+                let mut scores = random_walk_blacking(g, self.r, walk_len, seed).as_slice().to_vec();
+                if !binary {
+                    // Exponential support over the still-zero nodes.
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5eed);
+                    let mut zero_ids: Vec<usize> =
+                        (0..n).filter(|&i| scores[i] == 0.0).collect();
+                    zero_ids.shuffle(&mut rng);
+                    let scored = (((n as f64) * self.support).round() as usize)
+                        .min(zero_ids.len());
+                    for &i in zero_ids.iter().take(scored) {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        scores[i] = (-u.ln() / self.lambda).min(1.0 - 1e-9);
+                    }
+                }
+                ScoreVec::new(scores)
+            }
+        };
+        if self.walk_steps == 0 {
+            base
+        } else {
+            random_walk_smooth(g, &base, self.walk_steps, self.retain)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lona_graph::GraphBuilder;
+
+    fn line(n: u32) -> CsrGraph {
+        GraphBuilder::undirected().extend_edges((0..n - 1).map(|i| (i, i + 1))).build().unwrap()
+    }
+
+    #[test]
+    fn binary_exact_ones_count() {
+        let s = binary_blacking(1000, 0.01, 1);
+        let ones = s.as_slice().iter().filter(|&&x| x == 1.0).count();
+        assert_eq!(ones, 10);
+        assert_eq!(s.nonzero_count(), 10);
+    }
+
+    #[test]
+    fn binary_r_zero_and_one() {
+        assert_eq!(binary_blacking(50, 0.0, 2).nonzero_count(), 0);
+        assert_eq!(binary_blacking(50, 1.0, 2).nonzero_count(), 50);
+    }
+
+    #[test]
+    fn exponential_has_exact_ones_and_small_tail() {
+        let s = exponential_blacking(10_000, 0.01, 1.0, 5.0, 3);
+        let ones = s.as_slice().iter().filter(|&&x| x == 1.0).count();
+        assert_eq!(ones, 100, "exactly r*n nodes carry 1.0");
+        let mean: f64 = s.as_slice().iter().sum::<f64>() / s.len() as f64;
+        // Exponential(5) mean ≈ 0.2 for the body + 1% of ones.
+        assert!(mean > 0.1 && mean < 0.35, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_support_controls_sparsity() {
+        let s = exponential_blacking(10_000, 0.01, 0.05, 5.0, 3);
+        let nonzero = s.nonzero_count();
+        // 1% ones + ~5% exponential support.
+        assert!((500..=700).contains(&nonzero), "nonzero {nonzero}");
+        let ones = s.as_slice().iter().filter(|&&x| x == 1.0).count();
+        assert_eq!(ones, 100);
+    }
+
+    #[test]
+    fn exponential_zero_support_is_binary() {
+        let s = exponential_blacking(1_000, 0.02, 0.0, 5.0, 4);
+        assert_eq!(s.nonzero_count(), 20);
+        assert!(s.as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    #[test]
+    fn exponential_deterministic() {
+        let a = exponential_blacking(100, 0.05, 1.0, 5.0, 9);
+        let b = exponential_blacking(100, 0.05, 1.0, 5.0, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smoothing_pulls_neighbors_together() {
+        let g = line(50);
+        // Alternating 0/1 scores: maximal neighbor disagreement.
+        let base = ScoreVec::from_fn(50, |u| (u.0 % 2) as f64);
+        let smoothed = random_walk_smooth(&g, &base, 3, 0.5);
+        let disagreement = |s: &ScoreVec| -> f64 {
+            g.edges().map(|(u, v, _)| (s.get(u) - s.get(v)).abs()).sum()
+        };
+        assert!(disagreement(&smoothed) < disagreement(&base) * 0.5);
+    }
+
+    #[test]
+    fn smoothing_preserves_range() {
+        let g = line(20);
+        let base = ScoreVec::from_fn(20, |u| (u.0 % 2) as f64);
+        let s = random_walk_smooth(&g, &base, 10, 0.3);
+        assert!(s.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn smoothing_keeps_isolated_node_score() {
+        let g = GraphBuilder::undirected().with_num_nodes(3).add_edge(0, 1).build().unwrap();
+        let base = ScoreVec::new(vec![0.0, 0.0, 0.7]);
+        let s = random_walk_smooth(&g, &base, 5, 0.5);
+        assert_eq!(s.get(lona_graph::NodeId(2)), 0.7);
+    }
+
+    #[test]
+    fn mixture_builder_end_to_end() {
+        let g = line(100);
+        let s = MixtureBuilder::new(0.1).lambda(4.0).walk_steps(2).retain(0.6).build(&g, 11);
+        assert_eq!(s.len(), 100);
+        assert!(s.nonzero_count() > 50, "exponential body should be dense");
+    }
+
+    #[test]
+    fn mixture_binary_mode_is_sparse() {
+        let g = line(100);
+        let s = MixtureBuilder::new(0.05).binary().build(&g, 12);
+        assert_eq!(s.nonzero_count(), 5);
+    }
+
+    #[test]
+    fn walk_blacking_hits_exact_target_and_clusters() {
+        let g = line(400);
+        let s = random_walk_blacking(&g, 0.1, 8, 9);
+        let ones: Vec<usize> = s
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x == 1.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(ones.len(), 40);
+        // On a line graph, walk-blacked nodes must include adjacent
+        // pairs (uniform blacking of 10% almost never does by chance
+        // this consistently — here walks of length 8 guarantee runs).
+        let adjacent_pairs = ones.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(adjacent_pairs >= 10, "only {adjacent_pairs} adjacent pairs");
+    }
+
+    #[test]
+    fn walk_blacking_terminates_on_isolated_nodes() {
+        let g = lona_graph::GraphBuilder::undirected().with_num_nodes(50).build().unwrap();
+        let s = random_walk_blacking(&g, 0.2, 5, 3);
+        assert_eq!(s.nonzero_count(), 10);
+    }
+
+    #[test]
+    fn mixture_walk_blacking_with_support() {
+        let g = line(500);
+        let s = MixtureBuilder::new(0.04).walk_blacking(6).support(0.1).build(&g, 21);
+        let ones = s.as_slice().iter().filter(|&&x| x == 1.0).count();
+        assert_eq!(ones, 20);
+        // ~10% additional exponential support.
+        let nonzero = s.nonzero_count();
+        assert!((60..=80).contains(&nonzero), "nonzero {nonzero}");
+    }
+}

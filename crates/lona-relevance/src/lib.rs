@@ -1,0 +1,42 @@
+//! # lona-relevance
+//!
+//! Relevance-function framework for LONA (ICDE 2010).
+//!
+//! A *relevance function* `f : V -> [0, 1]` scores how relevant each
+//! node is to a query (Definition 1 of the paper): 0 = irrelevant,
+//! 1 = fully relevant. `f` may be a binary indicator ("does this user
+//! recommend the movie?"), a classifier output ("how likely is this
+//! user a database expert?"), or anything in between.
+//!
+//! The paper's experiments use a *mixture function* "to mimic the
+//! setting of relevance functions in real-life applications",
+//! consisting of:
+//!
+//! * `f_r` — a random assignment whose value has an **exponential
+//!   distribution** on `[0, 1]`, with a **blacking ratio** `r`
+//!   controlling the percentage of nodes assigned exactly `1`;
+//! * `f_w` — a **random walk** procedure that smooths scores over the
+//!   network so neighboring nodes have correlated relevance (the
+//!   property LONA's forward pruning exploits).
+//!
+//! This crate provides those pieces ([`generators`]), the dense
+//! [`ScoreVec`] container every LONA algorithm consumes, and the
+//! [`Relevance`] trait for user-defined scoring.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod attributes;
+pub mod generators;
+mod score_vec;
+mod stats;
+mod traits;
+
+pub use attributes::{AttributeRelevance, AttributeTable};
+pub use generators::{
+    binary_blacking, exponential_blacking, pagerank_relevance, random_walk_blacking,
+    random_walk_smooth, MixtureBuilder,
+};
+pub use score_vec::ScoreVec;
+pub use stats::ScoreStats;
+pub use traits::Relevance;

@@ -1,0 +1,139 @@
+//! Dense per-node score storage.
+
+use lona_graph::NodeId;
+
+/// A dense vector of relevance scores, one per node, each in `[0, 1]`.
+///
+/// This is the materialized form every LONA algorithm consumes; the
+/// clamp-on-construction invariant means the query engine never has to
+/// re-validate scores in its inner loops.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoreVec {
+    scores: Vec<f64>,
+}
+
+impl ScoreVec {
+    /// Wrap raw scores, clamping every entry into `[0, 1]` (NaN
+    /// becomes 0, matching "not relevant").
+    pub fn new(mut scores: Vec<f64>) -> Self {
+        for s in &mut scores {
+            *s = if s.is_nan() { 0.0 } else { s.clamp(0.0, 1.0) };
+        }
+        ScoreVec { scores }
+    }
+
+    /// All-zero scores for `n` nodes.
+    pub fn zeros(n: usize) -> Self {
+        ScoreVec { scores: vec![0.0; n] }
+    }
+
+    /// Build by evaluating `f` on every node id.
+    pub fn from_fn(n: usize, mut f: impl FnMut(NodeId) -> f64) -> Self {
+        Self::new((0..n).map(|i| f(NodeId(i as u32))).collect())
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Score of one node.
+    #[inline(always)]
+    pub fn get(&self, u: NodeId) -> f64 {
+        self.scores[u.index()]
+    }
+
+    /// The underlying slice.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Iterator over `(node, score)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.scores.iter().enumerate().map(|(i, &s)| (NodeId(i as u32), s))
+    }
+
+    /// Nodes with a non-zero score, descending by score (ties broken
+    /// by ascending node id for determinism). This is the distribution
+    /// order required by LONA's backward processing.
+    pub fn nonzero_descending(&self) -> Vec<(NodeId, f64)> {
+        let mut v: Vec<(NodeId, f64)> =
+            self.iter().filter(|&(_, s)| s > 0.0).collect();
+        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Number of nodes with a non-zero score.
+    pub fn nonzero_count(&self) -> usize {
+        self.scores.iter().filter(|&&s| s > 0.0).count()
+    }
+
+    /// The `q`-quantile of the *non-zero* scores (`q` in `[0, 1]`),
+    /// or 0 when no node scores. Used to pick the backward-processing
+    /// threshold γ ("distribute the top-p fraction").
+    pub fn nonzero_quantile(&self, q: f64) -> f64 {
+        let mut nz: Vec<f64> = self.scores.iter().copied().filter(|&s| s > 0.0).collect();
+        if nz.is_empty() {
+            return 0.0;
+        }
+        nz.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((nz.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        nz[idx]
+    }
+}
+
+impl From<Vec<f64>> for ScoreVec {
+    fn from(v: Vec<f64>) -> Self {
+        ScoreVec::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping_on_construction() {
+        let s = ScoreVec::new(vec![-0.5, 0.5, 1.5, f64::NAN]);
+        assert_eq!(s.as_slice(), &[0.0, 0.5, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn from_fn_indexes_correctly() {
+        let s = ScoreVec::from_fn(4, |u| u.0 as f64 / 10.0);
+        assert_eq!(s.get(NodeId(3)), 0.3);
+    }
+
+    #[test]
+    fn nonzero_descending_order_and_ties() {
+        let s = ScoreVec::new(vec![0.0, 0.5, 1.0, 0.5, 0.0]);
+        let order: Vec<u32> = s.nonzero_descending().iter().map(|(u, _)| u.0).collect();
+        assert_eq!(order, vec![2, 1, 3]); // 1.0 first; ties by id
+    }
+
+    #[test]
+    fn nonzero_count() {
+        let s = ScoreVec::new(vec![0.0, 0.1, 0.0, 0.9]);
+        assert_eq!(s.nonzero_count(), 2);
+    }
+
+    #[test]
+    fn quantile_of_nonzero() {
+        let s = ScoreVec::new(vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0]);
+        assert_eq!(s.nonzero_quantile(0.0), 0.2);
+        assert_eq!(s.nonzero_quantile(1.0), 1.0);
+        assert_eq!(s.nonzero_quantile(0.5), 0.6);
+    }
+
+    #[test]
+    fn quantile_empty_is_zero() {
+        let s = ScoreVec::zeros(5);
+        assert_eq!(s.nonzero_quantile(0.5), 0.0);
+    }
+}

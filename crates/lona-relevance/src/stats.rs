@@ -1,0 +1,86 @@
+//! Score-distribution summaries.
+
+use crate::score_vec::ScoreVec;
+
+/// Distribution summary of a [`ScoreVec`], used by the bench harness
+/// to document the workload next to each figure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoreStats {
+    /// Number of nodes.
+    pub n: usize,
+    /// Mean score.
+    pub mean: f64,
+    /// Maximum score.
+    pub max: f64,
+    /// Fraction of nodes with a non-zero score.
+    pub nonzero_fraction: f64,
+    /// Fraction of nodes with score exactly 1 (the realized blacking
+    /// ratio).
+    pub ones_fraction: f64,
+}
+
+impl ScoreStats {
+    /// Compute the summary.
+    pub fn of(scores: &ScoreVec) -> ScoreStats {
+        let s = scores.as_slice();
+        let n = s.len();
+        if n == 0 {
+            return ScoreStats { n: 0, mean: 0.0, max: 0.0, nonzero_fraction: 0.0, ones_fraction: 0.0 };
+        }
+        let sum: f64 = s.iter().sum();
+        let max = s.iter().copied().fold(0.0f64, f64::max);
+        let nonzero = s.iter().filter(|&&x| x > 0.0).count();
+        let ones = s.iter().filter(|&&x| x == 1.0).count();
+        ScoreStats {
+            n,
+            mean: sum / n as f64,
+            max,
+            nonzero_fraction: nonzero as f64 / n as f64,
+            ones_fraction: ones as f64 / n as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for ScoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={}, mean={:.4}, max={:.3}, nonzero={:.2}%, ones={:.2}%",
+            self.n,
+            self.mean,
+            self.max,
+            self.nonzero_fraction * 100.0,
+            self.ones_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = ScoreVec::new(vec![0.0, 0.5, 1.0, 1.0]);
+        let st = ScoreStats::of(&s);
+        assert_eq!(st.n, 4);
+        assert!((st.mean - 0.625).abs() < 1e-12);
+        assert_eq!(st.max, 1.0);
+        assert_eq!(st.nonzero_fraction, 0.75);
+        assert_eq!(st.ones_fraction, 0.5);
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        let st = ScoreStats::of(&ScoreVec::zeros(0));
+        assert_eq!(st.n, 0);
+        assert_eq!(st.mean, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_percentages() {
+        let st = ScoreStats::of(&ScoreVec::new(vec![1.0, 0.0]));
+        let s = st.to_string();
+        assert!(s.contains("ones=50.00%"), "{s}");
+    }
+}

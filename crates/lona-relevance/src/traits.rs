@@ -1,0 +1,75 @@
+//! The relevance-function abstraction.
+
+use lona_graph::NodeId;
+
+use crate::score_vec::ScoreVec;
+
+/// A relevance function `f : V -> [0, 1]` (paper Definition 1).
+///
+/// Implementations may be cheap closures over node attributes or
+/// expensive learned models; the query engine always works from a
+/// [`ScoreVec`] materialized once per query via
+/// [`Relevance::materialize`], so `score` is called exactly once per
+/// node.
+pub trait Relevance {
+    /// Score one node. Values outside `[0, 1]` are clamped during
+    /// materialization.
+    fn score(&self, node: NodeId) -> f64;
+
+    /// Evaluate the function on every node of an `n`-node graph.
+    fn materialize(&self, n: usize) -> ScoreVec {
+        ScoreVec::from_fn(n, |u| self.score(u))
+    }
+}
+
+/// Closures are relevance functions.
+impl<F: Fn(NodeId) -> f64> Relevance for F {
+    fn score(&self, node: NodeId) -> f64 {
+        self(node)
+    }
+}
+
+/// A materialized score vector is trivially its own relevance function.
+impl Relevance for ScoreVec {
+    fn score(&self, node: NodeId) -> f64 {
+        self.get(node)
+    }
+
+    fn materialize(&self, n: usize) -> ScoreVec {
+        assert_eq!(n, self.len(), "ScoreVec length mismatch");
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_work() {
+        let f = |u: NodeId| if u.0.is_multiple_of(2) { 1.0 } else { 0.0 };
+        let s = f.materialize(4);
+        assert_eq!(s.as_slice(), &[1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn materialize_clamps() {
+        let f = |u: NodeId| u.0 as f64; // 0, 1, 2 — out of range
+        let s = f.materialize(3);
+        assert_eq!(s.as_slice(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn scorevec_identity() {
+        let s = ScoreVec::new(vec![0.25, 0.75]);
+        assert_eq!(s.score(NodeId(1)), 0.75);
+        assert_eq!(s.materialize(2), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn scorevec_materialize_checks_len() {
+        let s = ScoreVec::zeros(2);
+        let _ = s.materialize(3);
+    }
+}

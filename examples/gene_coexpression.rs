@@ -1,0 +1,68 @@
+//! Gene co-expression: "the number of times a gene is co-expressed
+//! with a group of known genes in co-expression networks" (paper §I).
+//!
+//! Nodes are genes, edges are co-expression relations, and the
+//! relevance function is a *continuous* pathway-membership likelihood
+//! (a classifier output, problem P1) smoothed over the network. The
+//! query finds candidate genes whose 2-hop co-expression context is
+//! most enriched for the known pathway — classic guilt-by-association
+//! gene function prediction.
+//!
+//! ```sh
+//! cargo run --release --example gene_coexpression
+//! ```
+
+use lona::prelude::*;
+
+fn main() {
+    // Co-expression networks are modular (pathways ≈ communities).
+    let g = lona::gen::generators::planted_partition(8_000, 12, 0.45, 0.0006, 23).unwrap();
+    println!(
+        "co-expression network: {} genes, {} relations, clustering {:.3}",
+        g.num_nodes(),
+        g.num_edges(),
+        lona::graph::algo::clustering_coefficient(&g)
+    );
+
+    // Known pathway members get likelihood 1; a classifier assigns the
+    // rest a small exponential likelihood; one random-walk round
+    // propagates evidence to co-expressed neighbors.
+    let likelihood = MixtureBuilder::new(0.005)
+        .lambda(8.0)
+        .walk_steps(1)
+        .retain(0.7)
+        .build(&g, 23);
+
+    let mut engine = LonaEngine::new(&g, 2);
+
+    // Candidate genes: exclude the gene's own score so known members
+    // don't dominate their own ranking (pure neighborhood evidence).
+    let query = TopKQuery::new(8, Aggregate::Sum).include_self(false);
+
+    let result = engine.run(&Algorithm::forward(), &query, &likelihood);
+    println!("\nTop-8 candidate genes by 2-hop pathway enrichment:");
+    for (rank, (gene, score)) in result.entries.iter().enumerate() {
+        let own = likelihood.get(*gene);
+        println!(
+            "  #{:<2} gene {:<6} enrichment {:.3} (own likelihood {:.3})",
+            rank + 1,
+            gene,
+            score,
+            own
+        );
+    }
+    println!("\nforward pruning: {}", result.stats);
+
+    // The distance-weighted variant (paper footnote 1) discounts
+    // second-shell evidence by 1/2 — useful when direct co-expression
+    // is more trustworthy.
+    let weighted = engine.run(
+        &Algorithm::forward(),
+        &TopKQuery::new(8, Aggregate::DistanceWeightedSum).include_self(false),
+        &likelihood,
+    );
+    println!("\nTop-8 with inverse-distance weighting:");
+    for (gene, score) in &weighted.entries {
+        println!("  gene {gene}: {score:.3}");
+    }
+}

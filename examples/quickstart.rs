@@ -1,0 +1,39 @@
+//! Quickstart: build a graph, score it, run all three algorithms.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lona::prelude::*;
+
+fn main() {
+    // 1. A small scale-free network (or load your own edge list via
+    //    `lona::graph::io::read_edge_list`).
+    let g = lona::gen::generators::barabasi_albert(5_000, 4, 7).unwrap();
+    println!(
+        "graph: {} nodes, {} edges, mean degree {:.2}",
+        g.num_nodes(),
+        g.num_edges(),
+        g.mean_degree()
+    );
+
+    // 2. Relevance scores: the paper's exponential mixture with a 1%
+    //    blacking ratio (1% of nodes are fully relevant).
+    let scores = MixtureBuilder::new(0.01).lambda(5.0).walk_steps(1).build(&g, 7);
+
+    // 3. Ask: which 10 nodes have the most relevant 2-hop neighborhood?
+    let mut engine = LonaEngine::new(&g, 2);
+    let query = TopKQuery::new(10, Aggregate::Sum);
+
+    for algorithm in [Algorithm::Base, Algorithm::forward(), Algorithm::backward()] {
+        let result = engine.run(&algorithm, &query, &scores);
+        println!("\n=== {algorithm} ===");
+        println!("stats: {}", result.stats);
+        for (rank, (node, value)) in result.entries.iter().enumerate() {
+            println!("  #{:<2} node {:<6} F = {:.4}", rank + 1, node, value);
+        }
+    }
+
+    println!("\nAll three algorithms return the same top-k values; the LONA");
+    println!("variants simply evaluate far fewer neighborhoods to get there.");
+}

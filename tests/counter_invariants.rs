@@ -1,0 +1,95 @@
+//! Work-counter invariants across algorithms: the instrumentation the
+//! benches report must be internally consistent, otherwise the
+//! figure-shape claims in EXPERIMENTS.md mean nothing.
+
+use lona::prelude::*;
+
+fn setup() -> (lona::graph::CsrGraph, ScoreVec) {
+    let g = DatasetProfile { kind: DatasetKind::Collaboration, scale: 0.05, seed: 4 }
+        .generate()
+        .unwrap();
+    let scores = MixtureBuilder::new(0.01).lambda(5.0).build(&g, 4);
+    (g, scores)
+}
+
+#[test]
+fn base_evaluates_every_node_and_prunes_none() {
+    let (g, scores) = setup();
+    let mut engine = LonaEngine::new(&g, 2);
+    let r = engine.run(&Algorithm::Base, &TopKQuery::new(10, Aggregate::Sum), &scores);
+    assert_eq!(r.stats.nodes_evaluated, g.num_nodes());
+    assert_eq!(r.stats.nodes_pruned, 0);
+    assert_eq!(r.stats.nodes_distributed, 0);
+    assert!(r.stats.edges_traversed > 0);
+}
+
+#[test]
+fn forward_partition_covers_graph() {
+    let (g, scores) = setup();
+    let mut engine = LonaEngine::new(&g, 2);
+    let r = engine.run(&Algorithm::forward(), &TopKQuery::new(10, Aggregate::Sum), &scores);
+    assert_eq!(r.stats.nodes_evaluated + r.stats.nodes_pruned, g.num_nodes());
+}
+
+#[test]
+fn backward_distributes_only_above_gamma() {
+    let (g, scores) = setup();
+    let gamma = 0.5;
+    let above = scores.as_slice().iter().filter(|&&s| s > gamma).count();
+    let mut engine = LonaEngine::new(&g, 2);
+    let alg = Algorithm::LonaBackward(BackwardOptions { gamma: GammaSpec::Fixed(gamma) });
+    let r = engine.run(&alg, &TopKQuery::new(10, Aggregate::Sum), &scores);
+    assert_eq!(r.stats.nodes_distributed, above);
+}
+
+#[test]
+fn backward_naive_distributes_all_nonzero() {
+    let (g, scores) = setup();
+    let mut engine = LonaEngine::new(&g, 2);
+    let r = engine.run(&Algorithm::BackwardNaive, &TopKQuery::new(10, Aggregate::Sum), &scores);
+    assert_eq!(r.stats.nodes_distributed, scores.nonzero_count());
+    assert_eq!(r.stats.nodes_evaluated, 0);
+}
+
+#[test]
+fn k_sweep_work_is_monotone_for_backward() {
+    // Larger k ⇒ weaker threshold ⇒ at least as many verifications.
+    let (g, scores) = setup();
+    let mut engine = LonaEngine::new(&g, 2);
+    engine.prepare_size_index();
+    let mut last = 0usize;
+    for k in [1usize, 10, 50, 150, 300] {
+        let r = engine.run(&Algorithm::backward(), &TopKQuery::new(k, Aggregate::Sum), &scores);
+        let verified = g.num_nodes() - r.stats.nodes_pruned;
+        assert!(
+            verified >= last,
+            "verification count decreased from {last} to {verified} at k={k}"
+        );
+        last = verified;
+    }
+}
+
+#[test]
+fn prepared_indexes_zero_build_charge() {
+    let (g, scores) = setup();
+    let mut engine = LonaEngine::new(&g, 2);
+    engine.prepare_diff_index();
+    let r = engine.run(&Algorithm::forward(), &TopKQuery::new(5, Aggregate::Avg), &scores);
+    assert_eq!(r.stats.index_build, std::time::Duration::ZERO);
+}
+
+#[test]
+fn results_are_sorted_descending_with_id_tiebreak() {
+    let (g, scores) = setup();
+    let mut engine = LonaEngine::new(&g, 2);
+    for alg in [Algorithm::Base, Algorithm::forward(), Algorithm::backward()] {
+        let r = engine.run(&alg, &TopKQuery::new(25, Aggregate::Sum), &scores);
+        for w in r.entries.windows(2) {
+            assert!(
+                w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                "{alg}: unsorted entries {:?}",
+                w
+            );
+        }
+    }
+}
