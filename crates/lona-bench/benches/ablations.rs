@@ -9,8 +9,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use lona_bench::workload::Workload;
 use lona_core::{
-    Aggregate, Algorithm, BackwardOptions, ForwardOptions, GammaSpec, LonaEngine,
-    ProcessingOrder, TopKQuery,
+    Aggregate, Algorithm, BackwardOptions, ForwardOptions, GammaSpec, LonaEngine, ProcessingOrder,
+    TopKQuery,
 };
 use lona_gen::DatasetKind;
 use lona_relational::{topk_aggregation, EdgeTable, ScoreColumn};
@@ -37,7 +37,9 @@ fn ordering(c: &mut Criterion) {
         ProcessingOrder::ScoreDescending,
     ] {
         let alg = Algorithm::LonaForward(ForwardOptions { order });
-        group.bench_function(order.name(), |b| b.iter(|| engine.run(&alg, &query, &scores)));
+        group.bench_function(order.name(), |b| {
+            b.iter(|| engine.run(&alg, &query, &scores))
+        });
     }
     group.finish();
 }

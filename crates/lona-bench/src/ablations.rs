@@ -5,8 +5,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use lona_core::{
-    Aggregate, Algorithm, BackwardOptions, ForwardOptions, GammaSpec, LonaEngine,
-    ProcessingOrder, TopKQuery,
+    Aggregate, Algorithm, BackwardOptions, ForwardOptions, GammaSpec, LonaEngine, ProcessingOrder,
+    TopKQuery,
 };
 use lona_gen::DatasetKind;
 use lona_relational::{topk_aggregation, EdgeTable, ScoreColumn};
@@ -25,7 +25,11 @@ pub fn ordering(scale: f64, seed: u64) -> String {
 
     let mut out = String::from("A1. LONA-Forward processing order (collaboration, SUM, k=100)\n");
     let _ = writeln!(out, "  workload: {}", workload.describe(&g, &scores));
-    let _ = writeln!(out, "  {:<10} {:>12} {:>12} {:>12}", "order", "runtime", "evaluated", "pruned");
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>12} {:>12} {:>12}",
+        "order", "runtime", "evaluated", "pruned"
+    );
     for order in [
         ProcessingOrder::NodeId,
         ProcessingOrder::DegreeDescending,
@@ -102,8 +106,7 @@ pub fn index_build(scale: f64, seed: u64) -> String {
         let query = TopKQuery::new(100.min(g.num_nodes()), Aggregate::Sum);
         let base = engine.run(&Algorithm::Base, &query, &scores);
         let fwd = engine.run(&Algorithm::forward(), &query, &scores);
-        let saving =
-            base.stats.runtime.as_secs_f64() - fwd.stats.runtime.as_secs_f64();
+        let saving = base.stats.runtime.as_secs_f64() - fwd.stats.runtime.as_secs_f64();
         let breakeven = if saving > 0.0 {
             format!("{:.0} queries", (t_size + t_diff).as_secs_f64() / saving)
         } else {
@@ -197,13 +200,21 @@ pub fn relational(scale: f64, seed: u64) -> String {
     engine.prepare_diff_index();
     let query = TopKQuery::new(100, Aggregate::Sum);
 
-    let mut out = String::from("A6. Graph engine vs relational self-join (collaboration, SUM, k=100)\n");
+    let mut out =
+        String::from("A6. Graph engine vs relational self-join (collaboration, SUM, k=100)\n");
     let _ = writeln!(out, "  workload: {}", workload.describe(&g, &scores));
-    for (name, alg) in
-        [("Base", Algorithm::Base), ("Forward", Algorithm::forward()), ("Backward", Algorithm::backward())]
-    {
+    for (name, alg) in [
+        ("Base", Algorithm::Base),
+        ("Forward", Algorithm::forward()),
+        ("Backward", Algorithm::backward()),
+    ] {
         let r = engine.run(&alg, &query, &scores);
-        let _ = writeln!(out, "  {:<12} {:>12}", name, format_duration(r.stats.runtime));
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>12}",
+            name,
+            format_duration(r.stats.runtime)
+        );
     }
 
     let table = EdgeTable::from_graph(&g);
@@ -282,8 +293,7 @@ pub fn scaling(max_scale: f64, seed: u64) -> String {
         let base = engine.run(&Algorithm::Base, &query, &scores);
         let fwd = engine.run(&Algorithm::forward(), &query, &scores);
         let bwd = engine.run(&Algorithm::backward(), &query, &scores);
-        let ratio =
-            base.stats.runtime.as_secs_f64() / bwd.stats.runtime.as_secs_f64().max(1e-9);
+        let ratio = base.stats.runtime.as_secs_f64() / bwd.stats.runtime.as_secs_f64().max(1e-9);
         let _ = writeln!(
             out,
             "  {:<8.3} {:>9} {:>12} {:>12} {:>12} {:>9.1}x",
@@ -314,8 +324,16 @@ pub fn run(name: &str, scale: f64, seed: u64) -> Option<String> {
 }
 
 /// All ablation names in presentation order.
-pub const ALL: [&str; 8] =
-    ["ordering", "gamma", "index", "blacking", "hops", "relational", "threads", "scaling"];
+pub const ALL: [&str; 8] = [
+    "ordering",
+    "gamma",
+    "index",
+    "blacking",
+    "hops",
+    "relational",
+    "threads",
+    "scaling",
+];
 
 #[cfg(test)]
 mod tests {

@@ -51,20 +51,26 @@ fn parse_args() -> Result<Args, String> {
             "--fig" => {
                 let v = value("--fig")?;
                 if v != "all" {
-                    args.fig =
-                        Some(v.parse().map_err(|_| format!("bad figure number `{v}`"))?);
+                    args.fig = Some(v.parse().map_err(|_| format!("bad figure number `{v}`"))?);
                 }
             }
             "--ablation" => args.ablation = Some(value("--ablation")?),
             "--scale" => {
-                args.scale =
-                    Some(value("--scale")?.parse().map_err(|e| format!("bad scale: {e}"))?)
+                args.scale = Some(
+                    value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("bad scale: {e}"))?,
+                )
             }
             "--seed" => {
-                args.seed = value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
             }
             "--reps" => {
-                args.reps = value("--reps")?.parse().map_err(|e| format!("bad reps: {e}"))?
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("bad reps: {e}"))?
             }
             "--out" => args.out_dir = PathBuf::from(value("--out")?),
             "--quick" => args.quick = true,
@@ -102,8 +108,11 @@ fn main() -> ExitCode {
     // Ablation-only invocation.
     if let Some(name) = &args.ablation {
         let scale = args.scale.unwrap_or(if args.quick { 0.01 } else { 0.1 });
-        let names: Vec<&str> =
-            if name == "all" { ablations::ALL.to_vec() } else { vec![name.as_str()] };
+        let names: Vec<&str> = if name == "all" {
+            ablations::ALL.to_vec()
+        } else {
+            vec![name.as_str()]
+        };
         for n in names {
             match ablations::run(n, scale, args.seed) {
                 Some(report) => println!("{report}"),
@@ -121,7 +130,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    for spec in FIGURES.iter().filter(|s| args.fig.is_none_or(|f| f == s.id)) {
+    for spec in FIGURES
+        .iter()
+        .filter(|s| args.fig.is_none_or(|f| f == s.id))
+    {
         let scale = figure_scale(spec.dataset, &args);
         eprintln!("running {} at scale {scale} (reps {reps})...", spec.title());
         let data = run_figure(spec, scale, args.seed, reps);

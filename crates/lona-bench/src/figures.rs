@@ -46,12 +46,42 @@ fn capitalize(s: &str) -> String {
 /// All six figures of the evaluation section. Figure 3's caption uses
 /// `r = 0.2`; every other figure uses `r = 0.01`.
 pub const FIGURES: [FigureSpec; 6] = [
-    FigureSpec { id: 1, dataset: DatasetKind::Collaboration, aggregate: Aggregate::Sum, blacking_ratio: 0.01 },
-    FigureSpec { id: 2, dataset: DatasetKind::Citation, aggregate: Aggregate::Sum, blacking_ratio: 0.01 },
-    FigureSpec { id: 3, dataset: DatasetKind::Intrusion, aggregate: Aggregate::Sum, blacking_ratio: 0.2 },
-    FigureSpec { id: 4, dataset: DatasetKind::Collaboration, aggregate: Aggregate::Avg, blacking_ratio: 0.01 },
-    FigureSpec { id: 5, dataset: DatasetKind::Citation, aggregate: Aggregate::Avg, blacking_ratio: 0.01 },
-    FigureSpec { id: 6, dataset: DatasetKind::Intrusion, aggregate: Aggregate::Avg, blacking_ratio: 0.01 },
+    FigureSpec {
+        id: 1,
+        dataset: DatasetKind::Collaboration,
+        aggregate: Aggregate::Sum,
+        blacking_ratio: 0.01,
+    },
+    FigureSpec {
+        id: 2,
+        dataset: DatasetKind::Citation,
+        aggregate: Aggregate::Sum,
+        blacking_ratio: 0.01,
+    },
+    FigureSpec {
+        id: 3,
+        dataset: DatasetKind::Intrusion,
+        aggregate: Aggregate::Sum,
+        blacking_ratio: 0.2,
+    },
+    FigureSpec {
+        id: 4,
+        dataset: DatasetKind::Collaboration,
+        aggregate: Aggregate::Avg,
+        blacking_ratio: 0.01,
+    },
+    FigureSpec {
+        id: 5,
+        dataset: DatasetKind::Citation,
+        aggregate: Aggregate::Avg,
+        blacking_ratio: 0.01,
+    },
+    FigureSpec {
+        id: 6,
+        dataset: DatasetKind::Intrusion,
+        aggregate: Aggregate::Avg,
+        blacking_ratio: 0.01,
+    },
 ];
 
 /// One `(k, algorithm)` measurement.
@@ -145,11 +175,21 @@ pub fn run_figure(spec: &FigureSpec, scale: f64, seed: u64, reps: usize) -> Figu
                 }
             }
             let (runtime, stats) = best.unwrap();
-            points.push(SeriesPoint { k, algorithm: name, runtime, stats });
+            points.push(SeriesPoint {
+                k,
+                algorithm: name,
+                runtime,
+                stats,
+            });
         }
     }
 
-    FigureData { spec: *spec, workload: description, index_build, points }
+    FigureData {
+        spec: *spec,
+        workload: description,
+        index_build,
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -160,7 +200,13 @@ mod tests {
     fn figure_table_is_consistent() {
         assert_eq!(FIGURES.len(), 6);
         assert_eq!(FIGURES[2].blacking_ratio, 0.2);
-        assert!(FIGURES.iter().filter(|f| f.aggregate == Aggregate::Sum).count() == 3);
+        assert!(
+            FIGURES
+                .iter()
+                .filter(|f| f.aggregate == Aggregate::Sum)
+                .count()
+                == 3
+        );
         assert_eq!(FIGURES[4].title(), "Fig. 5. Citation (AVG)");
     }
 

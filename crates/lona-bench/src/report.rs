@@ -61,7 +61,12 @@ pub fn ascii_table(data: &FigureData) -> String {
                 _ => "-".into(),
             }
         };
-        let _ = writeln!(out, "{:>14} {:>14}", ratio(row[0], row[1]), ratio(row[0], row[2]));
+        let _ = writeln!(
+            out,
+            "{:>14} {:>14}",
+            ratio(row[0], row[1]),
+            ratio(row[0], row[2])
+        );
     }
 
     let _ = writeln!(out);

@@ -55,9 +55,13 @@ impl Workload {
 
     /// Materialize the graph and the scores.
     pub fn build(&self) -> (CsrGraph, ScoreVec) {
-        let g = self.profile.generate().expect("workload graph generation failed");
-        let mut mix =
-            MixtureBuilder::new(self.blacking_ratio).support(self.support).lambda(5.0);
+        let g = self
+            .profile
+            .generate()
+            .expect("workload graph generation failed");
+        let mut mix = MixtureBuilder::new(self.blacking_ratio)
+            .support(self.support)
+            .lambda(5.0);
         if let Some(walk_len) = self.walk_blacking {
             mix = mix.walk_blacking(walk_len);
         }

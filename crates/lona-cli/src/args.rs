@@ -136,8 +136,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 k: parse_flag(&rest, "--k")?.unwrap_or(10),
                 hops: parse_flag(&rest, "--hops")?.unwrap_or(2),
                 aggregate: parse_flag(&rest, "--aggregate")?.unwrap_or(Aggregate::Sum),
-                algorithm: parse_flag(&rest, "--algorithm")?
-                    .unwrap_or(AlgorithmChoice::Backward),
+                algorithm: parse_flag(&rest, "--algorithm")?.unwrap_or(AlgorithmChoice::Backward),
                 scores: flag_value(&rest, "--scores")?,
                 blacking: parse_flag(&rest, "--blacking")?.unwrap_or(0.01),
                 binary: has_flag(&rest, "--binary"),
@@ -191,7 +190,10 @@ where
 {
     match flag_value(rest, flag)? {
         None => Ok(None),
-        Some(v) => v.parse::<T>().map(Some).map_err(|e| format!("bad {flag} `{v}`: {e}")),
+        Some(v) => v
+            .parse::<T>()
+            .map(Some)
+            .map_err(|e| format!("bad {flag} `{v}`: {e}")),
     }
 }
 
@@ -212,7 +214,9 @@ mod tests {
     fn stats_parses() {
         assert_eq!(
             parse(&v(&["stats", "g.txt"])).unwrap(),
-            Command::Stats { input: "g.txt".into() }
+            Command::Stats {
+                input: "g.txt".into()
+            }
         );
         assert!(parse(&v(&["stats"])).is_err());
     }
@@ -221,7 +225,12 @@ mod tests {
     fn generate_parses_with_defaults() {
         let c = parse(&v(&["generate", "citation", "--out", "x.txt"])).unwrap();
         match c {
-            Command::Generate { kind, out, scale, seed } => {
+            Command::Generate {
+                kind,
+                out,
+                scale,
+                seed,
+            } => {
                 assert_eq!(kind, DatasetKind::Citation);
                 assert_eq!(out, "x.txt");
                 assert_eq!(scale, 0.1);
@@ -239,13 +248,36 @@ mod tests {
     #[test]
     fn topk_full_flags() {
         let c = parse(&v(&[
-            "topk", "g.txt", "--k", "25", "--hops", "3", "--aggregate", "avg",
-            "--algorithm", "forward", "--blacking", "0.2", "--binary", "--seed", "7",
+            "topk",
+            "g.txt",
+            "--k",
+            "25",
+            "--hops",
+            "3",
+            "--aggregate",
+            "avg",
+            "--algorithm",
+            "forward",
+            "--blacking",
+            "0.2",
+            "--binary",
+            "--seed",
+            "7",
             "--exclude-self",
         ]))
         .unwrap();
         match c {
-            Command::TopK { k, hops, aggregate, algorithm, binary, blacking, seed, exclude_self, .. } => {
+            Command::TopK {
+                k,
+                hops,
+                aggregate,
+                algorithm,
+                binary,
+                blacking,
+                seed,
+                exclude_self,
+                ..
+            } => {
                 assert_eq!(k, 25);
                 assert_eq!(hops, 3);
                 assert_eq!(aggregate, Aggregate::Avg);
@@ -263,7 +295,14 @@ mod tests {
     fn topk_defaults() {
         let c = parse(&v(&["topk", "g.txt"])).unwrap();
         match c {
-            Command::TopK { k, hops, aggregate, algorithm, scores, .. } => {
+            Command::TopK {
+                k,
+                hops,
+                aggregate,
+                algorithm,
+                scores,
+                ..
+            } => {
                 assert_eq!(k, 10);
                 assert_eq!(hops, 2);
                 assert_eq!(aggregate, Aggregate::Sum);

@@ -22,8 +22,17 @@ pub fn execute(command: &Command) -> Result<String, String> {
     match command {
         Command::Help => Ok(crate::args::USAGE.to_string()),
         Command::Stats { input } => stats(input),
-        Command::Generate { kind, out, scale, seed } => {
-            let profile = DatasetProfile { kind: *kind, scale: *scale, seed: *seed };
+        Command::Generate {
+            kind,
+            out,
+            scale,
+            seed,
+        } => {
+            let profile = DatasetProfile {
+                kind: *kind,
+                scale: *scale,
+                seed: *seed,
+            };
             generate(&profile, out)
         }
         Command::Convert { input, output } => convert(input, output),
@@ -50,7 +59,15 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     mix.build(&g, *seed)
                 }
             };
-            topk(&g, &score_vec, *k, *hops, *aggregate, *algorithm, !*exclude_self)
+            topk(
+                &g,
+                &score_vec,
+                *k,
+                *hops,
+                *aggregate,
+                *algorithm,
+                !*exclude_self,
+            )
         }
     }
 }
@@ -71,12 +88,17 @@ fn load_scores(path: &str, n: usize) -> Result<ScoreVec, String> {
         .enumerate()
         .filter(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
         .map(|(i, l)| {
-            l.trim().parse::<f64>().map_err(|e| format!("{path}:{}: bad score: {e}", i + 1))
+            l.trim()
+                .parse::<f64>()
+                .map_err(|e| format!("{path}:{}: bad score: {e}", i + 1))
         })
         .collect();
     let values = values?;
     if values.len() != n {
-        return Err(format!("{path} has {} scores but the graph has {n} nodes", values.len()));
+        return Err(format!(
+            "{path} has {} scores but the graph has {n} nodes",
+            values.len()
+        ));
     }
     Ok(ScoreVec::new(values))
 }
@@ -95,7 +117,11 @@ fn stats(input: &str) -> Result<String, String> {
         "  nodes {}  edges {}  {}  memory {:.1} MiB",
         g.num_nodes(),
         g.num_edges(),
-        if g.is_directed() { "directed" } else { "undirected" },
+        if g.is_directed() {
+            "directed"
+        } else {
+            "undirected"
+        },
         g.memory_bytes() as f64 / (1024.0 * 1024.0)
     );
     let _ = writeln!(
@@ -111,7 +137,11 @@ fn stats(input: &str) -> Result<String, String> {
     );
     let _ = writeln!(out, "  degeneracy (max k-core): {}", cores.degeneracy);
     if g.num_edges() <= 2_000_000 {
-        let _ = writeln!(out, "  clustering (transitivity): {:.4}", clustering_coefficient(&g));
+        let _ = writeln!(
+            out,
+            "  clustering (transitivity): {:.4}",
+            clustering_coefficient(&g)
+        );
     }
     let _ = writeln!(
         out,
@@ -122,7 +152,9 @@ fn stats(input: &str) -> Result<String, String> {
 }
 
 fn generate(profile: &DatasetProfile, out_path: &str) -> Result<String, String> {
-    let g = profile.generate().map_err(|e| format!("generation failed: {e}"))?;
+    let g = profile
+        .generate()
+        .map_err(|e| format!("generation failed: {e}"))?;
     let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
     write_edge_list(&g, BufWriter::new(file)).map_err(|e| format!("write failed: {e}"))?;
     Ok(format!("{}\nwritten to {out_path}\n", profile.describe(&g)))
@@ -244,7 +276,12 @@ mod tests {
         .unwrap();
         let out = execute(&cmd).unwrap();
         assert!(out.contains("top-3 SUM"));
-        assert!(out.lines().filter(|l| l.trim_start().starts_with('#')).count() == 3);
+        assert!(
+            out.lines()
+                .filter(|l| l.trim_start().starts_with('#'))
+                .count()
+                == 3
+        );
     }
 
     #[test]
@@ -276,8 +313,7 @@ mod tests {
         write_sample_graph(&p);
         let s = tmp("short_scores.txt");
         std::fs::write(&s, "1.0\n0.0\n").unwrap();
-        let cmd =
-            parse(&["topk".into(), p, "--scores".into(), s]).unwrap();
+        let cmd = parse(&["topk".into(), p, "--scores".into(), s]).unwrap();
         let err = execute(&cmd).unwrap_err();
         assert!(err.contains("2 scores"), "{err}");
     }

@@ -57,9 +57,7 @@ impl Aggregate {
     #[inline]
     pub fn finalize(self, mass: f64, n: usize, self_score: Option<f64>) -> f64 {
         match self {
-            Aggregate::Sum | Aggregate::DistanceWeightedSum => {
-                mass + self_score.unwrap_or(0.0)
-            }
+            Aggregate::Sum | Aggregate::DistanceWeightedSum => mass + self_score.unwrap_or(0.0),
             Aggregate::Avg => {
                 let numerator = mass + self_score.unwrap_or(0.0);
                 let denom = n + usize::from(self_score.is_some());
@@ -119,7 +117,10 @@ mod tests {
 
     #[test]
     fn weighted_behaves_like_sum_at_finalize() {
-        assert_eq!(Aggregate::DistanceWeightedSum.finalize(1.5, 9, Some(0.5)), 2.0);
+        assert_eq!(
+            Aggregate::DistanceWeightedSum.finalize(1.5, 9, Some(0.5)),
+            2.0
+        );
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub(crate) fn run(ctx: &Ctx<'_>) -> QueryResult {
         topk.offer(u, value);
     }
 
-    QueryResult { entries: topk.into_sorted_vec(), stats }
+    QueryResult {
+        entries: topk.into_sorted_vec(),
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -98,14 +101,25 @@ mod tests {
 
     fn run_naive(g: &CsrGraph, scores: &[f64], h: u32, query: &TopKQuery) -> QueryResult {
         let sizes = SizeIndex::build(g, h);
-        let ctx = Ctx { g, hops: h, scores, query, sizes: Some(&sizes), diffs: None };
+        let ctx = Ctx {
+            g,
+            hops: h,
+            scores,
+            query,
+            sizes: Some(&sizes),
+            diffs: None,
+        };
         run(&ctx)
     }
 
     #[test]
     fn agrees_with_base_all_aggregates() {
         let (g, scores) = gadget();
-        for aggregate in [Aggregate::Sum, Aggregate::Avg, Aggregate::DistanceWeightedSum] {
+        for aggregate in [
+            Aggregate::Sum,
+            Aggregate::Avg,
+            Aggregate::DistanceWeightedSum,
+        ] {
             for h in 1..=3 {
                 for include_self in [true, false] {
                     let query = TopKQuery::new(5, aggregate).include_self(include_self);
@@ -162,8 +176,14 @@ mod tests {
         let g = GraphBuilder::directed().add_edge(0, 1).build().unwrap();
         let scores = vec![1.0, 1.0];
         let query = TopKQuery::new(1, Aggregate::Sum);
-        let ctx =
-            Ctx { g: &g, hops: 1, scores: &scores, query: &query, sizes: None, diffs: None };
+        let ctx = Ctx {
+            g: &g,
+            hops: 1,
+            scores: &scores,
+            query: &query,
+            sizes: None,
+            diffs: None,
+        };
         let _ = run(&ctx);
     }
 }

@@ -26,7 +26,10 @@ pub(crate) fn run(ctx: &Ctx<'_>) -> QueryResult {
         topk.offer(u, value);
     }
 
-    QueryResult { entries: topk.into_sorted_vec(), stats }
+    QueryResult {
+        entries: topk.into_sorted_vec(),
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -45,7 +48,14 @@ mod tests {
             .unwrap();
         let scores = vec![1.0; 5];
         let query = TopKQuery::new(1, Aggregate::Sum);
-        let ctx = Ctx { g: &g, hops: 1, scores: &scores, query: &query, sizes: None, diffs: None };
+        let ctx = Ctx {
+            g: &g,
+            hops: 1,
+            scores: &scores,
+            query: &query,
+            sizes: None,
+            diffs: None,
+        };
         let res = run(&ctx);
         assert_eq!(res.entries[0].0, NodeId(0));
         assert_eq!(res.entries[0].1, 5.0); // 4 leaves + self
@@ -56,10 +66,20 @@ mod tests {
     #[test]
     fn avg_normalizes_by_size() {
         // Path 0-1-2: with h=1, ends average over 2 nodes, middle over 3.
-        let g = GraphBuilder::undirected().extend_edges([(0, 1), (1, 2)]).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2)])
+            .build()
+            .unwrap();
         let scores = vec![0.0, 1.0, 0.0];
         let query = TopKQuery::new(3, Aggregate::Avg);
-        let ctx = Ctx { g: &g, hops: 1, scores: &scores, query: &query, sizes: None, diffs: None };
+        let ctx = Ctx {
+            g: &g,
+            hops: 1,
+            scores: &scores,
+            query: &query,
+            sizes: None,
+            diffs: None,
+        };
         let res = run(&ctx);
         // F(0) = (0 + 1)/2 = 0.5 = F(2); F(1) = 1/3.
         let values = res.values();
@@ -72,7 +92,14 @@ mod tests {
         let g = GraphBuilder::undirected().add_edge(0, 1).build().unwrap();
         let scores = vec![1.0, 0.25];
         let query = TopKQuery::new(2, Aggregate::Sum).include_self(false);
-        let ctx = Ctx { g: &g, hops: 1, scores: &scores, query: &query, sizes: None, diffs: None };
+        let ctx = Ctx {
+            g: &g,
+            hops: 1,
+            scores: &scores,
+            query: &query,
+            sizes: None,
+            diffs: None,
+        };
         let res = run(&ctx);
         // F(1) = f(0) = 1.0 ; F(0) = f(1) = 0.25
         assert_eq!(res.entries[0], (NodeId(1), 1.0));

@@ -34,7 +34,6 @@ impl<'a> Ctx<'a> {
         v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         v
     }
-
 }
 
 impl<'a> Ctx<'a> {
@@ -68,7 +67,10 @@ impl<'a> Ctx<'a> {
         };
         stats.nodes_evaluated += 1;
         stats.edges_traversed += scan.edges;
-        let value = self.query.aggregate.finalize(scan.mass, scan.count, self.self_score(u));
+        let value = self
+            .query
+            .aggregate
+            .finalize(scan.mass, scan.count, self.self_score(u));
         (scan, value)
     }
 
@@ -76,6 +78,7 @@ impl<'a> Ctx<'a> {
     /// algorithms that declared they need it.
     #[inline]
     pub fn sizes(&self) -> &SizeIndex {
-        self.sizes.expect("engine must prepare the size index for this algorithm")
+        self.sizes
+            .expect("engine must prepare the size index for this algorithm")
     }
 }

@@ -131,8 +131,7 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions) -> QueryResult {
         };
         candidates.push((v, bound));
     }
-    candidates
-        .sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    candidates.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
     // --- Phase 3: verification in bound order with TA early stop. ---
     let mut topk = TopKHeap::new(ctx.query.k);
@@ -144,8 +143,8 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions) -> QueryResult {
             break;
         }
         verified += 1;
-        let exact_known = gamma == 0.0
-            || (received[v.index()] as usize == ctx.sizes().get(v) && !weighted);
+        let exact_known =
+            gamma == 0.0 || (received[v.index()] as usize == ctx.sizes().get(v) && !weighted);
         let value = if exact_known {
             stats.exact_from_bound += 1;
             let mass = partial[v.index()];
@@ -162,7 +161,10 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions) -> QueryResult {
     }
     stats.nodes_pruned = n - verified;
 
-    QueryResult { entries: topk.into_sorted_vec(), stats }
+    QueryResult {
+        entries: topk.into_sorted_vec(),
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -192,14 +194,25 @@ mod tests {
         gamma: GammaSpec,
     ) -> QueryResult {
         let sizes = SizeIndex::build(g, h);
-        let ctx = Ctx { g, hops: h, scores, query, sizes: Some(&sizes), diffs: None };
+        let ctx = Ctx {
+            g,
+            hops: h,
+            scores,
+            query,
+            sizes: Some(&sizes),
+            diffs: None,
+        };
         run(&ctx, &BackwardOptions { gamma })
     }
 
     #[test]
     fn agrees_with_base_across_gammas() {
         let (g, scores) = gadget();
-        for aggregate in [Aggregate::Sum, Aggregate::Avg, Aggregate::DistanceWeightedSum] {
+        for aggregate in [
+            Aggregate::Sum,
+            Aggregate::Avg,
+            Aggregate::DistanceWeightedSum,
+        ] {
             for h in 1..=3 {
                 for k in [1, 3, 6] {
                     for gamma in [
@@ -241,7 +254,9 @@ mod tests {
             b.push_edge(i, (i + 7) % 50);
         }
         let g = b.build().unwrap();
-        let scores: Vec<f64> = (0..50).map(|i| if i % 10 == 0 { 1.0 } else { 0.0 }).collect();
+        let scores: Vec<f64> = (0..50)
+            .map(|i| if i % 10 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let query = TopKQuery::new(5, Aggregate::Sum);
         // Quantile of identical non-zero scores falls back to γ = 0.
         let res = run_backward(&g, &scores, 2, &query, GammaSpec::default());
@@ -276,8 +291,14 @@ mod tests {
     fn include_self_false_agrees() {
         let (g, scores) = gadget();
         let query = TopKQuery::new(4, Aggregate::Avg).include_self(false);
-        let ctx =
-            Ctx { g: &g, hops: 2, scores: &scores, query: &query, sizes: None, diffs: None };
+        let ctx = Ctx {
+            g: &g,
+            hops: 2,
+            scores: &scores,
+            query: &query,
+            sizes: None,
+            diffs: None,
+        };
         let expect = base_forward::run(&ctx);
         let got = run_backward(&g, &scores, 2, &query, GammaSpec::Fixed(0.4));
         assert!(got.same_values(&expect, 1e-9));

@@ -32,7 +32,9 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &ForwardOptions) -> QueryResult {
         !ctx.g.is_directed(),
         "LONA-Forward pruning requires an undirected graph (Eq. 1 needs mutual adjacency)"
     );
-    let diffs = ctx.diffs.expect("engine must prepare the differential index");
+    let diffs = ctx
+        .diffs
+        .expect("engine must prepare the differential index");
     let sizes = ctx.sizes();
     let n = ctx.g.num_nodes();
 
@@ -71,8 +73,7 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &ForwardOptions) -> QueryResult {
             let f_v = ctx.f(v);
             let bound = match ctx.query.aggregate {
                 Aggregate::Avg => {
-                    let sum_bound =
-                        forward_sum_bound(f_sum_u, delta, n_v, f_v, include_self);
+                    let sum_bound = forward_sum_bound(f_sum_u, delta, n_v, f_v, include_self);
                     avg_from_sum_bound(sum_bound, n_v, include_self)
                 }
                 // DistanceWeightedSum values are ≤ their plain-sum
@@ -92,7 +93,10 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &ForwardOptions) -> QueryResult {
     }
 
     debug_assert_eq!(stats.nodes_evaluated + stats.nodes_pruned, n);
-    QueryResult { entries: topk.into_sorted_vec(), stats }
+    QueryResult {
+        entries: topk.into_sorted_vec(),
+        stats,
+    }
 }
 
 /// Materialize the processing order.
@@ -128,7 +132,14 @@ mod tests {
     ) -> QueryResult {
         let sizes = SizeIndex::build(g, h);
         let diffs = DiffIndex::build(g, h, &sizes);
-        let ctx = Ctx { g, hops: h, scores, query, sizes: Some(&sizes), diffs: Some(&diffs) };
+        let ctx = Ctx {
+            g,
+            hops: h,
+            scores,
+            query,
+            sizes: Some(&sizes),
+            diffs: Some(&diffs),
+        };
         run(&ctx, &ForwardOptions { order })
     }
 
@@ -145,7 +156,11 @@ mod tests {
     #[test]
     fn agrees_with_base_on_all_orders() {
         let (g, scores) = two_communities();
-        for aggregate in [Aggregate::Sum, Aggregate::Avg, Aggregate::DistanceWeightedSum] {
+        for aggregate in [
+            Aggregate::Sum,
+            Aggregate::Avg,
+            Aggregate::DistanceWeightedSum,
+        ] {
             for h in 1..=3 {
                 for k in [1, 2, 4] {
                     let query = TopKQuery::new(k, aggregate);
@@ -196,7 +211,10 @@ mod tests {
         let scores: Vec<f64> = (0..n).map(|i| if i < 6 { 1.0 } else { 0.01 }).collect();
         let query = TopKQuery::new(1, Aggregate::Sum);
         let res = run_forward(&g, &scores, 2, &query, ProcessingOrder::NodeId);
-        assert!(res.stats.nodes_pruned > 0, "no pruning on a pruning-friendly graph");
+        assert!(
+            res.stats.nodes_pruned > 0,
+            "no pruning on a pruning-friendly graph"
+        );
         assert_eq!(
             res.stats.nodes_pruned + res.stats.nodes_evaluated,
             g.num_nodes(),
@@ -208,8 +226,14 @@ mod tests {
     fn exclude_self_agrees_with_base() {
         let (g, scores) = two_communities();
         let query = TopKQuery::new(3, Aggregate::Avg).include_self(false);
-        let ctx =
-            Ctx { g: &g, hops: 2, scores: &scores, query: &query, sizes: None, diffs: None };
+        let ctx = Ctx {
+            g: &g,
+            hops: 2,
+            scores: &scores,
+            query: &query,
+            sizes: None,
+            diffs: None,
+        };
         let expect = base_forward::run(&ctx);
         let got = run_forward(&g, &scores, 2, &query, ProcessingOrder::NodeId);
         assert!(got.same_values(&expect, 1e-9));
@@ -221,8 +245,14 @@ mod tests {
         let g = GraphBuilder::directed().add_edge(0, 1).build().unwrap();
         let scores = vec![1.0, 1.0];
         let query = TopKQuery::new(1, Aggregate::Sum);
-        let ctx =
-            Ctx { g: &g, hops: 1, scores: &scores, query: &query, sizes: None, diffs: None };
+        let ctx = Ctx {
+            g: &g,
+            hops: 1,
+            scores: &scores,
+            query: &query,
+            sizes: None,
+            diffs: None,
+        };
         let _ = run(&ctx, &ForwardOptions::default());
     }
 }

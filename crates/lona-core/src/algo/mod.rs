@@ -7,8 +7,8 @@
 //! | [`Algorithm::BackwardNaive`] | Algorithm 2 | skips zero-score distributors | size (AVG only) |
 //! | [`Algorithm::LonaBackward`] | §IV | Eq. 3 partial distribution + TA verification | size (AVG or γ > 0) |
 
-pub(crate) mod base_forward;
 pub(crate) mod backward_naive;
+pub(crate) mod base_forward;
 pub(crate) mod context;
 pub(crate) mod lona_backward;
 pub(crate) mod lona_forward;
@@ -51,8 +51,7 @@ pub struct ForwardOptions {
 
 /// How the backward threshold γ is chosen. The paper only says
 /// "a subset of nodes whose score is higher than a given threshold γ".
-#[derive(Copy, Clone, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
 pub enum GammaSpec {
     /// Workload-adaptive default: distribute every non-zero node
     /// (γ = 0, exact bounds, zero verification) when no more than a
@@ -77,7 +76,6 @@ pub enum GammaSpec {
     /// non-zero node — the exact fast path).
     NonzeroQuantile(f64),
 }
-
 
 impl GammaSpec {
     /// Resolve to a concrete γ for a score distribution.

@@ -21,7 +21,9 @@ use crate::topk::TopKHeap;
 pub(crate) fn run(ctx: &Ctx<'_>, threads: usize) -> QueryResult {
     let n = ctx.g.num_nodes();
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         threads
     }
@@ -71,7 +73,10 @@ pub(crate) fn run(ctx: &Ctx<'_>, threads: usize) -> QueryResult {
         stats.nodes_evaluated += s.nodes_evaluated;
         stats.edges_traversed += s.edges_traversed;
     }
-    QueryResult { entries: topk.into_sorted_vec(), stats }
+    QueryResult {
+        entries: topk.into_sorted_vec(),
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +114,11 @@ mod tests {
             let serial = base_forward::run(&ctx);
             for threads in [2usize, 3, 8] {
                 let parallel = run(&ctx, threads);
-                assert_eq!(parallel.nodes(), serial.nodes(), "{aggregate:?} t={threads}");
+                assert_eq!(
+                    parallel.nodes(),
+                    serial.nodes(),
+                    "{aggregate:?} t={threads}"
+                );
                 assert_eq!(parallel.values(), serial.values());
             }
         }
@@ -119,8 +128,14 @@ mod tests {
     fn counters_cover_all_nodes() {
         let (g, scores) = medium_graph();
         let query = TopKQuery::new(5, Aggregate::Sum);
-        let ctx =
-            Ctx { g: &g, hops: 2, scores: &scores, query: &query, sizes: None, diffs: None };
+        let ctx = Ctx {
+            g: &g,
+            hops: 2,
+            scores: &scores,
+            query: &query,
+            sizes: None,
+            diffs: None,
+        };
         let r = run(&ctx, 4);
         assert_eq!(r.stats.nodes_evaluated, g.num_nodes());
         let serial = base_forward::run(&ctx);
@@ -129,11 +144,20 @@ mod tests {
 
     #[test]
     fn small_graph_falls_back_to_serial() {
-        let g = GraphBuilder::undirected().extend_edges([(0, 1), (1, 2)]).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2)])
+            .build()
+            .unwrap();
         let scores = vec![1.0, 0.5, 0.0];
         let query = TopKQuery::new(2, Aggregate::Sum);
-        let ctx =
-            Ctx { g: &g, hops: 1, scores: &scores, query: &query, sizes: None, diffs: None };
+        let ctx = Ctx {
+            g: &g,
+            hops: 1,
+            scores: &scores,
+            query: &query,
+            sizes: None,
+            diffs: None,
+        };
         let r = run(&ctx, 8);
         assert_eq!(r.entries.len(), 2);
     }

@@ -29,7 +29,11 @@ impl TopKQuery {
     /// A query with the default self-inclusive semantics.
     pub fn new(k: usize, aggregate: Aggregate) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        TopKQuery { k, aggregate, include_self: true }
+        TopKQuery {
+            k,
+            aggregate,
+            include_self: true,
+        }
     }
 
     /// Override self inclusion.
@@ -79,7 +83,12 @@ impl<'g> LonaEngine<'g> {
     /// Panics if `hops == 0`.
     pub fn new(g: &'g CsrGraph, hops: u32) -> Self {
         assert!(hops >= 1, "hop radius must be at least 1");
-        LonaEngine { g, hops, size_index: None, diff_index: None }
+        LonaEngine {
+            g,
+            hops,
+            size_index: None,
+            diff_index: None,
+        }
     }
 
     /// The underlying graph.
@@ -111,8 +120,11 @@ impl<'g> LonaEngine<'g> {
         }
         let mut took = self.prepare_size_index();
         let t = Instant::now();
-        self.diff_index =
-            Some(DiffIndex::build(self.g, self.hops, self.size_index.as_ref().unwrap()));
+        self.diff_index = Some(DiffIndex::build(
+            self.g,
+            self.hops,
+            self.size_index.as_ref().unwrap(),
+        ));
         took += t.elapsed();
         took
     }
@@ -133,7 +145,11 @@ impl<'g> LonaEngine<'g> {
     /// Panics on hop-radius or node-count mismatch.
     pub fn set_size_index(&mut self, idx: SizeIndex) {
         assert_eq!(idx.hops(), self.hops, "size index hop radius mismatch");
-        assert_eq!(idx.len(), self.g.num_nodes(), "size index node count mismatch");
+        assert_eq!(
+            idx.len(),
+            self.g.num_nodes(),
+            "size index node count mismatch"
+        );
         self.size_index = Some(idx);
     }
 
@@ -143,7 +159,11 @@ impl<'g> LonaEngine<'g> {
     /// Panics on hop-radius or entry-count mismatch.
     pub fn set_diff_index(&mut self, idx: DiffIndex) {
         assert_eq!(idx.hops(), self.hops, "diff index hop radius mismatch");
-        assert_eq!(idx.len(), self.g.num_adjacency_entries(), "diff index entry count mismatch");
+        assert_eq!(
+            idx.len(),
+            self.g.num_adjacency_entries(),
+            "diff index entry count mismatch"
+        );
         self.diff_index = Some(idx);
     }
 
@@ -228,10 +248,18 @@ mod tests {
         let g = ring(40);
         let scores = ScoreVec::from_fn(40, |u| ((u.0 * 37) % 11) as f64 / 10.0);
         let mut engine = LonaEngine::new(&g, 2);
-        for aggregate in [Aggregate::Sum, Aggregate::Avg, Aggregate::DistanceWeightedSum] {
+        for aggregate in [
+            Aggregate::Sum,
+            Aggregate::Avg,
+            Aggregate::DistanceWeightedSum,
+        ] {
             let query = TopKQuery::new(5, aggregate);
             let base = engine.run(&Algorithm::Base, &query, &scores);
-            for alg in [Algorithm::forward(), Algorithm::BackwardNaive, Algorithm::backward()] {
+            for alg in [
+                Algorithm::forward(),
+                Algorithm::BackwardNaive,
+                Algorithm::backward(),
+            ] {
                 let got = engine.run(&alg, &query, &scores);
                 assert!(
                     got.same_values(&base, 1e-9),
@@ -273,7 +301,11 @@ mod tests {
         let g = ring(5);
         let scores = ScoreVec::from_fn(5, |_| 1.0);
         let mut engine = LonaEngine::new(&g, 1);
-        let res = engine.run(&Algorithm::Base, &TopKQuery::new(50, Aggregate::Sum), &scores);
+        let res = engine.run(
+            &Algorithm::Base,
+            &TopKQuery::new(50, Aggregate::Sum),
+            &scores,
+        );
         assert_eq!(res.entries.len(), 5);
     }
 
@@ -283,7 +315,11 @@ mod tests {
         let g = ring(5);
         let scores = ScoreVec::zeros(4);
         let mut engine = LonaEngine::new(&g, 1);
-        let _ = engine.run(&Algorithm::Base, &TopKQuery::new(1, Aggregate::Sum), &scores);
+        let _ = engine.run(
+            &Algorithm::Base,
+            &TopKQuery::new(1, Aggregate::Sum),
+            &scores,
+        );
     }
 
     #[test]

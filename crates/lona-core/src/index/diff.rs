@@ -52,24 +52,33 @@ impl DiffIndex {
     /// adjacency; see `bounds.rs`) or if `sizes` was built at a
     /// different radius.
     pub fn build(g: &CsrGraph, hops: u32, sizes: &SizeIndex) -> Self {
-        assert!(!g.is_directed(), "the differential index requires an undirected graph");
-        assert_eq!(sizes.hops(), hops, "size index was built for h={}", sizes.hops());
-        assert_eq!(sizes.len(), g.num_nodes(), "size index covers a different graph");
+        assert!(
+            !g.is_directed(),
+            "the differential index requires an undirected graph"
+        );
+        assert_eq!(
+            sizes.hops(),
+            hops,
+            "size index was built for h={}",
+            sizes.hops()
+        );
+        assert_eq!(
+            sizes.len(),
+            g.num_nodes(),
+            "size index covers a different graph"
+        );
 
         let entries = g.num_adjacency_entries();
         let deltas: Vec<AtomicU32> = (0..entries).map(|_| AtomicU32::new(0)).collect();
         Self::build_impl(g, hops, sizes, deltas)
     }
 
-    fn build_impl(
-        g: &CsrGraph,
-        hops: u32,
-        sizes: &SizeIndex,
-        deltas: Vec<AtomicU32>,
-    ) -> Self {
+    fn build_impl(g: &CsrGraph, hops: u32, sizes: &SizeIndex, deltas: Vec<AtomicU32>) -> Self {
         let n = g.num_nodes();
-        let threads =
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
         let chunk = n.div_ceil(threads.max(1)).max(1);
         let deltas_ref = &deltas;
 
@@ -104,8 +113,7 @@ impl DiffIndex {
                             let n_v = sizes.get(v) as u32;
                             debug_assert!(inter <= n_v && inter <= n_u);
                             // delta(v − u) lives at u's entry for v:
-                            deltas_ref[u_range.start + i]
-                                .store(n_v - inter, Ordering::Relaxed);
+                            deltas_ref[u_range.start + i].store(n_v - inter, Ordering::Relaxed);
                             // delta(u − v) lives at v's entry for u:
                             let back = g
                                 .adjacency_index(v, u)
@@ -183,8 +191,10 @@ impl DiffIndex {
         let len = u64::from_le_bytes(header[12..20].try_into().unwrap()) as usize;
         let mut raw = vec![0u8; len * 4];
         r.read_exact(&mut raw).map_err(GraphError::Io)?;
-        let deltas =
-            raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
+        let deltas = raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
         Ok(DiffIndex { hops, deltas })
     }
 }

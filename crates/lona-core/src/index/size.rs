@@ -106,14 +106,19 @@ impl SizeIndex {
         let len = u64::from_le_bytes(header[12..20].try_into().unwrap()) as usize;
         let mut raw = vec![0u8; len * 4];
         r.read_exact(&mut raw).map_err(GraphError::Io)?;
-        let sizes =
-            raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
+        let sizes = raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
         Ok(SizeIndex { hops, sizes })
     }
 }
 
 fn num_threads(work_items: usize) -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(work_items.max(1))
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(work_items.max(1))
 }
 
 #[cfg(test)]
@@ -158,7 +163,10 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let g = GraphBuilder::undirected().extend_edges([(0, 1), (1, 2)]).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2)])
+            .build()
+            .unwrap();
         let idx = SizeIndex::build(&g, 2);
         let mut buf = Vec::new();
         idx.write_to(&mut buf).unwrap();
@@ -178,7 +186,11 @@ mod tests {
 
     #[test]
     fn isolated_nodes_have_zero() {
-        let g = GraphBuilder::undirected().with_num_nodes(3).add_edge(0, 1).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(3)
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
         let idx = SizeIndex::build(&g, 2);
         assert_eq!(idx.get(NodeId(2)), 0);
     }

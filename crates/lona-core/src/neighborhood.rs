@@ -36,7 +36,11 @@ pub struct NeighborhoodScanner {
 impl NeighborhoodScanner {
     /// Create a scanner for graphs of up to `n` nodes.
     pub fn new(n: usize) -> Self {
-        NeighborhoodScanner { visited: EpochSet::new(n), frontier: Vec::new(), next: Vec::new() }
+        NeighborhoodScanner {
+            visited: EpochSet::new(n),
+            frontier: Vec::new(),
+            next: Vec::new(),
+        }
     }
 
     /// Sum `scores` over `S_h(u)`.

@@ -29,7 +29,10 @@ impl QueryResult {
     /// The k-th best value (the final `topklbound`), or `-∞` when the
     /// result is empty.
     pub fn threshold(&self) -> f64 {
-        self.entries.last().map(|e| e.1).unwrap_or(f64::NEG_INFINITY)
+        self.entries
+            .last()
+            .map(|e| e.1)
+            .unwrap_or(f64::NEG_INFINITY)
     }
 
     /// Whether two results report the same value sequence within
@@ -52,7 +55,11 @@ mod tests {
 
     fn result(values: &[f64]) -> QueryResult {
         QueryResult {
-            entries: values.iter().enumerate().map(|(i, &v)| (NodeId(i as u32), v)).collect(),
+            entries: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (NodeId(i as u32), v))
+                .collect(),
             stats: QueryStats::default(),
         }
     }

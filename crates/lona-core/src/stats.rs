@@ -68,13 +68,21 @@ mod tests {
 
     #[test]
     fn prune_rate_basic() {
-        let s = QueryStats { nodes_evaluated: 25, nodes_pruned: 75, ..Default::default() };
+        let s = QueryStats {
+            nodes_evaluated: 25,
+            nodes_pruned: 75,
+            ..Default::default()
+        };
         assert!((s.prune_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn display_is_informative() {
-        let s = QueryStats { nodes_evaluated: 10, edges_traversed: 42, ..Default::default() };
+        let s = QueryStats {
+            nodes_evaluated: 10,
+            edges_traversed: 42,
+            ..Default::default()
+        };
         let text = s.to_string();
         assert!(text.contains("evaluated=10"));
         assert!(text.contains("edges=42"));

@@ -57,7 +57,10 @@ impl TopKHeap {
     /// Panics if `k == 0` — a top-0 query is meaningless.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        TopKHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
+        TopKHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Capacity `k`.
@@ -85,7 +88,10 @@ impl TopKHeap {
     #[inline]
     pub fn threshold(&self) -> f64 {
         if self.is_full() {
-            self.heap.peek().map(|e| e.value).unwrap_or(f64::NEG_INFINITY)
+            self.heap
+                .peek()
+                .map(|e| e.value)
+                .unwrap_or(f64::NEG_INFINITY)
         } else {
             f64::NEG_INFINITY
         }
@@ -116,7 +122,9 @@ impl TopKHeap {
     pub fn into_sorted_vec(self) -> Vec<(NodeId, f64)> {
         let mut v: Vec<Entry> = self.heap.into_vec();
         v.sort_unstable_by(|a, b| {
-            b.value.total_cmp(&a.value).then_with(|| a.node.cmp(&b.node))
+            b.value
+                .total_cmp(&a.value)
+                .then_with(|| a.node.cmp(&b.node))
         });
         v.into_iter().map(|e| (e.node, e.value)).collect()
     }
@@ -173,8 +181,14 @@ mod tests {
     #[test]
     fn matches_sort_truncate_reference() {
         // 200 pseudo-random values vs the obvious reference.
-        let items: Vec<(u32, f64)> =
-            (0..200u32).map(|i| (i, (i.wrapping_mul(2654435761).wrapping_add(i) % 1000) as f64)).collect();
+        let items: Vec<(u32, f64)> = (0..200u32)
+            .map(|i| {
+                (
+                    i,
+                    (i.wrapping_mul(2654435761).wrapping_add(i) % 1000) as f64,
+                )
+            })
+            .collect();
         let mut h = TopKHeap::new(10);
         offer_all(&mut h, &items);
         let got: Vec<f64> = h.into_sorted_vec().iter().map(|e| e.1).collect();

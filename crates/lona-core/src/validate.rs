@@ -54,12 +54,18 @@ pub fn brute_force_topk(
     let mut all: Vec<(NodeId, f64)> = (0..g.num_nodes() as u32)
         .map(|i| {
             let u = NodeId(i);
-            (u, brute_force_value(g, scores, hops, u, query.aggregate, query.include_self))
+            (
+                u,
+                brute_force_value(g, scores, hops, u, query.aggregate, query.include_self),
+            )
         })
         .collect();
     all.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     all.truncate(query.k);
-    QueryResult { entries: all, stats: QueryStats::default() }
+    QueryResult {
+        entries: all,
+        stats: QueryStats::default(),
+    }
 }
 
 #[cfg(test)]
@@ -70,15 +76,23 @@ mod tests {
     #[test]
     fn value_on_path() {
         // 0-1-2-3, scores 1, 0, 1, 0; h = 2, include self.
-        let g =
-            GraphBuilder::undirected().extend_edges([(0, 1), (1, 2), (2, 3)]).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap();
         let scores = ScoreVec::new(vec![1.0, 0.0, 1.0, 0.0]);
         // F(1) = f(1) + f(0) + f(2) + f(3) = 2.0
         let v = brute_force_value(&g, &scores, 2, NodeId(1), Aggregate::Sum, true);
         assert_eq!(v, 2.0);
         // weighted: f(0)/1 + f(2)/1 + f(3)/2 + self = 2.0
-        let w =
-            brute_force_value(&g, &scores, 2, NodeId(1), Aggregate::DistanceWeightedSum, true);
+        let w = brute_force_value(
+            &g,
+            &scores,
+            2,
+            NodeId(1),
+            Aggregate::DistanceWeightedSum,
+            true,
+        );
         assert_eq!(w, 2.0);
         // avg over S_2(1) ∪ {1} = 4 nodes
         let a = brute_force_value(&g, &scores, 2, NodeId(1), Aggregate::Avg, true);
@@ -87,8 +101,10 @@ mod tests {
 
     #[test]
     fn topk_orders_and_truncates() {
-        let g =
-            GraphBuilder::undirected().extend_edges([(0, 1), (1, 2), (2, 3)]).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap();
         let scores = ScoreVec::new(vec![1.0, 0.0, 1.0, 0.0]);
         let res = brute_force_topk(&g, &scores, 1, &TopKQuery::new(2, Aggregate::Sum));
         assert_eq!(res.entries.len(), 2);
@@ -97,7 +113,11 @@ mod tests {
 
     #[test]
     fn unreachable_nodes_not_counted() {
-        let g = GraphBuilder::undirected().with_num_nodes(4).add_edge(0, 1).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(4)
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
         let scores = ScoreVec::new(vec![1.0, 1.0, 1.0, 1.0]);
         let v = brute_force_value(&g, &scores, 3, NodeId(0), Aggregate::Sum, false);
         assert_eq!(v, 1.0); // only node 1 reachable

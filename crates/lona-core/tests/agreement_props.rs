@@ -4,7 +4,10 @@
 use proptest::prelude::*;
 
 use lona_core::validate::brute_force_topk;
-use lona_core::{Aggregate, Algorithm, BackwardOptions, ForwardOptions, GammaSpec, LonaEngine, ProcessingOrder, TopKQuery};
+use lona_core::{
+    Aggregate, Algorithm, BackwardOptions, ForwardOptions, GammaSpec, LonaEngine, ProcessingOrder,
+    TopKQuery,
+};
 use lona_graph::{CsrGraph, GraphBuilder};
 use lona_relevance::ScoreVec;
 

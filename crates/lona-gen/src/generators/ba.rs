@@ -27,7 +27,9 @@ pub fn barabasi_albert(n: u32, m: u32, seed: u64) -> Result<CsrGraph> {
 
     let m_us = m as usize;
     let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m_us * n as usize);
-    let mut builder = GraphBuilder::undirected().with_num_nodes(n).reserve(m_us * n as usize);
+    let mut builder = GraphBuilder::undirected()
+        .with_num_nodes(n)
+        .reserve(m_us * n as usize);
 
     // Seed clique over nodes 0..=m.
     for i in 0..=m {

@@ -41,7 +41,10 @@ pub fn power_law_degree_sequence(
 /// model). Realized degrees are therefore ≤ requested.
 pub fn configuration_model(degrees: &[usize], seed: u64) -> Result<CsrGraph> {
     let stub_total: usize = degrees.iter().sum();
-    assert!(stub_total.is_multiple_of(2), "degree sum must be even, got {stub_total}");
+    assert!(
+        stub_total.is_multiple_of(2),
+        "degree sum must be even, got {stub_total}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
 
     let mut stubs: Vec<u32> = Vec::with_capacity(stub_total);
@@ -50,8 +53,9 @@ pub fn configuration_model(degrees: &[usize], seed: u64) -> Result<CsrGraph> {
     }
     stubs.shuffle(&mut rng);
 
-    let mut builder =
-        GraphBuilder::undirected().with_num_nodes(degrees.len() as u32).reserve(stub_total / 2);
+    let mut builder = GraphBuilder::undirected()
+        .with_num_nodes(degrees.len() as u32)
+        .reserve(stub_total / 2);
     for pair in stubs.chunks_exact(2) {
         builder.push_edge(pair[0], pair[1]); // loops/dups erased by builder
     }

@@ -51,7 +51,11 @@ pub fn erdos_renyi_gnp(n: u32, p: f64, seed: u64) -> Result<CsrGraph> {
         let n = n as u64;
         while u < n {
             let r: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let skip = if p >= 1.0 { 1.0 } else { (r.ln() / log_q).floor() + 1.0 };
+            let skip = if p >= 1.0 {
+                1.0
+            } else {
+                (r.ln() / log_q).floor() + 1.0
+            };
             v += skip as i64;
             while v >= u as i64 && u < n {
                 v -= u as i64;
@@ -122,7 +126,10 @@ mod tests {
         let expect = p * (n as f64) * (n as f64 - 1.0) / 2.0;
         let got = g.num_edges() as f64;
         // Binomial concentration: allow ±25%.
-        assert!(got > expect * 0.75 && got < expect * 1.25, "{got} vs {expect}");
+        assert!(
+            got > expect * 0.75 && got < expect * 1.25,
+            "{got} vs {expect}"
+        );
     }
 
     #[test]

@@ -21,14 +21,27 @@ pub struct RmatParams {
 impl RmatParams {
     /// The Graph500-style skew commonly used for internet/attack
     /// topologies; produces a heavy-tailed core-periphery structure.
-    pub const SKEWED: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+    pub const SKEWED: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
 
     /// Uniform quadrants: degenerates to (near) Erdős–Rényi.
-    pub const UNIFORM: RmatParams = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+    pub const UNIFORM: RmatParams = RmatParams {
+        a: 0.25,
+        b: 0.25,
+        c: 0.25,
+        d: 0.25,
+    };
 
     fn validate(&self) {
         let sum = self.a + self.b + self.c + self.d;
-        assert!((sum - 1.0).abs() < 1e-9, "R-MAT quadrants must sum to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "R-MAT quadrants must sum to 1, got {sum}"
+        );
         assert!(
             self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
             "negative quadrant probability"
@@ -46,7 +59,10 @@ impl RmatParams {
 /// a huge periphery of one-shot IPs.
 pub fn rmat(scale_exp: u32, edges: usize, params: RmatParams, seed: u64) -> Result<CsrGraph> {
     params.validate();
-    assert!(scale_exp > 0 && scale_exp < 31, "scale_exp must be in 1..31");
+    assert!(
+        scale_exp > 0 && scale_exp < 31,
+        "scale_exp must be in 1..31"
+    );
     let n: u32 = 1 << scale_exp;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::undirected().with_num_nodes(n).reserve(edges);
@@ -97,7 +113,11 @@ mod tests {
     #[test]
     fn dedup_and_self_loop_shrinkage_is_bounded() {
         let g = rmat(12, 4000, RmatParams::SKEWED, 2).unwrap();
-        assert!(g.num_edges() > 2000, "only {} edges survived", g.num_edges());
+        assert!(
+            g.num_edges() > 2000,
+            "only {} edges survived",
+            g.num_edges()
+        );
         assert!(g.num_edges() <= 4000);
     }
 
@@ -107,7 +127,12 @@ mod tests {
         let unif = rmat(12, 8000, RmatParams::UNIFORM, 3).unwrap();
         let s = DegreeStats::of(&skew);
         let u = DegreeStats::of(&unif);
-        assert!(s.max > 2 * u.max, "skew max {} vs uniform max {}", s.max, u.max);
+        assert!(
+            s.max > 2 * u.max,
+            "skew max {} vs uniform max {}",
+            s.max,
+            u.max
+        );
     }
 
     #[test]
@@ -123,7 +148,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn bad_params_rejected() {
-        let p = RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 };
+        let p = RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5,
+        };
         let _ = rmat(4, 10, p, 0);
     }
 }

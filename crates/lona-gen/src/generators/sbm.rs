@@ -51,7 +51,11 @@ pub fn planted_partition(
         let mut idx: u64 = 0;
         loop {
             let r: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let skip = if p_out >= 1.0 { 1 } else { (r.ln() / log_q).floor() as u64 + 1 };
+            let skip = if p_out >= 1.0 {
+                1
+            } else {
+                (r.ln() / log_q).floor() as u64 + 1
+            };
             idx = match idx.checked_add(skip) {
                 Some(i) => i,
                 None => break,
@@ -107,7 +111,10 @@ mod tests {
         let intra = (n / cs) as f64 * (cs as f64 * (cs as f64 - 1.0) / 2.0);
         let expect = p_out * (pairs - intra);
         let got = g.num_edges() as f64;
-        assert!(got > expect * 0.6 && got < expect * 1.4, "{got} vs {expect}");
+        assert!(
+            got > expect * 0.6 && got < expect * 1.4,
+            "{got} vs {expect}"
+        );
     }
 
     #[test]

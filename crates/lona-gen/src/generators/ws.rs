@@ -18,13 +18,18 @@ use lona_graph::{CsrGraph, GraphBuilder, Result};
 /// # Panics
 /// Panics if `k` is odd, `k == 0`, or `k >= n`.
 pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> Result<CsrGraph> {
-    assert!(k > 0 && k.is_multiple_of(2), "k must be positive and even, got {k}");
+    assert!(
+        k > 0 && k.is_multiple_of(2),
+        "k must be positive and even, got {k}"
+    );
     assert!(k < n, "k must be < n");
     assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
     let mut rng = StdRng::seed_from_u64(seed);
 
     let half = k / 2;
-    let mut builder = GraphBuilder::undirected().with_num_nodes(n).reserve((n * half) as usize);
+    let mut builder = GraphBuilder::undirected()
+        .with_num_nodes(n)
+        .reserve((n * half) as usize);
     for u in 0..n {
         for d in 1..=half {
             let v = (u + d) % n;
@@ -74,7 +79,11 @@ mod tests {
         // Rewiring may collide with existing edges; allow small loss.
         let g = watts_strogatz(200, 6, 0.3, 3).unwrap();
         let target = 200 * 3;
-        assert!(g.num_edges() > target * 95 / 100, "{} vs {target}", g.num_edges());
+        assert!(
+            g.num_edges() > target * 95 / 100,
+            "{} vs {target}",
+            g.num_edges()
+        );
     }
 
     #[test]

@@ -55,8 +55,11 @@ impl DatasetKind {
     }
 
     /// All three kinds, in figure order.
-    pub const ALL: [DatasetKind; 3] =
-        [DatasetKind::Collaboration, DatasetKind::Citation, DatasetKind::Intrusion];
+    pub const ALL: [DatasetKind; 3] = [
+        DatasetKind::Collaboration,
+        DatasetKind::Citation,
+        DatasetKind::Intrusion,
+    ];
 }
 
 impl std::fmt::Display for DatasetKind {
@@ -92,7 +95,11 @@ pub struct DatasetProfile {
 impl DatasetProfile {
     /// A profile at the paper's published size.
     pub fn paper_size(kind: DatasetKind, seed: u64) -> Self {
-        DatasetProfile { kind, scale: 1.0, seed }
+        DatasetProfile {
+            kind,
+            scale: 1.0,
+            seed,
+        }
     }
 
     /// The default scale used by the `figures` harness: full size for
@@ -110,9 +117,9 @@ impl DatasetProfile {
     /// A small variant for unit/integration tests and criterion runs.
     pub fn smoke(kind: DatasetKind, seed: u64) -> Self {
         let scale = match kind {
-            DatasetKind::Collaboration => 0.1,  // 4k nodes
-            DatasetKind::Citation => 0.01,      // 30k nodes
-            DatasetKind::Intrusion => 0.02,     // ~65k nodes (power of 2)
+            DatasetKind::Collaboration => 0.1, // 4k nodes
+            DatasetKind::Citation => 0.01,     // 30k nodes
+            DatasetKind::Intrusion => 0.02,    // ~65k nodes (power of 2)
         };
         DatasetProfile { kind, scale, seed }
     }
@@ -148,8 +155,7 @@ impl DatasetProfile {
                 let community = 9u32;
                 let intra_target = 0.75 * m as f64;
                 let communities = (n / community).max(1) as f64;
-                let intra_pairs =
-                    communities * (community as f64 * (community as f64 - 1.0) / 2.0);
+                let intra_pairs = communities * (community as f64 * (community as f64 - 1.0) / 2.0);
                 let p_in = (intra_target / intra_pairs).min(1.0);
                 let groups = planted_partition(n, community, p_in, 0.0, self.seed)?;
 
@@ -218,12 +224,19 @@ mod tests {
 
     #[test]
     fn collaboration_hits_size_targets() {
-        let p = DatasetProfile { kind: DatasetKind::Collaboration, scale: 0.1, seed: 1 };
+        let p = DatasetProfile {
+            kind: DatasetKind::Collaboration,
+            scale: 0.1,
+            seed: 1,
+        };
         let g = p.generate().unwrap();
         assert_eq!(g.num_nodes(), 4000);
         let target = p.target_edges() as f64;
         let got = g.num_edges() as f64;
-        assert!(got > target * 0.8 && got < target * 1.2, "{got} vs {target}");
+        assert!(
+            got > target * 0.8 && got < target * 1.2,
+            "{got} vs {target}"
+        );
     }
 
     #[test]
@@ -235,7 +248,12 @@ mod tests {
         // structure (an ER graph of this density would sit near 0.002).
         assert!(clustering_coefficient(&g) > 0.08);
         let s = DegreeStats::of(&g);
-        assert!(s.max as f64 > 8.0 * s.mean, "hub layer missing: max {} mean {}", s.max, s.mean);
+        assert!(
+            s.max as f64 > 8.0 * s.mean,
+            "hub layer missing: max {} mean {}",
+            s.max,
+            s.mean
+        );
     }
 
     #[test]
@@ -243,7 +261,12 @@ mod tests {
         let p = DatasetProfile::smoke(DatasetKind::Citation, 3);
         let g = p.generate().unwrap();
         let s = DegreeStats::of(&g);
-        assert!(s.max as f64 > 10.0 * s.mean, "max {} mean {}", s.max, s.mean);
+        assert!(
+            s.max as f64 > 10.0 * s.mean,
+            "max {} mean {}",
+            s.max,
+            s.mean
+        );
     }
 
     #[test]
@@ -251,7 +274,11 @@ mod tests {
         let p = DatasetProfile::smoke(DatasetKind::Intrusion, 4);
         let g = p.generate().unwrap();
         let s = DegreeStats::of(&g);
-        assert!(s.mean < 5.0, "intrusion should be sparse, mean degree {}", s.mean);
+        assert!(
+            s.mean < 5.0,
+            "intrusion should be sparse, mean degree {}",
+            s.mean
+        );
         // Power-of-two node count by construction.
         assert!(g.num_nodes().is_power_of_two());
     }
@@ -266,9 +293,18 @@ mod tests {
 
     #[test]
     fn kind_parsing() {
-        assert_eq!("collab".parse::<DatasetKind>().unwrap(), DatasetKind::Collaboration);
-        assert_eq!("citation".parse::<DatasetKind>().unwrap(), DatasetKind::Citation);
-        assert_eq!("ipsec".parse::<DatasetKind>().unwrap(), DatasetKind::Intrusion);
+        assert_eq!(
+            "collab".parse::<DatasetKind>().unwrap(),
+            DatasetKind::Collaboration
+        );
+        assert_eq!(
+            "citation".parse::<DatasetKind>().unwrap(),
+            DatasetKind::Citation
+        );
+        assert_eq!(
+            "ipsec".parse::<DatasetKind>().unwrap(),
+            DatasetKind::Intrusion
+        );
         assert!("nope".parse::<DatasetKind>().is_err());
     }
 

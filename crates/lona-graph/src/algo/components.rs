@@ -100,7 +100,11 @@ mod tests {
 
     #[test]
     fn labels_cover_all_nodes() {
-        let g = GraphBuilder::undirected().with_num_nodes(5).add_edge(1, 3).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(5)
+            .add_edge(1, 3)
+            .build()
+            .unwrap();
         let cc = connected_components(&g);
         assert!(cc.labels.iter().all(|&l| l != u32::MAX));
         assert_eq!(cc.sizes.iter().sum::<usize>(), 5);
@@ -108,7 +112,10 @@ mod tests {
 
     #[test]
     fn empty_graph_has_no_components() {
-        let g = GraphBuilder::undirected().with_num_nodes(0).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(0)
+            .build()
+            .unwrap();
         let cc = connected_components(&g);
         assert_eq!(cc.num_components(), 0);
         assert_eq!(cc.largest(), 0);

@@ -26,7 +26,14 @@ impl DegreeStats {
     pub fn of(g: &CsrGraph) -> DegreeStats {
         let n = g.num_nodes();
         if n == 0 {
-            return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0, std_dev: 0.0, p99: 0 };
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+                std_dev: 0.0,
+                p99: 0,
+            };
         }
         let mut degs: Vec<usize> = (0..n).map(|i| g.degree(NodeId(i as u32))).collect();
         degs.sort_unstable();
@@ -87,7 +94,10 @@ mod tests {
 
     #[test]
     fn empty_graph_stats_are_zero() {
-        let g = GraphBuilder::undirected().with_num_nodes(0).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(0)
+            .build()
+            .unwrap();
         let s = DegreeStats::of(&g);
         assert_eq!(s.max, 0);
         assert_eq!(s.mean, 0.0);

@@ -105,7 +105,10 @@ mod tests {
 
     #[test]
     fn empty_graph_safe() {
-        let g = GraphBuilder::undirected().with_num_nodes(0).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(0)
+            .build()
+            .unwrap();
         let est = estimate_distances(&g, 8);
         assert_eq!(est.sources, 0);
     }

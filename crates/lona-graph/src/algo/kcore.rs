@@ -36,7 +36,10 @@ impl CoreDecomposition {
 pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
     let n = g.num_nodes();
     if n == 0 {
-        return CoreDecomposition { coreness: Vec::new(), degeneracy: 0 };
+        return CoreDecomposition {
+            coreness: Vec::new(),
+            degeneracy: 0,
+        };
     }
 
     let mut degree: Vec<u32> = (0..n).map(|i| g.degree(NodeId(i as u32)) as u32).collect();
@@ -88,7 +91,10 @@ pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
     }
 
     let degeneracy = coreness.iter().copied().max().unwrap_or(0);
-    CoreDecomposition { coreness, degeneracy }
+    CoreDecomposition {
+        coreness,
+        degeneracy,
+    }
 }
 
 #[cfg(test)]
@@ -138,7 +144,11 @@ mod tests {
 
     #[test]
     fn isolated_nodes_are_zero_core() {
-        let g = GraphBuilder::undirected().with_num_nodes(3).add_edge(0, 1).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(3)
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
         let d = core_decomposition(&g);
         assert_eq!(d.coreness[2], 0);
         assert_eq!(d.degeneracy, 1);
@@ -160,7 +170,10 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let g = GraphBuilder::undirected().with_num_nodes(0).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(0)
+            .build()
+            .unwrap();
         let d = core_decomposition(&g);
         assert_eq!(d.degeneracy, 0);
         assert!(d.coreness.is_empty());

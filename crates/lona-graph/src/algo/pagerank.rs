@@ -23,7 +23,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, tolerance: 1e-9, max_iterations: 100 }
+        PageRankConfig {
+            damping: 0.85,
+            tolerance: 1e-9,
+            max_iterations: 100,
+        }
     }
 }
 
@@ -121,7 +125,11 @@ mod tests {
 
     #[test]
     fn dangling_nodes_keep_distribution_normalized() {
-        let g = GraphBuilder::directed().add_edge(0, 1).add_edge(2, 1).build().unwrap();
+        let g = GraphBuilder::directed()
+            .add_edge(0, 1)
+            .add_edge(2, 1)
+            .build()
+            .unwrap();
         // node 1 is dangling (no out-edges).
         let r = ranks(&g);
         let total: f64 = r.iter().sum();
@@ -136,12 +144,18 @@ mod tests {
             .build()
             .unwrap();
         let (_, iters) = pagerank(&g, &PageRankConfig::default());
-        assert!(iters > 0 && iters < 100, "unexpected iteration count {iters}");
+        assert!(
+            iters > 0 && iters < 100,
+            "unexpected iteration count {iters}"
+        );
     }
 
     #[test]
     fn empty_graph() {
-        let g = GraphBuilder::undirected().with_num_nodes(0).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(0)
+            .build()
+            .unwrap();
         let (r, iters) = pagerank(&g, &PageRankConfig::default());
         assert!(r.is_empty());
         assert_eq!(iters, 0);

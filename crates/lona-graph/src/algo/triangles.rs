@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn path_has_none() {
-        let g = GraphBuilder::undirected().extend_edges([(0, 1), (1, 2)]).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2)])
+            .build()
+            .unwrap();
         assert_eq!(count_triangles(&g).total, 0);
         assert_eq!(clustering_coefficient(&g), 0.0);
     }

@@ -56,7 +56,10 @@ impl GraphBuilder {
 
     /// Start a directed graph (arcs stored on the source side only).
     pub fn directed() -> Self {
-        GraphBuilder { directed: true, ..Self::undirected() }
+        GraphBuilder {
+            directed: true,
+            ..Self::undirected()
+        }
     }
 
     /// Declare the node count explicitly (otherwise inferred as
@@ -124,11 +127,21 @@ impl GraphBuilder {
     /// Cost: `O(E log E)` for the sort plus linear passes. This runs
     /// once per dataset so simplicity beats a radix sort here.
     pub fn build(self) -> Result<CsrGraph> {
-        let GraphBuilder { mut edges, num_nodes, directed, weighted, self_loops } = self;
+        let GraphBuilder {
+            mut edges,
+            num_nodes,
+            directed,
+            weighted,
+            self_loops,
+        } = self;
 
         // Resolve node count.
-        let max_endpoint =
-            edges.iter().map(|&(u, v, _)| u.max(v)).max().map(|m| m as u64 + 1).unwrap_or(0);
+        let max_endpoint = edges
+            .iter()
+            .map(|&(u, v, _)| u.max(v))
+            .max()
+            .map(|m| m as u64 + 1)
+            .unwrap_or(0);
         let n: u64 = match num_nodes {
             Some(n) => {
                 if max_endpoint > n as u64 {
@@ -137,7 +150,10 @@ impl GraphBuilder {
                         .map(|&(u, v, _)| u.max(v))
                         .find(|&e| e as u64 >= n as u64)
                         .unwrap();
-                    return Err(GraphError::NodeOutOfRange { node: bad, num_nodes: n });
+                    return Err(GraphError::NodeOutOfRange {
+                        node: bad,
+                        num_nodes: n,
+                    });
                 }
                 n as u64
             }
@@ -202,7 +218,11 @@ impl GraphBuilder {
         // Scatter targets (and weights) using a per-node write cursor.
         let mut cursor: Vec<u32> = offsets[..n as usize].to_vec();
         let mut targets = vec![NodeId(0); entries as usize];
-        let mut weights_vec = if weighted { vec![0f32; entries as usize] } else { Vec::new() };
+        let mut weights_vec = if weighted {
+            vec![0f32; entries as usize]
+        } else {
+            Vec::new()
+        };
         for &(u, v, w) in &edges {
             let c = &mut cursor[u as usize];
             targets[*c as usize] = NodeId(v);
@@ -225,8 +245,11 @@ impl GraphBuilder {
             let lo = offsets[u] as usize;
             let hi = offsets[u + 1] as usize;
             if weighted {
-                let mut pairs: Vec<(NodeId, f32)> =
-                    targets[lo..hi].iter().copied().zip(weights_vec[lo..hi].iter().copied()).collect();
+                let mut pairs: Vec<(NodeId, f32)> = targets[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(weights_vec[lo..hi].iter().copied())
+                    .collect();
                 pairs.sort_unstable_by_key(|p| p.0);
                 for (i, (t, w)) in pairs.into_iter().enumerate() {
                     targets[lo + i] = t;
@@ -266,7 +289,11 @@ mod tests {
 
     #[test]
     fn directed_keeps_both_arcs() {
-        let g = GraphBuilder::directed().add_edge(1, 2).add_edge(2, 1).build().unwrap();
+        let g = GraphBuilder::directed()
+            .add_edge(1, 2)
+            .add_edge(2, 1)
+            .build()
+            .unwrap();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.neighbors(NodeId(1)), &[NodeId(2)]);
         assert_eq!(g.neighbors(NodeId(2)), &[NodeId(1)]);
@@ -274,7 +301,11 @@ mod tests {
 
     #[test]
     fn self_loops_dropped_by_default() {
-        let g = GraphBuilder::undirected().add_edge(0, 0).add_edge(0, 1).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .add_edge(0, 0)
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.degree(NodeId(0)), 1);
     }
@@ -304,9 +335,18 @@ mod tests {
 
     #[test]
     fn explicit_node_count_validates_endpoints() {
-        let err =
-            GraphBuilder::undirected().with_num_nodes(3).add_edge(1, 7).build().unwrap_err();
-        assert!(matches!(err, GraphError::NodeOutOfRange { node: 7, num_nodes: 3 }));
+        let err = GraphBuilder::undirected()
+            .with_num_nodes(3)
+            .add_edge(1, 7)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 7,
+                num_nodes: 3
+            }
+        ));
     }
 
     #[test]

@@ -44,7 +44,13 @@ impl CsrGraph {
         if let Some(w) = &weights {
             debug_assert_eq!(w.len(), targets.len());
         }
-        CsrGraph { offsets, targets, weights, num_edges, directed }
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+            num_edges,
+            directed,
+        }
     }
 
     /// Number of nodes.
@@ -156,7 +162,11 @@ impl CsrGraph {
     /// yielded once with `u <= v`; for directed graphs every stored
     /// `(source, target)` arc is yielded.
     pub fn edges(&self) -> EdgeIter<'_> {
-        EdgeIter { g: self, u: 0, pos: 0 }
+        EdgeIter {
+            g: self,
+            u: 0,
+            pos: 0,
+        }
     }
 
     /// Sum of all degrees divided by node count.
@@ -171,7 +181,10 @@ impl CsrGraph {
     pub fn memory_bytes(&self) -> usize {
         self.offsets.len() * std::mem::size_of::<u32>()
             + self.targets.len() * std::mem::size_of::<NodeId>()
-            + self.weights.as_ref().map_or(0, |w| w.len() * std::mem::size_of::<f32>())
+            + self
+                .weights
+                .as_ref()
+                .map_or(0, |w| w.len() * std::mem::size_of::<f32>())
     }
 
     /// Internal accessor for snapshot serialization.
@@ -342,7 +355,10 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let g = GraphBuilder::undirected().with_num_nodes(0).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(0)
+            .build()
+            .unwrap();
         assert_eq!(g.num_nodes(), 0);
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.mean_degree(), 0.0);

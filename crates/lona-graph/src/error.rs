@@ -38,10 +38,16 @@ impl fmt::Display for GraphError {
                 write!(f, "graph has {n} nodes, exceeding the u32 id space")
             }
             GraphError::TooManyEdges(m) => {
-                write!(f, "graph has {m} adjacency entries, exceeding the u32 offset space")
+                write!(
+                    f,
+                    "graph has {m} adjacency entries, exceeding the u32 offset space"
+                )
             }
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "edge endpoint {node} out of range (graph has {num_nodes} nodes)")
+                write!(
+                    f,
+                    "edge endpoint {node} out of range (graph has {num_nodes} nodes)"
+                )
             }
             GraphError::SelfLoop(u) => write!(f, "self-loop on node {u} is not allowed"),
             GraphError::Io(e) => write!(f, "I/O error: {e}"),
@@ -72,11 +78,17 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GraphError::NodeOutOfRange { node: 9, num_nodes: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 5,
+        };
         let s = e.to_string();
         assert!(s.contains('9') && s.contains('5'));
 
-        let e = GraphError::Parse { line: 3, msg: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            msg: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 

@@ -142,7 +142,13 @@ pub fn read_snapshot<R: Read>(mut reader: R) -> Result<CsrGraph> {
         None
     };
 
-    Ok(CsrGraph::from_parts(offsets, targets, weights, edges, flags & FLAG_DIRECTED != 0))
+    Ok(CsrGraph::from_parts(
+        offsets,
+        targets,
+        weights,
+        edges,
+        flags & FLAG_DIRECTED != 0,
+    ))
 }
 
 #[cfg(test)]
@@ -186,7 +192,10 @@ mod tests {
 
     #[test]
     fn empty_graph_round_trip() {
-        let g = GraphBuilder::undirected().with_num_nodes(0).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(0)
+            .build()
+            .unwrap();
         let g2 = round_trip(&g);
         assert_eq!(g2.num_nodes(), 0);
     }
@@ -200,7 +209,10 @@ mod tests {
         )
         .unwrap();
         buf[0] = b'X';
-        assert!(matches!(read_snapshot(&buf[..]), Err(GraphError::BadSnapshot(_))));
+        assert!(matches!(
+            read_snapshot(&buf[..]),
+            Err(GraphError::BadSnapshot(_))
+        ));
     }
 
     #[test]
@@ -212,7 +224,10 @@ mod tests {
         )
         .unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(matches!(read_snapshot(&buf[..]), Err(GraphError::BadSnapshot(_))));
+        assert!(matches!(
+            read_snapshot(&buf[..]),
+            Err(GraphError::BadSnapshot(_))
+        ));
     }
 
     #[test]
@@ -227,6 +242,9 @@ mod tests {
         buf.extend_from_slice(&0u32.to_le_bytes()); // offsets[0]
         buf.extend_from_slice(&1u32.to_le_bytes()); // offsets[1]
         buf.extend_from_slice(&5u32.to_le_bytes()); // bogus target
-        assert!(matches!(read_snapshot(&buf[..]), Err(GraphError::BadSnapshot(_))));
+        assert!(matches!(
+            read_snapshot(&buf[..]),
+            Err(GraphError::BadSnapshot(_))
+        ));
     }
 }

@@ -12,8 +12,7 @@ use crate::error::GraphError;
 use crate::Result;
 
 /// Options controlling edge-list parsing.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct EdgeListOptions {
     /// Build a directed graph.
     pub directed: bool,
@@ -21,15 +20,17 @@ pub struct EdgeListOptions {
     pub num_nodes: Option<u32>,
 }
 
-
 /// Parse an edge list from any buffered reader.
 ///
 /// A third column, when present, is parsed as an `f32` edge weight;
 /// mixing weighted and unweighted lines is allowed (missing weights
 /// default to 1.0, and the graph is weighted if any line has a weight).
 pub fn read_edge_list<R: BufRead>(reader: R, opts: &EdgeListOptions) -> Result<CsrGraph> {
-    let mut builder =
-        if opts.directed { GraphBuilder::directed() } else { GraphBuilder::undirected() };
+    let mut builder = if opts.directed {
+        GraphBuilder::directed()
+    } else {
+        GraphBuilder::undirected()
+    };
     if let Some(n) = opts.num_nodes {
         builder = builder.with_num_nodes(n);
     }
@@ -81,7 +82,11 @@ pub fn write_edge_list<W: Write>(g: &CsrGraph, mut writer: W) -> Result<()> {
         "# lona edge list: {} nodes, {} edges, {}",
         g.num_nodes(),
         g.num_edges(),
-        if g.is_directed() { "directed" } else { "undirected" }
+        if g.is_directed() {
+            "directed"
+        } else {
+            "undirected"
+        }
     )?;
     if g.has_weights() {
         for (u, v, w) in g.edges() {
@@ -163,8 +168,14 @@ mod tests {
             .unwrap();
         let mut buf = Vec::new();
         write_edge_list(&g, &mut buf).unwrap();
-        let g2 =
-            read_edge_list(&buf[..], &EdgeListOptions { directed: true, num_nodes: None }).unwrap();
+        let g2 = read_edge_list(
+            &buf[..],
+            &EdgeListOptions {
+                directed: true,
+                num_nodes: None,
+            },
+        )
+        .unwrap();
         assert_eq!(g2.edge_weight(NodeId(0), NodeId(1)), Some(1.5));
         assert_eq!(g2.edge_weight(NodeId(1), NodeId(0)), Some(2.5));
     }

@@ -60,7 +60,10 @@ mod tests {
     use crate::builder::GraphBuilder;
 
     fn path_graph(n: u32) -> CsrGraph {
-        GraphBuilder::undirected().extend_edges((0..n - 1).map(|i| (i, i + 1))).build().unwrap()
+        GraphBuilder::undirected()
+            .extend_edges((0..n - 1).map(|i| (i, i + 1)))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -79,7 +82,11 @@ mod tests {
 
     #[test]
     fn unreachable_marked_max() {
-        let g = GraphBuilder::undirected().with_num_nodes(4).add_edge(0, 1).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(4)
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
         let d = bfs_distances(&g, NodeId(0));
         assert_eq!(d[0], 0);
         assert_eq!(d[1], 1);

@@ -39,7 +39,11 @@ pub struct KhopCollector {
 impl KhopCollector {
     /// Create a collector for graphs with up to `n` nodes.
     pub fn new(n: usize) -> Self {
-        KhopCollector { visited: EpochSet::new(n), frontier: Vec::new(), next: Vec::new() }
+        KhopCollector {
+            visited: EpochSet::new(n),
+            frontier: Vec::new(),
+            next: Vec::new(),
+        }
     }
 
     /// Visit every node of `S_h(u)` exactly once (excluding `u`),
@@ -119,7 +123,13 @@ impl KhopCollector {
     }
 
     /// Collect `S_h(u)` into `out` (cleared first). Returns the count.
-    pub fn collect_into(&mut self, g: &CsrGraph, u: NodeId, h: u32, out: &mut Vec<NodeId>) -> usize {
+    pub fn collect_into(
+        &mut self,
+        g: &CsrGraph,
+        u: NodeId,
+        h: u32,
+        out: &mut Vec<NodeId>,
+    ) -> usize {
         out.clear();
         self.for_each(g, u, h, |v| out.push(v))
     }
@@ -265,7 +275,11 @@ mod tests {
 
     #[test]
     fn isolated_node_has_empty_neighborhood() {
-        let g = GraphBuilder::undirected().with_num_nodes(3).add_edge(0, 1).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(3)
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
         let mut c = KhopCollector::new(g.num_nodes());
         assert_eq!(c.count(&g, NodeId(2), 5), 0);
     }

@@ -16,7 +16,10 @@ pub struct EpochSet {
 impl EpochSet {
     /// Create a set covering ids `0..n`.
     pub fn new(n: usize) -> Self {
-        EpochSet { stamp: vec![0; n], epoch: 1 }
+        EpochSet {
+            stamp: vec![0; n],
+            epoch: 1,
+        }
     }
 
     /// Number of ids covered.

@@ -34,8 +34,11 @@ pub fn induced_subgraph(g: &CsrGraph, nodes: &[NodeId]) -> Result<Subgraph> {
         }
     }
 
-    let mut builder =
-        if g.is_directed() { GraphBuilder::directed() } else { GraphBuilder::undirected() };
+    let mut builder = if g.is_directed() {
+        GraphBuilder::directed()
+    } else {
+        GraphBuilder::undirected()
+    };
     builder = builder.with_num_nodes(to_parent.len() as u32);
     let weighted = g.has_weights();
     for (local_u, &parent_u) in to_parent.iter().enumerate() {
@@ -56,7 +59,10 @@ pub fn induced_subgraph(g: &CsrGraph, nodes: &[NodeId]) -> Result<Subgraph> {
             }
         }
     }
-    Ok(Subgraph { graph: builder.build()?, to_parent })
+    Ok(Subgraph {
+        graph: builder.build()?,
+        to_parent,
+    })
 }
 
 #[cfg(test)]

@@ -14,8 +14,13 @@ pub fn hash_join(left: &EdgeTable, right: &EdgeTable) -> EdgeTable {
     // Build phase: src -> contiguous run of dst values. A sorted
     // build side with binary-search probes would also work; a dense
     // first-fit bucket array keyed by u32 keeps this allocation-lean.
-    let max_key =
-        right.src().iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let max_key = right
+        .src()
+        .iter()
+        .copied()
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
     let mut bucket_heads = vec![u32::MAX; max_key];
     let mut bucket_next = vec![u32::MAX; right.len()];
     for (row, &s) in right.src().iter().enumerate() {

@@ -38,7 +38,10 @@ pub fn topk_aggregation(
     include_self: bool,
 ) -> (Vec<(NodeId, f64)>, RelationalPlanStats) {
     assert!(k >= 1, "k must be positive");
-    assert!((1..=3).contains(&hops), "relational plan supports 1..=3 hops");
+    assert!(
+        (1..=3).contains(&hops),
+        "relational plan supports 1..=3 hops"
+    );
     let mut stats = RelationalPlanStats::default();
 
     // Reachability pairs = edges ∪ edges⋈edges ∪ ... (h factors).
@@ -110,8 +113,10 @@ mod tests {
     use lona_graph::GraphBuilder;
 
     fn path_tables() -> (EdgeTable, ScoreColumn, usize) {
-        let g =
-            GraphBuilder::undirected().extend_edges([(0, 1), (1, 2), (2, 3)]).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap();
         let edges = EdgeTable::from_graph(&g);
         let scores = ScoreColumn::new(vec![1.0, 0.0, 1.0, 0.0]);
         (edges, scores, g.num_nodes())

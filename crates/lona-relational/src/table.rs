@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn from_graph_materializes_both_directions() {
-        let g = GraphBuilder::undirected().extend_edges([(0, 1), (1, 2)]).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .extend_edges([(0, 1), (1, 2)])
+            .build()
+            .unwrap();
         let t = EdgeTable::from_graph(&g);
         assert_eq!(t.len(), 4);
         let mut rows: Vec<_> = t.rows().collect();

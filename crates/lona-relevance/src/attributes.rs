@@ -23,7 +23,11 @@ pub struct AttributeTable {
 impl AttributeTable {
     /// Empty table over `n` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        AttributeTable { num_nodes, names: Vec::new(), columns: Vec::new() }
+        AttributeTable {
+            num_nodes,
+            names: Vec::new(),
+            columns: Vec::new(),
+        }
     }
 
     /// Number of nodes covered.
@@ -43,8 +47,15 @@ impl AttributeTable {
     /// already taken.
     pub fn add_column(&mut self, name: impl Into<String>, values: Vec<f64>) -> &mut Self {
         let name = name.into();
-        assert_eq!(values.len(), self.num_nodes, "attribute `{name}` length mismatch");
-        assert!(self.column_index(&name).is_none(), "attribute `{name}` already exists");
+        assert_eq!(
+            values.len(),
+            self.num_nodes,
+            "attribute `{name}` length mismatch"
+        );
+        assert!(
+            self.column_index(&name).is_none(),
+            "attribute `{name}` already exists"
+        );
         self.names.push(name);
         self.columns.push(values);
         self
@@ -70,15 +81,23 @@ impl AttributeTable {
     /// # Panics
     /// Panics on an unknown attribute.
     pub fn relevance(&self, name: &str) -> ScoreVec {
-        let col = self.column(name).unwrap_or_else(|| panic!("unknown attribute `{name}`"));
+        let col = self
+            .column(name)
+            .unwrap_or_else(|| panic!("unknown attribute `{name}`"));
         ScoreVec::new(col.to_vec())
     }
 
     /// Relevance = binary predicate `attribute >= threshold`
     /// (problem P1's "as simple as 1/0").
     pub fn predicate(&self, name: &str, threshold: f64) -> ScoreVec {
-        let col = self.column(name).unwrap_or_else(|| panic!("unknown attribute `{name}`"));
-        ScoreVec::new(col.iter().map(|&v| if v >= threshold { 1.0 } else { 0.0 }).collect())
+        let col = self
+            .column(name)
+            .unwrap_or_else(|| panic!("unknown attribute `{name}`"));
+        ScoreVec::new(
+            col.iter()
+                .map(|&v| if v >= threshold { 1.0 } else { 0.0 })
+                .collect(),
+        )
     }
 
     /// Relevance = clamped linear model `Σ w_i · a_i(u)` — the

@@ -17,7 +17,10 @@ use crate::score_vec::ScoreVec;
 /// default these zero nodes have no contribution" — with r = 1% that
 /// skips 99% of all distributions.
 pub fn binary_blacking(n: usize, r: f64, seed: u64) -> ScoreVec {
-    assert!((0.0..=1.0).contains(&r), "blacking ratio must be in [0,1], got {r}");
+    assert!(
+        (0.0..=1.0).contains(&r),
+        "blacking ratio must be in [0,1], got {r}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let ones = ((n as f64) * r).ceil() as usize;
     let mut ids: Vec<usize> = (0..n).collect();
@@ -40,15 +43,15 @@ pub fn binary_blacking(n: usize, r: f64, seed: u64) -> ScoreVec {
 /// scored by the classifier). Exact zeros are also what gives the
 /// backward family its skip-zero economics; `support = 1.0` recovers
 /// the fully dense variant.
-pub fn exponential_blacking(
-    n: usize,
-    r: f64,
-    support: f64,
-    lambda: f64,
-    seed: u64,
-) -> ScoreVec {
-    assert!((0.0..=1.0).contains(&r), "blacking ratio must be in [0,1], got {r}");
-    assert!((0.0..=1.0).contains(&support), "support must be in [0,1], got {support}");
+pub fn exponential_blacking(n: usize, r: f64, support: f64, lambda: f64, seed: u64) -> ScoreVec {
+    assert!(
+        (0.0..=1.0).contains(&r),
+        "blacking ratio must be in [0,1], got {r}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&support),
+        "support must be in [0,1], got {support}"
+    );
     assert!(lambda > 0.0, "exponential rate must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
     let ones = (((n as f64) * r).ceil() as usize).min(n);
@@ -113,7 +116,10 @@ pub fn random_walk_smooth(g: &CsrGraph, base: &ScoreVec, steps: usize, retain: f
 /// bounds — the first of the two "properties unique in network space"
 /// LONA exploits.
 pub fn random_walk_blacking(g: &CsrGraph, r: f64, walk_len: usize, seed: u64) -> ScoreVec {
-    assert!((0.0..=1.0).contains(&r), "blacking ratio must be in [0,1], got {r}");
+    assert!(
+        (0.0..=1.0).contains(&r),
+        "blacking ratio must be in [0,1], got {r}"
+    );
     let n = g.num_nodes();
     let target = (((n as f64) * r).ceil() as usize).min(n);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -248,15 +254,15 @@ impl MixtureBuilder {
             (None, true) => binary_blacking(n, self.r, seed),
             (None, false) => exponential_blacking(n, self.r, self.support, self.lambda, seed),
             (Some(walk_len), binary) => {
-                let mut scores = random_walk_blacking(g, self.r, walk_len, seed).as_slice().to_vec();
+                let mut scores = random_walk_blacking(g, self.r, walk_len, seed)
+                    .as_slice()
+                    .to_vec();
                 if !binary {
                     // Exponential support over the still-zero nodes.
                     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5eed);
-                    let mut zero_ids: Vec<usize> =
-                        (0..n).filter(|&i| scores[i] == 0.0).collect();
+                    let mut zero_ids: Vec<usize> = (0..n).filter(|&i| scores[i] == 0.0).collect();
                     zero_ids.shuffle(&mut rng);
-                    let scored = (((n as f64) * self.support).round() as usize)
-                        .min(zero_ids.len());
+                    let scored = (((n as f64) * self.support).round() as usize).min(zero_ids.len());
                     for &i in zero_ids.iter().take(scored) {
                         let u: f64 = rng.gen_range(f64::EPSILON..1.0);
                         scores[i] = (-u.ln() / self.lambda).min(1.0 - 1e-9);
@@ -279,7 +285,10 @@ mod tests {
     use lona_graph::GraphBuilder;
 
     fn line(n: u32) -> CsrGraph {
-        GraphBuilder::undirected().extend_edges((0..n - 1).map(|i| (i, i + 1))).build().unwrap()
+        GraphBuilder::undirected()
+            .extend_edges((0..n - 1).map(|i| (i, i + 1)))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -336,9 +345,8 @@ mod tests {
         // Alternating 0/1 scores: maximal neighbor disagreement.
         let base = ScoreVec::from_fn(50, |u| (u.0 % 2) as f64);
         let smoothed = random_walk_smooth(&g, &base, 3, 0.5);
-        let disagreement = |s: &ScoreVec| -> f64 {
-            g.edges().map(|(u, v, _)| (s.get(u) - s.get(v)).abs()).sum()
-        };
+        let disagreement =
+            |s: &ScoreVec| -> f64 { g.edges().map(|(u, v, _)| (s.get(u) - s.get(v)).abs()).sum() };
         assert!(disagreement(&smoothed) < disagreement(&base) * 0.5);
     }
 
@@ -352,7 +360,11 @@ mod tests {
 
     #[test]
     fn smoothing_keeps_isolated_node_score() {
-        let g = GraphBuilder::undirected().with_num_nodes(3).add_edge(0, 1).build().unwrap();
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(3)
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
         let base = ScoreVec::new(vec![0.0, 0.0, 0.7]);
         let s = random_walk_smooth(&g, &base, 5, 0.5);
         assert_eq!(s.get(lona_graph::NodeId(2)), 0.7);
@@ -361,7 +373,11 @@ mod tests {
     #[test]
     fn mixture_builder_end_to_end() {
         let g = line(100);
-        let s = MixtureBuilder::new(0.1).lambda(4.0).walk_steps(2).retain(0.6).build(&g, 11);
+        let s = MixtureBuilder::new(0.1)
+            .lambda(4.0)
+            .walk_steps(2)
+            .retain(0.6)
+            .build(&g, 11);
         assert_eq!(s.len(), 100);
         assert!(s.nonzero_count() > 50, "exponential body should be dense");
     }
@@ -394,7 +410,10 @@ mod tests {
 
     #[test]
     fn walk_blacking_terminates_on_isolated_nodes() {
-        let g = lona_graph::GraphBuilder::undirected().with_num_nodes(50).build().unwrap();
+        let g = lona_graph::GraphBuilder::undirected()
+            .with_num_nodes(50)
+            .build()
+            .unwrap();
         let s = random_walk_blacking(&g, 0.2, 5, 3);
         assert_eq!(s.nonzero_count(), 10);
     }
@@ -402,7 +421,10 @@ mod tests {
     #[test]
     fn mixture_walk_blacking_with_support() {
         let g = line(500);
-        let s = MixtureBuilder::new(0.04).walk_blacking(6).support(0.1).build(&g, 21);
+        let s = MixtureBuilder::new(0.04)
+            .walk_blacking(6)
+            .support(0.1)
+            .build(&g, 21);
         let ones = s.as_slice().iter().filter(|&&x| x == 1.0).count();
         assert_eq!(ones, 20);
         // ~10% additional exponential support.

@@ -24,7 +24,9 @@ impl ScoreVec {
 
     /// All-zero scores for `n` nodes.
     pub fn zeros(n: usize) -> Self {
-        ScoreVec { scores: vec![0.0; n] }
+        ScoreVec {
+            scores: vec![0.0; n],
+        }
     }
 
     /// Build by evaluating `f` on every node id.
@@ -56,15 +58,17 @@ impl ScoreVec {
 
     /// Iterator over `(node, score)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.scores.iter().enumerate().map(|(i, &s)| (NodeId(i as u32), s))
+        self.scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (NodeId(i as u32), s))
     }
 
     /// Nodes with a non-zero score, descending by score (ties broken
     /// by ascending node id for determinism). This is the distribution
     /// order required by LONA's backward processing.
     pub fn nonzero_descending(&self) -> Vec<(NodeId, f64)> {
-        let mut v: Vec<(NodeId, f64)> =
-            self.iter().filter(|&(_, s)| s > 0.0).collect();
+        let mut v: Vec<(NodeId, f64)> = self.iter().filter(|&(_, s)| s > 0.0).collect();
         v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         v
     }

@@ -25,7 +25,13 @@ impl ScoreStats {
         let s = scores.as_slice();
         let n = s.len();
         if n == 0 {
-            return ScoreStats { n: 0, mean: 0.0, max: 0.0, nonzero_fraction: 0.0, ones_fraction: 0.0 };
+            return ScoreStats {
+                n: 0,
+                mean: 0.0,
+                max: 0.0,
+                nonzero_fraction: 0.0,
+                ones_fraction: 0.0,
+            };
         }
         let sum: f64 = s.iter().sum();
         let max = s.iter().copied().fold(0.0f64, f64::max);

@@ -13,7 +13,10 @@ use lona::relational::{topk_aggregation, EdgeTable, ScoreColumn};
 fn main() {
     let kind: DatasetKind = std::env::args()
         .nth(1)
-        .map(|s| s.parse().expect("dataset must be collaboration|citation|intrusion"))
+        .map(|s| {
+            s.parse()
+                .expect("dataset must be collaboration|citation|intrusion")
+        })
         .unwrap_or(DatasetKind::Collaboration);
 
     let profile = DatasetProfile::smoke(kind, 5);
@@ -53,7 +56,10 @@ fn main() {
             result.stats.runtime,
         );
         if let Some(r) = &reference {
-            assert!(result.same_values(r, 1e-9), "{algorithm} diverged from Base");
+            assert!(
+                result.same_values(r, 1e-9),
+                "{algorithm} diverged from Base"
+            );
         } else {
             reference = Some(result);
         }
@@ -81,5 +87,8 @@ fn main() {
     for (a, b) in rows.iter().zip(&reference.entries) {
         assert!((a.1 - b.1).abs() < 1e-9, "relational plan diverged");
     }
-    println!("\nall six executions returned identical top-{} values ✓", query.k);
+    println!(
+        "\nall six executions returned identical top-{} values ✓",
+        query.k
+    );
 }

@@ -17,7 +17,11 @@ use lona::prelude::*;
 
 fn main() {
     // Sparse, heavy-tailed attack graph (R-MAT intrusion profile).
-    let profile = DatasetProfile { kind: DatasetKind::Intrusion, scale: 0.05, seed: 31 };
+    let profile = DatasetProfile {
+        kind: DatasetKind::Intrusion,
+        scale: 0.05,
+        seed: 31,
+    };
     let g = profile.generate().unwrap();
     println!("{}", profile.describe(&g));
 
@@ -37,7 +41,12 @@ fn main() {
 
     println!("\nTop-10 IPs by known-bad peers within 2 hops:");
     for (rank, (ip, count)) in bwd.entries.iter().enumerate() {
-        println!("  #{:<2} ip#{:<7} {:.0} watchlisted peers", rank + 1, ip, count);
+        println!(
+            "  #{:<2} ip#{:<7} {:.0} watchlisted peers",
+            rank + 1,
+            ip,
+            count
+        );
     }
 
     println!("\nwork comparison (same answers):");

@@ -19,7 +19,10 @@ fn main() {
 
     // 2. Relevance scores: the paper's exponential mixture with a 1%
     //    blacking ratio (1% of nodes are fully relevant).
-    let scores = MixtureBuilder::new(0.01).lambda(5.0).walk_steps(1).build(&g, 7);
+    let scores = MixtureBuilder::new(0.01)
+        .lambda(5.0)
+        .walk_steps(1)
+        .build(&g, 7);
 
     // 3. Ask: which 10 nodes have the most relevant 2-hop neighborhood?
     let mut engine = LonaEngine::new(&g, 2);

@@ -14,7 +14,11 @@ use lona::prelude::*;
 
 fn main() {
     // A 20k-user social network with strong community structure.
-    let profile = DatasetProfile { kind: DatasetKind::Collaboration, scale: 0.5, seed: 11 };
+    let profile = DatasetProfile {
+        kind: DatasetKind::Collaboration,
+        scale: 0.5,
+        seed: 11,
+    };
     let g = profile.generate().unwrap();
     println!("{}", profile.describe(&g));
 

@@ -19,7 +19,11 @@ use lona::relevance::AttributeTable;
 
 fn main() {
     // A social network with community structure.
-    let profile = DatasetProfile { kind: DatasetKind::Collaboration, scale: 0.25, seed: 77 };
+    let profile = DatasetProfile {
+        kind: DatasetKind::Collaboration,
+        scale: 0.25,
+        seed: 77,
+    };
     let g = profile.generate().unwrap();
     println!("{}", profile.describe(&g));
     let n = g.num_nodes();
@@ -30,11 +34,15 @@ fn main() {
     let mut attributes = AttributeTable::new(n);
     attributes.add_column(
         "rpg_interest",
-        (0..n).map(|i| ((i * 37 + 11) % 100) as f64 / 100.0).collect(),
+        (0..n)
+            .map(|i| ((i * 37 + 11) % 100) as f64 / 100.0)
+            .collect(),
     );
     attributes.add_column(
         "engagement",
-        (0..n).map(|i| ((i * 53 + 29) % 100) as f64 / 100.0).collect(),
+        (0..n)
+            .map(|i| ((i * 53 + 29) % 100) as f64 / 100.0)
+            .collect(),
     );
 
     // P1: individual strength = a linear purchase-propensity model.

@@ -1,0 +1,121 @@
+//! Cross-algorithm agreement at the facade level: Base, LONA-Forward,
+//! BackwardNaive and LONA-Backward must return the same top-k entries
+//! as the naive scan for SUM and AVG at h ∈ {1, 2}.
+//!
+//! "Same" means the *entry set* — the sorted node-id vector, compared
+//! byte-for-byte as raw u32s — is identical, and every aggregate value
+//! matches the oracle's to within 1e-12 relative error (vs the 1e-9
+//! the randomized suites allow). Full f64 byte-equality of values is
+//! deliberately not required: each algorithm accumulates neighbor
+//! contributions in its own traversal order, so results legitimately
+//! differ from the naive scan by a few ulps, growing with neighborhood
+//! size. Node membership, however, has no such excuse — any
+//! discrepancy there is a pruning bug.
+
+use lona::core::validate::brute_force_topk;
+use lona::prelude::*;
+
+/// The top-k entry set as a byte-comparable vector: sorted raw ids.
+fn entry_set(entries: &[(NodeId, f64)]) -> Vec<u32> {
+    let mut ids: Vec<u32> = entries.iter().map(|&(n, _)| n.0).collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Relative error of `got` against reference value `want`.
+fn rel_err(got: f64, want: f64) -> f64 {
+    (got - want).abs() / want.abs().max(1.0)
+}
+
+fn algorithms() -> [Algorithm; 4] {
+    [
+        Algorithm::Base,
+        Algorithm::forward(),
+        Algorithm::BackwardNaive,
+        Algorithm::backward(),
+    ]
+}
+
+fn assert_agreement(
+    g: &lona::graph::CsrGraph,
+    scores: &ScoreVec,
+    h: u32,
+    query: &TopKQuery,
+    label: &str,
+) {
+    let oracle = brute_force_topk(g, scores, h, query);
+    let oracle_set = entry_set(&oracle.entries);
+    let mut engine = LonaEngine::new(g, h);
+    for alg in algorithms() {
+        let got = engine.run(&alg, query, scores);
+        assert_eq!(
+            entry_set(&got.entries),
+            oracle_set,
+            "{label}: {alg} returned a different top-k entry set than the naive scan"
+        );
+        for ((gn, gv), (on, ov)) in got.entries.iter().zip(&oracle.entries) {
+            let e = rel_err(*gv, *ov);
+            assert!(
+                e <= 1e-12,
+                "{label}: {alg} value for {gn:?} is off by {e:e} relative \
+                 ({gv:e} vs oracle {ov:e} at {on:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn four_algorithms_match_naive_scan() {
+    // Scales chosen per kind so every graph lands near 500–1000 nodes:
+    // structurally real but cheap enough for the h=2 naive scan.
+    for (kind, scale, seed) in [
+        (DatasetKind::Collaboration, 0.02, 7u64),
+        (DatasetKind::Citation, 0.0003, 11),
+        (DatasetKind::Intrusion, 0.0004, 13),
+    ] {
+        let g = DatasetProfile { kind, scale, seed }
+            .generate()
+            .expect("smoke-scale profile generation must succeed");
+        let scores = MixtureBuilder::new(0.02).build(&g, seed);
+
+        for h in [1u32, 2] {
+            for aggregate in [Aggregate::Sum, Aggregate::Avg] {
+                let query = TopKQuery::new(10, aggregate);
+                assert_agreement(
+                    &g,
+                    &scores,
+                    h,
+                    &query,
+                    &format!("{kind:?} h={h} {aggregate:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn agreement_holds_under_both_self_inclusion_semantics() {
+    let g = DatasetProfile {
+        kind: DatasetKind::Collaboration,
+        scale: 0.004,
+        seed: 23,
+    }
+    .generate()
+    .unwrap();
+    let scores = MixtureBuilder::new(0.05).build(&g, 23);
+
+    for include_self in [true, false] {
+        for h in [1u32, 2] {
+            for aggregate in [Aggregate::Sum, Aggregate::Avg] {
+                let query = TopKQuery::new(8, aggregate).include_self(include_self);
+                assert_agreement(
+                    &g,
+                    &scores,
+                    h,
+                    &query,
+                    &format!("self={include_self} h={h} {aggregate:?}"),
+                );
+            }
+        }
+    }
+}

@@ -5,9 +5,13 @@
 use lona::prelude::*;
 
 fn setup() -> (lona::graph::CsrGraph, ScoreVec) {
-    let g = DatasetProfile { kind: DatasetKind::Collaboration, scale: 0.05, seed: 4 }
-        .generate()
-        .unwrap();
+    let g = DatasetProfile {
+        kind: DatasetKind::Collaboration,
+        scale: 0.05,
+        seed: 4,
+    }
+    .generate()
+    .unwrap();
     let scores = MixtureBuilder::new(0.01).lambda(5.0).build(&g, 4);
     (g, scores)
 }
@@ -16,7 +20,11 @@ fn setup() -> (lona::graph::CsrGraph, ScoreVec) {
 fn base_evaluates_every_node_and_prunes_none() {
     let (g, scores) = setup();
     let mut engine = LonaEngine::new(&g, 2);
-    let r = engine.run(&Algorithm::Base, &TopKQuery::new(10, Aggregate::Sum), &scores);
+    let r = engine.run(
+        &Algorithm::Base,
+        &TopKQuery::new(10, Aggregate::Sum),
+        &scores,
+    );
     assert_eq!(r.stats.nodes_evaluated, g.num_nodes());
     assert_eq!(r.stats.nodes_pruned, 0);
     assert_eq!(r.stats.nodes_distributed, 0);
@@ -27,8 +35,15 @@ fn base_evaluates_every_node_and_prunes_none() {
 fn forward_partition_covers_graph() {
     let (g, scores) = setup();
     let mut engine = LonaEngine::new(&g, 2);
-    let r = engine.run(&Algorithm::forward(), &TopKQuery::new(10, Aggregate::Sum), &scores);
-    assert_eq!(r.stats.nodes_evaluated + r.stats.nodes_pruned, g.num_nodes());
+    let r = engine.run(
+        &Algorithm::forward(),
+        &TopKQuery::new(10, Aggregate::Sum),
+        &scores,
+    );
+    assert_eq!(
+        r.stats.nodes_evaluated + r.stats.nodes_pruned,
+        g.num_nodes()
+    );
 }
 
 #[test]
@@ -37,7 +52,9 @@ fn backward_distributes_only_above_gamma() {
     let gamma = 0.5;
     let above = scores.as_slice().iter().filter(|&&s| s > gamma).count();
     let mut engine = LonaEngine::new(&g, 2);
-    let alg = Algorithm::LonaBackward(BackwardOptions { gamma: GammaSpec::Fixed(gamma) });
+    let alg = Algorithm::LonaBackward(BackwardOptions {
+        gamma: GammaSpec::Fixed(gamma),
+    });
     let r = engine.run(&alg, &TopKQuery::new(10, Aggregate::Sum), &scores);
     assert_eq!(r.stats.nodes_distributed, above);
 }
@@ -46,7 +63,11 @@ fn backward_distributes_only_above_gamma() {
 fn backward_naive_distributes_all_nonzero() {
     let (g, scores) = setup();
     let mut engine = LonaEngine::new(&g, 2);
-    let r = engine.run(&Algorithm::BackwardNaive, &TopKQuery::new(10, Aggregate::Sum), &scores);
+    let r = engine.run(
+        &Algorithm::BackwardNaive,
+        &TopKQuery::new(10, Aggregate::Sum),
+        &scores,
+    );
     assert_eq!(r.stats.nodes_distributed, scores.nonzero_count());
     assert_eq!(r.stats.nodes_evaluated, 0);
 }
@@ -59,7 +80,11 @@ fn k_sweep_work_is_monotone_for_backward() {
     engine.prepare_size_index();
     let mut last = 0usize;
     for k in [1usize, 10, 50, 150, 300] {
-        let r = engine.run(&Algorithm::backward(), &TopKQuery::new(k, Aggregate::Sum), &scores);
+        let r = engine.run(
+            &Algorithm::backward(),
+            &TopKQuery::new(k, Aggregate::Sum),
+            &scores,
+        );
         let verified = g.num_nodes() - r.stats.nodes_pruned;
         assert!(
             verified >= last,
@@ -74,7 +99,11 @@ fn prepared_indexes_zero_build_charge() {
     let (g, scores) = setup();
     let mut engine = LonaEngine::new(&g, 2);
     engine.prepare_diff_index();
-    let r = engine.run(&Algorithm::forward(), &TopKQuery::new(5, Aggregate::Avg), &scores);
+    let r = engine.run(
+        &Algorithm::forward(),
+        &TopKQuery::new(5, Aggregate::Avg),
+        &scores,
+    );
     assert_eq!(r.stats.index_build, std::time::Duration::ZERO);
 }
 

@@ -6,9 +6,13 @@ use lona::prelude::*;
 
 fn smoke_graph(kind: DatasetKind, seed: u64) -> lona::graph::CsrGraph {
     // Tiny versions of the three profiles: fast but structurally real.
-    DatasetProfile { kind, scale: 0.004, seed }
-        .generate()
-        .expect("profile generation must succeed")
+    DatasetProfile {
+        kind,
+        scale: 0.004,
+        seed,
+    }
+    .generate()
+    .expect("profile generation must succeed")
 }
 
 #[test]
@@ -20,7 +24,11 @@ fn all_profiles_all_algorithms_agree() {
         for aggregate in [Aggregate::Sum, Aggregate::Avg] {
             let query = TopKQuery::new(20, aggregate);
             let base = engine.run(&Algorithm::Base, &query, &scores);
-            for alg in [Algorithm::forward(), Algorithm::BackwardNaive, Algorithm::backward()] {
+            for alg in [
+                Algorithm::forward(),
+                Algorithm::BackwardNaive,
+                Algorithm::backward(),
+            ] {
                 let got = engine.run(&alg, &query, &scores);
                 assert!(
                     got.same_values(&base, 1e-9),
@@ -51,9 +59,13 @@ fn pruning_effectiveness_on_collaboration_profile() {
     // every small-neighborhood node once topklbound rises, and the
     // clustered structure keeps deltas small. Workload = the paper's
     // exponential mixture at r = 1% (Figure 1's setting).
-    let g = DatasetProfile { kind: DatasetKind::Collaboration, scale: 0.1, seed: 9 }
-        .generate()
-        .unwrap();
+    let g = DatasetProfile {
+        kind: DatasetKind::Collaboration,
+        scale: 0.1,
+        seed: 9,
+    }
+    .generate()
+    .unwrap();
     let scores = MixtureBuilder::new(0.01).lambda(5.0).build(&g, 9);
     let mut engine = LonaEngine::new(&g, 2);
     let query = TopKQuery::new(10, Aggregate::Sum);
@@ -117,9 +129,17 @@ fn index_serialization_round_trip_through_engine() {
     engine.prepare_diff_index();
 
     let mut size_buf = Vec::new();
-    engine.size_index().unwrap().write_to(&mut size_buf).unwrap();
+    engine
+        .size_index()
+        .unwrap()
+        .write_to(&mut size_buf)
+        .unwrap();
     let mut diff_buf = Vec::new();
-    engine.diff_index().unwrap().write_to(&mut diff_buf).unwrap();
+    engine
+        .diff_index()
+        .unwrap()
+        .write_to(&mut diff_buf)
+        .unwrap();
 
     let scores = MixtureBuilder::new(0.02).build(&g, 5);
     let query = TopKQuery::new(5, Aggregate::Avg);
@@ -139,7 +159,11 @@ fn deterministic_across_runs() {
         let g = smoke_graph(DatasetKind::Citation, 77);
         let scores = MixtureBuilder::new(0.01).walk_steps(2).build(&g, 77);
         let mut engine = LonaEngine::new(&g, 2);
-        engine.run(&Algorithm::backward(), &TopKQuery::new(15, Aggregate::Sum), &scores)
+        engine.run(
+            &Algorithm::backward(),
+            &TopKQuery::new(15, Aggregate::Sum),
+            &scores,
+        )
     };
     let a = mk();
     let b = mk();

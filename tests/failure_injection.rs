@@ -97,16 +97,28 @@ fn engine_rejects_foreign_graph_index() {
 #[test]
 #[should_panic(expected = "undirected")]
 fn backward_on_directed_graph_panics() {
-    let g = GraphBuilder::directed().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+    let g = GraphBuilder::directed()
+        .add_edge(0, 1)
+        .add_edge(1, 2)
+        .build()
+        .unwrap();
     let scores = ScoreVec::new(vec![1.0, 0.5, 0.0]);
     let mut engine = LonaEngine::new(&g, 2);
-    let _ = engine.run(&Algorithm::backward(), &TopKQuery::new(1, Aggregate::Sum), &scores);
+    let _ = engine.run(
+        &Algorithm::backward(),
+        &TopKQuery::new(1, Aggregate::Sum),
+        &scores,
+    );
 }
 
 #[test]
 fn base_on_directed_graph_works() {
     // The naive baseline has no undirectedness requirement.
-    let g = GraphBuilder::directed().add_edge(0, 1).add_edge(1, 2).build().unwrap();
+    let g = GraphBuilder::directed()
+        .add_edge(0, 1)
+        .add_edge(1, 2)
+        .build()
+        .unwrap();
     let scores = ScoreVec::new(vec![0.0, 0.5, 1.0]);
     let mut engine = LonaEngine::new(&g, 2);
     let r = engine.run(
@@ -124,8 +136,16 @@ fn nan_and_out_of_range_scores_are_sanitized() {
     let scores = ScoreVec::new(vec![f64::NAN, -3.0, 7.0, 0.5]);
     assert_eq!(scores.as_slice(), &[0.0, 0.0, 1.0, 0.5]);
     let mut engine = LonaEngine::new(&g, 2);
-    let base = engine.run(&Algorithm::Base, &TopKQuery::new(4, Aggregate::Sum), &scores);
-    let bwd = engine.run(&Algorithm::backward(), &TopKQuery::new(4, Aggregate::Sum), &scores);
+    let base = engine.run(
+        &Algorithm::Base,
+        &TopKQuery::new(4, Aggregate::Sum),
+        &scores,
+    );
+    let bwd = engine.run(
+        &Algorithm::backward(),
+        &TopKQuery::new(4, Aggregate::Sum),
+        &scores,
+    );
     assert!(bwd.same_values(&base, 1e-12));
     assert!(base.values().iter().all(|v| v.is_finite()));
 }
@@ -135,8 +155,12 @@ fn all_zero_scores_are_a_valid_query() {
     let g = small_graph();
     let scores = ScoreVec::zeros(g.num_nodes());
     let mut engine = LonaEngine::new(&g, 2);
-    for alg in [Algorithm::Base, Algorithm::forward(), Algorithm::BackwardNaive, Algorithm::backward()]
-    {
+    for alg in [
+        Algorithm::Base,
+        Algorithm::forward(),
+        Algorithm::BackwardNaive,
+        Algorithm::backward(),
+    ] {
         let r = engine.run(&alg, &TopKQuery::new(2, Aggregate::Avg), &scores);
         assert_eq!(r.entries.len(), 2, "{alg}");
         assert!(r.values().iter().all(|&v| v == 0.0), "{alg}");
@@ -145,7 +169,10 @@ fn all_zero_scores_are_a_valid_query() {
 
 #[test]
 fn single_node_graph_queries() {
-    let g = GraphBuilder::undirected().with_num_nodes(1).build().unwrap();
+    let g = GraphBuilder::undirected()
+        .with_num_nodes(1)
+        .build()
+        .unwrap();
     let scores = ScoreVec::new(vec![0.7]);
     let mut engine = LonaEngine::new(&g, 2);
     for alg in [Algorithm::Base, Algorithm::forward(), Algorithm::backward()] {

@@ -1,0 +1,240 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! keeps the workspace's `benches/` targets compiling and running with
+//! the criterion API they were written against: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], [`BenchmarkId`],
+//! [`Bencher::iter`] / [`Bencher::iter_custom`] and the group tuning
+//! knobs.
+//!
+//! It is a measurement harness, not a statistics package: each
+//! benchmark runs a short warm-up then a fixed sample count, and the
+//! mean wall-clock time per iteration is printed. The tuning methods
+//! (`sample_size`, `warm_up_time`, `measurement_time`) are honored as
+//! *caps*, scaled down so a full `cargo bench` sweep stays fast.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-exported identity guard against over-optimization.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Measurement markers (only wall-clock is provided).
+pub mod measurement {
+    /// Wall-clock time measurement (the criterion default).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Entry point handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Upstream parses CLI flags here; this stand-in accepts and
+    /// ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A bare parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A named collection of benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<'a, M> BenchmarkGroup<'a, M> {
+    /// Cap the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, 20);
+        self
+    }
+
+    /// Cap the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d.min(Duration::from_millis(200));
+        self
+    }
+
+    /// Cap the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d.min(Duration::from_millis(750));
+        self
+    }
+
+    /// Run `f` as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        run_one(self, &mut b, &mut f);
+        report(&self.name, &id.label, &b);
+        self
+    }
+
+    /// Run `f` with `input` as a benchmark named `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        run_one(self, &mut b, &mut |bench| f(bench, input));
+        report(&self.name, &id.label, &b);
+        self
+    }
+
+    /// End the group (upstream emits summary statistics here).
+    pub fn finish(self) {}
+}
+
+fn run_one<M>(group: &BenchmarkGroup<'_, M>, b: &mut Bencher, f: &mut dyn FnMut(&mut Bencher)) {
+    // One unmeasured warm-up call, then `sample_size` measured calls
+    // or until the measurement-time cap is hit, whichever comes first.
+    let warm_deadline = Instant::now() + group.warm_up_time;
+    f(b);
+    while Instant::now() < warm_deadline {
+        f(b);
+    }
+    b.total = Duration::ZERO;
+    b.iters = 0;
+    let deadline = Instant::now() + group.measurement_time;
+    for _ in 0..group.sample_size {
+        f(b);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+}
+
+fn report(group: &str, label: &str, b: &Bencher) {
+    let mean = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.total / b.iters as u32
+    };
+    println!(
+        "bench {group}/{label}: {mean:?}/iter over {} iters",
+        b.iters
+    );
+}
+
+/// Timing context passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure one call of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Let the routine time `iters` executions itself.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.total += routine(1);
+        self.iters += 1;
+    }
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` for a bench target (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

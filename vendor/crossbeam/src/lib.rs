@@ -1,0 +1,102 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only scoped threads are provided, delegated to [`std::thread::scope`]
+//! (stable since 1.63, which postdates crossbeam's scoped API). One
+//! behavioral difference: a panicking child that is never joined
+//! propagates its panic when the scope exits instead of surfacing as
+//! the scope's `Err` — callers here treat both as fatal.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::thread;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`: child
+/// closures receive it, so nested spawns work.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread and return its result, or the panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a child thread inside the scope. As in crossbeam, the
+    /// closure is handed the scope so it can spawn further children.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be
+/// spawned; all children are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn parallel_sum_over_borrowed_slice() {
+        let data: Vec<u64> = (0..1000).collect();
+        let mut partials = Vec::new();
+        super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(256)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            for h in handles {
+                partials.push(h.join().unwrap());
+            }
+        })
+        .unwrap();
+        assert_eq!(partials.iter().sum::<u64>(), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let r = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 41).join().unwrap() + 1)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn chunks_mut_pattern() {
+        let mut out = vec![0u32; 100];
+        super::scope(|s| {
+            for (t, slice) in out.chunks_mut(30).enumerate() {
+                s.spawn(move |_| {
+                    for (i, slot) in slice.iter_mut().enumerate() {
+                        *slot = (t * 30 + i) as u32;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+}
