@@ -234,40 +234,14 @@ pub fn relational(scale: f64, seed: u64) -> String {
     out
 }
 
-/// A7 — thread scaling of the parallel baseline (the shared-memory
-/// form of the paper's "distribute into multiple machines" plan).
+/// A7 — thread scaling of every algorithm family (the shared-memory
+/// form of the paper's "distribute into multiple machines" plan):
+/// `Base`/`ParallelBase`, `Forward`/`ParallelForward`,
+/// `Backward`/`ParallelBackward`, each against its serial baseline.
 pub fn threads(scale: f64, seed: u64) -> String {
-    let workload = Workload::paper(DatasetKind::Citation, scale, 0.01, seed);
-    let (g, scores) = workload.build();
-    let mut engine = LonaEngine::new(&g, 2);
-    let query = TopKQuery::new(100, Aggregate::Sum);
-
-    let mut out = String::from("A7. ParallelBase thread scaling (citation, SUM, k=100)\n");
-    let _ = writeln!(out, "  workload: {}", workload.describe(&g, &scores));
-    let serial = engine.run(&Algorithm::Base, &query, &scores);
-    let _ = writeln!(
-        out,
-        "  {:<10} {:>12} {:>10}",
-        "threads", "runtime", "speedup"
-    );
-    let _ = writeln!(
-        out,
-        "  {:<10} {:>12} {:>10}",
-        "1 (serial)",
-        format_duration(serial.stats.runtime),
-        "1.0x"
-    );
-    for t in [2usize, 4, 8] {
-        let r = engine.run(&Algorithm::ParallelBase(t), &query, &scores);
-        let speedup = serial.stats.runtime.as_secs_f64() / r.stats.runtime.as_secs_f64().max(1e-9);
-        let _ = writeln!(
-            out,
-            "  {:<10} {:>12} {:>10.1}x",
-            t,
-            format_duration(r.stats.runtime),
-            speedup
-        );
-    }
+    let data = crate::scaling::run_scaling(scale, seed, 1, &crate::scaling::THREAD_COUNTS);
+    let mut out = String::from("A7. Thread scaling, all families (citation, SUM, k=100)\n");
+    out.push_str(&crate::scaling::ascii_table(&data));
     out
 }
 

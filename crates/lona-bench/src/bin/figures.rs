@@ -10,6 +10,11 @@
 //! # Ablations:
 //! cargo run --release -p lona-bench --bin figures -- --ablation all
 //!
+//! # Thread-scaling figure (all algorithm families); emits
+//! # BENCH_scaling.json in the working directory (run from the repo
+//! # root so the perf trajectory accumulates there):
+//! cargo run --release -p lona-bench --bin figures -- --scaling
+//!
 //! # Quick smoke (small scales, 1 rep):
 //! cargo run --release -p lona-bench --bin figures -- --quick
 //! ```
@@ -19,28 +24,34 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lona_bench::{ablations, figures::FIGURES, report, run_figure};
+use lona_bench::{ablations, figures::FIGURES, report, run_figure, scaling};
 use lona_gen::{DatasetKind, DatasetProfile};
 
 struct Args {
     fig: Option<u32>,
     ablation: Option<String>,
+    scaling: bool,
     scale: Option<f64>,
     seed: u64,
     reps: usize,
     quick: bool,
-    out_dir: PathBuf,
+    /// `--out DIR` if given. Figures default to `results/`; the
+    /// scaling JSON defaults to the working directory (the repo root
+    /// when run via `cargo run` from the checkout) so the trajectory
+    /// file accumulates there.
+    out_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         fig: None,
         ablation: None,
+        scaling: false,
         scale: None,
         seed: 42,
         reps: 3,
         quick: false,
-        out_dir: PathBuf::from("results"),
+        out_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -55,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--ablation" => args.ablation = Some(value("--ablation")?),
+            "--scaling" => args.scaling = true,
             "--scale" => {
                 args.scale = Some(
                     value("--scale")?
@@ -72,12 +84,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad reps: {e}"))?
             }
-            "--out" => args.out_dir = PathBuf::from(value("--out")?),
+            "--out" => args.out_dir = Some(PathBuf::from(value("--out")?)),
             "--quick" => args.quick = true,
             "--help" | "-h" => {
-                return Err("usage: figures [--fig N|all] [--ablation NAME|all] \
+                return Err(
+                    "usage: figures [--fig N|all] [--ablation NAME|all] [--scaling] \
                             [--scale F] [--seed N] [--reps N] [--out DIR] [--quick]"
-                    .into())
+                        .into(),
+                )
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
@@ -105,6 +119,32 @@ fn main() -> ExitCode {
     };
     let reps = if args.quick { 1 } else { args.reps };
 
+    // Thread-scaling invocation: print the table, write the JSON
+    // trajectory file (working directory by default, `--out DIR` if
+    // given).
+    if args.scaling {
+        let scale = args.scale.unwrap_or(if args.quick { 0.01 } else { 0.1 });
+        eprintln!("running thread-scaling sweep at scale {scale} (reps {reps})...");
+        let data = scaling::run_scaling(scale, args.seed, reps, &scaling::THREAD_COUNTS);
+        println!("{}", scaling::ascii_table(&data));
+        let path = match &args.out_dir {
+            Some(dir) => {
+                if std::fs::create_dir_all(dir).is_err() {
+                    eprintln!("cannot create output directory {dir:?}");
+                    return ExitCode::FAILURE;
+                }
+                dir.join("BENCH_scaling.json")
+            }
+            None => PathBuf::from("BENCH_scaling.json"),
+        };
+        if let Err(e) = std::fs::write(&path, scaling::json(&data)) {
+            eprintln!("failed to write {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("  -> {path:?}");
+        return ExitCode::SUCCESS;
+    }
+
     // Ablation-only invocation.
     if let Some(name) = &args.ablation {
         let scale = args.scale.unwrap_or(if args.quick { 0.01 } else { 0.1 });
@@ -125,8 +165,12 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    if std::fs::create_dir_all(&args.out_dir).is_err() {
-        eprintln!("cannot create output directory {:?}", args.out_dir);
+    let out_dir = args
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results"));
+    if std::fs::create_dir_all(&out_dir).is_err() {
+        eprintln!("cannot create output directory {out_dir:?}");
         return ExitCode::FAILURE;
     }
 
@@ -138,7 +182,7 @@ fn main() -> ExitCode {
         eprintln!("running {} at scale {scale} (reps {reps})...", spec.title());
         let data = run_figure(spec, scale, args.seed, reps);
         println!("{}", report::ascii_table(&data));
-        let csv_path = args.out_dir.join(format!("fig{}.csv", spec.id));
+        let csv_path = out_dir.join(format!("fig{}.csv", spec.id));
         if let Err(e) = std::fs::write(&csv_path, report::csv(&data)) {
             eprintln!("failed to write {csv_path:?}: {e}");
             return ExitCode::FAILURE;

@@ -9,7 +9,8 @@
 //!
 //! * the `figures` binary — one-shot timed sweeps at configurable
 //!   scale, printing the paper-style series and CSV rows (this is
-//!   what EXPERIMENTS.md records);
+//!   what EXPERIMENTS.md records), plus `--scaling` for the
+//!   thread-scaling figure (emits `BENCH_scaling.json`);
 //! * the criterion benches (`benches/fig*_*.rs`, `benches/ablations.rs`)
 //!   — statistically grounded microbenchmarks at smoke scale.
 
@@ -19,7 +20,9 @@
 pub mod ablations;
 pub mod figures;
 pub mod report;
+pub mod scaling;
 pub mod workload;
 
 pub use figures::{run_figure, FigureData, FigureSpec, SeriesPoint, FIGURES, K_VALUES};
+pub use scaling::{run_scaling, ScalingData, ScalingPoint, THREAD_COUNTS};
 pub use workload::Workload;

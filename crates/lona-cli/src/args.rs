@@ -12,10 +12,14 @@ pub enum AlgorithmChoice {
     ParallelBase,
     /// LONA-Forward (differential index).
     Forward,
+    /// Thread-parallel LONA-Forward.
+    ParallelForward,
     /// Full backward distribution.
     BackwardNaive,
     /// LONA-Backward (partial distribution).
     Backward,
+    /// Thread-parallel LONA-Backward.
+    ParallelBackward,
 }
 
 impl std::str::FromStr for AlgorithmChoice {
@@ -26,10 +30,13 @@ impl std::str::FromStr for AlgorithmChoice {
             "base" => Ok(AlgorithmChoice::Base),
             "parallel" | "parallel-base" => Ok(AlgorithmChoice::ParallelBase),
             "forward" => Ok(AlgorithmChoice::Forward),
+            "parallel-forward" => Ok(AlgorithmChoice::ParallelForward),
             "backward-naive" => Ok(AlgorithmChoice::BackwardNaive),
             "backward" => Ok(AlgorithmChoice::Backward),
+            "parallel-backward" => Ok(AlgorithmChoice::ParallelBackward),
             other => Err(format!(
-                "unknown algorithm `{other}` (base|parallel|forward|backward|backward-naive)"
+                "unknown algorithm `{other}` (base|parallel|forward|parallel-forward|\
+                 backward|parallel-backward|backward-naive)"
             )),
         }
     }
@@ -76,6 +83,9 @@ pub enum Command {
         seed: u64,
         /// Exclude each node's own score from its aggregate.
         exclude_self: bool,
+        /// Worker threads for the parallel algorithms (default 0 =
+        /// one per core; ignored by the serial algorithms).
+        threads: usize,
     },
     /// `lona convert <edgelist> <snapshot>`
     Convert {
@@ -96,7 +106,8 @@ USAGE:
   lona stats    <edgelist>
   lona generate <collaboration|citation|intrusion> --out FILE [--scale S] [--seed N]
   lona topk     <edgelist> [--k N] [--hops H] [--aggregate sum|avg|max|dwsum]
-                [--algorithm base|parallel|forward|backward|backward-naive]
+                [--algorithm base|parallel|forward|parallel-forward|backward|
+                 parallel-backward|backward-naive] [--threads N]
                 [--scores FILE | --blacking R [--binary]] [--seed N] [--exclude-self]
   lona convert  <edgelist> <snapshot>
   lona help
@@ -142,6 +153,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 binary: has_flag(&rest, "--binary"),
                 seed: parse_flag(&rest, "--seed")?.unwrap_or(42),
                 exclude_self: has_flag(&rest, "--exclude-self"),
+                threads: parse_flag(&rest, "--threads")?.unwrap_or(0),
             })
         }
         other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
@@ -264,6 +276,8 @@ mod tests {
             "--seed",
             "7",
             "--exclude-self",
+            "--threads",
+            "6",
         ]))
         .unwrap();
         match c {
@@ -276,6 +290,7 @@ mod tests {
                 blacking,
                 seed,
                 exclude_self,
+                threads,
                 ..
             } => {
                 assert_eq!(k, 25);
@@ -286,8 +301,29 @@ mod tests {
                 assert_eq!(blacking, 0.2);
                 assert_eq!(seed, 7);
                 assert!(exclude_self);
+                assert_eq!(threads, 6);
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_algorithm_choices_parse() {
+        for (name, expect) in [
+            ("parallel-forward", AlgorithmChoice::ParallelForward),
+            ("parallel-backward", AlgorithmChoice::ParallelBackward),
+            ("parallel", AlgorithmChoice::ParallelBase),
+        ] {
+            let c = parse(&v(&["topk", "g.txt", "--algorithm", name])).unwrap();
+            match c {
+                Command::TopK {
+                    algorithm, threads, ..
+                } => {
+                    assert_eq!(algorithm, expect, "{name}");
+                    assert_eq!(threads, 0, "default is one thread per core");
+                }
+                other => panic!("{other:?}"),
+            }
         }
     }
 

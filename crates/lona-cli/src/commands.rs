@@ -47,6 +47,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             binary,
             seed,
             exclude_self,
+            threads,
         } => {
             let g = load_graph(input)?;
             let score_vec = match scores {
@@ -67,6 +68,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
                 *aggregate,
                 *algorithm,
                 !*exclude_self,
+                *threads,
             )
         }
     }
@@ -171,6 +173,7 @@ fn convert(input: &str, output: &str) -> Result<String, String> {
     ))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn topk(
     g: &CsrGraph,
     scores: &ScoreVec,
@@ -179,22 +182,30 @@ fn topk(
     aggregate: lona_core::Aggregate,
     choice: AlgorithmChoice,
     include_self: bool,
+    threads: usize,
 ) -> Result<String, String> {
     let algorithm = match choice {
         AlgorithmChoice::Base => Algorithm::Base,
-        AlgorithmChoice::ParallelBase => Algorithm::ParallelBase(0),
+        AlgorithmChoice::ParallelBase => Algorithm::ParallelBase(threads),
         AlgorithmChoice::Forward => Algorithm::forward(),
+        AlgorithmChoice::ParallelForward => Algorithm::parallel_forward(threads),
         AlgorithmChoice::BackwardNaive => Algorithm::BackwardNaive,
         AlgorithmChoice::Backward => Algorithm::backward(),
+        AlgorithmChoice::ParallelBackward => Algorithm::parallel_backward(threads),
     };
     let mut engine = LonaEngine::new(g, hops);
     let query = TopKQuery::new(k.max(1), aggregate).include_self(include_self);
     let result = engine.run(&algorithm, &query, scores);
 
     let mut out = String::new();
+    let worker_note = match algorithm.threads() {
+        Some(0) => " (threads: all cores)".to_string(),
+        Some(t) => format!(" (threads: {t})"),
+        None => String::new(),
+    };
     let _ = writeln!(
         out,
-        "top-{k} {} over {hops}-hop neighborhoods via {}:",
+        "top-{k} {} over {hops}-hop neighborhoods via {}{worker_note}:",
         aggregate.name().to_uppercase(),
         algorithm.name()
     );
@@ -290,7 +301,15 @@ mod tests {
         write_sample_graph(&p);
         let s = tmp("scores.txt");
         std::fs::write(&s, "1.0\n0.0\n0.5\n0.0\n1.0\n").unwrap();
-        for alg in ["base", "parallel", "forward", "backward", "backward-naive"] {
+        for alg in [
+            "base",
+            "parallel",
+            "forward",
+            "parallel-forward",
+            "backward",
+            "parallel-backward",
+            "backward-naive",
+        ] {
             let cmd = parse(&[
                 "topk".into(),
                 p.clone(),

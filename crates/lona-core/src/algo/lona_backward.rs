@@ -35,9 +35,6 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions) -> QueryResult {
     let n = ctx.g.num_nodes();
     let mut scanner = NeighborhoodScanner::new(n);
     let mut stats = QueryStats::default();
-    let aggregate = ctx.query.aggregate;
-    let include_self = ctx.query.include_self;
-    let weighted = aggregate == Aggregate::DistanceWeightedSum;
 
     // --- Phase 1: partial distribution above γ, descending order. ---
     let gamma = opts.gamma.resolve_slice(ctx.scores);
@@ -49,87 +46,15 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions) -> QueryResult {
             break; // descending order: nothing further qualifies
         }
         stats.nodes_distributed += 1;
-        let edges = match aggregate {
-            Aggregate::DistanceWeightedSum => {
-                let (_, e) = scanner.for_each_depth(ctx.g, u, ctx.hops, |v, depth| {
-                    partial[v as usize] += f_u / depth as f64;
-                    received[v as usize] += 1;
-                });
-                e
-            }
-            Aggregate::Max => {
-                let (_, e) = scanner.for_each(ctx.g, u, ctx.hops, |v| {
-                    let p = &mut partial[v as usize];
-                    if f_u > *p {
-                        *p = f_u;
-                    }
-                    received[v as usize] += 1;
-                });
-                e
-            }
-            Aggregate::Sum | Aggregate::Avg => {
-                let (_, e) = scanner.for_each(ctx.g, u, ctx.hops, |v| {
-                    partial[v as usize] += f_u;
-                    received[v as usize] += 1;
-                });
-                e
-            }
-        };
-        stats.edges_traversed += edges;
+        stats.edges_traversed +=
+            distribute_one(ctx, &mut scanner, u, f_u, &mut partial, &mut received);
     }
 
     // --- Phase 2: Eq. 3 bounds for every node. ---
-    // With γ = 0 the unknown term vanishes and N(v) is only needed for
-    // AVG denominators — this is how the backward method runs
-    // index-free on binary workloads.
     let mut candidates: Vec<(NodeId, f64)> = Vec::with_capacity(n);
     for i in 0..n as u32 {
         let v = NodeId(i);
-        let f_v = ctx.f(v);
-        let bound = match aggregate {
-            Aggregate::Max => {
-                if gamma > 0.0 {
-                    backward_max_bound(
-                        partial[v.index()],
-                        received[v.index()],
-                        ctx.sizes().get(v),
-                        gamma,
-                        f_v,
-                        include_self,
-                    )
-                } else {
-                    // γ = 0: unknown neighbors contribute nothing.
-                    aggregate.finalize(partial[v.index()], 0, include_self.then_some(f_v))
-                }
-            }
-            _ => {
-                let sum_bound = if gamma > 0.0 {
-                    let n_v = ctx.sizes().get(v);
-                    backward_sum_bound(
-                        partial[v.index()],
-                        received[v.index()],
-                        n_v,
-                        gamma,
-                        f_v,
-                        include_self,
-                    )
-                } else {
-                    partial[v.index()] + if include_self { f_v } else { 0.0 }
-                };
-                match aggregate {
-                    Aggregate::Avg => {
-                        let denom = ctx.sizes().get(v) + usize::from(include_self);
-                        if denom == 0 {
-                            0.0
-                        } else {
-                            sum_bound / denom as f64
-                        }
-                    }
-                    _ => sum_bound,
-                }
-            }
-        };
-        candidates.push((v, bound));
+        candidates.push((v, candidate_bound(ctx, gamma, &partial, &received, v)));
     }
     candidates.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
@@ -143,20 +68,7 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions) -> QueryResult {
             break;
         }
         verified += 1;
-        let exact_known =
-            gamma == 0.0 || (received[v.index()] as usize == ctx.sizes().get(v) && !weighted);
-        let value = if exact_known {
-            stats.exact_from_bound += 1;
-            let mass = partial[v.index()];
-            let count = match aggregate {
-                Aggregate::Avg => ctx.sizes().get(v),
-                _ => 0,
-            };
-            aggregate.finalize(mass, count, ctx.self_score(v))
-        } else {
-            let (_, value) = ctx.evaluate(&mut scanner, v, &mut stats);
-            value
-        };
+        let value = verify_one(ctx, &mut scanner, &mut stats, gamma, &partial, &received, v);
         topk.offer(v, value);
     }
     stats.nodes_pruned = n - verified;
@@ -164,6 +76,135 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions) -> QueryResult {
     QueryResult {
         entries: topk.into_sorted_vec(),
         stats,
+    }
+}
+
+/// Scatter `f_u` over `S_h(u)` into `partial`/`received` under the
+/// query's aggregate semantics; returns the edges traversed. Shared
+/// by the serial and parallel distribution phases.
+pub(crate) fn distribute_one(
+    ctx: &Ctx<'_>,
+    scanner: &mut NeighborhoodScanner,
+    u: NodeId,
+    f_u: f64,
+    partial: &mut [f64],
+    received: &mut [u32],
+) -> u64 {
+    match ctx.query.aggregate {
+        Aggregate::DistanceWeightedSum => {
+            let (_, e) = scanner.for_each_depth(ctx.g, u, ctx.hops, |v, depth| {
+                partial[v as usize] += f_u / depth as f64;
+                received[v as usize] += 1;
+            });
+            e
+        }
+        Aggregate::Max => {
+            let (_, e) = scanner.for_each(ctx.g, u, ctx.hops, |v| {
+                let p = &mut partial[v as usize];
+                if f_u > *p {
+                    *p = f_u;
+                }
+                received[v as usize] += 1;
+            });
+            e
+        }
+        Aggregate::Sum | Aggregate::Avg => {
+            let (_, e) = scanner.for_each(ctx.g, u, ctx.hops, |v| {
+                partial[v as usize] += f_u;
+                received[v as usize] += 1;
+            });
+            e
+        }
+    }
+}
+
+/// The Eq. 3 upper bound for candidate `v` after distribution. With
+/// γ = 0 the unknown term vanishes and N(v) is only needed for AVG
+/// denominators — this is how the backward method runs index-free on
+/// binary workloads.
+pub(crate) fn candidate_bound(
+    ctx: &Ctx<'_>,
+    gamma: f64,
+    partial: &[f64],
+    received: &[u32],
+    v: NodeId,
+) -> f64 {
+    let aggregate = ctx.query.aggregate;
+    let include_self = ctx.query.include_self;
+    let f_v = ctx.f(v);
+    match aggregate {
+        Aggregate::Max => {
+            if gamma > 0.0 {
+                backward_max_bound(
+                    partial[v.index()],
+                    received[v.index()],
+                    ctx.sizes().get(v),
+                    gamma,
+                    f_v,
+                    include_self,
+                )
+            } else {
+                // γ = 0: unknown neighbors contribute nothing.
+                aggregate.finalize(partial[v.index()], 0, include_self.then_some(f_v))
+            }
+        }
+        _ => {
+            let sum_bound = if gamma > 0.0 {
+                let n_v = ctx.sizes().get(v);
+                backward_sum_bound(
+                    partial[v.index()],
+                    received[v.index()],
+                    n_v,
+                    gamma,
+                    f_v,
+                    include_self,
+                )
+            } else {
+                partial[v.index()] + if include_self { f_v } else { 0.0 }
+            };
+            match aggregate {
+                Aggregate::Avg => {
+                    let denom = ctx.sizes().get(v) + usize::from(include_self);
+                    if denom == 0 {
+                        0.0
+                    } else {
+                        sum_bound / denom as f64
+                    }
+                }
+                _ => sum_bound,
+            }
+        }
+    }
+}
+
+/// Produce the exact aggregate of candidate `v`: straight from the
+/// bound when it is already exact (γ = 0, or every neighbor
+/// distributed and the aggregate is distance-blind), otherwise via a
+/// full forward expansion. Updates `stats` accordingly.
+pub(crate) fn verify_one(
+    ctx: &Ctx<'_>,
+    scanner: &mut NeighborhoodScanner,
+    stats: &mut QueryStats,
+    gamma: f64,
+    partial: &[f64],
+    received: &[u32],
+    v: NodeId,
+) -> f64 {
+    let aggregate = ctx.query.aggregate;
+    let weighted = aggregate == Aggregate::DistanceWeightedSum;
+    let exact_known =
+        gamma == 0.0 || (received[v.index()] as usize == ctx.sizes().get(v) && !weighted);
+    if exact_known {
+        stats.exact_from_bound += 1;
+        let mass = partial[v.index()];
+        let count = match aggregate {
+            Aggregate::Avg => ctx.sizes().get(v),
+            _ => 0,
+        };
+        aggregate.finalize(mass, count, ctx.self_score(v))
+    } else {
+        let (_, value) = ctx.evaluate(scanner, v, stats);
+        value
     }
 }
 

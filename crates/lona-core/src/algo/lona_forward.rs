@@ -13,6 +13,7 @@ use crate::algo::context::Ctx;
 use crate::algo::ForwardOptions;
 use crate::algo::ProcessingOrder;
 use crate::bounds::{avg_from_sum_bound, forward_max_bound, forward_sum_bound};
+use crate::index::SizeIndex;
 use crate::neighborhood::NeighborhoodScanner;
 use crate::result::QueryResult;
 use crate::stats::QueryStats;
@@ -59,9 +60,6 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &ForwardOptions) -> QueryResult {
 
         // pruneNodes(u, F(u), G, topklbound): bound each 1-hop
         // neighbor via its differential-index entry.
-        let include_self = ctx.query.include_self;
-        // Eq. 1 operates on the plain-sum aggregate of u under the
-        // query's self-inclusion semantics.
         let f_sum_u = scan.raw_mass + ctx.self_score(u).unwrap_or(0.0);
         let range = ctx.g.adjacency_range(u);
         for (i, &v) in ctx.g.neighbors(u).iter().enumerate() {
@@ -69,22 +67,7 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &ForwardOptions) -> QueryResult {
                 continue;
             }
             let delta = diffs.delta_at(range.start + i);
-            let n_v = sizes.get(v);
-            let f_v = ctx.f(v);
-            let bound = match ctx.query.aggregate {
-                Aggregate::Avg => {
-                    let sum_bound = forward_sum_bound(f_sum_u, delta, n_v, f_v, include_self);
-                    avg_from_sum_bound(sum_bound, n_v, include_self)
-                }
-                // DistanceWeightedSum values are ≤ their plain-sum
-                // counterparts, so the SUM bound stays valid.
-                Aggregate::Sum | Aggregate::DistanceWeightedSum => {
-                    forward_sum_bound(f_sum_u, delta, n_v, f_v, include_self)
-                }
-                // MAX uses its own (weaker) differential bound; `value`
-                // here is F_max(u).
-                Aggregate::Max => forward_max_bound(value, delta, f_v, include_self),
-            };
+            let bound = neighbor_bound(ctx, sizes, f_sum_u, value, delta, v);
             if bound < lbound {
                 state[v.index()] = NodeState::Pruned;
                 stats.nodes_pruned += 1;
@@ -99,8 +82,39 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &ForwardOptions) -> QueryResult {
     }
 }
 
+/// Eq. 1/2 upper bound for the not-yet-evaluated neighbor `v` of a
+/// just-evaluated `u`. `f_sum_u` is u's plain-sum aggregate under the
+/// query's self-inclusion semantics; `value_u` is u's finalized
+/// aggregate (only MAX's bound consumes it). Shared by the serial and
+/// parallel forward algorithms.
+pub(crate) fn neighbor_bound(
+    ctx: &Ctx<'_>,
+    sizes: &SizeIndex,
+    f_sum_u: f64,
+    value_u: f64,
+    delta: u32,
+    v: NodeId,
+) -> f64 {
+    let include_self = ctx.query.include_self;
+    let n_v = sizes.get(v);
+    let f_v = ctx.f(v);
+    match ctx.query.aggregate {
+        Aggregate::Avg => {
+            let sum_bound = forward_sum_bound(f_sum_u, delta, n_v, f_v, include_self);
+            avg_from_sum_bound(sum_bound, n_v, include_self)
+        }
+        // DistanceWeightedSum values are ≤ their plain-sum
+        // counterparts, so the SUM bound stays valid.
+        Aggregate::Sum | Aggregate::DistanceWeightedSum => {
+            forward_sum_bound(f_sum_u, delta, n_v, f_v, include_self)
+        }
+        // MAX uses its own (weaker) differential bound.
+        Aggregate::Max => forward_max_bound(value_u, delta, f_v, include_self),
+    }
+}
+
 /// Materialize the processing order.
-fn order(ctx: &Ctx<'_>, order: ProcessingOrder) -> Vec<NodeId> {
+pub(crate) fn order(ctx: &Ctx<'_>, order: ProcessingOrder) -> Vec<NodeId> {
     let n = ctx.g.num_nodes() as u32;
     let mut ids: Vec<NodeId> = (0..n).map(NodeId).collect();
     match order {

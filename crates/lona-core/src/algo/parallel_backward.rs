@@ -1,0 +1,289 @@
+//! Thread-parallel LONA-Backward: partial distribution, Eq. 3
+//! bounds, and threshold-algorithm verification across workers.
+//!
+//! * **Distribution** — the above-γ distributor list is split into
+//!   contiguous blocks, one per worker; each worker scatters into a
+//!   *private* `partial`/`received` pair and the pairs merge in fixed
+//!   worker order. Private buffers keep the hot inner loop free of
+//!   atomics, and the fixed merge order keeps the floating-point
+//!   result deterministic for a given thread count (worker-local sums
+//!   group differently than serial's, so parallel and serial agree to
+//!   rounding — the suite's 1e-9 tolerance — not bit-for-bit).
+//! * **Bounds** — embarrassingly parallel over node ranges, then one
+//!   serial sort by descending bound.
+//! * **Verification** — workers claim candidates in bound order from
+//!   a [`ChunkCursor`] (the distributed form of the paper's
+//!   best-bound-first walk), verify against private heaps, and raise
+//!   a [`SharedThreshold`] as the heaps fill. A worker stops as soon
+//!   as the next bound cannot beat the shared threshold; since bounds
+//!   descend along the cursor, everything later is unreachable too.
+//!   Workers may verify up to `threads · k` extra borderline
+//!   candidates versus serial (each heap must fill before it can
+//!   raise the threshold) — extra exact evaluations are wasted work,
+//!   never wrong answers.
+//!
+//! The stop rule (`bound <= threshold`, like serial's) may discard a
+//! candidate whose exact value *ties* the k-th best; the merged heap
+//! then holds an equal-valued node instead, so the value sequence is
+//! unchanged but the node set can resolve ties differently than
+//! serial (and differently across schedules). That is within the
+//! cross-algorithm contract — `QueryResult::same_values` defines
+//! agreement over values precisely because the paper's top-k
+//! semantics allow any tie-breaking.
+
+use lona_graph::NodeId;
+
+use crate::algo::context::Ctx;
+use crate::algo::lona_backward::{candidate_bound, distribute_one, verify_one};
+use crate::algo::BackwardOptions;
+use crate::exec::{self, ChunkCursor, SharedThreshold};
+use crate::neighborhood::NeighborhoodScanner;
+use crate::result::QueryResult;
+use crate::stats::QueryStats;
+use crate::topk::TopKHeap;
+
+pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions, threads: usize) -> QueryResult {
+    assert!(
+        !ctx.g.is_directed(),
+        "backward distribution requires an undirected graph (u ∈ S(v) ⟺ v ∈ S(u))"
+    );
+    let n = ctx.g.num_nodes();
+    let threads = exec::resolve_threads(threads, n);
+    if threads == 1 {
+        return super::lona_backward::run(ctx, opts);
+    }
+    let mut stats = QueryStats::default();
+    let gamma = opts.gamma.resolve_slice(ctx.scores);
+
+    // --- Phase 1: parallel partial distribution above γ. ---
+    let distributors: Vec<(NodeId, f64)> = ctx
+        .nonzero_descending()
+        .into_iter()
+        .take_while(|&(_, f_u)| f_u > gamma)
+        .collect();
+    stats.nodes_distributed = distributors.len();
+
+    let dist_threads = exec::resolve_threads(threads, distributors.len());
+    let block = distributors.len().div_ceil(dist_threads.max(1)).max(1);
+    let worker_partials = exec::run_workers(dist_threads, |t| {
+        let start = (t * block).min(distributors.len());
+        let end = ((t + 1) * block).min(distributors.len());
+        let mut partial = vec![0.0f64; n];
+        let mut received = vec![0u32; n];
+        let mut edges = 0u64;
+        let mut scanner = NeighborhoodScanner::new(n);
+        for &(u, f_u) in &distributors[start..end] {
+            edges += distribute_one(ctx, &mut scanner, u, f_u, &mut partial, &mut received);
+        }
+        (partial, received, edges)
+    });
+
+    let max_agg = ctx.query.aggregate == crate::aggregate::Aggregate::Max;
+    let mut partial = vec![0.0f64; n];
+    let mut received = vec![0u32; n];
+    for (p, r, edges) in worker_partials {
+        stats.edges_traversed += edges;
+        for i in 0..n {
+            if max_agg {
+                if p[i] > partial[i] {
+                    partial[i] = p[i];
+                }
+            } else {
+                partial[i] += p[i];
+            }
+            received[i] += r[i];
+        }
+    }
+
+    // --- Phase 2: Eq. 3 bounds, parallel over node ranges. ---
+    let mut candidates: Vec<(NodeId, f64)> = (0..n as u32).map(|i| (NodeId(i), 0.0)).collect();
+    {
+        let partial = &partial;
+        let received = &received;
+        exec::partition_mut(&mut candidates, threads, |_, slice| {
+            for (v, bound) in slice.iter_mut() {
+                *bound = candidate_bound(ctx, gamma, partial, received, *v);
+            }
+        });
+    }
+    candidates.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    // --- Phase 3: parallel verification with a shared threshold. ---
+    // Chunk of 4: candidates near the front are expensive hub
+    // expansions, and a fine-grained cursor keeps the stop line tight.
+    let cursor = ChunkCursor::with_chunk(n, 4);
+    let shared = SharedThreshold::new();
+    let results = {
+        let partial = &partial;
+        let received = &received;
+        let candidates = &candidates;
+        exec::run_workers(threads, |_| {
+            let mut scanner = NeighborhoodScanner::new(n);
+            let mut topk = TopKHeap::new(ctx.query.k);
+            let mut wstats = QueryStats::default();
+            let mut verified = 0usize;
+            'work: while let Some(range) = cursor.next() {
+                for idx in range {
+                    let (v, bound) = candidates[idx];
+                    // Stop once the bound cannot beat any full heap's
+                    // floor — the shared threshold is only ever raised
+                    // by heaps holding k exact results, so everything
+                    // at or below it is unreachable, and bounds only
+                    // descend from here.
+                    if bound <= shared.get() {
+                        break 'work;
+                    }
+                    verified += 1;
+                    let value =
+                        verify_one(ctx, &mut scanner, &mut wstats, gamma, partial, received, v);
+                    topk.offer(v, value);
+                    if topk.is_full() {
+                        shared.raise(topk.threshold());
+                    }
+                }
+            }
+            (topk, wstats, verified)
+        })
+    };
+
+    let mut topk = TopKHeap::new(ctx.query.k);
+    let mut verified_total = 0usize;
+    for (partial_heap, s, verified) in results {
+        for (node, value) in partial_heap.into_sorted_vec() {
+            topk.offer(node, value);
+        }
+        stats.merge(&s);
+        verified_total += verified;
+    }
+    stats.nodes_pruned = n - verified_total;
+
+    QueryResult {
+        entries: topk.into_sorted_vec(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Aggregate;
+    use crate::algo::{lona_backward, GammaSpec};
+    use crate::engine::TopKQuery;
+    use crate::index::SizeIndex;
+    use lona_graph::{CsrGraph, GraphBuilder};
+
+    fn ladder(n: u32) -> (CsrGraph, Vec<f64>) {
+        let mut b = GraphBuilder::undirected();
+        for i in 0..n {
+            b.push_edge(i, (i + 1) % n);
+            b.push_edge(i, (i * 17 + 5) % n);
+        }
+        let g = b.build().unwrap();
+        let scores: Vec<f64> = (0..n)
+            .map(|i| {
+                if i % 4 == 0 {
+                    ((i % 89) + 1) as f64 / 89.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        (g, scores)
+    }
+
+    #[test]
+    fn agrees_with_serial_backward() {
+        let (g, scores) = ladder(150);
+        let sizes = SizeIndex::build(&g, 2);
+        for aggregate in [
+            Aggregate::Sum,
+            Aggregate::Avg,
+            Aggregate::Max,
+            Aggregate::DistanceWeightedSum,
+        ] {
+            for gamma in [
+                GammaSpec::Fixed(0.0),
+                GammaSpec::Fixed(0.4),
+                GammaSpec::NonzeroQuantile(0.7),
+            ] {
+                for k in [1usize, 4, 12] {
+                    let query = TopKQuery::new(k, aggregate);
+                    let ctx = Ctx {
+                        g: &g,
+                        hops: 2,
+                        scores: &scores,
+                        query: &query,
+                        sizes: Some(&sizes),
+                        diffs: None,
+                    };
+                    let opts = BackwardOptions { gamma };
+                    let serial = lona_backward::run(&ctx, &opts);
+                    for threads in [2usize, 3, 7] {
+                        let parallel = run(&ctx, &opts, threads);
+                        assert!(
+                            parallel.same_values(&serial, 1e-9),
+                            "{aggregate:?} {gamma:?} k={k} t={threads}: {:?} vs {:?}",
+                            parallel.values(),
+                            serial.values()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_fast_path_never_expands() {
+        let (g, _) = ladder(120);
+        let scores: Vec<f64> = (0..120)
+            .map(|i| if i % 9 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let sizes = SizeIndex::build(&g, 2);
+        let query = TopKQuery::new(5, Aggregate::Sum);
+        let ctx = Ctx {
+            g: &g,
+            hops: 2,
+            scores: &scores,
+            query: &query,
+            sizes: Some(&sizes),
+            diffs: None,
+        };
+        let r = run(
+            &ctx,
+            &BackwardOptions {
+                gamma: GammaSpec::default(),
+            },
+            3,
+        );
+        assert_eq!(r.stats.nodes_evaluated, 0, "γ=0 must stay expansion-free");
+        assert!(r.stats.exact_from_bound > 0);
+    }
+
+    #[test]
+    fn stats_account_for_every_node() {
+        let (g, scores) = ladder(150);
+        let sizes = SizeIndex::build(&g, 2);
+        let query = TopKQuery::new(3, Aggregate::Sum);
+        let ctx = Ctx {
+            g: &g,
+            hops: 2,
+            scores: &scores,
+            query: &query,
+            sizes: Some(&sizes),
+            diffs: None,
+        };
+        let r = run(
+            &ctx,
+            &BackwardOptions {
+                gamma: GammaSpec::Fixed(0.5),
+            },
+            4,
+        );
+        // verified (= n − pruned) candidates split between the exact
+        // fast path and full expansions.
+        assert_eq!(
+            g.num_nodes() - r.stats.nodes_pruned,
+            r.stats.exact_from_bound + r.stats.nodes_evaluated
+        );
+    }
+}

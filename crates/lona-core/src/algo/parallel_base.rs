@@ -13,6 +13,7 @@
 use lona_graph::NodeId;
 
 use crate::algo::context::Ctx;
+use crate::exec::{self, ChunkCursor};
 use crate::neighborhood::NeighborhoodScanner;
 use crate::result::QueryResult;
 use crate::stats::QueryStats;
@@ -20,47 +21,26 @@ use crate::topk::TopKHeap;
 
 pub(crate) fn run(ctx: &Ctx<'_>, threads: usize) -> QueryResult {
     let n = ctx.g.num_nodes();
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-    .clamp(1, n.max(1));
+    let threads = exec::resolve_threads(threads, n);
 
     if threads == 1 || n < 256 {
         return super::base_forward::run(ctx);
     }
 
-    let chunk = n.div_ceil(threads);
-    let mut partials: Vec<(TopKHeap, QueryStats)> = Vec::with_capacity(threads);
-
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(n);
-            if start >= end {
-                break;
+    let cursor = ChunkCursor::new(n, threads);
+    let partials = exec::run_workers(threads, |_| {
+        let mut scanner = NeighborhoodScanner::new(n);
+        let mut topk = TopKHeap::new(ctx.query.k);
+        let mut stats = QueryStats::default();
+        while let Some(range) = cursor.next() {
+            for i in range {
+                let u = NodeId(i as u32);
+                let (_, value) = ctx.evaluate(&mut scanner, u, &mut stats);
+                topk.offer(u, value);
             }
-            handles.push(scope.spawn(move |_| {
-                let mut scanner = NeighborhoodScanner::new(n);
-                let mut topk = TopKHeap::new(ctx.query.k);
-                let mut stats = QueryStats::default();
-                for i in start..end {
-                    let u = NodeId(i as u32);
-                    let (_, value) = ctx.evaluate(&mut scanner, u, &mut stats);
-                    topk.offer(u, value);
-                }
-                (topk, stats)
-            }));
         }
-        for h in handles {
-            partials.push(h.join().expect("parallel-base worker panicked"));
-        }
-    })
-    .expect("parallel-base scope failed");
+        (topk, stats)
+    });
 
     // Merge: offering every partial entry into one heap preserves the
     // global tie-breaking order.
@@ -70,8 +50,7 @@ pub(crate) fn run(ctx: &Ctx<'_>, threads: usize) -> QueryResult {
         for (node, value) in partial.into_sorted_vec() {
             topk.offer(node, value);
         }
-        stats.nodes_evaluated += s.nodes_evaluated;
-        stats.edges_traversed += s.edges_traversed;
+        stats.merge(&s);
     }
     QueryResult {
         entries: topk.into_sorted_vec(),

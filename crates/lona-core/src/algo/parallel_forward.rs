@@ -1,0 +1,227 @@
+//! Thread-parallel LONA-Forward: differential-index pruning with a
+//! shared rising threshold.
+//!
+//! Workers steal chunks of the processing order from a
+//! [`ChunkCursor`]; each owns a private scanner and a private top-k
+//! heap. Node states live in a shared atomic array so that a prune
+//! discovered by one worker spares *every* worker the expansion, and
+//! the `topklbound` is a [`SharedThreshold`] that workers raise as
+//! their heaps fill.
+//!
+//! Soundness (DESIGN.md §7): when any worker prunes `v` it holds
+//! `F(v) ≤ bound < t`, where `t` is the k-th best value of some fully
+//! populated heap at that moment. Those k nodes were evaluated
+//! exactly, so k nodes strictly beat `v` and `v` cannot enter the
+//! final top-k. Stale threshold reads only make `t` smaller — pruning
+//! less, never wrongly. Every evaluated node's aggregate is computed
+//! by the same deterministic scan as the serial algorithm, so merged
+//! results agree with serial LONA-Forward exactly (not just within
+//! tolerance), whichever interleaving the scheduler picks.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::algo::context::Ctx;
+use crate::algo::ForwardOptions;
+use crate::exec::{self, ChunkCursor, SharedThreshold};
+use crate::neighborhood::NeighborhoodScanner;
+use crate::result::QueryResult;
+use crate::stats::QueryStats;
+use crate::topk::TopKHeap;
+
+const PENDING: u8 = 0;
+const EVALUATED: u8 = 1;
+const PRUNED: u8 = 2;
+
+pub(crate) fn run(ctx: &Ctx<'_>, opts: &ForwardOptions, threads: usize) -> QueryResult {
+    assert!(
+        !ctx.g.is_directed(),
+        "LONA-Forward pruning requires an undirected graph (Eq. 1 needs mutual adjacency)"
+    );
+    let n = ctx.g.num_nodes();
+    let threads = exec::resolve_threads(threads, n);
+    if threads == 1 {
+        return super::lona_forward::run(ctx, opts);
+    }
+    let diffs = ctx
+        .diffs
+        .expect("engine must prepare the differential index");
+    let sizes = ctx.sizes();
+
+    let order = super::lona_forward::order(ctx, opts.order);
+    let state: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(PENDING)).collect();
+    let shared = SharedThreshold::new();
+    // Small chunks propagate the threshold early; the claim is one
+    // fetch_add so even chunk=1 would be cheap next to an expansion.
+    let cursor = ChunkCursor::with_chunk(n, (n / (threads * 16)).clamp(1, 256));
+
+    let partials = exec::run_workers(threads, |_| {
+        let mut scanner = NeighborhoodScanner::new(n);
+        let mut topk = TopKHeap::new(ctx.query.k);
+        let mut stats = QueryStats::default();
+        while let Some(range) = cursor.next() {
+            for idx in range {
+                let u = order[idx];
+                // Claim u: losing the race means another worker pruned
+                // it in the meantime (chunks themselves are disjoint).
+                if state[u.index()]
+                    .compare_exchange(PENDING, EVALUATED, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_err()
+                {
+                    continue;
+                }
+
+                let (scan, value) = ctx.evaluate(&mut scanner, u, &mut stats);
+                topk.offer(u, value);
+                if topk.is_full() {
+                    shared.raise(topk.threshold());
+                }
+
+                // Prune against the best bound anyone has proven. The
+                // shared threshold already dominates this worker's
+                // local one after the raise above.
+                let lbound = shared.get();
+                if lbound == f64::NEG_INFINITY {
+                    continue;
+                }
+                let f_sum_u = scan.raw_mass + ctx.self_score(u).unwrap_or(0.0);
+                let adj = ctx.g.adjacency_range(u);
+                for (i, &v) in ctx.g.neighbors(u).iter().enumerate() {
+                    if state[v.index()].load(Ordering::Relaxed) != PENDING {
+                        continue;
+                    }
+                    let delta = diffs.delta_at(adj.start + i);
+                    let bound =
+                        super::lona_forward::neighbor_bound(ctx, sizes, f_sum_u, value, delta, v);
+                    if bound < lbound
+                        && state[v.index()]
+                            .compare_exchange(PENDING, PRUNED, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                    {
+                        stats.nodes_pruned += 1;
+                    }
+                }
+            }
+        }
+        (topk, stats)
+    });
+
+    let mut topk = TopKHeap::new(ctx.query.k);
+    let mut stats = QueryStats::default();
+    for (partial, s) in partials {
+        for (node, value) in partial.into_sorted_vec() {
+            topk.offer(node, value);
+        }
+        stats.merge(&s);
+    }
+    debug_assert_eq!(stats.nodes_evaluated + stats.nodes_pruned, n);
+    QueryResult {
+        entries: topk.into_sorted_vec(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Aggregate;
+    use crate::algo::{lona_forward, ProcessingOrder};
+    use crate::engine::TopKQuery;
+    use crate::index::{DiffIndex, SizeIndex};
+    use lona_graph::{CsrGraph, GraphBuilder};
+
+    fn clique_ring(n: u32) -> (CsrGraph, Vec<f64>) {
+        let mut b = GraphBuilder::undirected();
+        for c in 0..n / 6 {
+            let base = c * 6;
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    b.push_edge(base + i, base + j);
+                }
+            }
+            b.push_edge(base, (base + 6) % n);
+        }
+        let g = b.build().unwrap();
+        let scores: Vec<f64> = (0..n).map(|i| ((i * 31) % 97) as f64 / 97.0).collect();
+        (g, scores)
+    }
+
+    #[test]
+    fn agrees_with_serial_forward() {
+        let (g, scores) = clique_ring(120);
+        let sizes = SizeIndex::build(&g, 2);
+        let diffs = DiffIndex::build(&g, 2, &sizes);
+        for aggregate in [
+            Aggregate::Sum,
+            Aggregate::Avg,
+            Aggregate::Max,
+            Aggregate::DistanceWeightedSum,
+        ] {
+            for k in [1usize, 5, 20] {
+                let query = TopKQuery::new(k, aggregate);
+                let ctx = Ctx {
+                    g: &g,
+                    hops: 2,
+                    scores: &scores,
+                    query: &query,
+                    sizes: Some(&sizes),
+                    diffs: Some(&diffs),
+                };
+                let opts = ForwardOptions {
+                    order: ProcessingOrder::NodeId,
+                };
+                let serial = lona_forward::run(&ctx, &opts);
+                for threads in [2usize, 3, 7] {
+                    let parallel = run(&ctx, &opts, threads);
+                    assert_eq!(
+                        parallel.nodes(),
+                        serial.nodes(),
+                        "{aggregate:?} k={k} t={threads}"
+                    );
+                    assert_eq!(parallel.values(), serial.values());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_accounting_covers_graph() {
+        let (g, scores) = clique_ring(120);
+        let sizes = SizeIndex::build(&g, 2);
+        let diffs = DiffIndex::build(&g, 2, &sizes);
+        let query = TopKQuery::new(1, Aggregate::Sum);
+        let ctx = Ctx {
+            g: &g,
+            hops: 2,
+            scores: &scores,
+            query: &query,
+            sizes: Some(&sizes),
+            diffs: Some(&diffs),
+        };
+        let r = run(&ctx, &ForwardOptions::default(), 4);
+        assert_eq!(
+            r.stats.nodes_evaluated + r.stats.nodes_pruned,
+            g.num_nodes()
+        );
+    }
+
+    #[test]
+    fn one_thread_falls_back_to_serial() {
+        let (g, scores) = clique_ring(24);
+        let sizes = SizeIndex::build(&g, 2);
+        let diffs = DiffIndex::build(&g, 2, &sizes);
+        let query = TopKQuery::new(3, Aggregate::Sum);
+        let ctx = Ctx {
+            g: &g,
+            hops: 2,
+            scores: &scores,
+            query: &query,
+            sizes: Some(&sizes),
+            diffs: Some(&diffs),
+        };
+        let opts = ForwardOptions::default();
+        let serial = lona_forward::run(&ctx, &opts);
+        let fallback = run(&ctx, &opts, 1);
+        assert_eq!(fallback.nodes(), serial.nodes());
+        assert_eq!(fallback.stats.nodes_pruned, serial.stats.nodes_pruned);
+    }
+}

@@ -192,7 +192,7 @@ impl<'g> LonaEngine<'g> {
         let mut index_build = Duration::ZERO;
         match algorithm {
             Algorithm::Base | Algorithm::ParallelBase(_) => {}
-            Algorithm::LonaForward(_) => {
+            Algorithm::LonaForward(_) | Algorithm::ParallelForward { .. } => {
                 index_build += self.prepare_diff_index();
             }
             Algorithm::BackwardNaive => {
@@ -200,7 +200,7 @@ impl<'g> LonaEngine<'g> {
                     index_build += self.prepare_size_index();
                 }
             }
-            Algorithm::LonaBackward(opts) => {
+            Algorithm::LonaBackward(opts) | Algorithm::ParallelBackward { opts, .. } => {
                 let gamma = opts.gamma.resolve(scores);
                 if gamma > 0.0 || query.aggregate.needs_size() {
                     index_build += self.prepare_size_index();
@@ -222,8 +222,14 @@ impl<'g> LonaEngine<'g> {
             Algorithm::Base => algo::base_forward::run(&ctx),
             Algorithm::ParallelBase(threads) => algo::parallel_base::run(&ctx, *threads),
             Algorithm::LonaForward(opts) => algo::lona_forward::run(&ctx, opts),
+            Algorithm::ParallelForward { opts, threads } => {
+                algo::parallel_forward::run(&ctx, opts, *threads)
+            }
             Algorithm::BackwardNaive => algo::backward_naive::run(&ctx),
             Algorithm::LonaBackward(opts) => algo::lona_backward::run(&ctx, opts),
+            Algorithm::ParallelBackward { opts, threads } => {
+                algo::parallel_backward::run(&ctx, opts, *threads)
+            }
         };
         result.stats.runtime = t.elapsed();
         result.stats.index_build = index_build;
@@ -266,6 +272,30 @@ mod tests {
                     "{alg} {aggregate:?}: {:?} vs {:?}",
                     got.values(),
                     base.values()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_variants_agree_end_to_end() {
+        let g = ring(300);
+        let scores = ScoreVec::from_fn(300, |u| ((u.0 * 53) % 17) as f64 / 16.0);
+        let mut engine = LonaEngine::new(&g, 2);
+        for aggregate in [Aggregate::Sum, Aggregate::Avg] {
+            let query = TopKQuery::new(7, aggregate);
+            for alg in [
+                Algorithm::ParallelBase(3),
+                Algorithm::parallel_forward(3),
+                Algorithm::parallel_backward(3),
+            ] {
+                let serial = engine.run(&alg.serial_counterpart(), &query, &scores);
+                let got = engine.run(&alg, &query, &scores);
+                assert!(
+                    got.same_values(&serial, 1e-9),
+                    "{alg} {aggregate:?}: {:?} vs {:?}",
+                    got.values(),
+                    serial.values()
                 );
             }
         }

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 
 use lona_graph::{CsrGraph, GraphError, NodeId};
 
+use crate::exec::{self, ChunkCursor};
 use crate::index::SizeIndex;
 use crate::neighborhood::NeighborhoodScanner;
 
@@ -75,56 +76,48 @@ impl DiffIndex {
 
     fn build_impl(g: &CsrGraph, hops: u32, sizes: &SizeIndex, deltas: Vec<AtomicU32>) -> Self {
         let n = g.num_nodes();
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n.max(1));
-        let chunk = n.div_ceil(threads.max(1)).max(1);
+        let threads = exec::resolve_threads(0, n);
         let deltas_ref = &deltas;
+        // Work-stealing chunks: per-node cost is the whole incident
+        // neighborhood expansion, so hub-heavy ranges would starve a
+        // static partition.
+        let cursor = ChunkCursor::new(n, threads);
 
-        crossbeam::scope(|scope| {
-            for t in 0..threads {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(n);
-                if start >= end {
-                    break;
-                }
-                scope.spawn(move |_| {
-                    let mut marker = NeighborhoodScanner::new(n);
-                    let mut expander = NeighborhoodScanner::new(n);
-                    for u_idx in start..end {
-                        let u = NodeId(u_idx as u32);
-                        let n_u = sizes.get(u) as u32;
-                        if g.neighbors(u).iter().all(|&v| v.0 < u.0) {
+        exec::run_workers(threads, |_| {
+            let mut marker = NeighborhoodScanner::new(n);
+            let mut expander = NeighborhoodScanner::new(n);
+            while let Some(range) = cursor.next() {
+                for u_idx in range {
+                    let u = NodeId(u_idx as u32);
+                    let n_u = sizes.get(u) as u32;
+                    if g.neighbors(u).iter().all(|&v| v.0 < u.0) {
+                        continue;
+                    }
+                    marker.mark(g, u, hops);
+                    let u_range = g.adjacency_range(u);
+                    for (i, &v) in g.neighbors(u).iter().enumerate() {
+                        if v.0 < u.0 {
                             continue;
                         }
-                        marker.mark(g, u, hops);
-                        let u_range = g.adjacency_range(u);
-                        for (i, &v) in g.neighbors(u).iter().enumerate() {
-                            if v.0 < u.0 {
-                                continue;
+                        let mut inter = 0u32;
+                        expander.for_each(g, v, hops, |w| {
+                            if marker.marked(NodeId(w)) {
+                                inter += 1;
                             }
-                            let mut inter = 0u32;
-                            expander.for_each(g, v, hops, |w| {
-                                if marker.marked(NodeId(w)) {
-                                    inter += 1;
-                                }
-                            });
-                            let n_v = sizes.get(v) as u32;
-                            debug_assert!(inter <= n_v && inter <= n_u);
-                            // delta(v − u) lives at u's entry for v:
-                            deltas_ref[u_range.start + i].store(n_v - inter, Ordering::Relaxed);
-                            // delta(u − v) lives at v's entry for u:
-                            let back = g
-                                .adjacency_index(v, u)
-                                .expect("undirected edge must exist both ways");
-                            deltas_ref[back].store(n_u - inter, Ordering::Relaxed);
-                        }
+                        });
+                        let n_v = sizes.get(v) as u32;
+                        debug_assert!(inter <= n_v && inter <= n_u);
+                        // delta(v − u) lives at u's entry for v:
+                        deltas_ref[u_range.start + i].store(n_v - inter, Ordering::Relaxed);
+                        // delta(u − v) lives at v's entry for u:
+                        let back = g
+                            .adjacency_index(v, u)
+                            .expect("undirected edge must exist both ways");
+                        deltas_ref[back].store(n_u - inter, Ordering::Relaxed);
                     }
-                });
+                }
             }
-        })
-        .expect("diff-index worker panicked");
+        });
 
         let deltas = deltas.into_iter().map(AtomicU32::into_inner).collect();
         DiffIndex { hops, deltas }

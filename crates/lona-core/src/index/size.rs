@@ -4,6 +4,7 @@ use std::io::{Read, Write};
 
 use lona_graph::{CsrGraph, GraphError, NodeId};
 
+use crate::exec;
 use crate::neighborhood::NeighborhoodScanner;
 
 const MAGIC: &[u8; 8] = b"LONASIZ1";
@@ -24,31 +25,20 @@ impl SizeIndex {
     pub fn build(g: &CsrGraph, hops: u32) -> Self {
         let n = g.num_nodes();
         let mut sizes = vec![0u32; n];
-        let threads = num_threads(n);
+        let threads = if n < 1024 {
+            1
+        } else {
+            exec::resolve_threads(0, n)
+        };
 
-        if threads <= 1 || n < 1024 {
+        exec::partition_mut(&mut sizes, threads, |start, slice| {
             let mut scanner = NeighborhoodScanner::new(n);
-            for (i, slot) in sizes.iter_mut().enumerate() {
-                let (count, _) = scanner.size_scan(g, NodeId(i as u32), hops);
+            for (i, slot) in slice.iter_mut().enumerate() {
+                let u = NodeId((start + i) as u32);
+                let (count, _) = scanner.size_scan(g, u, hops);
                 *slot = count as u32;
             }
-        } else {
-            let chunk = n.div_ceil(threads);
-            crossbeam::scope(|scope| {
-                for (t, slice) in sizes.chunks_mut(chunk).enumerate() {
-                    let start = t * chunk;
-                    scope.spawn(move |_| {
-                        let mut scanner = NeighborhoodScanner::new(n);
-                        for (i, slot) in slice.iter_mut().enumerate() {
-                            let u = NodeId((start + i) as u32);
-                            let (count, _) = scanner.size_scan(g, u, hops);
-                            *slot = count as u32;
-                        }
-                    });
-                }
-            })
-            .expect("size-index worker panicked");
-        }
+        });
         SizeIndex { hops, sizes }
     }
 
@@ -112,13 +102,6 @@ impl SizeIndex {
             .collect();
         Ok(SizeIndex { hops, sizes })
     }
-}
-
-fn num_threads(work_items: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(work_items.max(1))
 }
 
 #[cfg(test)]

@@ -46,7 +46,10 @@
 //!   `delta(v − u)`;
 //! * [`bounds`] — Equations 1–3 with soundness notes;
 //! * [`topk`] — the bounded top-k heap / `topklbound`;
-//! * [`algo`] — Base, LONA-Forward, BackwardNaive, LONA-Backward;
+//! * [`exec`] — parallel-execution primitives: thread resolution,
+//!   work-stealing chunks, the shared rising threshold;
+//! * [`algo`] — Base, LONA-Forward, BackwardNaive, LONA-Backward and
+//!   their thread-parallel variants;
 //! * [`engine`] — index lifecycle + dispatch;
 //! * [`validate`] — brute-force oracle for tests.
 
@@ -57,6 +60,7 @@ pub mod aggregate;
 pub mod algo;
 pub mod bounds;
 pub mod engine;
+pub mod exec;
 pub mod index;
 pub mod neighborhood;
 pub mod result;
@@ -67,6 +71,7 @@ pub mod validate;
 pub use aggregate::Aggregate;
 pub use algo::{Algorithm, BackwardOptions, ForwardOptions, GammaSpec, ProcessingOrder};
 pub use engine::{LonaEngine, TopKQuery};
+pub use exec::SharedThreshold;
 pub use index::{DiffIndex, SizeIndex};
 pub use result::QueryResult;
 pub use stats::QueryStats;

@@ -29,6 +29,24 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
+    /// Fold another worker's counters into this one (used by every
+    /// parallel path when partial results merge).
+    ///
+    /// All work counters are additive. `index_build` is additive too
+    /// (builds are charged once, on one thread). `runtime` takes the
+    /// maximum: per-worker wall times overlap, so summing them would
+    /// overstate the query; the engine overwrites `runtime` with the
+    /// true end-to-end time after dispatch anyway.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.nodes_evaluated += other.nodes_evaluated;
+        self.nodes_pruned += other.nodes_pruned;
+        self.edges_traversed += other.edges_traversed;
+        self.nodes_distributed += other.nodes_distributed;
+        self.exact_from_bound += other.exact_from_bound;
+        self.index_build += other.index_build;
+        self.runtime = self.runtime.max(other.runtime);
+    }
+
     /// Fraction of the graph's nodes that never paid an exact
     /// evaluation (`pruned / (evaluated + pruned)`).
     pub fn prune_rate(&self) -> f64 {
@@ -64,6 +82,40 @@ mod tests {
     #[test]
     fn prune_rate_handles_zero() {
         assert_eq!(QueryStats::default().prune_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_runtime() {
+        let mut a = QueryStats {
+            nodes_evaluated: 3,
+            nodes_pruned: 2,
+            edges_traversed: 10,
+            nodes_distributed: 1,
+            exact_from_bound: 1,
+            index_build: Duration::from_millis(5),
+            runtime: Duration::from_millis(8),
+        };
+        let b = QueryStats {
+            nodes_evaluated: 4,
+            nodes_pruned: 1,
+            edges_traversed: 7,
+            nodes_distributed: 2,
+            exact_from_bound: 0,
+            index_build: Duration::from_millis(1),
+            runtime: Duration::from_millis(3),
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes_evaluated, 7);
+        assert_eq!(a.nodes_pruned, 3);
+        assert_eq!(a.edges_traversed, 17);
+        assert_eq!(a.nodes_distributed, 3);
+        assert_eq!(a.exact_from_bound, 1);
+        assert_eq!(a.index_build, Duration::from_millis(6));
+        assert_eq!(
+            a.runtime,
+            Duration::from_millis(8),
+            "runtime is max, not sum"
+        );
     }
 
     #[test]

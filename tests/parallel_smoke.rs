@@ -1,0 +1,77 @@
+//! CI smoke: on a fixed seed graph, `ParallelBase(2)`,
+//! `ParallelForward`, and `ParallelBackward` return the same results
+//! as their serial counterparts.
+//!
+//! `ParallelBase` partitions exact evaluations, so its results must
+//! be *bit-identical* to Base, node sets included. The same holds for
+//! `ParallelForward`: its prune rule is strictly conservative, so
+//! every node that can reach the top-k is evaluated by the same
+//! deterministic scan as serial. `ParallelBackward` is compared on
+//! *values* only (within the suite-wide 1e-9 tolerance): its
+//! distribution phase groups floating-point sums per worker, and its
+//! verification stop line may resolve exactly-tied boundary
+//! candidates to different (equal-valued) nodes than serial — the
+//! paper's top-k semantics allow any tie-breaking
+//! (`QueryResult::same_values`).
+
+use lona::prelude::*;
+
+/// The fixed workload: smoke-scale collaboration network, paper-style
+/// relevance mixture, both with pinned seeds.
+fn fixed_workload() -> (lona::graph::CsrGraph, ScoreVec) {
+    let g = DatasetProfile::smoke(DatasetKind::Collaboration, 2024)
+        .generate()
+        .unwrap();
+    let scores = MixtureBuilder::new(0.02).build(&g, 2024);
+    (g, scores)
+}
+
+fn assert_matches_serial(alg: Algorithm, bit_identical: bool) {
+    let (g, scores) = fixed_workload();
+    let mut engine = LonaEngine::new(&g, 2);
+    for aggregate in [Aggregate::Sum, Aggregate::Avg] {
+        for k in [1usize, 10, 50] {
+            let query = TopKQuery::new(k, aggregate);
+            let serial = engine.run(&alg.serial_counterpart(), &query, &scores);
+            let parallel = engine.run(&alg, &query, &scores);
+            if bit_identical {
+                assert_eq!(
+                    parallel.nodes(),
+                    serial.nodes(),
+                    "{alg} node set diverged ({aggregate:?}, k={k})"
+                );
+                assert_eq!(
+                    parallel.values(),
+                    serial.values(),
+                    "{alg} values diverged ({aggregate:?}, k={k})"
+                );
+            } else {
+                assert!(
+                    parallel.same_values(&serial, 1e-9),
+                    "{alg} values diverged ({aggregate:?}, k={k}): {:?} vs {:?}",
+                    parallel.values(),
+                    serial.values()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_base_identical_to_serial() {
+    assert_matches_serial(Algorithm::ParallelBase(2), true);
+}
+
+#[test]
+fn parallel_forward_identical_to_serial() {
+    // Every surviving candidate is evaluated by the same scan as
+    // serial, so values are bit-identical, not just within tolerance.
+    assert_matches_serial(Algorithm::parallel_forward(2), true);
+    assert_matches_serial(Algorithm::parallel_forward(4), true);
+}
+
+#[test]
+fn parallel_backward_matches_serial() {
+    assert_matches_serial(Algorithm::parallel_backward(2), false);
+    assert_matches_serial(Algorithm::parallel_backward(4), false);
+}
