@@ -24,13 +24,20 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lona_bench::{ablations, figures::FIGURES, report, run_figure, scaling};
+use lona_bench::{ablations, figures::FIGURES, report, run_figure, scaling, throughput};
 use lona_gen::{DatasetKind, DatasetProfile};
 
 struct Args {
     fig: Option<u32>,
     ablation: Option<String>,
     scaling: bool,
+    throughput: bool,
+    /// With --throughput: apply the deterministic work-counter gate
+    /// and exit non-zero when batch mode does >25% more work than the
+    /// sequential loop or results diverge (the CI `throughput-smoke`
+    /// guard).
+    check: bool,
+    queries: usize,
     scale: Option<f64>,
     seed: u64,
     reps: usize,
@@ -47,6 +54,9 @@ fn parse_args() -> Result<Args, String> {
         fig: None,
         ablation: None,
         scaling: false,
+        throughput: false,
+        check: false,
+        queries: 512,
         scale: None,
         seed: 42,
         reps: 3,
@@ -67,6 +77,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--ablation" => args.ablation = Some(value("--ablation")?),
             "--scaling" => args.scaling = true,
+            "--throughput" => args.throughput = true,
+            "--check" => args.check = true,
+            "--queries" => {
+                args.queries = value("--queries")?
+                    .parse()
+                    .map_err(|e| format!("bad queries: {e}"))?
+            }
             "--scale" => {
                 args.scale = Some(
                     value("--scale")?
@@ -89,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: figures [--fig N|all] [--ablation NAME|all] [--scaling] \
+                            [--throughput [--check] [--queries N]] \
                             [--scale F] [--seed N] [--reps N] [--out DIR] [--quick]"
                         .into(),
                 )
@@ -142,6 +160,52 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("  -> {path:?}");
+        return ExitCode::SUCCESS;
+    }
+
+    // Batch-throughput invocation: print the table, write the JSON
+    // trajectory file, and with --check apply the deterministic gate
+    // (work counters + result identity — never wall clock, so the
+    // guard cannot flake on a noisy or single-core runner).
+    if args.throughput {
+        let scale = args.scale.unwrap_or(if args.quick { 0.01 } else { 0.05 });
+        let queries = if args.quick {
+            args.queries.min(128)
+        } else {
+            args.queries
+        };
+        eprintln!(
+            "running batch-throughput sweep at scale {scale} ({queries} queries, reps {reps})..."
+        );
+        let data =
+            throughput::run_throughput(scale, args.seed, reps, queries, &throughput::BATCH_THREADS);
+        println!("{}", throughput::ascii_table(&data));
+        let path = match &args.out_dir {
+            Some(dir) => {
+                if std::fs::create_dir_all(dir).is_err() {
+                    eprintln!("cannot create output directory {dir:?}");
+                    return ExitCode::FAILURE;
+                }
+                dir.join("BENCH_throughput.json")
+            }
+            None => PathBuf::from("BENCH_throughput.json"),
+        };
+        if let Err(e) = std::fs::write(&path, throughput::json(&data)) {
+            eprintln!("failed to write {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("  -> {path:?}");
+        if args.check {
+            if let Err(msg) = throughput::guard(&data) {
+                eprintln!("throughput guard FAILED: {msg}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "throughput guard ok: work ratio {:.3} <= {}, results identical",
+                data.work_ratio(),
+                throughput::MAX_WORK_RATIO
+            );
+        }
         return ExitCode::SUCCESS;
     }
 

@@ -10,7 +10,10 @@
 //! * the `figures` binary — one-shot timed sweeps at configurable
 //!   scale, printing the paper-style series and CSV rows (this is
 //!   what EXPERIMENTS.md records), plus `--scaling` for the
-//!   thread-scaling figure (emits `BENCH_scaling.json`);
+//!   thread-scaling figure (emits `BENCH_scaling.json`) and
+//!   `--throughput` for the batch-vs-sequential sweep (emits
+//!   `BENCH_throughput.json`; `--check` applies the deterministic
+//!   work-counter gate CI relies on);
 //! * the criterion benches (`benches/fig*_*.rs`, `benches/ablations.rs`)
 //!   — statistically grounded microbenchmarks at smoke scale.
 
@@ -21,8 +24,10 @@ pub mod ablations;
 pub mod figures;
 pub mod report;
 pub mod scaling;
+pub mod throughput;
 pub mod workload;
 
 pub use figures::{run_figure, FigureData, FigureSpec, SeriesPoint, FIGURES, K_VALUES};
 pub use scaling::{run_scaling, ScalingData, ScalingPoint, THREAD_COUNTS};
+pub use throughput::{run_throughput, ThroughputData, ThroughputPoint, BATCH_THREADS};
 pub use workload::Workload;

@@ -1,0 +1,414 @@
+//! The batch-throughput workload: queries/sec for the batch subsystem
+//! vs. a plain sequential `Engine::run` loop.
+//!
+//! The paper evaluates one query at a time; the ROADMAP north star is
+//! a system serving heavy traffic, where what matters is how many
+//! queries per second one engine sustains once graph and index setup
+//! are amortized. This workload runs a fixed, seed-deterministic mix
+//! of queries (k ∈ {1, 10, 50} × SUM/AVG at the paper's 2 hops) two
+//! ways — a sequential planned loop, and [`LonaEngine::run_batch`] at
+//! each thread count — and reports wall-clock throughput plus the
+//! *deterministic* work counters.
+//!
+//! The CI `throughput-smoke` job gates on [`guard`], which checks the
+//! counters, not the clock: batch mode must produce bit-identical
+//! results and must not do more than 25% more work (edge accesses +
+//! node visits) than the sequential loop. Work counters are exactly
+//! reproducible on a fixed seed, so the gate cannot flake on a noisy
+//! or single-core runner — wall-clock speedups are *reported* (for
+//! `BENCH_throughput.json` trajectories) but never gated on.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use lona_core::{
+    Aggregate, BatchOptions, BatchQuery, LonaEngine, PlannerConfig, QueryResult, QueryStats,
+    TopKQuery,
+};
+use lona_gen::DatasetKind;
+
+use crate::report::format_duration;
+use crate::workload::Workload;
+
+/// Thread counts the batch side sweeps (the sequential loop is by
+/// definition one thread).
+pub const BATCH_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Allowed work overhead of batch mode over the sequential loop
+/// (ratio), the CI gate's threshold.
+pub const MAX_WORK_RATIO: f64 = 1.25;
+
+/// Deterministic work units of one run: every adjacency entry touched
+/// plus every node visited by any phase. Exactly reproducible for a
+/// fixed seed, unlike wall time.
+pub fn work_units(stats: &QueryStats) -> u64 {
+    stats.edges_traversed
+        + (stats.nodes_evaluated + stats.nodes_pruned + stats.nodes_distributed) as u64
+}
+
+/// One batch measurement.
+#[derive(Clone, Debug)]
+pub struct ThroughputPoint {
+    /// Worker budget given to the batch.
+    pub threads: usize,
+    /// Best-of-reps batch execution wall time (index builds
+    /// excluded on both sides of the comparison).
+    pub runtime: Duration,
+    /// Queries per second over that wall time.
+    pub qps: f64,
+    /// Sequential-loop runtime / batch runtime.
+    pub speedup: f64,
+    /// Scheduling mode the batch layer picked ("inter-query" /
+    /// "intra-query").
+    pub mode: &'static str,
+}
+
+/// A measured throughput sweep.
+#[derive(Clone, Debug)]
+pub struct ThroughputData {
+    /// Workload description line.
+    pub workload: String,
+    /// Hop radius (the paper's 2).
+    pub hops: u32,
+    /// Queries in the mix.
+    pub num_queries: usize,
+    /// Best-of-reps sequential-loop wall time (builds excluded).
+    pub sequential_runtime: Duration,
+    /// Sequential queries per second.
+    pub sequential_qps: f64,
+    /// Deterministic work units of the sequential loop.
+    pub sequential_work: u64,
+    /// Deterministic work units of the single-threaded batch (the
+    /// apples-to-apples reference: multi-threaded runs can prune
+    /// slightly differently under threshold races).
+    pub batch_work: u64,
+    /// Whether every batch result (at every thread count) was
+    /// bit-identical to the sequential loop's.
+    pub results_match: bool,
+    /// Batch measurements, one per swept thread count.
+    pub points: Vec<ThroughputPoint>,
+}
+
+impl ThroughputData {
+    /// Batch work / sequential work.
+    pub fn work_ratio(&self) -> f64 {
+        if self.sequential_work == 0 {
+            1.0
+        } else {
+            self.batch_work as f64 / self.sequential_work as f64
+        }
+    }
+}
+
+/// The deterministic CI gate: bit-identical results and a bounded
+/// work ratio ([`MAX_WORK_RATIO`]).
+pub fn guard(data: &ThroughputData) -> Result<(), String> {
+    if !data.results_match {
+        return Err("batch results diverged from the sequential loop".into());
+    }
+    let ratio = data.work_ratio();
+    if ratio > MAX_WORK_RATIO {
+        return Err(format!(
+            "batch mode did {ratio:.3}x the sequential work ({} vs {}), limit {MAX_WORK_RATIO}",
+            data.batch_work, data.sequential_work
+        ));
+    }
+    Ok(())
+}
+
+/// The seed-deterministic query mix: k cycles {1, 10, 50} (clamped to
+/// the graph) and the aggregate alternates SUM/AVG, so the planner
+/// sees selective and loose, size-free and size-needing queries.
+fn query_mix(num_queries: usize, n: usize) -> Vec<TopKQuery> {
+    let ks = [1usize, 10, 50];
+    (0..num_queries)
+        .map(|i| {
+            let k = ks[i % ks.len()].min(n.max(1));
+            let aggregate = if i % 2 == 0 {
+                Aggregate::Sum
+            } else {
+                Aggregate::Avg
+            };
+            TopKQuery::new(k, aggregate)
+        })
+        .collect()
+}
+
+/// Run the sweep on the paper's citation workload at `scale`:
+/// `num_queries` queries, sequential loop vs. batch at each of
+/// `thread_counts`, best-of-`reps` wall times, shared work counters
+/// from the first repetition.
+pub fn run_throughput(
+    scale: f64,
+    seed: u64,
+    reps: usize,
+    num_queries: usize,
+    thread_counts: &[usize],
+) -> ThroughputData {
+    let workload = Workload::paper(DatasetKind::Citation, scale, 0.01, seed);
+    let (g, scores) = workload.build();
+    let description = workload.describe(&g, &scores);
+    let queries = query_mix(num_queries, g.num_nodes());
+    let reps = reps.max(1);
+
+    // Sequential reference: a fresh engine, every query planned with
+    // a serial budget and run through Engine::run, in order. Runtime
+    // excludes index builds (they are charged to stats.index_build),
+    // mirroring the batch side where the one up-front build is
+    // likewise excluded.
+    let mut sequential_results: Vec<QueryResult> = Vec::new();
+    let mut sequential_work = 0u64;
+    let mut sequential_runtime = Duration::MAX;
+    for rep in 0..reps {
+        let mut engine = LonaEngine::new(&g, 2);
+        let cfg = PlannerConfig::default();
+        let mut wall = Duration::ZERO;
+        let mut results = Vec::with_capacity(queries.len());
+        for query in &queries {
+            let (_, result) = engine.run_planned(query, &scores, &cfg);
+            wall += result.stats.runtime;
+            results.push(result);
+        }
+        sequential_runtime = sequential_runtime.min(wall);
+        if rep == 0 {
+            sequential_work = results.iter().map(|r| work_units(&r.stats)).sum();
+            sequential_results = results;
+        }
+    }
+
+    let batch: Vec<BatchQuery<'_>> = queries
+        .iter()
+        .map(|q| BatchQuery::new(*q, &scores))
+        .collect();
+
+    let mut points = Vec::with_capacity(thread_counts.len());
+    let mut batch_work: Option<u64> = None;
+    let mut results_match = true;
+    for &threads in thread_counts {
+        let mut engine = LonaEngine::new(&g, 2);
+        let opts = BatchOptions::with_threads(threads);
+        let mut best = Duration::MAX;
+        let mut mode = "inter-query";
+        for rep in 0..reps {
+            let out = engine.run_batch(&batch, &opts);
+            best = best.min(out.stats.runtime);
+            if rep == 0 {
+                mode = out.mode.name();
+                if threads == 1 {
+                    batch_work = Some(work_units(&out.stats));
+                }
+                results_match &= out
+                    .results
+                    .iter()
+                    .zip(&sequential_results)
+                    .all(|(a, b)| a.entries == b.entries);
+            }
+        }
+        let secs = best.as_secs_f64();
+        points.push(ThroughputPoint {
+            threads,
+            runtime: best,
+            qps: if secs > 0.0 {
+                num_queries as f64 / secs
+            } else {
+                f64::INFINITY
+            },
+            speedup: sequential_runtime.as_secs_f64() / secs.max(1e-9),
+            mode,
+        });
+    }
+
+    // The guard's work reference is always a single-threaded batch:
+    // reuse the sweep's threads=1 point when it exists (the default
+    // BATCH_THREADS does), otherwise run one dedicated pass — so the
+    // ratio never silently degenerates for a custom thread set.
+    let batch_work = batch_work.unwrap_or_else(|| {
+        let mut engine = LonaEngine::new(&g, 2);
+        let out = engine.run_batch(&batch, &BatchOptions::with_threads(1));
+        work_units(&out.stats)
+    });
+
+    let seq_secs = sequential_runtime.as_secs_f64();
+    ThroughputData {
+        workload: description,
+        hops: 2,
+        num_queries,
+        sequential_runtime,
+        sequential_qps: if seq_secs > 0.0 {
+            num_queries as f64 / seq_secs
+        } else {
+            f64::INFINITY
+        },
+        sequential_work,
+        batch_work,
+        results_match,
+        points,
+    }
+}
+
+/// Render the sweep as the ASCII table EXPERIMENTS.md embeds.
+pub fn ascii_table(data: &ThroughputData) -> String {
+    let mut out = String::from("Batch throughput (2-hop mixed-k SUM/AVG)\n");
+    let _ = writeln!(out, "  workload: {}", data.workload);
+    let _ = writeln!(
+        out,
+        "  queries: {}  work ratio (batch/sequential): {:.3}  results match: {}",
+        data.num_queries,
+        data.work_ratio(),
+        data.results_match
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>8} {:>12} {:>10} {:>9}",
+        "mode", "threads", "runtime", "q/s", "speedup"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>8} {:>12} {:>10.0} {:>8.2}x",
+        "sequential",
+        1,
+        format_duration(data.sequential_runtime),
+        data.sequential_qps,
+        1.0
+    );
+    for p in &data.points {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>8} {:>12} {:>10.0} {:>8.2}x",
+            format!("batch/{}", p.mode),
+            p.threads,
+            format_duration(p.runtime),
+            p.qps,
+            p.speedup
+        );
+    }
+    out
+}
+
+/// Render the sweep as machine-readable JSON
+/// (`BENCH_throughput.json`). Hand-rolled like the scaling report:
+/// the workspace has no serde and the schema is flat.
+pub fn json(data: &ThroughputData) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"throughput\",");
+    let _ = writeln!(out, "  \"workload\": \"{}\",", escape(&data.workload));
+    let _ = writeln!(out, "  \"hops\": {},", data.hops);
+    let _ = writeln!(out, "  \"num_queries\": {},", data.num_queries);
+    let _ = writeln!(
+        out,
+        "  \"sequential\": {{\"runtime_s\": {:.6}, \"qps\": {:.3}, \"work_units\": {}}},",
+        data.sequential_runtime.as_secs_f64(),
+        data.sequential_qps,
+        data.sequential_work
+    );
+    let _ = writeln!(
+        out,
+        "  \"batch_work_units\": {}, \"work_ratio\": {:.6}, \"results_match\": {},",
+        data.batch_work,
+        data.work_ratio(),
+        data.results_match
+    );
+    let _ = writeln!(out, "  \"series\": [");
+    for (pi, p) in data.points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"threads\": {}, \"mode\": \"{}\", \"runtime_s\": {:.6}, \
+             \"qps\": {:.3}, \"speedup\": {:.3}}}{}",
+            p.threads,
+            p.mode,
+            p.runtime.as_secs_f64(),
+            p.qps,
+            p.speedup,
+            if pi + 1 < data.points.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ThroughputData {
+        run_throughput(0.004, 7, 1, 12, &[1, 2])
+    }
+
+    #[test]
+    fn sweep_measures_all_cells_and_matches() {
+        let data = tiny();
+        assert_eq!(data.num_queries, 12);
+        assert_eq!(data.points.len(), 2);
+        assert!(data.results_match, "batch must equal the serial loop");
+        assert!(data.sequential_work > 0);
+        assert!(data.batch_work > 0);
+        assert!(guard(&data).is_ok(), "{:?}", guard(&data));
+    }
+
+    #[test]
+    fn work_is_deterministic_across_runs() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.sequential_work, b.sequential_work);
+        assert_eq!(a.batch_work, b.batch_work);
+    }
+
+    #[test]
+    fn work_reference_is_independent_of_the_thread_set() {
+        // Even when the sweep never runs threads=1, the guard's work
+        // reference comes from its own single-threaded run and the
+        // ratio stays meaningful.
+        let data = run_throughput(0.004, 7, 1, 8, &[2]);
+        assert!(data.batch_work > 0);
+        assert!(guard(&data).is_ok(), "{:?}", guard(&data));
+    }
+
+    #[test]
+    fn guard_rejects_divergence_and_overwork() {
+        let mut data = tiny();
+        data.results_match = false;
+        assert!(guard(&data).unwrap_err().contains("diverged"));
+        let mut data = tiny();
+        data.batch_work = data.sequential_work * 2;
+        assert!(guard(&data).unwrap_err().contains("limit"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let data = tiny();
+        let j = json(&data);
+        assert!(j.starts_with("{\n"));
+        assert!(j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"threads\"").count(), 2);
+        assert!(j.contains("\"work_ratio\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn table_renders() {
+        let data = tiny();
+        let t = ascii_table(&data);
+        assert!(t.contains("Batch throughput"));
+        assert!(t.contains("sequential"));
+        assert!(t.contains("batch/"));
+    }
+
+    #[test]
+    fn work_units_counts_every_phase() {
+        let stats = QueryStats {
+            nodes_evaluated: 3,
+            nodes_pruned: 4,
+            edges_traversed: 10,
+            nodes_distributed: 5,
+            ..Default::default()
+        };
+        assert_eq!(work_units(&stats), 22);
+    }
+}

@@ -87,6 +87,33 @@ pub enum Command {
         /// one per core; ignored by the serial algorithms).
         threads: usize,
     },
+    /// `lona batch <edgelist> <queryfile> [flags]`
+    Batch {
+        /// Input edge-list path.
+        input: String,
+        /// Query file: one query per line as
+        /// `source-set/k/hops/aggregate` (e.g. `3,17,29/10/2/sum`),
+        /// where the source set is the comma-separated nodes scored 1
+        /// (binary relevance); `#` comments and blank lines ignored.
+        queries: String,
+        /// Worker budget for the batch (default 0 = one per core).
+        threads: usize,
+        /// Planner override: run every query with this algorithm
+        /// instead of consulting the cost-based planner.
+        algorithm: Option<AlgorithmChoice>,
+        /// Bypass the batch subsystem: run each query through a plain
+        /// sequential `Engine::run` loop (the determinism reference —
+        /// stdout is byte-identical to batch mode for planner-chosen
+        /// plans and for deterministic overrides; forcing
+        /// `parallel-backward`, which agrees with its serial
+        /// counterpart only to ~1e-9, waives that guarantee).
+        sequential: bool,
+        /// Queries per processing chunk (default 1024; bounds score
+        /// vector memory while results stream out).
+        chunk: usize,
+        /// Exclude each node's own score from its aggregate.
+        exclude_self: bool,
+    },
     /// `lona convert <edgelist> <snapshot>`
     Convert {
         /// Input edge-list path.
@@ -109,6 +136,10 @@ USAGE:
                 [--algorithm base|parallel|forward|parallel-forward|backward|
                  parallel-backward|backward-naive] [--threads N]
                 [--scores FILE | --blacking R [--binary]] [--seed N] [--exclude-self]
+  lona batch    <edgelist> <queryfile> [--threads N] [--algorithm CHOICE]
+                [--sequential] [--chunk N] [--exclude-self]
+                (query file: one `source-set/k/hops/aggregate` per line,
+                 e.g. `3,17,29/10/2/sum`)
   lona convert  <edgelist> <snapshot>
   lona help
 ";
@@ -140,6 +171,23 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 seed: parse_flag(&rest, "--seed")?.unwrap_or(42),
             })
         }
+        "batch" => {
+            let input = positional(&rest, 0, "edgelist path")?;
+            let queries = positional(&rest, 1, "query file path")?;
+            let chunk: usize = parse_flag(&rest, "--chunk")?.unwrap_or(1024);
+            if chunk == 0 {
+                return Err("--chunk must be at least 1".into());
+            }
+            Ok(Command::Batch {
+                input,
+                queries,
+                threads: parse_flag(&rest, "--threads")?.unwrap_or(0),
+                algorithm: parse_flag(&rest, "--algorithm")?,
+                sequential: has_flag(&rest, "--sequential"),
+                chunk,
+                exclude_self: has_flag(&rest, "--exclude-self"),
+            })
+        }
         "topk" => {
             let input = positional(&rest, 0, "edgelist path")?;
             Ok(Command::TopK {
@@ -168,7 +216,7 @@ fn positional(rest: &[&str], index: usize, what: &str) -> Result<String, String>
         let a = rest[i];
         if a.starts_with("--") {
             // Boolean flags take no value; skip the value of the rest.
-            if !matches!(a, "--binary" | "--exclude-self") {
+            if !matches!(a, "--binary" | "--exclude-self" | "--sequential") {
                 i += 1;
             }
         } else {
@@ -344,6 +392,84 @@ mod tests {
                 assert_eq!(aggregate, Aggregate::Sum);
                 assert_eq!(algorithm, AlgorithmChoice::Backward);
                 assert!(scores.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_parses_with_defaults() {
+        let c = parse(&v(&["batch", "g.txt", "q.txt"])).unwrap();
+        match c {
+            Command::Batch {
+                input,
+                queries,
+                threads,
+                algorithm,
+                sequential,
+                chunk,
+                exclude_self,
+            } => {
+                assert_eq!(input, "g.txt");
+                assert_eq!(queries, "q.txt");
+                assert_eq!(threads, 0);
+                assert_eq!(algorithm, None);
+                assert!(!sequential);
+                assert_eq!(chunk, 1024);
+                assert!(!exclude_self);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_full_flags() {
+        let c = parse(&v(&[
+            "batch",
+            "g.txt",
+            "q.txt",
+            "--threads",
+            "4",
+            "--algorithm",
+            "forward",
+            "--sequential",
+            "--chunk",
+            "64",
+            "--exclude-self",
+        ]))
+        .unwrap();
+        match c {
+            Command::Batch {
+                threads,
+                algorithm,
+                sequential,
+                chunk,
+                exclude_self,
+                ..
+            } => {
+                assert_eq!(threads, 4);
+                assert_eq!(algorithm, Some(AlgorithmChoice::Forward));
+                assert!(sequential);
+                assert_eq!(chunk, 64);
+                assert!(exclude_self);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_requires_both_paths_and_sane_chunk() {
+        assert!(parse(&v(&["batch", "g.txt"])).is_err());
+        assert!(parse(&v(&["batch", "g.txt", "q.txt", "--chunk", "0"])).is_err());
+        // --sequential is boolean: the query file after it must still
+        // be seen as a positional.
+        let c = parse(&v(&["batch", "--sequential", "g.txt", "q.txt"])).unwrap();
+        match c {
+            Command::Batch {
+                input, sequential, ..
+            } => {
+                assert_eq!(input, "g.txt");
+                assert!(sequential);
             }
             other => panic!("{other:?}"),
         }

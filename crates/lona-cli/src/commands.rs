@@ -1,11 +1,15 @@
 //! Subcommand implementations. Each returns its report as a `String`
 //! so the logic is unit-testable; `main` only prints.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read};
+use std::io::{BufReader, BufWriter, Read, Write as IoWrite};
+use std::time::{Duration, Instant};
 
-use lona_core::{Algorithm, LonaEngine, TopKQuery};
+use lona_core::{
+    Aggregate, Algorithm, BatchOptions, BatchQuery, LonaEngine, PlannerConfig, TopKQuery,
+};
 use lona_gen::DatasetProfile;
 use lona_graph::algo::{
     clustering_coefficient, connected_components, core_decomposition, estimate_distances,
@@ -36,6 +40,36 @@ pub fn execute(command: &Command) -> Result<String, String> {
             generate(&profile, out)
         }
         Command::Convert { input, output } => convert(input, output),
+        Command::Batch {
+            input,
+            queries,
+            threads,
+            algorithm,
+            sequential,
+            chunk,
+            exclude_self,
+        } => {
+            let g = load_graph(input)?;
+            let text = read_text(queries)?;
+            let specs =
+                parse_query_file(&text, g.num_nodes()).map_err(|e| format!("{queries}: {e}"))?;
+            let opts = BatchRunOptions {
+                threads: *threads,
+                force: *algorithm,
+                sequential: *sequential,
+                chunk: *chunk,
+                include_self: !*exclude_self,
+            };
+            // Stream result lines to stdout as each chunk completes;
+            // the summary goes to stderr so batch and --sequential
+            // stdout stay byte-identical.
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            let summary = run_batch_file(&g, &specs, &opts, &mut lock)?;
+            lock.flush().map_err(|e| format!("stdout: {e}"))?;
+            eprint!("{}", summary.describe());
+            Ok(String::new())
+        }
         Command::TopK {
             input,
             k,
@@ -81,10 +115,7 @@ fn load_graph(path: &str) -> Result<CsrGraph, String> {
 }
 
 fn load_scores(path: &str, n: usize) -> Result<ScoreVec, String> {
-    let mut text = String::new();
-    File::open(path)
-        .and_then(|mut f| f.read_to_string(&mut text))
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = read_text(path)?;
     let values: Result<Vec<f64>, String> = text
         .lines()
         .enumerate()
@@ -173,6 +204,304 @@ fn convert(input: &str, output: &str) -> Result<String, String> {
     ))
 }
 
+fn read_text(path: &str) -> Result<String, String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(text)
+}
+
+/// Map a CLI algorithm choice onto a concrete [`Algorithm`]; the
+/// parallel choices carry the worker budget.
+fn choice_to_algorithm(choice: AlgorithmChoice, threads: usize) -> Algorithm {
+    match choice {
+        AlgorithmChoice::Base => Algorithm::Base,
+        AlgorithmChoice::ParallelBase => Algorithm::ParallelBase(threads),
+        AlgorithmChoice::Forward => Algorithm::forward(),
+        AlgorithmChoice::ParallelForward => Algorithm::parallel_forward(threads),
+        AlgorithmChoice::BackwardNaive => Algorithm::BackwardNaive,
+        AlgorithmChoice::Backward => Algorithm::backward(),
+        AlgorithmChoice::ParallelBackward => Algorithm::parallel_backward(threads),
+    }
+}
+
+/// One parsed line of a batch query file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Nodes scored 1 (binary relevance); every other node scores 0.
+    pub sources: Vec<u32>,
+    /// Number of results.
+    pub k: usize,
+    /// Hop radius.
+    pub hops: u32,
+    /// Aggregate function.
+    pub aggregate: Aggregate,
+}
+
+/// Parse a batch query file: one `source-set/k/hops/aggregate` per
+/// line (e.g. `3,17,29/10/2/sum`), `#` comments and blank lines
+/// ignored. Source node ids are validated against `num_nodes`.
+pub fn parse_query_file(text: &str, num_nodes: usize) -> Result<Vec<QuerySpec>, String> {
+    let mut specs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let fields: Vec<&str> = line.split('/').collect();
+        if fields.len() != 4 {
+            return Err(at(format!(
+                "expected `source-set/k/hops/aggregate`, got {} field(s)",
+                fields.len()
+            )));
+        }
+        let sources: Result<Vec<u32>, String> = fields[0]
+            .split(',')
+            .map(|s| {
+                let s = s.trim();
+                s.parse::<u32>()
+                    .map_err(|e| at(format!("bad source node `{s}`: {e}")))
+            })
+            .collect();
+        let sources = sources?;
+        if sources.is_empty() {
+            return Err(at("empty source set".into()));
+        }
+        for &u in &sources {
+            if (u as usize) >= num_nodes {
+                return Err(at(format!(
+                    "source node {u} out of range (graph has {num_nodes} nodes)"
+                )));
+            }
+        }
+        let k: usize = fields[1]
+            .trim()
+            .parse()
+            .map_err(|e| at(format!("bad k `{}`: {e}", fields[1].trim())))?;
+        if k == 0 {
+            return Err(at("k must be at least 1".into()));
+        }
+        let hops: u32 = fields[2]
+            .trim()
+            .parse()
+            .map_err(|e| at(format!("bad hops `{}`: {e}", fields[2].trim())))?;
+        if hops == 0 {
+            return Err(at("hops must be at least 1".into()));
+        }
+        let aggregate: Aggregate = fields[3].trim().parse().map_err(&at)?;
+        specs.push(QuerySpec {
+            sources,
+            k,
+            hops,
+            aggregate,
+        });
+    }
+    Ok(specs)
+}
+
+/// Options for [`run_batch_file`].
+#[derive(Clone, Debug)]
+pub struct BatchRunOptions {
+    /// Worker budget (0 = one per core).
+    pub threads: usize,
+    /// Planner override for every query.
+    pub force: Option<AlgorithmChoice>,
+    /// Run a plain sequential `Engine::run` loop instead of the batch
+    /// subsystem (the determinism reference).
+    pub sequential: bool,
+    /// Queries per processing chunk.
+    pub chunk: usize,
+    /// Whether `F(u)` includes `f(u)`.
+    pub include_self: bool,
+}
+
+/// What a batch run reports to stderr (kept off stdout so batch and
+/// sequential stdout stay byte-identical).
+#[derive(Clone, Debug, Default)]
+pub struct BatchSummary {
+    /// Queries executed.
+    pub queries: usize,
+    /// Total execution wall time (index builds excluded).
+    pub wall: Duration,
+    /// Total index build time charged (once per engine).
+    pub index_build: Duration,
+    /// `(plan label, count)` histogram, label-sorted.
+    pub plan_counts: BTreeMap<String, usize>,
+    /// Whether the batch subsystem (vs. the sequential loop) ran.
+    pub batched: bool,
+}
+
+impl BatchSummary {
+    /// Render the stderr report.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let secs = self.wall.as_secs_f64();
+        let qps = if secs > 0.0 {
+            self.queries as f64 / secs
+        } else {
+            f64::INFINITY
+        };
+        let _ = writeln!(
+            out,
+            "{} {} queries in {:.3?} ({qps:.0} q/s), index build {:.3?}",
+            if self.batched {
+                "batch:"
+            } else {
+                "sequential:"
+            },
+            self.queries,
+            self.wall,
+            self.index_build,
+        );
+        for (label, count) in &self.plan_counts {
+            let _ = writeln!(out, "  plan {label}: {count}");
+        }
+        out
+    }
+}
+
+/// Write one query's result line. This line format is the byte-level
+/// contract between batch and sequential mode: it must not depend on
+/// timing, plan choice, or thread count.
+fn write_result_line(
+    sink: &mut dyn IoWrite,
+    index: usize,
+    spec: &QuerySpec,
+    entries: &[(lona_graph::NodeId, f64)],
+) -> Result<(), String> {
+    let mut line = format!(
+        "q{index} k={} hops={} agg={}:",
+        spec.k,
+        spec.hops,
+        spec.aggregate.name()
+    );
+    for (node, value) in entries {
+        let _ = write!(line, " {node}={value:.6}");
+    }
+    line.push('\n');
+    sink.write_all(line.as_bytes())
+        .map_err(|e| format!("write failed: {e}"))
+}
+
+/// Execute a parsed query file against one graph, streaming one
+/// result line per query (input order) to `sink`.
+///
+/// Queries are processed in chunks of `opts.chunk` (bounding score
+/// vector memory); within a chunk they are grouped by hop radius —
+/// engines and their indexes are per-radius and persist across
+/// chunks, so index builds amortize over the whole file.
+pub fn run_batch_file(
+    g: &CsrGraph,
+    specs: &[QuerySpec],
+    opts: &BatchRunOptions,
+    sink: &mut dyn IoWrite,
+) -> Result<BatchSummary, String> {
+    let mut engines: BTreeMap<u32, LonaEngine<'_>> = BTreeMap::new();
+    let mut summary = BatchSummary {
+        batched: !opts.sequential,
+        ..Default::default()
+    };
+
+    for (chunk_start, chunk) in specs
+        .chunks(opts.chunk.max(1))
+        .enumerate()
+        .map(|(ci, c)| (ci * opts.chunk.max(1), c))
+    {
+        // Materialize this chunk's binary score vectors.
+        let score_vecs: Vec<ScoreVec> = chunk
+            .iter()
+            .map(|spec| {
+                let mut values = vec![0.0; g.num_nodes()];
+                for &u in &spec.sources {
+                    values[u as usize] = 1.0;
+                }
+                ScoreVec::new(values)
+            })
+            .collect();
+        let queries: Vec<TopKQuery> = chunk
+            .iter()
+            .map(|spec| TopKQuery::new(spec.k, spec.aggregate).include_self(opts.include_self))
+            .collect();
+
+        let mut results: Vec<Option<Vec<(lona_graph::NodeId, f64)>>> = vec![None; chunk.len()];
+
+        if opts.sequential {
+            // The determinism reference: a plain Engine::run loop in
+            // file order, planned per query with a serial budget.
+            for (i, spec) in chunk.iter().enumerate() {
+                let engine = engines
+                    .entry(spec.hops)
+                    .or_insert_with(|| LonaEngine::new(g, spec.hops));
+                let cfg = PlannerConfig {
+                    threads: 1,
+                    force: opts.force.map(|c| choice_to_algorithm(c, 1)),
+                    ..Default::default()
+                };
+                let t = Instant::now();
+                let (plan, result) = engine.run_planned(&queries[i], &score_vecs[i], &cfg);
+                summary.wall += t.elapsed() - result.stats.index_build;
+                summary.index_build += result.stats.index_build;
+                *summary
+                    .plan_counts
+                    .entry(format!(
+                        "{} ({})",
+                        plan.algorithm.name(),
+                        plan.reason.name()
+                    ))
+                    .or_default() += 1;
+                results[i] = Some(result.entries);
+            }
+        } else {
+            // Group the chunk by hop radius and hand each group to
+            // the batch subsystem.
+            let mut by_hops: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+            for (i, spec) in chunk.iter().enumerate() {
+                by_hops.entry(spec.hops).or_default().push(i);
+            }
+            for (hops, indices) in by_hops {
+                let engine = engines
+                    .entry(hops)
+                    .or_insert_with(|| LonaEngine::new(g, hops));
+                let batch: Vec<BatchQuery<'_>> = indices
+                    .iter()
+                    .map(|&i| {
+                        let mut bq = BatchQuery::new(queries[i], &score_vecs[i]);
+                        if let Some(choice) = opts.force {
+                            bq = bq.force(choice_to_algorithm(choice, opts.threads));
+                        }
+                        bq
+                    })
+                    .collect();
+                let out = engine.run_batch(&batch, &BatchOptions::with_threads(opts.threads));
+                summary.wall += out.stats.runtime;
+                summary.index_build += out.index_build;
+                for plan in &out.plans {
+                    *summary
+                        .plan_counts
+                        .entry(format!(
+                            "{} ({})",
+                            plan.algorithm.name(),
+                            plan.reason.name()
+                        ))
+                        .or_default() += 1;
+                }
+                for (slot, result) in indices.iter().zip(out.results) {
+                    results[*slot] = Some(result.entries);
+                }
+            }
+        }
+
+        for (i, entries) in results.into_iter().enumerate() {
+            let entries = entries.expect("every chunk query produced a result");
+            write_result_line(sink, chunk_start + i, &chunk[i], &entries)?;
+        }
+        summary.queries += chunk.len();
+    }
+    Ok(summary)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn topk(
     g: &CsrGraph,
@@ -184,15 +513,7 @@ fn topk(
     include_self: bool,
     threads: usize,
 ) -> Result<String, String> {
-    let algorithm = match choice {
-        AlgorithmChoice::Base => Algorithm::Base,
-        AlgorithmChoice::ParallelBase => Algorithm::ParallelBase(threads),
-        AlgorithmChoice::Forward => Algorithm::forward(),
-        AlgorithmChoice::ParallelForward => Algorithm::parallel_forward(threads),
-        AlgorithmChoice::BackwardNaive => Algorithm::BackwardNaive,
-        AlgorithmChoice::Backward => Algorithm::backward(),
-        AlgorithmChoice::ParallelBackward => Algorithm::parallel_backward(threads),
-    };
+    let algorithm = choice_to_algorithm(choice, threads);
     let mut engine = LonaEngine::new(g, hops);
     let query = TopKQuery::new(k.max(1), aggregate).include_self(include_self);
     let result = engine.run(&algorithm, &query, scores);
@@ -324,6 +645,126 @@ mod tests {
             let out = execute(&cmd).unwrap();
             assert!(out.contains("top-2"), "{alg}: {out}");
         }
+    }
+
+    #[test]
+    fn query_file_parses_and_validates() {
+        let text = "\
+# a comment
+0,2/3/2/sum
+
+4/1/1/avg
+  1 , 3 /2/2/dwsum
+";
+        let specs = parse_query_file(text, 5).unwrap();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].sources, vec![0, 2]);
+        assert_eq!(specs[0].k, 3);
+        assert_eq!(specs[0].hops, 2);
+        assert_eq!(specs[0].aggregate, Aggregate::Sum);
+        assert_eq!(specs[1].aggregate, Aggregate::Avg);
+        assert_eq!(specs[2].sources, vec![1, 3]);
+
+        for (bad, needle) in [
+            ("0/3/2", "3 field(s)"),
+            ("9/3/2/sum", "out of range"),
+            ("x/3/2/sum", "bad source node"),
+            ("0/0/2/sum", "k must be"),
+            ("0/3/0/sum", "hops must be"),
+            ("0/3/2/median", "line 1"),
+            ("/3/2/sum", "bad source node"),
+        ] {
+            let err = parse_query_file(bad, 5).unwrap_err();
+            assert!(err.contains(needle), "{bad}: {err}");
+        }
+    }
+
+    fn batch_output(
+        specs: &[QuerySpec],
+        g: &CsrGraph,
+        opts: &BatchRunOptions,
+    ) -> (String, BatchSummary) {
+        let mut sink = Vec::new();
+        let summary = run_batch_file(g, specs, opts, &mut sink).unwrap();
+        (String::from_utf8(sink).unwrap(), summary)
+    }
+
+    #[test]
+    fn batch_and_sequential_are_byte_identical() {
+        let p = tmp("batch_graph.txt");
+        write_sample_graph(&p);
+        let g = load_graph(&p).unwrap();
+        let text = "\
+0,2/3/2/sum
+4/1/1/avg
+1,3/2/2/sum
+0/5/2/avg
+2,3,4/2/1/dwsum
+";
+        let specs = parse_query_file(text, g.num_nodes()).unwrap();
+        let base = BatchRunOptions {
+            threads: 1,
+            force: None,
+            sequential: true,
+            chunk: 2, // exercise chunk boundaries
+            include_self: true,
+        };
+        let (sequential, seq_summary) = batch_output(&specs, &g, &base);
+        assert_eq!(sequential.lines().count(), specs.len());
+        assert!(sequential.starts_with("q0 k=3 hops=2 agg=sum:"));
+        assert!(!seq_summary.batched);
+
+        for threads in [1, 2, 4] {
+            let opts = BatchRunOptions {
+                threads,
+                sequential: false,
+                ..base.clone()
+            };
+            let (batched, summary) = batch_output(&specs, &g, &opts);
+            assert_eq!(batched, sequential, "threads={threads}");
+            assert!(summary.batched);
+            assert_eq!(summary.queries, specs.len());
+        }
+    }
+
+    #[test]
+    fn batch_respects_algorithm_override() {
+        let p = tmp("batch_graph2.txt");
+        write_sample_graph(&p);
+        let g = load_graph(&p).unwrap();
+        let specs = parse_query_file("0,1/2/2/sum\n2/1/2/sum\n", g.num_nodes()).unwrap();
+        let opts = BatchRunOptions {
+            threads: 1,
+            force: Some(AlgorithmChoice::Base),
+            sequential: false,
+            chunk: 1024,
+            include_self: true,
+        };
+        let (_, summary) = batch_output(&specs, &g, &opts);
+        assert_eq!(summary.plan_counts.len(), 1);
+        assert!(
+            summary
+                .plan_counts
+                .keys()
+                .next()
+                .unwrap()
+                .contains("Base (forced)"),
+            "{:?}",
+            summary.plan_counts
+        );
+    }
+
+    #[test]
+    fn batch_command_end_to_end() {
+        let p = tmp("batch_graph3.txt");
+        write_sample_graph(&p);
+        let q = tmp("batch_queries.txt");
+        std::fs::write(&q, "0/2/2/sum\n1,4/3/2/avg\n").unwrap();
+        let cmd = parse(&["batch".into(), p, q]).unwrap();
+        // execute() streams to the real stdout and returns an empty
+        // report; success is what we can assert here (the streaming
+        // path itself is covered by the sink-based tests above).
+        assert_eq!(execute(&cmd).unwrap(), "");
     }
 
     #[test]

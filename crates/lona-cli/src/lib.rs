@@ -1,11 +1,12 @@
 //! # lona-cli
 //!
-//! Command-line front end for the LONA framework. Four subcommands:
+//! Command-line front end for the LONA framework. Five subcommands:
 //!
 //! ```text
 //! lona stats    <edgelist>                      structural summary
 //! lona generate <kind> --out <file> [...]       synthesize a dataset
 //! lona topk     <edgelist> [...]                run a top-k query
+//! lona batch    <edgelist> <queryfile> [...]    planner-driven batch run
 //! lona convert  <edgelist> <snapshot>           text -> binary snapshot
 //! ```
 //!

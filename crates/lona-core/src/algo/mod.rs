@@ -226,6 +226,23 @@ impl Algorithm {
         }
     }
 
+    /// The same algorithm with its worker count replaced (identity
+    /// for serial algorithms). Unlike [`Algorithm::serial_counterpart`]
+    /// this never changes the code path — `ParallelForward { threads: 1 }`
+    /// stays the parallel variant, just running on the calling thread —
+    /// so the batch scheduler can cap a forced parallel plan's
+    /// oversubscription without altering which algorithm executes.
+    pub fn with_threads(self, threads: usize) -> Algorithm {
+        match self {
+            Algorithm::ParallelBase(_) => Algorithm::ParallelBase(threads),
+            Algorithm::ParallelForward { opts, .. } => Algorithm::ParallelForward { opts, threads },
+            Algorithm::ParallelBackward { opts, .. } => {
+                Algorithm::ParallelBackward { opts, threads }
+            }
+            other => other,
+        }
+    }
+
     /// This algorithm's serial counterpart (identity for the already
     /// serial ones) — what the agreement suites compare against.
     pub fn serial_counterpart(&self) -> Algorithm {

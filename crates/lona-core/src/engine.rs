@@ -7,8 +7,52 @@ use lona_relevance::ScoreVec;
 
 use crate::aggregate::Aggregate;
 use crate::algo::{self, context::Ctx, Algorithm};
+use crate::batch::{self, BatchOptions, BatchQuery, BatchResult};
 use crate::index::{DiffIndex, SizeIndex};
+use crate::plan::{plan_query, Plan, PlannerConfig};
 use crate::result::QueryResult;
+
+/// Which indexes an `(algorithm, query, scores)` combination needs
+/// before it can run. Shared between [`LonaEngine::run`] (which
+/// builds them on the fly) and the batch layer (which builds the
+/// union for a whole batch up front, so the cost is charged once).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct IndexNeeds {
+    /// The size index `|N_h(v)|`.
+    pub size: bool,
+    /// The differential index (implies the size index).
+    pub diff: bool,
+}
+
+impl IndexNeeds {
+    /// Compute the needs for one dispatch.
+    pub(crate) fn of(algorithm: &Algorithm, query: &TopKQuery, scores: &ScoreVec) -> Self {
+        match algorithm {
+            Algorithm::Base | Algorithm::ParallelBase(_) => IndexNeeds::default(),
+            Algorithm::LonaForward(_) | Algorithm::ParallelForward { .. } => IndexNeeds {
+                size: true,
+                diff: true,
+            },
+            Algorithm::BackwardNaive => IndexNeeds {
+                size: query.aggregate.needs_size(),
+                diff: false,
+            },
+            Algorithm::LonaBackward(opts) | Algorithm::ParallelBackward { opts, .. } => {
+                let gamma = opts.gamma.resolve(scores);
+                IndexNeeds {
+                    size: gamma > 0.0 || query.aggregate.needs_size(),
+                    diff: false,
+                }
+            }
+        }
+    }
+
+    /// Union with another need set.
+    pub(crate) fn merge(&mut self, other: IndexNeeds) {
+        self.size |= other.size;
+        self.diff |= other.diff;
+    }
+}
 
 /// A top-k neighborhood aggregation query (Definition 3): find the `k`
 /// nodes whose h-hop neighborhoods yield the highest aggregate score.
@@ -189,25 +233,83 @@ impl<'g> LonaEngine<'g> {
         );
 
         // Prepare whatever this (algorithm, query) combination needs.
-        let mut index_build = Duration::ZERO;
-        match algorithm {
-            Algorithm::Base | Algorithm::ParallelBase(_) => {}
-            Algorithm::LonaForward(_) | Algorithm::ParallelForward { .. } => {
-                index_build += self.prepare_diff_index();
-            }
-            Algorithm::BackwardNaive => {
-                if query.aggregate.needs_size() {
-                    index_build += self.prepare_size_index();
-                }
-            }
-            Algorithm::LonaBackward(opts) | Algorithm::ParallelBackward { opts, .. } => {
-                let gamma = opts.gamma.resolve(scores);
-                if gamma > 0.0 || query.aggregate.needs_size() {
-                    index_build += self.prepare_size_index();
-                }
-            }
-        }
+        let index_build = self.prepare_needs(IndexNeeds::of(algorithm, query, scores));
+        let mut result = self.dispatch(algorithm, query, scores);
+        result.stats.index_build = index_build;
+        result
+    }
 
+    /// Build whatever `needs` asks for; returns the charged time
+    /// (zero when everything was already cached).
+    pub(crate) fn prepare_needs(&mut self, needs: IndexNeeds) -> Duration {
+        let mut took = Duration::ZERO;
+        if needs.diff {
+            took += self.prepare_diff_index();
+        } else if needs.size {
+            took += self.prepare_size_index();
+        }
+        took
+    }
+
+    /// Run one query against the *current* index state, without
+    /// building anything — the read-only dispatch the batch layer
+    /// issues from many worker threads at once.
+    ///
+    /// # Panics
+    /// Panics if `scores.len() != graph.num_nodes()` or if the
+    /// algorithm needs an index that has not been prepared (call
+    /// [`LonaEngine::run`] or the `prepare_*` methods first).
+    pub fn run_prepared(
+        &self,
+        algorithm: &Algorithm,
+        query: &TopKQuery,
+        scores: &ScoreVec,
+    ) -> QueryResult {
+        assert_eq!(
+            scores.len(),
+            self.g.num_nodes(),
+            "score vector covers {} nodes but the graph has {}",
+            scores.len(),
+            self.g.num_nodes()
+        );
+        let needs = IndexNeeds::of(algorithm, query, scores);
+        assert!(
+            !needs.size || self.size_index.is_some(),
+            "run_prepared: {algorithm} needs the size index but it is not built"
+        );
+        assert!(
+            !needs.diff || self.diff_index.is_some(),
+            "run_prepared: {algorithm} needs the differential index but it is not built"
+        );
+        self.dispatch(algorithm, query, scores)
+    }
+
+    /// Plan one query with the cost-based planner (DESIGN.md §8) and
+    /// run the chosen algorithm, building any index the plan needs.
+    /// Returns the plan alongside the result so callers can report
+    /// *why* an algorithm ran.
+    pub fn run_planned(
+        &mut self,
+        query: &TopKQuery,
+        scores: &ScoreVec,
+        cfg: &PlannerConfig,
+    ) -> (Plan, QueryResult) {
+        let plan = plan_query(self, query, scores, cfg);
+        let result = self.run(&plan.algorithm, query, scores);
+        (plan, result)
+    }
+
+    /// Run a whole batch of queries: plan each one, build the union
+    /// of required indexes once, then execute with inter-query
+    /// parallelism (many small queries) or intra-query parallelism
+    /// (few large ones). See [`crate::batch`] for the policy.
+    pub fn run_batch(&mut self, batch: &[BatchQuery<'_>], opts: &BatchOptions) -> BatchResult {
+        batch::run(self, batch, opts)
+    }
+
+    /// Shared read-only dispatch: build the context, run, stamp the
+    /// runtime. `index_build` is left at zero for the caller to fill.
+    fn dispatch(&self, algorithm: &Algorithm, query: &TopKQuery, scores: &ScoreVec) -> QueryResult {
         let ctx = Ctx {
             g: self.g,
             hops: self.hops,
@@ -232,7 +334,7 @@ impl<'g> LonaEngine<'g> {
             }
         };
         result.stats.runtime = t.elapsed();
-        result.stats.index_build = index_build;
+        result.stats.index_build = Duration::ZERO;
         result
     }
 }

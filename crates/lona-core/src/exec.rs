@@ -160,6 +160,40 @@ where
     out
 }
 
+/// Evaluate `f(i)` for every `i` in `0..items` across `threads`
+/// workers (work-stealing chunks) and collect the results in index
+/// order. The single-worker path runs on the calling thread with no
+/// cursor, so `map_indexed(1, ..)` is exactly a sequential loop —
+/// the batch layer relies on this for its determinism guarantee.
+pub fn map_indexed<T, F>(threads: usize, items: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads, items);
+    if threads <= 1 {
+        return (0..items).map(f).collect();
+    }
+    let cursor = ChunkCursor::new(items, threads);
+    let parts = run_workers(threads, |_| {
+        let mut out = Vec::new();
+        while let Some(range) = cursor.next() {
+            for i in range {
+                out.push((i, f(i)));
+            }
+        }
+        out
+    });
+    let mut slots: Vec<Option<T>> = (0..items).map(|_| None).collect();
+    for (i, value) in parts.into_iter().flatten() {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("map_indexed covered every index"))
+        .collect()
+}
+
 /// Split `data` into `threads` contiguous slices and hand each to a
 /// worker as `worker(offset, slice)`. Used by builders that fill a
 /// pre-sized output buffer in place (e.g. the size index).
@@ -278,6 +312,15 @@ mod tests {
         for (i, &v) in data.iter().enumerate() {
             assert_eq!(v, i + 1);
         }
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for threads in [1, 2, 4] {
+            let got = map_indexed(threads, 97, |i| i * 3);
+            assert_eq!(got, (0..97).map(|i| i * 3).collect::<Vec<_>>(), "{threads}");
+        }
+        assert!(map_indexed(4, 0, |i| i).is_empty());
     }
 
     #[test]

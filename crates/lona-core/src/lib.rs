@@ -51,6 +51,11 @@
 //! * [`algo`] — Base, LONA-Forward, BackwardNaive, LONA-Backward and
 //!   their thread-parallel variants;
 //! * [`engine`] — index lifecycle + dispatch;
+//! * [`plan`] — the cost-based per-query planner (algorithm + thread
+//!   split, with an override escape hatch);
+//! * [`batch`] — multi-query execution over the worker pool
+//!   (inter-query parallelism for small queries, intra-query for
+//!   large ones, indexes built once per batch);
 //! * [`validate`] — brute-force oracle for tests.
 
 #![warn(missing_docs)]
@@ -58,11 +63,13 @@
 
 pub mod aggregate;
 pub mod algo;
+pub mod batch;
 pub mod bounds;
 pub mod engine;
 pub mod exec;
 pub mod index;
 pub mod neighborhood;
+pub mod plan;
 pub mod result;
 pub mod stats;
 pub mod topk;
@@ -70,9 +77,11 @@ pub mod validate;
 
 pub use aggregate::Aggregate;
 pub use algo::{Algorithm, BackwardOptions, ForwardOptions, GammaSpec, ProcessingOrder};
+pub use batch::{BatchMode, BatchOptions, BatchQuery, BatchResult};
 pub use engine::{LonaEngine, TopKQuery};
 pub use exec::SharedThreshold;
 pub use index::{DiffIndex, SizeIndex};
+pub use plan::{plan_query, Plan, PlanReason, PlannerConfig};
 pub use result::QueryResult;
 pub use stats::QueryStats;
 pub use topk::TopKHeap;

@@ -29,14 +29,18 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
-    /// Fold another worker's counters into this one (used by every
-    /// parallel path when partial results merge).
+    /// Fold another run's counters into this one — used by every
+    /// parallel path when partial results merge, and by the batch
+    /// layer when per-query stats aggregate.
     ///
-    /// All work counters are additive. `index_build` is additive too
-    /// (builds are charged once, on one thread). `runtime` takes the
-    /// maximum: per-worker wall times overlap, so summing them would
-    /// overstate the query; the engine overwrites `runtime` with the
-    /// true end-to-end time after dispatch anyway.
+    /// All work counters are additive. `index_build` is additive too,
+    /// which is only correct because builds are charged **once**: on
+    /// one worker within a parallel query, and up front (before any
+    /// query runs, so every per-query charge is zero) within a batch
+    /// — see `batch::run`. `runtime` takes the maximum: wall times of
+    /// concurrent runs overlap, so summing them would overstate the
+    /// query; the engine and the batch layer overwrite `runtime` with
+    /// the true end-to-end time after dispatch anyway.
     pub fn merge(&mut self, other: &QueryStats) {
         self.nodes_evaluated += other.nodes_evaluated;
         self.nodes_pruned += other.nodes_pruned;

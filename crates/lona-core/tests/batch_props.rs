@@ -1,0 +1,167 @@
+//! Property tests for the batch subsystem: `run_batch` must return
+//! results identical to running each query through `Engine::run`
+//! serially with the same plan, across random graphs × planner
+//! choices × thread counts {1, 2, 4} — and the batch must never
+//! charge an index build to an individual query.
+
+use proptest::prelude::*;
+
+use lona_core::{
+    Aggregate, Algorithm, BatchOptions, BatchQuery, LonaEngine, PlannerConfig, TopKQuery,
+};
+use lona_graph::{CsrGraph, GraphBuilder};
+use lona_relevance::ScoreVec;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+#[derive(Debug, Clone)]
+struct Case {
+    g: CsrGraph,
+    scores: Vec<ScoreVec>,
+    h: u32,
+    queries: Vec<(usize, Aggregate, bool, usize)>, // (k, agg, include_self, score idx)
+}
+
+fn arb_aggregate() -> impl Strategy<Value = Aggregate> {
+    prop_oneof![
+        Just(Aggregate::Sum),
+        Just(Aggregate::Avg),
+        Just(Aggregate::DistanceWeightedSum),
+        Just(Aggregate::Max)
+    ]
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (4u32..36, 0usize..100)
+        .prop_flat_map(|(n, m)| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n, 0..n), m),
+                // Two score vectors per case: one sparse (every third
+                // node may score — the backward regime), one dense.
+                proptest::collection::vec(0.0f64..=1.0, n as usize),
+                proptest::collection::vec(0.01f64..=1.0, n as usize),
+                1u32..4,
+                proptest::collection::vec(
+                    (1usize..10, arb_aggregate(), proptest::bool::ANY, 0usize..2),
+                    1..8,
+                ),
+            )
+        })
+        .prop_map(|(n, edges, sparse, dense, h, queries)| {
+            let sparse: Vec<f64> = sparse
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| if i % 3 == 0 { s } else { 0.0 })
+                .collect();
+            Case {
+                g: GraphBuilder::undirected()
+                    .with_num_nodes(n)
+                    .extend_edges(edges)
+                    .build()
+                    .unwrap(),
+                scores: vec![ScoreVec::new(sparse), ScoreVec::new(dense)],
+                h,
+                queries,
+            }
+        })
+}
+
+fn build_batch<'s>(case: &Case, scores: &'s [ScoreVec]) -> Vec<BatchQuery<'s>> {
+    case.queries
+        .iter()
+        .map(|&(k, aggregate, include_self, si)| {
+            BatchQuery::new(
+                TopKQuery::new(k, aggregate).include_self(include_self),
+                &scores[si],
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Planner-chosen batches equal a serial Engine::run loop
+    /// bit-for-bit at every thread count, and never charge builds to
+    /// individual queries.
+    #[test]
+    fn batch_matches_serial_loop(case in arb_case()) {
+        let batch = build_batch(&case, &case.scores);
+        for threads in THREAD_COUNTS {
+            let mut batch_engine = LonaEngine::new(&case.g, case.h);
+            let out = batch_engine.run_batch(&batch, &BatchOptions::with_threads(threads));
+            prop_assert_eq!(out.results.len(), batch.len());
+            prop_assert_eq!(out.plans.len(), batch.len());
+
+            let mut serial_engine = LonaEngine::new(&case.g, case.h);
+            for (i, (bq, plan)) in batch.iter().zip(&out.plans).enumerate() {
+                let expect = serial_engine.run(&plan.algorithm, &bq.query, bq.scores);
+                prop_assert_eq!(
+                    &out.results[i].entries,
+                    &expect.entries,
+                    "threads={} query {} ({}, {:?}) diverged",
+                    threads,
+                    i,
+                    plan.algorithm,
+                    plan.reason
+                );
+                prop_assert_eq!(
+                    out.results[i].stats.index_build,
+                    std::time::Duration::ZERO,
+                    "query {} charged an index build inside a batch",
+                    i
+                );
+            }
+        }
+    }
+
+    /// Forced plans (the override escape hatch) flow through the
+    /// batch layer unchanged and still match the serial loop.
+    #[test]
+    fn forced_batch_matches_serial_loop(case in arb_case()) {
+        for force in [Algorithm::Base, Algorithm::BackwardNaive, Algorithm::forward()] {
+            let batch = build_batch(&case, &case.scores);
+            let opts = BatchOptions {
+                force: Some(force),
+                ..BatchOptions::with_threads(2)
+            };
+            let mut batch_engine = LonaEngine::new(&case.g, case.h);
+            let out = batch_engine.run_batch(&batch, &opts);
+
+            let mut serial_engine = LonaEngine::new(&case.g, case.h);
+            for (i, bq) in batch.iter().enumerate() {
+                prop_assert_eq!(out.plans[i].algorithm, force);
+                let expect = serial_engine.run(&force, &bq.query, bq.scores);
+                prop_assert_eq!(
+                    &out.results[i].entries,
+                    &expect.entries,
+                    "forced {} query {} diverged",
+                    force,
+                    i
+                );
+            }
+        }
+    }
+
+    /// run_planned agrees with planning then running by hand.
+    #[test]
+    fn run_planned_is_plan_then_run(case in arb_case()) {
+        let query = {
+            let (k, aggregate, include_self, _) = case.queries[0];
+            TopKQuery::new(k, aggregate).include_self(include_self)
+        };
+        let scores = &case.scores[0];
+        let cfg = PlannerConfig::default();
+
+        let mut a = LonaEngine::new(&case.g, case.h);
+        let plan = lona_core::plan_query(&a, &query, scores, &cfg);
+        let expect = a.run(&plan.algorithm, &query, scores);
+
+        let mut b = LonaEngine::new(&case.g, case.h);
+        let (got_plan, got) = b.run_planned(&query, scores, &cfg);
+        prop_assert_eq!(got_plan.algorithm, plan.algorithm);
+        prop_assert_eq!(got_plan.reason, plan.reason);
+        prop_assert_eq!(got.entries, expect.entries);
+    }
+}

@@ -55,8 +55,9 @@ pub use lona_relevance as relevance;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use lona_core::{
-        Aggregate, Algorithm, BackwardOptions, ForwardOptions, GammaSpec, LonaEngine,
-        ProcessingOrder, QueryResult, QueryStats, TopKQuery,
+        Aggregate, Algorithm, BackwardOptions, BatchMode, BatchOptions, BatchQuery, BatchResult,
+        ForwardOptions, GammaSpec, LonaEngine, Plan, PlanReason, PlannerConfig, ProcessingOrder,
+        QueryResult, QueryStats, TopKQuery,
     };
     pub use lona_gen::{DatasetKind, DatasetProfile};
     pub use lona_graph::{CsrGraph, GraphBuilder, NodeId};
