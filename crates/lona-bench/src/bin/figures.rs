@@ -24,7 +24,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lona_bench::{ablations, figures::FIGURES, report, run_figure, scaling, throughput};
+use lona_bench::{
+    ablations, figures::FIGURES, report, run_figure, scaling, shard_scaling, throughput,
+};
 use lona_gen::{DatasetKind, DatasetProfile};
 
 struct Args {
@@ -32,10 +34,11 @@ struct Args {
     ablation: Option<String>,
     scaling: bool,
     throughput: bool,
-    /// With --throughput: apply the deterministic work-counter gate
-    /// and exit non-zero when batch mode does >25% more work than the
-    /// sequential loop or results diverge (the CI `throughput-smoke`
-    /// guard).
+    shards: bool,
+    /// With --throughput or --shards: apply the deterministic
+    /// work-counter gate and exit non-zero when the measured mode
+    /// does too much work or results diverge (the CI
+    /// `throughput-smoke` / `shard-smoke` guards).
     check: bool,
     queries: usize,
     scale: Option<f64>,
@@ -55,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         ablation: None,
         scaling: false,
         throughput: false,
+        shards: false,
         check: false,
         queries: 512,
         scale: None,
@@ -78,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
             "--ablation" => args.ablation = Some(value("--ablation")?),
             "--scaling" => args.scaling = true,
             "--throughput" => args.throughput = true,
+            "--shards" => args.shards = true,
             "--check" => args.check = true,
             "--queries" => {
                 args.queries = value("--queries")?
@@ -106,7 +111,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: figures [--fig N|all] [--ablation NAME|all] [--scaling] \
-                            [--throughput [--check] [--queries N]] \
+                            [--throughput [--check] [--queries N]] [--shards [--check]] \
                             [--scale F] [--seed N] [--reps N] [--out DIR] [--quick]"
                         .into(),
                 )
@@ -204,6 +209,44 @@ fn main() -> ExitCode {
                 "throughput guard ok: work ratio {:.3} <= {}, results identical",
                 data.work_ratio(),
                 throughput::MAX_WORK_RATIO
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Shard-scaling invocation: print the table, write the JSON
+    // trajectory file, and with --check apply the deterministic gate
+    // (cross-shard work ratio, result identity and the TA skip
+    // counters — never wall clock).
+    if args.shards {
+        let scale = args.scale.unwrap_or(if args.quick { 0.012 } else { 0.1 });
+        eprintln!("running shard-scaling sweep at scale {scale}...");
+        let data = shard_scaling::run_shard_scaling(scale);
+        println!("{}", shard_scaling::ascii_table(&data));
+        let path = match &args.out_dir {
+            Some(dir) => {
+                if std::fs::create_dir_all(dir).is_err() {
+                    eprintln!("cannot create output directory {dir:?}");
+                    return ExitCode::FAILURE;
+                }
+                dir.join("BENCH_shards.json")
+            }
+            None => PathBuf::from("BENCH_shards.json"),
+        };
+        if let Err(e) = std::fs::write(&path, shard_scaling::json(&data)) {
+            eprintln!("failed to write {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("  -> {path:?}");
+        if args.check {
+            if let Err(msg) = shard_scaling::guard(&data) {
+                eprintln!("shard guard FAILED: {msg}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "shard guard ok: contiguous work ratio <= {}, results identical, \
+                 TA rule skipping re-queries",
+                shard_scaling::MAX_SHARD_WORK_RATIO
             );
         }
         return ExitCode::SUCCESS;

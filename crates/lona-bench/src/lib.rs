@@ -13,7 +13,10 @@
 //!   thread-scaling figure (emits `BENCH_scaling.json`) and
 //!   `--throughput` for the batch-vs-sequential sweep (emits
 //!   `BENCH_throughput.json`; `--check` applies the deterministic
-//!   work-counter gate CI relies on);
+//!   work-counter gate CI relies on), and `--shards` for the
+//!   scatter-gather sweep over partition strategies and shard counts
+//!   (emits `BENCH_shards.json`; `--check` gates on the cross-shard
+//!   work ratio and the TA skip counters);
 //! * the criterion benches (`benches/fig*_*.rs`, `benches/ablations.rs`)
 //!   — statistically grounded microbenchmarks at smoke scale.
 
@@ -24,10 +27,12 @@ pub mod ablations;
 pub mod figures;
 pub mod report;
 pub mod scaling;
+pub mod shard_scaling;
 pub mod throughput;
 pub mod workload;
 
 pub use figures::{run_figure, FigureData, FigureSpec, SeriesPoint, FIGURES, K_VALUES};
 pub use scaling::{run_scaling, ScalingData, ScalingPoint, THREAD_COUNTS};
+pub use shard_scaling::{run_shard_scaling, ShardCell, ShardScalingData, SHARD_COUNTS};
 pub use throughput::{run_throughput, ThroughputData, ThroughputPoint, BATCH_THREADS};
 pub use workload::Workload;

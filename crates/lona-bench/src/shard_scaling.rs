@@ -1,0 +1,512 @@
+//! The shard-scaling workload: scatter-gather execution vs. a single
+//! engine, swept over partition strategies and shard counts.
+//!
+//! Two fixed, fully deterministic workloads on a community-structured
+//! graph (ids are community-contiguous, so contiguous partitioning
+//! aligns shards with communities — the id-locality regime sharding
+//! is deployed in):
+//!
+//! * **mixture** — sparse deterministic scores, planner-chosen
+//!   algorithms. Measures the *work ratio*: total shard work (all
+//!   rounds, all shards) over single-engine work. For contiguous
+//!   partitions the halo is thin and the CI gate holds the ratio at
+//!   [`MAX_SHARD_WORK_RATIO`]; hash partitions are reported (their
+//!   replication factor is the classic cautionary tale) but not
+//!   gated.
+//! * **skew** — strictly graded per-community scores under the
+//!   forward family. Exercises the TA coordinator: hot shards are
+//!   re-queried, cold shards are provably dominated and skipped. The
+//!   gate requires at least one skipped re-query per multi-shard
+//!   cell.
+//!
+//! Like the throughput guard, the gate reads **deterministic work
+//! counters**, never wall clock, so it cannot flake on a noisy or
+//! single-core runner.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use lona_core::{
+    Aggregate, Algorithm, LonaEngine, PlannerConfig, QueryResult, ShardOptions, ShardedEngine,
+    TopKQuery,
+};
+use lona_gen::generators::community_path;
+use lona_graph::{partition, CsrGraph, PartitionStrategy};
+use lona_relevance::ScoreVec;
+
+use crate::throughput::work_units;
+
+/// Shard counts the sweep covers.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Allowed cross-shard work overhead over the single engine for the
+/// gated (contiguous) cells.
+pub const MAX_SHARD_WORK_RATIO: f64 = 1.25;
+
+/// Communities in the synthetic locality graph (shard counts up to 8
+/// align with community boundaries).
+const COMMUNITIES: u32 = 8;
+
+/// One measured `(strategy, shard count, workload)` cell.
+#[derive(Clone, Debug)]
+pub struct ShardCell {
+    /// Partition strategy name.
+    pub strategy: &'static str,
+    /// Shard count.
+    pub shards: usize,
+    /// Deterministic work units summed over every shard run of every
+    /// round of every query.
+    pub work_units: u64,
+    /// `work_units` / the single-engine reference.
+    pub work_ratio: f64,
+    /// Whether every query's values matched the single engine (1e-9).
+    pub results_match: bool,
+    /// Re-queries the TA rule skipped, summed over queries.
+    pub requeries_skipped: usize,
+    /// Shards re-queried at full k, summed over queries.
+    pub shards_requeried: usize,
+    /// Planner-cost estimate of the skipped re-queries (edge
+    /// accesses), summed over queries.
+    pub edges_saved_estimate: f64,
+    /// The partition's replication factor (members / nodes).
+    pub replication: f64,
+    /// The partition's edge cut.
+    pub edge_cut: usize,
+    /// Wall time over the cell's queries (reported, never gated).
+    pub runtime: Duration,
+}
+
+/// A full shard-scaling measurement.
+#[derive(Clone, Debug)]
+pub struct ShardScalingData {
+    /// Workload description line.
+    pub workload: String,
+    /// Hop radius (the paper's 2).
+    pub hops: u32,
+    /// Queries in the mixture sweep.
+    pub num_queries: usize,
+    /// Single-engine work reference for the mixture sweep.
+    pub single_work: u64,
+    /// Mixture cells, strategies × shard counts.
+    pub mixture: Vec<ShardCell>,
+    /// Single-engine work reference for the skew sweep.
+    pub skew_single_work: u64,
+    /// Skew cells, contiguous × shard counts.
+    pub skew: Vec<ShardCell>,
+}
+
+/// The deterministic CI gate.
+///
+/// * every cell (both workloads) matched the single engine;
+/// * contiguous mixture cells stay within [`MAX_SHARD_WORK_RATIO`];
+/// * every multi-shard skew cell skipped at least one re-query.
+pub fn guard(data: &ShardScalingData) -> Result<(), String> {
+    for cell in data.mixture.iter().chain(&data.skew) {
+        if !cell.results_match {
+            return Err(format!(
+                "{} x{}: sharded results diverged from the single engine",
+                cell.strategy, cell.shards
+            ));
+        }
+    }
+    for cell in &data.mixture {
+        if cell.strategy == PartitionStrategy::Contiguous.name()
+            && cell.work_ratio > MAX_SHARD_WORK_RATIO
+        {
+            return Err(format!(
+                "contiguous x{} did {:.3}x the single-engine work ({} vs {}), limit {}",
+                cell.shards,
+                cell.work_ratio,
+                cell.work_units,
+                data.single_work,
+                MAX_SHARD_WORK_RATIO
+            ));
+        }
+    }
+    for cell in &data.skew {
+        if cell.shards > 1 && cell.requeries_skipped == 0 {
+            return Err(format!(
+                "skew x{}: the TA rule skipped no shard re-query",
+                cell.shards
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The deterministic locality graph: `COMMUNITIES` communities of
+/// `size` nodes, ids community-contiguous (shared fixture —
+/// `lona_gen::generators::community_path`).
+fn community_graph(size: u32) -> CsrGraph {
+    community_path(COMMUNITIES, size).expect("community graph builds")
+}
+
+/// Sparse deterministic mixture scores (planner: sparse-backward).
+fn mixture_scores(n: usize) -> ScoreVec {
+    ScoreVec::from_fn(n, |u| {
+        if u.0 % 16 == 0 {
+            (((u.0 * 31) % 13) + 1) as f64 / 13.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Strictly graded per-community scores (hot community 0, geometric
+/// decay): the skew showcase for the TA skip rule.
+fn skewed_scores(n: usize, community_size: u32) -> ScoreVec {
+    ScoreVec::from_fn(n, |u| {
+        let c = u.0 / community_size;
+        0.45f64.powi(c as i32)
+    })
+}
+
+/// The fixed mixture query mix.
+fn mixture_queries(n: usize) -> Vec<TopKQuery> {
+    [
+        TopKQuery::new(10.min(n.max(1)), Aggregate::Sum),
+        TopKQuery::new(5.min(n.max(1)), Aggregate::Avg),
+        TopKQuery::new(20.min(n.max(1)), Aggregate::Sum),
+        TopKQuery::new(10.min(n.max(1)), Aggregate::Max),
+    ]
+    .to_vec()
+}
+
+/// Single-engine reference: planned runs, summed work units, per-query
+/// results kept for the identity check.
+fn single_reference(
+    g: &CsrGraph,
+    queries: &[TopKQuery],
+    scores: &ScoreVec,
+    force: Option<Algorithm>,
+) -> (u64, Vec<QueryResult>) {
+    let mut engine = LonaEngine::new(g, 2);
+    let cfg = PlannerConfig {
+        force,
+        ..Default::default()
+    };
+    let mut work = 0u64;
+    let mut results = Vec::with_capacity(queries.len());
+    for q in queries {
+        let (_, r) = engine.run_planned(q, scores, &cfg);
+        work += work_units(&r.stats);
+        results.push(r);
+    }
+    (work, results)
+}
+
+/// Measure one `(strategy, shards, workload)` cell.
+#[allow(clippy::too_many_arguments)]
+fn measure_cell(
+    g: &CsrGraph,
+    strategy: PartitionStrategy,
+    shards: usize,
+    queries: &[TopKQuery],
+    scores: &ScoreVec,
+    force: Option<Algorithm>,
+    single_work: u64,
+    expect: &[QueryResult],
+) -> ShardCell {
+    let sharded = partition(g, shards, strategy, 2).expect("partition");
+    let mut engine = ShardedEngine::new(&sharded, 2);
+    let opts = ShardOptions {
+        threads: 1,
+        force,
+        ..Default::default()
+    };
+    let mut work = 0u64;
+    let mut runtime = Duration::ZERO;
+    let mut results_match = true;
+    let mut requeries_skipped = 0usize;
+    let mut shards_requeried = 0usize;
+    let mut edges_saved = 0.0f64;
+    for (q, exp) in queries.iter().zip(expect) {
+        let out = engine.run(q, scores, &opts);
+        work += work_units(&out.result.stats);
+        runtime += out.result.stats.runtime;
+        results_match &= out.result.same_values(exp, 1e-9);
+        requeries_skipped += out.coordinator.requeries_skipped;
+        shards_requeried += out.coordinator.shards_requeried;
+        edges_saved += out.coordinator.edges_saved_estimate;
+    }
+    ShardCell {
+        strategy: strategy.name(),
+        shards,
+        work_units: work,
+        work_ratio: if single_work == 0 {
+            1.0
+        } else {
+            work as f64 / single_work as f64
+        },
+        results_match,
+        requeries_skipped,
+        shards_requeried,
+        edges_saved_estimate: edges_saved,
+        replication: sharded.replication_factor(),
+        edge_cut: sharded.edge_cut(),
+        runtime,
+    }
+}
+
+/// Run the sweep. `scale` sizes each community
+/// (`~scale * 2000` nodes, clamped); everything else is fixed and
+/// seed-free deterministic.
+pub fn run_shard_scaling(scale: f64) -> ShardScalingData {
+    let size = ((scale * 2000.0) as u32).clamp(24, 4000);
+    let g = community_graph(size);
+    let n = g.num_nodes();
+
+    // Mixture sweep: planner-chosen algorithms, all strategies.
+    let queries = mixture_queries(n);
+    let scores = mixture_scores(n);
+    let (single_work, expect) = single_reference(&g, &queries, &scores, None);
+    let mut mixture = Vec::new();
+    for strategy in PartitionStrategy::ALL {
+        for &shards in &SHARD_COUNTS {
+            mixture.push(measure_cell(
+                &g,
+                strategy,
+                shards,
+                &queries,
+                &scores,
+                None,
+                single_work,
+                &expect,
+            ));
+        }
+    }
+
+    // Skew sweep: forced forward (the k-sensitive family the adaptive
+    // k' targets), contiguous only — the strategy that aligns with
+    // the skew.
+    let skew_queries = vec![TopKQuery::new(12.min(n), Aggregate::Sum)];
+    let skew_scores = skewed_scores(n, size);
+    let force = Some(Algorithm::forward());
+    let (skew_single_work, skew_expect) = single_reference(&g, &skew_queries, &skew_scores, force);
+    let mut skew = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        skew.push(measure_cell(
+            &g,
+            PartitionStrategy::Contiguous,
+            shards,
+            &skew_queries,
+            &skew_scores,
+            force,
+            skew_single_work,
+            &skew_expect,
+        ));
+    }
+
+    ShardScalingData {
+        workload: format!(
+            "community-path: {COMMUNITIES} communities x {size} nodes \
+             ({n} nodes, {} edges), deterministic scores",
+            g.num_edges()
+        ),
+        hops: 2,
+        num_queries: queries.len(),
+        single_work,
+        mixture,
+        skew_single_work,
+        skew,
+    }
+}
+
+fn cell_row(out: &mut String, cell: &ShardCell) {
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>6} {:>12} {:>8.3} {:>7} {:>9} {:>8} {:>11.3} {:>9}",
+        cell.strategy,
+        cell.shards,
+        cell.work_units,
+        cell.work_ratio,
+        if cell.results_match { "ok" } else { "MISMATCH" },
+        cell.requeries_skipped,
+        cell.shards_requeried,
+        cell.replication,
+        cell.edge_cut,
+    );
+}
+
+/// Render the sweep as the ASCII table EXPERIMENTS.md embeds.
+pub fn ascii_table(data: &ShardScalingData) -> String {
+    let mut out = String::from("Shard scaling (2-hop, deterministic work counters)\n");
+    let _ = writeln!(out, "  workload: {}", data.workload);
+    let _ = writeln!(
+        out,
+        "  mixture: {} queries, single-engine work {}",
+        data.num_queries, data.single_work
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>6} {:>12} {:>8} {:>7} {:>9} {:>8} {:>11} {:>9}",
+        "strategy",
+        "shards",
+        "work",
+        "ratio",
+        "match",
+        "skipped",
+        "requery",
+        "replication",
+        "edge-cut"
+    );
+    for cell in &data.mixture {
+        cell_row(&mut out, cell);
+    }
+    let _ = writeln!(
+        out,
+        "  skew (forced Forward): single-engine work {}",
+        data.skew_single_work
+    );
+    for cell in &data.skew {
+        cell_row(&mut out, cell);
+    }
+    out
+}
+
+fn json_cell(out: &mut String, cell: &ShardCell, last: bool) {
+    let _ = writeln!(
+        out,
+        "    {{\"strategy\": \"{}\", \"shards\": {}, \"work_units\": {}, \
+         \"work_ratio\": {:.6}, \"results_match\": {}, \"requeries_skipped\": {}, \
+         \"shards_requeried\": {}, \"edges_saved_estimate\": {:.1}, \
+         \"replication\": {:.6}, \"edge_cut\": {}, \"runtime_s\": {:.6}}}{}",
+        cell.strategy,
+        cell.shards,
+        cell.work_units,
+        cell.work_ratio,
+        cell.results_match,
+        cell.requeries_skipped,
+        cell.shards_requeried,
+        cell.edges_saved_estimate,
+        cell.replication,
+        cell.edge_cut,
+        cell.runtime.as_secs_f64(),
+        if last { "" } else { "," }
+    );
+}
+
+/// Render the sweep as machine-readable JSON (`BENCH_shards.json`).
+/// Hand-rolled like the other reports: no serde in the workspace and
+/// the schema is flat.
+pub fn json(data: &ShardScalingData) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"shard_scaling\",");
+    let _ = writeln!(out, "  \"workload\": \"{}\",", escape(&data.workload));
+    let _ = writeln!(out, "  \"hops\": {},", data.hops);
+    let _ = writeln!(out, "  \"num_queries\": {},", data.num_queries);
+    let _ = writeln!(out, "  \"single_work_units\": {},", data.single_work);
+    let _ = writeln!(out, "  \"mixture\": [");
+    for (i, cell) in data.mixture.iter().enumerate() {
+        json_cell(&mut out, cell, i + 1 == data.mixture.len());
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"skew_single_work_units\": {},",
+        data.skew_single_work
+    );
+    let _ = writeln!(out, "  \"skew\": [");
+    for (i, cell) in data.skew.iter().enumerate() {
+        json_cell(&mut out, cell, i + 1 == data.skew.len());
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ShardScalingData {
+        run_shard_scaling(0.012) // minimum community size
+    }
+
+    #[test]
+    fn sweep_covers_all_cells_and_passes_the_guard() {
+        let data = tiny();
+        assert_eq!(
+            data.mixture.len(),
+            PartitionStrategy::ALL.len() * SHARD_COUNTS.len()
+        );
+        assert_eq!(data.skew.len(), SHARD_COUNTS.len());
+        assert!(data.single_work > 0);
+        assert!(guard(&data).is_ok(), "{:?}", guard(&data));
+    }
+
+    #[test]
+    fn skew_cells_actually_skip() {
+        let data = tiny();
+        for cell in &data.skew {
+            if cell.shards > 1 {
+                assert!(
+                    cell.requeries_skipped >= 1,
+                    "x{} skipped nothing",
+                    cell.shards
+                );
+                assert!(cell.edges_saved_estimate > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn work_counters_are_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.single_work, b.single_work);
+        for (x, y) in a.mixture.iter().zip(&b.mixture) {
+            assert_eq!(x.work_units, y.work_units, "{} x{}", x.strategy, x.shards);
+            assert_eq!(x.requeries_skipped, y.requeries_skipped);
+        }
+    }
+
+    #[test]
+    fn single_shard_cells_do_single_engine_work_shapes() {
+        let data = tiny();
+        for cell in data.mixture.iter().filter(|c| c.shards == 1) {
+            assert!((cell.replication - 1.0).abs() < 1e-12);
+            assert_eq!(cell.edge_cut, 0);
+            assert_eq!(cell.requeries_skipped, 0);
+        }
+    }
+
+    #[test]
+    fn guard_rejects_divergence_overwork_and_no_skips() {
+        let mut data = tiny();
+        data.mixture[0].results_match = false;
+        assert!(guard(&data).unwrap_err().contains("diverged"));
+
+        let mut data = tiny();
+        for cell in &mut data.mixture {
+            if cell.strategy == "contiguous" && cell.shards == 4 {
+                cell.work_ratio = 2.0;
+            }
+        }
+        assert!(guard(&data).unwrap_err().contains("limit"));
+
+        let mut data = tiny();
+        for cell in &mut data.skew {
+            cell.requeries_skipped = 0;
+        }
+        assert!(guard(&data).unwrap_err().contains("skipped no"));
+    }
+
+    #[test]
+    fn json_and_table_render() {
+        let data = tiny();
+        let j = json(&data);
+        assert!(j.starts_with("{\n"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"requeries_skipped\""));
+        let t = ascii_table(&data);
+        assert!(t.contains("Shard scaling"));
+        assert!(t.contains("contiguous"));
+        assert!(t.contains("skew"));
+    }
+}

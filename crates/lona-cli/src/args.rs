@@ -2,6 +2,7 @@
 
 use lona_core::Aggregate;
 use lona_gen::DatasetKind;
+use lona_graph::PartitionStrategy;
 
 /// Which algorithm the `topk` subcommand should run.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -86,6 +87,12 @@ pub enum Command {
         /// Worker threads for the parallel algorithms (default 0 =
         /// one per core; ignored by the serial algorithms).
         threads: usize,
+        /// Shard count (default 1 = single engine). With more than
+        /// one shard the query runs through the scatter-gather
+        /// engine.
+        shards: usize,
+        /// Partition strategy for `--shards` (default contiguous).
+        strategy: PartitionStrategy,
     },
     /// `lona batch <edgelist> <queryfile> [flags]`
     Batch {
@@ -113,6 +120,22 @@ pub enum Command {
         chunk: usize,
         /// Exclude each node's own score from its aggregate.
         exclude_self: bool,
+        /// Shard count (default 1 = single engine).
+        shards: usize,
+        /// Partition strategy for `--shards` (default contiguous).
+        strategy: PartitionStrategy,
+    },
+    /// `lona shard <edgelist> --shards N [--strategy S] [--halo H]`
+    Shard {
+        /// Input edge-list path.
+        input: String,
+        /// Number of shards.
+        shards: usize,
+        /// Partition strategy (default contiguous).
+        strategy: PartitionStrategy,
+        /// Halo depth (default 2, the paper's hop radius — queries
+        /// stay exact for any `hops <= halo`).
+        halo: u32,
     },
     /// `lona convert <edgelist> <snapshot>`
     Convert {
@@ -136,10 +159,13 @@ USAGE:
                 [--algorithm base|parallel|forward|parallel-forward|backward|
                  parallel-backward|backward-naive] [--threads N]
                 [--scores FILE | --blacking R [--binary]] [--seed N] [--exclude-self]
+                [--shards N [--strategy contiguous|hash|degree]]
   lona batch    <edgelist> <queryfile> [--threads N] [--algorithm CHOICE]
                 [--sequential] [--chunk N] [--exclude-self]
+                [--shards N [--strategy contiguous|hash|degree]]
                 (query file: one `source-set/k/hops/aggregate` per line,
                  e.g. `3,17,29/10/2/sum`)
+  lona shard    <edgelist> --shards N [--strategy contiguous|hash|degree] [--halo H]
   lona convert  <edgelist> <snapshot>
   lona help
 ";
@@ -178,6 +204,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if chunk == 0 {
                 return Err("--chunk must be at least 1".into());
             }
+            let shards: usize = parse_flag(&rest, "--shards")?.unwrap_or(1);
+            if shards == 0 {
+                return Err("--shards must be at least 1".into());
+            }
             Ok(Command::Batch {
                 input,
                 queries,
@@ -186,6 +216,26 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 sequential: has_flag(&rest, "--sequential"),
                 chunk,
                 exclude_self: has_flag(&rest, "--exclude-self"),
+                shards,
+                strategy: parse_flag(&rest, "--strategy")?.unwrap_or(PartitionStrategy::Contiguous),
+            })
+        }
+        "shard" => {
+            let input = positional(&rest, 0, "edgelist path")?;
+            let shards: usize =
+                parse_flag(&rest, "--shards")?.ok_or("shard requires --shards N")?;
+            if shards == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            let halo: u32 = parse_flag(&rest, "--halo")?.unwrap_or(2);
+            if halo == 0 {
+                return Err("--halo must be at least 1".into());
+            }
+            Ok(Command::Shard {
+                input,
+                shards,
+                strategy: parse_flag(&rest, "--strategy")?.unwrap_or(PartitionStrategy::Contiguous),
+                halo,
             })
         }
         "topk" => {
@@ -202,6 +252,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 seed: parse_flag(&rest, "--seed")?.unwrap_or(42),
                 exclude_self: has_flag(&rest, "--exclude-self"),
                 threads: parse_flag(&rest, "--threads")?.unwrap_or(0),
+                shards: {
+                    let s: usize = parse_flag(&rest, "--shards")?.unwrap_or(1);
+                    if s == 0 {
+                        return Err("--shards must be at least 1".into());
+                    }
+                    s
+                },
+                strategy: parse_flag(&rest, "--strategy")?.unwrap_or(PartitionStrategy::Contiguous),
             })
         }
         other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
@@ -409,6 +467,8 @@ mod tests {
                 sequential,
                 chunk,
                 exclude_self,
+                shards,
+                strategy,
             } => {
                 assert_eq!(input, "g.txt");
                 assert_eq!(queries, "q.txt");
@@ -417,9 +477,72 @@ mod tests {
                 assert!(!sequential);
                 assert_eq!(chunk, 1024);
                 assert!(!exclude_self);
+                assert_eq!(shards, 1);
+                assert_eq!(strategy, PartitionStrategy::Contiguous);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn shard_command_parses() {
+        let c = parse(&v(&[
+            "shard",
+            "g.txt",
+            "--shards",
+            "4",
+            "--strategy",
+            "hash",
+            "--halo",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Shard {
+                input: "g.txt".into(),
+                shards: 4,
+                strategy: PartitionStrategy::Hash,
+                halo: 3,
+            }
+        );
+        assert!(parse(&v(&["shard", "g.txt"])).is_err(), "--shards required");
+        assert!(parse(&v(&["shard", "g.txt", "--shards", "0"])).is_err());
+        assert!(parse(&v(&["shard", "g.txt", "--shards", "2", "--halo", "0"])).is_err());
+    }
+
+    #[test]
+    fn sharded_topk_and_batch_parse() {
+        let c = parse(&v(&[
+            "topk",
+            "g.txt",
+            "--shards",
+            "4",
+            "--strategy",
+            "degree",
+        ]))
+        .unwrap();
+        match c {
+            Command::TopK {
+                shards, strategy, ..
+            } => {
+                assert_eq!(shards, 4);
+                assert_eq!(strategy, PartitionStrategy::DegreeBalanced);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["topk", "g.txt", "--shards", "0"])).is_err());
+        let c = parse(&v(&["batch", "g.txt", "q.txt", "--shards", "2"])).unwrap();
+        match c {
+            Command::Batch {
+                shards, strategy, ..
+            } => {
+                assert_eq!(shards, 2);
+                assert_eq!(strategy, PartitionStrategy::Contiguous);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["batch", "g.txt", "q.txt", "--shards", "0"])).is_err());
     }
 
     #[test]

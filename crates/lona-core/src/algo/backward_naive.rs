@@ -62,10 +62,15 @@ pub(crate) fn run(ctx: &Ctx<'_>) -> QueryResult {
         stats.edges_traversed += edges;
     }
 
-    // Selection phase: every aggregate is now exact.
+    // Selection phase: every aggregate is now exact. Only candidates
+    // compete (halo nodes of a sharded run received partial mass as
+    // neighbors but are not eligible results).
     let mut topk = TopKHeap::new(ctx.query.k);
     for i in 0..n as u32 {
         let u = NodeId(i);
+        if !ctx.is_candidate(u) {
+            continue;
+        }
         let mass = partial[u.index()];
         let count = match ctx.query.aggregate {
             Aggregate::Avg => ctx.sizes().get(u),
@@ -108,6 +113,7 @@ mod tests {
             query,
             sizes: Some(&sizes),
             diffs: None,
+            candidates: None,
         };
         run(&ctx)
     }
@@ -130,6 +136,7 @@ mod tests {
                         query: &query,
                         sizes: None,
                         diffs: None,
+                        candidates: None,
                     };
                     let expect = base_forward::run(&ctx);
                     let got = run_naive(&g, &scores, h, &query);
@@ -183,6 +190,7 @@ mod tests {
             query: &query,
             sizes: None,
             diffs: None,
+            candidates: None,
         };
         let _ = run(&ctx);
     }

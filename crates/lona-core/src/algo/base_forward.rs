@@ -22,6 +22,9 @@ pub(crate) fn run(ctx: &Ctx<'_>) -> QueryResult {
 
     for i in 0..n as u32 {
         let u = NodeId(i);
+        if !ctx.is_candidate(u) {
+            continue;
+        }
         let (_, value) = ctx.evaluate(&mut scanner, u, &mut stats);
         topk.offer(u, value);
     }
@@ -55,6 +58,7 @@ mod tests {
             query: &query,
             sizes: None,
             diffs: None,
+            candidates: None,
         };
         let res = run(&ctx);
         assert_eq!(res.entries[0].0, NodeId(0));
@@ -79,6 +83,7 @@ mod tests {
             query: &query,
             sizes: None,
             diffs: None,
+            candidates: None,
         };
         let res = run(&ctx);
         // F(0) = (0 + 1)/2 = 0.5 = F(2); F(1) = 1/3.
@@ -99,6 +104,7 @@ mod tests {
             query: &query,
             sizes: None,
             diffs: None,
+            candidates: None,
         };
         let res = run(&ctx);
         // F(1) = f(0) = 1.0 ; F(0) = f(1) = 0.25

@@ -17,6 +17,12 @@ pub(crate) struct Ctx<'a> {
     pub query: &'a TopKQuery,
     pub sizes: Option<&'a SizeIndex>,
     pub diffs: Option<&'a DiffIndex>,
+    /// Candidate mask: only `true` nodes are eligible for the top-k
+    /// (every node still contributes as a neighbor / distributor).
+    /// `None` = every node is a candidate. The sharded engine sets
+    /// this to a shard's ownership mask so halo replicas are never
+    /// reported (their own neighborhoods are truncated).
+    pub candidates: Option<&'a [bool]>,
 }
 
 impl<'a> Ctx<'a> {
@@ -31,8 +37,16 @@ impl<'a> Ctx<'a> {
             .filter(|&(_, &s)| s > 0.0)
             .map(|(i, &s)| (NodeId(i as u32), s))
             .collect();
-        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        // total_cmp: a NaN score must not panic the sort (it orders
+        // above every finite value and still lands deterministically).
+        v.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
+    }
+
+    /// Whether `u` is eligible for the top-k.
+    #[inline(always)]
+    pub fn is_candidate(&self, u: NodeId) -> bool {
+        self.candidates.is_none_or(|m| m[u.index()])
     }
 }
 

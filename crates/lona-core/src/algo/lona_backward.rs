@@ -50,12 +50,16 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions) -> QueryResult {
             distribute_one(ctx, &mut scanner, u, f_u, &mut partial, &mut received);
     }
 
-    // --- Phase 2: Eq. 3 bounds for every node. ---
+    // --- Phase 2: Eq. 3 bounds for every candidate node. ---
     let mut candidates: Vec<(NodeId, f64)> = Vec::with_capacity(n);
     for i in 0..n as u32 {
         let v = NodeId(i);
+        if !ctx.is_candidate(v) {
+            continue;
+        }
         candidates.push((v, candidate_bound(ctx, gamma, &partial, &received, v)));
     }
+    let num_candidates = candidates.len();
     candidates.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
     // --- Phase 3: verification in bound order with TA early stop. ---
@@ -71,7 +75,7 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions) -> QueryResult {
         let value = verify_one(ctx, &mut scanner, &mut stats, gamma, &partial, &received, v);
         topk.offer(v, value);
     }
-    stats.nodes_pruned = n - verified;
+    stats.nodes_pruned = num_candidates - verified;
 
     QueryResult {
         entries: topk.into_sorted_vec(),
@@ -242,6 +246,7 @@ mod tests {
             query,
             sizes: Some(&sizes),
             diffs: None,
+            candidates: None,
         };
         run(&ctx, &BackwardOptions { gamma })
     }
@@ -272,6 +277,7 @@ mod tests {
                             query: &query,
                             sizes: None,
                             diffs: None,
+                            candidates: None,
                         };
                         let expect = base_forward::run(&ctx);
                         let got = run_backward(&g, &scores, h, &query, gamma);
@@ -339,6 +345,7 @@ mod tests {
             query: &query,
             sizes: None,
             diffs: None,
+            candidates: None,
         };
         let expect = base_forward::run(&ctx);
         let got = run_backward(&g, &scores, 2, &query, GammaSpec::Fixed(0.4));

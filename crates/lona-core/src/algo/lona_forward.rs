@@ -42,7 +42,20 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &ForwardOptions) -> QueryResult {
     let mut scanner = NeighborhoodScanner::new(n);
     let mut topk = TopKHeap::new(ctx.query.k);
     let mut stats = QueryStats::default();
+    // Non-candidates start in Pruned without being counted: they are
+    // outside the top-k universe, never evaluated, and never bounded.
     let mut state = vec![NodeState::Pending; n];
+    let mut num_candidates = n;
+    if let Some(mask) = ctx.candidates {
+        num_candidates = 0;
+        for (i, &c) in mask.iter().enumerate() {
+            if c {
+                num_candidates += 1;
+            } else {
+                state[i] = NodeState::Pruned;
+            }
+        }
+    }
 
     for u in order(ctx, opts.order) {
         if state[u.index()] != NodeState::Pending {
@@ -75,7 +88,7 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &ForwardOptions) -> QueryResult {
         }
     }
 
-    debug_assert_eq!(stats.nodes_evaluated + stats.nodes_pruned, n);
+    debug_assert_eq!(stats.nodes_evaluated + stats.nodes_pruned, num_candidates);
     QueryResult {
         entries: topk.into_sorted_vec(),
         stats,
@@ -113,10 +126,14 @@ pub(crate) fn neighbor_bound(
     }
 }
 
-/// Materialize the processing order.
+/// Materialize the processing order (candidates only — halo nodes of
+/// a sharded run never enter the queue).
 pub(crate) fn order(ctx: &Ctx<'_>, order: ProcessingOrder) -> Vec<NodeId> {
     let n = ctx.g.num_nodes() as u32;
-    let mut ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let mut ids: Vec<NodeId> = (0..n)
+        .map(NodeId)
+        .filter(|&u| ctx.is_candidate(u))
+        .collect();
     match order {
         ProcessingOrder::NodeId => {}
         ProcessingOrder::DegreeDescending => {
@@ -153,6 +170,7 @@ mod tests {
             query,
             sizes: Some(&sizes),
             diffs: Some(&diffs),
+            candidates: None,
         };
         run(&ctx, &ForwardOptions { order })
     }
@@ -185,6 +203,7 @@ mod tests {
                         query: &query,
                         sizes: None,
                         diffs: None,
+                        candidates: None,
                     };
                     let expect = base_forward::run(&ctx);
                     for order in [
@@ -247,6 +266,7 @@ mod tests {
             query: &query,
             sizes: None,
             diffs: None,
+            candidates: None,
         };
         let expect = base_forward::run(&ctx);
         let got = run_forward(&g, &scores, 2, &query, ProcessingOrder::NodeId);
@@ -266,6 +286,7 @@ mod tests {
             query: &query,
             sizes: None,
             diffs: None,
+            candidates: None,
         };
         let _ = run(&ctx, &ForwardOptions::default());
     }

@@ -108,7 +108,8 @@ impl GammaSpec {
                 if nz.is_empty() {
                     return 0.0;
                 }
-                nz.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                // total_cmp: a stray NaN must not panic γ resolution.
+                nz.sort_unstable_by(|a, b| a.total_cmp(b));
                 let idx = ((nz.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
                 let gamma = nz[idx];
                 let max = *nz.last().unwrap();

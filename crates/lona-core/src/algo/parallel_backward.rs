@@ -95,8 +95,14 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions, threads: usize) -> Quer
         }
     }
 
-    // --- Phase 2: Eq. 3 bounds, parallel over node ranges. ---
-    let mut candidates: Vec<(NodeId, f64)> = (0..n as u32).map(|i| (NodeId(i), 0.0)).collect();
+    // --- Phase 2: Eq. 3 bounds, parallel over node ranges
+    // (candidates only — halo nodes of a sharded run are ineligible).
+    let mut candidates: Vec<(NodeId, f64)> = (0..n as u32)
+        .map(NodeId)
+        .filter(|&v| ctx.is_candidate(v))
+        .map(|v| (v, 0.0))
+        .collect();
+    let num_candidates = candidates.len();
     {
         let partial = &partial;
         let received = &received;
@@ -111,7 +117,7 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions, threads: usize) -> Quer
     // --- Phase 3: parallel verification with a shared threshold. ---
     // Chunk of 4: candidates near the front are expensive hub
     // expansions, and a fine-grained cursor keeps the stop line tight.
-    let cursor = ChunkCursor::with_chunk(n, 4);
+    let cursor = ChunkCursor::with_chunk(num_candidates, 4);
     let shared = SharedThreshold::new();
     let results = {
         let partial = &partial;
@@ -155,7 +161,7 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions, threads: usize) -> Quer
         stats.merge(&s);
         verified_total += verified;
     }
-    stats.nodes_pruned = n - verified_total;
+    stats.nodes_pruned = num_candidates - verified_total;
 
     QueryResult {
         entries: topk.into_sorted_vec(),
@@ -215,6 +221,7 @@ mod tests {
                         query: &query,
                         sizes: Some(&sizes),
                         diffs: None,
+                        candidates: None,
                     };
                     let opts = BackwardOptions { gamma };
                     let serial = lona_backward::run(&ctx, &opts);
@@ -247,6 +254,7 @@ mod tests {
             query: &query,
             sizes: Some(&sizes),
             diffs: None,
+            candidates: None,
         };
         let r = run(
             &ctx,
@@ -271,6 +279,7 @@ mod tests {
             query: &query,
             sizes: Some(&sizes),
             diffs: None,
+            candidates: None,
         };
         let r = run(
             &ctx,

@@ -35,6 +35,9 @@ pub(crate) fn run(ctx: &Ctx<'_>, threads: usize) -> QueryResult {
         while let Some(range) = cursor.next() {
             for i in range {
                 let u = NodeId(i as u32);
+                if !ctx.is_candidate(u) {
+                    continue;
+                }
                 let (_, value) = ctx.evaluate(&mut scanner, u, &mut stats);
                 topk.offer(u, value);
             }
@@ -89,6 +92,7 @@ mod tests {
                 query: &query,
                 sizes: None,
                 diffs: None,
+                candidates: None,
             };
             let serial = base_forward::run(&ctx);
             for threads in [2usize, 3, 8] {
@@ -114,6 +118,7 @@ mod tests {
             query: &query,
             sizes: None,
             diffs: None,
+            candidates: None,
         };
         let r = run(&ctx, 4);
         assert_eq!(r.stats.nodes_evaluated, g.num_nodes());
@@ -136,6 +141,7 @@ mod tests {
             query: &query,
             sizes: None,
             diffs: None,
+            candidates: None,
         };
         let r = run(&ctx, 8);
         assert_eq!(r.entries.len(), 2);

@@ -47,12 +47,26 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &ForwardOptions, threads: usize) -> Query
         .expect("engine must prepare the differential index");
     let sizes = ctx.sizes();
 
+    // `order` contains candidates only; non-candidates start PRUNED
+    // (uncounted) so no worker evaluates or re-prunes them.
     let order = super::lona_forward::order(ctx, opts.order);
-    let state: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(PENDING)).collect();
+    let num_candidates = order.len();
+    let state: Vec<AtomicU8> = (0..n)
+        .map(|i| {
+            AtomicU8::new(if ctx.is_candidate(lona_graph::NodeId(i as u32)) {
+                PENDING
+            } else {
+                PRUNED
+            })
+        })
+        .collect();
     let shared = SharedThreshold::new();
     // Small chunks propagate the threshold early; the claim is one
     // fetch_add so even chunk=1 would be cheap next to an expansion.
-    let cursor = ChunkCursor::with_chunk(n, (n / (threads * 16)).clamp(1, 256));
+    let cursor = ChunkCursor::with_chunk(
+        num_candidates,
+        (num_candidates / (threads * 16)).clamp(1, 256),
+    );
 
     let partials = exec::run_workers(threads, |_| {
         let mut scanner = NeighborhoodScanner::new(n);
@@ -113,7 +127,7 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &ForwardOptions, threads: usize) -> Query
         }
         stats.merge(&s);
     }
-    debug_assert_eq!(stats.nodes_evaluated + stats.nodes_pruned, n);
+    debug_assert_eq!(stats.nodes_evaluated + stats.nodes_pruned, num_candidates);
     QueryResult {
         entries: topk.into_sorted_vec(),
         stats,
@@ -165,6 +179,7 @@ mod tests {
                     query: &query,
                     sizes: Some(&sizes),
                     diffs: Some(&diffs),
+                    candidates: None,
                 };
                 let opts = ForwardOptions {
                     order: ProcessingOrder::NodeId,
@@ -196,6 +211,7 @@ mod tests {
             query: &query,
             sizes: Some(&sizes),
             diffs: Some(&diffs),
+            candidates: None,
         };
         let r = run(&ctx, &ForwardOptions::default(), 4);
         assert_eq!(
@@ -217,6 +233,7 @@ mod tests {
             query: &query,
             sizes: Some(&sizes),
             diffs: Some(&diffs),
+            candidates: None,
         };
         let opts = ForwardOptions::default();
         let serial = lona_forward::run(&ctx, &opts);

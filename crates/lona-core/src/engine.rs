@@ -87,11 +87,146 @@ impl TopKQuery {
     }
 }
 
+/// The reusable index state of an engine, decoupled from the graph
+/// borrow.
+///
+/// [`LonaEngine`] owns one of these; the sharded engine
+/// ([`crate::shard::ShardedEngine`]) owns one **per shard** and
+/// assembles transient engines around them with
+/// [`LonaEngine::from_state`] / [`LonaEngine::into_state`]. Keeping
+/// the state separate from the `&'g CsrGraph` borrow is what lets one
+/// coordinator hold N warm index sets without N self-referential
+/// engine structs.
+///
+/// The state also carries the read-only dispatch: given a graph it
+/// was prepared against, it can execute any algorithm whose index
+/// needs are satisfied — this is the `&self` entry point every
+/// parallel scatter path uses.
+#[derive(Debug, Default)]
+pub struct EngineState {
+    size_index: Option<SizeIndex>,
+    diff_index: Option<DiffIndex>,
+}
+
+impl EngineState {
+    /// Fresh state with no indexes built.
+    pub fn new() -> Self {
+        EngineState::default()
+    }
+
+    /// Build (or reuse) the size index for `(g, hops)`; returns the
+    /// build time (zero when cached).
+    ///
+    /// # Panics
+    /// Panics if a cached index does not match `(g, hops)` — reusing
+    /// state across graphs or radii would silently corrupt results.
+    pub fn prepare_size_index(&mut self, g: &CsrGraph, hops: u32) -> Duration {
+        if let Some(idx) = &self.size_index {
+            assert_eq!(idx.hops(), hops, "cached size index hop radius mismatch");
+            assert_eq!(
+                idx.len(),
+                g.num_nodes(),
+                "cached size index node count mismatch"
+            );
+            return Duration::ZERO;
+        }
+        let t = Instant::now();
+        self.size_index = Some(SizeIndex::build(g, hops));
+        t.elapsed()
+    }
+
+    /// Build (or reuse) the differential index (building the size
+    /// index first if needed); returns the total build time.
+    ///
+    /// # Panics
+    /// Panics if a cached index does not match `(g, hops)`.
+    pub fn prepare_diff_index(&mut self, g: &CsrGraph, hops: u32) -> Duration {
+        if let Some(idx) = &self.diff_index {
+            assert_eq!(idx.hops(), hops, "cached diff index hop radius mismatch");
+            assert_eq!(
+                idx.len(),
+                g.num_adjacency_entries(),
+                "cached diff index entry count mismatch"
+            );
+            return Duration::ZERO;
+        }
+        let mut took = self.prepare_size_index(g, hops);
+        let t = Instant::now();
+        self.diff_index = Some(DiffIndex::build(g, hops, self.size_index.as_ref().unwrap()));
+        took += t.elapsed();
+        took
+    }
+
+    /// Build whatever `needs` asks for; returns the charged time.
+    pub(crate) fn prepare_needs(&mut self, g: &CsrGraph, hops: u32, needs: IndexNeeds) -> Duration {
+        let mut took = Duration::ZERO;
+        if needs.diff {
+            took += self.prepare_diff_index(g, hops);
+        } else if needs.size {
+            took += self.prepare_size_index(g, hops);
+        }
+        took
+    }
+
+    /// The size index, if prepared.
+    pub fn size_index(&self) -> Option<&SizeIndex> {
+        self.size_index.as_ref()
+    }
+
+    /// The differential index, if prepared.
+    pub fn diff_index(&self) -> Option<&DiffIndex> {
+        self.diff_index.as_ref()
+    }
+
+    /// Read-only dispatch against prepared state: build the context,
+    /// run, stamp the runtime. `index_build` is left at zero for the
+    /// caller to fill. `candidates`, when given, restricts the top-k
+    /// to masked nodes (see [`crate::shard`]).
+    pub(crate) fn dispatch(
+        &self,
+        g: &CsrGraph,
+        hops: u32,
+        candidates: Option<&[bool]>,
+        algorithm: &Algorithm,
+        query: &TopKQuery,
+        scores: &ScoreVec,
+    ) -> QueryResult {
+        let ctx = Ctx {
+            g,
+            hops,
+            scores: scores.as_slice(),
+            query,
+            sizes: self.size_index.as_ref(),
+            diffs: self.diff_index.as_ref(),
+            candidates,
+        };
+
+        let t = Instant::now();
+        let mut result = match algorithm {
+            Algorithm::Base => algo::base_forward::run(&ctx),
+            Algorithm::ParallelBase(threads) => algo::parallel_base::run(&ctx, *threads),
+            Algorithm::LonaForward(opts) => algo::lona_forward::run(&ctx, opts),
+            Algorithm::ParallelForward { opts, threads } => {
+                algo::parallel_forward::run(&ctx, opts, *threads)
+            }
+            Algorithm::BackwardNaive => algo::backward_naive::run(&ctx),
+            Algorithm::LonaBackward(opts) => algo::lona_backward::run(&ctx, opts),
+            Algorithm::ParallelBackward { opts, threads } => {
+                algo::parallel_backward::run(&ctx, opts, *threads)
+            }
+        };
+        result.stats.runtime = t.elapsed();
+        result.stats.index_build = Duration::ZERO;
+        result
+    }
+}
+
 /// Execution engine for one `(graph, hop radius)` pair.
 ///
-/// The engine owns the lazily-built indexes so their cost is paid once
-/// and amortized across queries, mirroring the paper's setting where
-/// the differential index "needs to be pre-computed and stored".
+/// The engine owns the lazily-built indexes (its [`EngineState`]) so
+/// their cost is paid once and amortized across queries, mirroring
+/// the paper's setting where the differential index "needs to be
+/// pre-computed and stored".
 /// Index builds triggered inside [`LonaEngine::run`] are charged to
 /// that run's `stats.index_build`; call the `prepare_*` methods first
 /// to study query cost in isolation (the benches do).
@@ -115,8 +250,10 @@ impl TopKQuery {
 pub struct LonaEngine<'g> {
     g: &'g CsrGraph,
     hops: u32,
-    size_index: Option<SizeIndex>,
-    diff_index: Option<DiffIndex>,
+    state: EngineState,
+    /// Top-k candidate mask (`None` = every node); see
+    /// [`LonaEngine::with_candidates`].
+    candidates: Option<&'g [bool]>,
 }
 
 impl<'g> LonaEngine<'g> {
@@ -126,13 +263,68 @@ impl<'g> LonaEngine<'g> {
     /// # Panics
     /// Panics if `hops == 0`.
     pub fn new(g: &'g CsrGraph, hops: u32) -> Self {
+        Self::from_state(g, hops, EngineState::new())
+    }
+
+    /// Assemble an engine around existing (possibly warm) index
+    /// state. The sharded coordinator uses this to run one shard's
+    /// query without rebuilding that shard's indexes.
+    ///
+    /// # Panics
+    /// Panics if `hops == 0` or if `state` holds indexes that do not
+    /// match `(g, hops)`.
+    pub fn from_state(g: &'g CsrGraph, hops: u32, state: EngineState) -> Self {
         assert!(hops >= 1, "hop radius must be at least 1");
+        if let Some(idx) = state.size_index() {
+            assert_eq!(idx.hops(), hops, "size index hop radius mismatch");
+            assert_eq!(idx.len(), g.num_nodes(), "size index node count mismatch");
+        }
+        if let Some(idx) = state.diff_index() {
+            assert_eq!(idx.hops(), hops, "diff index hop radius mismatch");
+            assert_eq!(
+                idx.len(),
+                g.num_adjacency_entries(),
+                "diff index entry count mismatch"
+            );
+        }
         LonaEngine {
             g,
             hops,
-            size_index: None,
-            diff_index: None,
+            state,
+            candidates: None,
         }
+    }
+
+    /// Restrict the top-k to the masked nodes. Every node still
+    /// contributes to its neighbors' aggregates and may distribute
+    /// its score; only *eligibility for the result* is masked. The
+    /// sharded engine passes each shard's ownership mask here so halo
+    /// replicas (whose own neighborhoods are truncated) are never
+    /// reported.
+    ///
+    /// # Panics
+    /// Panics if the mask length differs from the node count.
+    pub fn with_candidates(mut self, mask: &'g [bool]) -> Self {
+        assert_eq!(
+            mask.len(),
+            self.g.num_nodes(),
+            "candidate mask covers {} nodes but the graph has {}",
+            mask.len(),
+            self.g.num_nodes()
+        );
+        self.candidates = Some(mask);
+        self
+    }
+
+    /// Take the index state back out (the inverse of
+    /// [`LonaEngine::from_state`]).
+    pub fn into_state(self) -> EngineState {
+        self.state
+    }
+
+    /// The engine's index state.
+    pub fn state(&self) -> &EngineState {
+        &self.state
     }
 
     /// The underlying graph.
@@ -145,42 +337,31 @@ impl<'g> LonaEngine<'g> {
         self.hops
     }
 
+    /// The candidate mask, if any.
+    pub fn candidates(&self) -> Option<&[bool]> {
+        self.candidates
+    }
+
     /// Build (or reuse) the size index; returns the build time (zero
     /// when cached).
     pub fn prepare_size_index(&mut self) -> Duration {
-        if self.size_index.is_some() {
-            return Duration::ZERO;
-        }
-        let t = Instant::now();
-        self.size_index = Some(SizeIndex::build(self.g, self.hops));
-        t.elapsed()
+        self.state.prepare_size_index(self.g, self.hops)
     }
 
     /// Build (or reuse) the differential index (building the size
     /// index first if needed); returns the total build time.
     pub fn prepare_diff_index(&mut self) -> Duration {
-        if self.diff_index.is_some() {
-            return Duration::ZERO;
-        }
-        let mut took = self.prepare_size_index();
-        let t = Instant::now();
-        self.diff_index = Some(DiffIndex::build(
-            self.g,
-            self.hops,
-            self.size_index.as_ref().unwrap(),
-        ));
-        took += t.elapsed();
-        took
+        self.state.prepare_diff_index(self.g, self.hops)
     }
 
     /// Access the size index, if prepared.
     pub fn size_index(&self) -> Option<&SizeIndex> {
-        self.size_index.as_ref()
+        self.state.size_index()
     }
 
     /// Access the differential index, if prepared.
     pub fn diff_index(&self) -> Option<&DiffIndex> {
-        self.diff_index.as_ref()
+        self.state.diff_index()
     }
 
     /// Install a previously serialized size index.
@@ -194,7 +375,7 @@ impl<'g> LonaEngine<'g> {
             self.g.num_nodes(),
             "size index node count mismatch"
         );
-        self.size_index = Some(idx);
+        self.state.size_index = Some(idx);
     }
 
     /// Install a previously serialized differential index.
@@ -208,7 +389,7 @@ impl<'g> LonaEngine<'g> {
             self.g.num_adjacency_entries(),
             "diff index entry count mismatch"
         );
-        self.diff_index = Some(idx);
+        self.state.diff_index = Some(idx);
     }
 
     /// Run one query with the chosen algorithm.
@@ -242,13 +423,7 @@ impl<'g> LonaEngine<'g> {
     /// Build whatever `needs` asks for; returns the charged time
     /// (zero when everything was already cached).
     pub(crate) fn prepare_needs(&mut self, needs: IndexNeeds) -> Duration {
-        let mut took = Duration::ZERO;
-        if needs.diff {
-            took += self.prepare_diff_index();
-        } else if needs.size {
-            took += self.prepare_size_index();
-        }
-        took
+        self.state.prepare_needs(self.g, self.hops, needs)
     }
 
     /// Run one query against the *current* index state, without
@@ -274,11 +449,11 @@ impl<'g> LonaEngine<'g> {
         );
         let needs = IndexNeeds::of(algorithm, query, scores);
         assert!(
-            !needs.size || self.size_index.is_some(),
+            !needs.size || self.state.size_index.is_some(),
             "run_prepared: {algorithm} needs the size index but it is not built"
         );
         assert!(
-            !needs.diff || self.diff_index.is_some(),
+            !needs.diff || self.state.diff_index.is_some(),
             "run_prepared: {algorithm} needs the differential index but it is not built"
         );
         self.dispatch(algorithm, query, scores)
@@ -307,35 +482,10 @@ impl<'g> LonaEngine<'g> {
         batch::run(self, batch, opts)
     }
 
-    /// Shared read-only dispatch: build the context, run, stamp the
-    /// runtime. `index_build` is left at zero for the caller to fill.
+    /// Shared read-only dispatch, delegated to the state.
     fn dispatch(&self, algorithm: &Algorithm, query: &TopKQuery, scores: &ScoreVec) -> QueryResult {
-        let ctx = Ctx {
-            g: self.g,
-            hops: self.hops,
-            scores: scores.as_slice(),
-            query,
-            sizes: self.size_index.as_ref(),
-            diffs: self.diff_index.as_ref(),
-        };
-
-        let t = Instant::now();
-        let mut result = match algorithm {
-            Algorithm::Base => algo::base_forward::run(&ctx),
-            Algorithm::ParallelBase(threads) => algo::parallel_base::run(&ctx, *threads),
-            Algorithm::LonaForward(opts) => algo::lona_forward::run(&ctx, opts),
-            Algorithm::ParallelForward { opts, threads } => {
-                algo::parallel_forward::run(&ctx, opts, *threads)
-            }
-            Algorithm::BackwardNaive => algo::backward_naive::run(&ctx),
-            Algorithm::LonaBackward(opts) => algo::lona_backward::run(&ctx, opts),
-            Algorithm::ParallelBackward { opts, threads } => {
-                algo::parallel_backward::run(&ctx, opts, *threads)
-            }
-        };
-        result.stats.runtime = t.elapsed();
-        result.stats.index_build = Duration::ZERO;
-        result
+        self.state
+            .dispatch(self.g, self.hops, self.candidates, algorithm, query, scores)
     }
 }
 

@@ -56,6 +56,8 @@
 //! * [`batch`] — multi-query execution over the worker pool
 //!   (inter-query parallelism for small queries, intra-query for
 //!   large ones, indexes built once per batch);
+//! * [`shard`] — scatter-gather execution over a partitioned graph
+//!   with a TA-style cross-shard top-k merge;
 //! * [`validate`] — brute-force oracle for tests.
 
 #![warn(missing_docs)]
@@ -71,6 +73,7 @@ pub mod index;
 pub mod neighborhood;
 pub mod plan;
 pub mod result;
+pub mod shard;
 pub mod stats;
 pub mod topk;
 pub mod validate;
@@ -78,10 +81,14 @@ pub mod validate;
 pub use aggregate::Aggregate;
 pub use algo::{Algorithm, BackwardOptions, ForwardOptions, GammaSpec, ProcessingOrder};
 pub use batch::{BatchMode, BatchOptions, BatchQuery, BatchResult};
-pub use engine::{LonaEngine, TopKQuery};
+pub use engine::{EngineState, LonaEngine, TopKQuery};
 pub use exec::SharedThreshold;
 pub use index::{DiffIndex, SizeIndex};
 pub use plan::{plan_query, Plan, PlanReason, PlannerConfig};
 pub use result::QueryResult;
+pub use shard::{
+    CoordinatorStats, ShardOptions, ShardRunReport, ShardedBatchResult, ShardedEngine,
+    ShardedResult,
+};
 pub use stats::QueryStats;
 pub use topk::TopKHeap;

@@ -1,0 +1,155 @@
+//! Property tests for the sharded scatter-gather engine: on random
+//! graphs × scores × queries, `ShardedEngine::run` must agree with a
+//! single `LonaEngine` for **every** partition strategy and shard
+//! count in {1, 2, 4, 8} — exactly (entries, bit-for-bit) when the
+//! per-shard algorithm is forced to an order-preserving one, and to
+//! 1e-9 on values when the per-shard planner chooses freely.
+
+use proptest::prelude::*;
+
+use lona_core::{Aggregate, Algorithm, LonaEngine, ShardOptions, ShardedEngine, TopKQuery};
+use lona_graph::{partition, CsrGraph, GraphBuilder, PartitionStrategy};
+use lona_relevance::ScoreVec;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Debug, Clone)]
+struct Case {
+    g: CsrGraph,
+    sparse: ScoreVec,
+    dense: ScoreVec,
+    h: u32,
+    k: usize,
+    include_self: bool,
+}
+
+fn arb_aggregate() -> impl Strategy<Value = Aggregate> {
+    prop_oneof![
+        Just(Aggregate::Sum),
+        Just(Aggregate::Avg),
+        Just(Aggregate::DistanceWeightedSum),
+        Just(Aggregate::Max)
+    ]
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (4u32..40, 0usize..110)
+        .prop_flat_map(|(n, m)| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n, 0..n), m),
+                proptest::collection::vec(0.0f64..=1.0, n as usize),
+                proptest::collection::vec(0.01f64..=1.0, n as usize),
+                1u32..4,
+                1usize..12,
+                proptest::bool::ANY,
+            )
+        })
+        .prop_map(|(n, edges, sparse, dense, h, k, include_self)| {
+            let sparse: Vec<f64> = sparse
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| if i % 3 == 0 { s } else { 0.0 })
+                .collect();
+            Case {
+                g: GraphBuilder::undirected()
+                    .with_num_nodes(n)
+                    .extend_edges(edges)
+                    .build()
+                    .unwrap(),
+                sparse: ScoreVec::new(sparse),
+                dense: ScoreVec::new(dense),
+                h,
+                k,
+                include_self,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Planner-chosen sharded runs agree with the single engine on
+    /// values (1e-9) for every strategy × shard count × aggregate.
+    #[test]
+    fn sharded_planner_matches_single_engine(case in arb_case(), aggregate in arb_aggregate()) {
+        let query = TopKQuery::new(case.k, aggregate).include_self(case.include_self);
+        for scores in [&case.sparse, &case.dense] {
+            let mut single = LonaEngine::new(&case.g, case.h);
+            let expect = single.run(&Algorithm::Base, &query, scores);
+            for strategy in PartitionStrategy::ALL {
+                for &shards in &SHARD_COUNTS {
+                    let sharded = partition(&case.g, shards, strategy, case.h).unwrap();
+                    let mut engine = ShardedEngine::new(&sharded, case.h);
+                    let got = engine.run(&query, scores, &ShardOptions::default());
+                    prop_assert!(
+                        got.result.same_values(&expect, 1e-9),
+                        "{} x{} {:?} h={} k={}: {:?} vs {:?}",
+                        strategy, shards, aggregate, case.h, case.k,
+                        got.result.values(), expect.values()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Forced order-preserving algorithms are bit-identical end to
+    /// end: same nodes, same values, no tolerance.
+    #[test]
+    fn sharded_forced_runs_are_bit_identical(case in arb_case()) {
+        for force in [Algorithm::Base, Algorithm::BackwardNaive, Algorithm::forward()] {
+            for aggregate in [Aggregate::Sum, Aggregate::Max] {
+                let query = TopKQuery::new(case.k, aggregate).include_self(case.include_self);
+                let mut single = LonaEngine::new(&case.g, case.h);
+                let expect = single.run(&force, &query, &case.dense);
+                for strategy in PartitionStrategy::ALL {
+                    for &shards in &SHARD_COUNTS {
+                        let sharded = partition(&case.g, shards, strategy, case.h).unwrap();
+                        let mut engine = ShardedEngine::new(&sharded, case.h);
+                        let opts = ShardOptions::default().force(force);
+                        let got = engine.run(&query, &case.dense, &opts);
+                        prop_assert_eq!(
+                            &got.result.entries,
+                            &expect.entries,
+                            "{} x{} {} {:?} h={} k={} diverged",
+                            strategy, shards, force, aggregate, case.h, case.k
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A deeper halo than the query radius never changes the answer
+    /// (exactness only requires halo >= hops).
+    #[test]
+    fn deeper_halo_is_harmless(case in arb_case()) {
+        let query = TopKQuery::new(case.k, Aggregate::Sum).include_self(case.include_self);
+        let exact = partition(&case.g, 4, PartitionStrategy::Contiguous, case.h).unwrap();
+        let deep = partition(&case.g, 4, PartitionStrategy::Contiguous, case.h + 2).unwrap();
+        let a = ShardedEngine::new(&exact, case.h)
+            .run(&query, &case.sparse, &ShardOptions::default());
+        let b = ShardedEngine::new(&deep, case.h)
+            .run(&query, &case.sparse, &ShardOptions::default());
+        prop_assert_eq!(a.result.entries, b.result.entries);
+    }
+
+    /// The partition itself is lossless: every node owned exactly
+    /// once, every round-trip exact, and owned neighborhoods complete.
+    #[test]
+    fn partition_round_trips(case in arb_case(), shards in 1usize..9) {
+        for strategy in PartitionStrategy::ALL {
+            let sharded = partition(&case.g, shards, strategy, case.h).unwrap();
+            let mut owned_total = 0usize;
+            for shard in sharded.shards() {
+                owned_total += shard.owned_count();
+            }
+            prop_assert_eq!(owned_total, case.g.num_nodes());
+            for u in case.g.nodes() {
+                let loc = sharded.locate(u);
+                prop_assert_eq!(sharded.shard(loc.shard).to_global(loc.local), u);
+                prop_assert!(sharded.shard(loc.shard).is_owned(loc.local));
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Deterministic community-path graphs.
+
+use lona_graph::{CsrGraph, GraphBuilder, Result};
+
+/// A path of `communities` communities of `size` nodes each: ring +
+/// distance-2 chord edges inside every community, one bridge edge
+/// between consecutive communities. Seed-free deterministic.
+///
+/// Node ids are community-contiguous (community `c` owns
+/// `[c·size, (c+1)·size)`), so contiguous partitioning aligns shards
+/// with communities — the id-locality regime the sharded engine's
+/// work-ratio gate measures, and the shape the shard test suites and
+/// the `shard_scaling` bench share.
+///
+/// # Panics
+/// Panics if `communities == 0` or `size < 3` (the chord pattern
+/// needs a ring of at least 3).
+pub fn community_path(communities: u32, size: u32) -> Result<CsrGraph> {
+    assert!(communities >= 1, "need at least one community");
+    assert!(size >= 3, "community size must be at least 3");
+    let mut b = GraphBuilder::undirected();
+    for c in 0..communities {
+        let base = c * size;
+        for j in 0..size {
+            b.push_edge(base + j, base + (j + 1) % size);
+            b.push_edge(base + j, base + (j + 2) % size);
+        }
+        if c + 1 < communities {
+            b.push_edge(base + size - 1, base + size);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lona_graph::NodeId;
+
+    #[test]
+    fn shape_is_deterministic_and_community_local() {
+        let g = community_path(4, 24).unwrap();
+        assert_eq!(g.num_nodes(), 96);
+        let again = community_path(4, 24).unwrap();
+        assert_eq!(g.num_edges(), again.num_edges());
+        // Interior nodes touch only their own community; the bridge
+        // endpoints touch exactly one foreign node.
+        assert!(g.neighbors(NodeId(5)).iter().all(|v| v.0 / 24 == 0));
+        assert!(g.has_edge(NodeId(23), NodeId(24)));
+    }
+
+    #[test]
+    fn single_community_is_a_chorded_ring() {
+        let g = community_path(1, 10).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 20); // ring + chords, deduped
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_communities_rejected() {
+        let _ = community_path(2, 2);
+    }
+}

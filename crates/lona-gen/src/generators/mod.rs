@@ -5,6 +5,7 @@
 //! parallel edges deduplicated).
 
 mod ba;
+mod community;
 mod config_model;
 mod er;
 mod rmat;
@@ -12,6 +13,7 @@ mod sbm;
 mod ws;
 
 pub use ba::barabasi_albert;
+pub use community::community_path;
 pub use config_model::{configuration_model, power_law_degree_sequence};
 pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
 pub use rmat::{rmat, RmatParams};

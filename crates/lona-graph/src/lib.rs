@@ -19,6 +19,8 @@
 //! * [`io`] — whitespace edge-list text format and a compact binary
 //!   snapshot format.
 //! * [`view`] — induced subgraphs.
+//! * [`mod@partition`] — edge-cut sharding with halo replication, the
+//!   storage layer of the scatter-gather engine.
 //!
 //! ## Quick example
 //!
@@ -45,6 +47,7 @@ mod csr;
 mod error;
 pub mod io;
 mod node;
+pub mod partition;
 pub mod traversal;
 pub mod view;
 
@@ -52,6 +55,7 @@ pub use builder::{GraphBuilder, SelfLoopPolicy};
 pub use csr::{CsrGraph, EdgeIter, NeighborIter};
 pub use error::GraphError;
 pub use node::NodeId;
+pub use partition::{partition, PartitionStrategy, Shard, ShardLoc, ShardedGraph};
 
 /// Result alias for graph operations.
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,690 @@
+//! Edge-cut graph partitioning for the sharded scatter-gather engine.
+//!
+//! The paper closes with "we are currently developing an
+//! infrastructure to partition large networks into subnetworks and
+//! distribute them into multiple machines". This module is that
+//! infrastructure's storage layer: it splits one [`CsrGraph`] into
+//! shards such that every shard can answer h-hop neighborhood
+//! aggregation queries about the nodes it *owns* **exactly**, without
+//! talking to any other shard.
+//!
+//! ## Owned nodes, halo nodes, and exactness
+//!
+//! A [`PartitionStrategy`] assigns every global node to exactly one
+//! owning shard. Each shard then materializes the induced subgraph
+//! over its owned nodes **plus their `halo_hops`-hop halo** (every
+//! node within `halo_hops` of an owned node). For any owned node `u`
+//! and any node `v` with `dist_G(u, v) = d <= halo_hops`, every vertex
+//! on a shortest `u`–`v` path is itself within `halo_hops` of `u`, so
+//! the whole path survives into the shard subgraph and
+//! `dist_shard(u, v) = d`. Distances can only grow under vertex
+//! deletion, so nodes outside the ball stay outside. Hence the h-hop
+//! neighborhood (with per-node hop distances) of every owned node is
+//! *identical* in the shard and in the global graph for every
+//! `h <= halo_hops` — the exactness invariant the sharded engine's
+//! merge rule rests on (DESIGN.md §9).
+//!
+//! ## Local id order
+//!
+//! Local ids are assigned in ascending global-id order across the
+//! whole member set (owned and halo interleaved). The remap is
+//! therefore monotone: adjacency slices sorted by local id are sorted
+//! by global id too, so a BFS from an owned node discovers (and a
+//! backward pass accumulates) neighbors in exactly the global
+//! traversal order. Floating-point sums inside one shard are
+//! **bit-identical** to the single-graph run, not merely close.
+
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+use crate::traversal::EpochSet;
+
+/// How global nodes are assigned to owning shards.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Shard `i` owns the `i`-th contiguous range of node ids (sizes
+    /// differ by at most one). The right choice when ids carry
+    /// locality (community-ordered datasets): halos stay small.
+    Contiguous,
+    /// Multiplicative hash of the node id. Owned counts balance well
+    /// on any id distribution, but halos are large on graphs with id
+    /// locality — the classic hash-partition trade-off.
+    Hash,
+    /// Greedy balance on *degree*: nodes are assigned in descending
+    /// degree order to the shard with the least accumulated degree
+    /// (ties to the lowest shard id). Balances adjacency work rather
+    /// than node counts.
+    DegreeBalanced,
+}
+
+impl PartitionStrategy {
+    /// All strategies, in a stable order (benches and tests sweep
+    /// this).
+    pub const ALL: [PartitionStrategy; 3] = [
+        PartitionStrategy::Contiguous,
+        PartitionStrategy::Hash,
+        PartitionStrategy::DegreeBalanced,
+    ];
+
+    /// Short name used in CLI flags, bench ids and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::Contiguous => "contiguous",
+            PartitionStrategy::Hash => "hash",
+            PartitionStrategy::DegreeBalanced => "degree",
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PartitionStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "contiguous" | "range" => Ok(PartitionStrategy::Contiguous),
+            "hash" => Ok(PartitionStrategy::Hash),
+            "degree" | "degree-balanced" => Ok(PartitionStrategy::DegreeBalanced),
+            other => Err(format!(
+                "unknown partition strategy `{other}` (contiguous|hash|degree)"
+            )),
+        }
+    }
+}
+
+/// One shard: the induced subgraph over its members (owned + halo),
+/// the local→global id map, and the ownership mask.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    graph: CsrGraph,
+    /// `global_ids[local] = global`, ascending (the remap is monotone).
+    global_ids: Vec<NodeId>,
+    /// `owned[local]` — whether this shard owns the node (vs. halo).
+    owned: Vec<bool>,
+    owned_count: usize,
+    /// Owned nodes with at least one neighbor owned by another shard.
+    boundary_count: usize,
+}
+
+impl Shard {
+    /// The shard's induced subgraph (owned + halo members).
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Members of this shard (owned + halo).
+    pub fn num_nodes(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// Nodes this shard owns (is authoritative for).
+    pub fn owned_count(&self) -> usize {
+        self.owned_count
+    }
+
+    /// Halo (replicated, non-authoritative) members.
+    pub fn halo_count(&self) -> usize {
+        self.global_ids.len() - self.owned_count
+    }
+
+    /// Owned nodes adjacent to another shard's owned set.
+    pub fn boundary_count(&self) -> usize {
+        self.boundary_count
+    }
+
+    /// The ownership mask, indexed by local id — the candidate set the
+    /// engine restricts its top-k to.
+    pub fn owned_mask(&self) -> &[bool] {
+        &self.owned
+    }
+
+    /// Whether the local node is owned (vs. halo).
+    pub fn is_owned(&self, local: NodeId) -> bool {
+        self.owned[local.index()]
+    }
+
+    /// Map a local id back to its global id.
+    #[inline]
+    pub fn to_global(&self, local: NodeId) -> NodeId {
+        self.global_ids[local.index()]
+    }
+
+    /// Map a global id to this shard's local id, if the node is a
+    /// member (binary search — the map is sorted).
+    pub fn to_local(&self, global: NodeId) -> Option<NodeId> {
+        self.global_ids
+            .binary_search(&global)
+            .ok()
+            .map(NodeId::from_index)
+    }
+
+    /// The ascending local→global id map.
+    pub fn global_ids(&self) -> &[NodeId] {
+        &self.global_ids
+    }
+}
+
+/// Where a global node lives: its owning shard and its local id there.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ShardLoc {
+    /// Owning shard index.
+    pub shard: usize,
+    /// Local id within that shard.
+    pub local: NodeId,
+}
+
+/// A graph split into shards with lossless global↔local remapping.
+///
+/// ```
+/// use lona_graph::{partition, GraphBuilder, NodeId, PartitionStrategy};
+///
+/// let g = GraphBuilder::undirected()
+///     .extend_edges((0..12).map(|i| (i, (i + 1) % 12)))
+///     .build()
+///     .unwrap();
+/// let sharded = partition(&g, 3, PartitionStrategy::Contiguous, 2).unwrap();
+/// assert_eq!(sharded.num_shards(), 3);
+/// // Every node is owned by exactly one shard and round-trips.
+/// for u in g.nodes() {
+///     let loc = sharded.locate(u);
+///     assert_eq!(sharded.shard(loc.shard).to_global(loc.local), u);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedGraph {
+    shards: Vec<Shard>,
+    /// `node_map[global]` = owning shard.
+    node_map: Vec<u32>,
+    halo_hops: u32,
+    strategy: PartitionStrategy,
+    num_global_nodes: usize,
+    /// Global edges whose endpoints are owned by different shards.
+    edge_cut: usize,
+}
+
+impl ShardedGraph {
+    /// Number of shards (including any that own no nodes).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, indexed by shard id.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// One shard.
+    pub fn shard(&self, i: usize) -> &Shard {
+        &self.shards[i]
+    }
+
+    /// The halo depth the shards were built with. Queries are exact
+    /// for any hop radius `h <= halo_hops`.
+    pub fn halo_hops(&self) -> u32 {
+        self.halo_hops
+    }
+
+    /// The strategy that assigned owners.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// Node count of the original graph.
+    pub fn num_global_nodes(&self) -> usize {
+        self.num_global_nodes
+    }
+
+    /// The shard owning a global node.
+    pub fn owner_of(&self, global: NodeId) -> usize {
+        self.node_map[global.index()] as usize
+    }
+
+    /// The owning shard and local id of a global node.
+    ///
+    /// # Panics
+    /// Panics if `global` is out of range.
+    pub fn locate(&self, global: NodeId) -> ShardLoc {
+        let shard = self.owner_of(global);
+        let local = self.shards[shard]
+            .to_local(global)
+            .expect("owner shard must contain its node");
+        ShardLoc { shard, local }
+    }
+
+    /// Global edges crossing shard ownership (the edge cut).
+    pub fn edge_cut(&self) -> usize {
+        self.edge_cut
+    }
+
+    /// Total shard members divided by global nodes: 1.0 means no
+    /// replication, S means every shard holds the whole graph.
+    pub fn replication_factor(&self) -> f64 {
+        if self.num_global_nodes == 0 {
+            return 1.0;
+        }
+        let members: usize = self.shards.iter().map(Shard::num_nodes).sum();
+        members as f64 / self.num_global_nodes as f64
+    }
+}
+
+/// Fibonacci-multiplicative hash of a node id — deterministic and
+/// platform-independent.
+#[inline]
+fn hash_owner(u: u32, num_shards: usize) -> u32 {
+    let h = (u as u64)
+        .wrapping_add(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        >> 32;
+    (h % num_shards as u64) as u32
+}
+
+/// Assign every node an owning shard under `strategy`.
+fn assign_owners(g: &CsrGraph, num_shards: usize, strategy: PartitionStrategy) -> Vec<u32> {
+    let n = g.num_nodes();
+    match strategy {
+        PartitionStrategy::Contiguous => {
+            // Balanced ranges: the first `n % S` shards own one extra.
+            let base = n / num_shards;
+            let extra = n % num_shards;
+            let mut owners = Vec::with_capacity(n);
+            for s in 0..num_shards {
+                let len = base + usize::from(s < extra);
+                owners.extend(std::iter::repeat_n(s as u32, len));
+            }
+            owners
+        }
+        PartitionStrategy::Hash => (0..n as u32).map(|u| hash_owner(u, num_shards)).collect(),
+        PartitionStrategy::DegreeBalanced => {
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            order.sort_by_key(|&u| (std::cmp::Reverse(g.degree(NodeId(u))), u));
+            let mut load = vec![0u64; num_shards];
+            let mut owners = vec![0u32; n];
+            for u in order {
+                // S is small; a linear scan beats heap bookkeeping.
+                let target = (0..num_shards)
+                    .min_by_key(|&s| (load[s], s))
+                    .expect("at least one shard");
+                owners[u as usize] = target as u32;
+                // +1 keeps zero-degree nodes spreading round-robin.
+                load[target] += g.degree(NodeId(u)) as u64 + 1;
+            }
+            owners
+        }
+    }
+}
+
+/// Split `g` into `num_shards` shards under `strategy`, materializing
+/// a `halo_hops`-hop halo around every shard's owned set.
+///
+/// Queries at any hop radius `h <= halo_hops` evaluate owned nodes
+/// exactly (see the module docs for the argument).
+///
+/// # Panics
+/// Panics if `num_shards == 0`, `halo_hops == 0`, or `g` is directed
+/// (the halo-completeness argument and the backward algorithms need
+/// symmetric adjacency).
+pub fn partition(
+    g: &CsrGraph,
+    num_shards: usize,
+    strategy: PartitionStrategy,
+    halo_hops: u32,
+) -> crate::Result<ShardedGraph> {
+    assert!(num_shards >= 1, "need at least one shard");
+    assert!(halo_hops >= 1, "halo depth must be at least 1");
+    assert!(
+        !g.is_directed(),
+        "partitioning requires an undirected graph (halo completeness needs symmetric adjacency)"
+    );
+    let n = g.num_nodes();
+    let node_map = assign_owners(g, num_shards, strategy);
+
+    // Group owned nodes per shard (ascending ids — the iteration
+    // order below preserves it).
+    let mut owned_by_shard: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+    for (u, &s) in node_map.iter().enumerate() {
+        owned_by_shard[s as usize].push(u as u32);
+    }
+
+    // Scratch reused across shards: visited set for the halo BFS and
+    // the global→local map for CSR construction.
+    let mut visited = EpochSet::new(n);
+    let mut to_local = vec![u32::MAX; n];
+    let mut edge_cut = 0usize;
+
+    let mut shards = Vec::with_capacity(num_shards);
+    for owned_nodes in &owned_by_shard {
+        // Multi-source BFS out to halo_hops collects the member set.
+        visited.clear();
+        let mut frontier: Vec<u32> = Vec::with_capacity(owned_nodes.len());
+        let mut members: Vec<u32> = Vec::with_capacity(owned_nodes.len());
+        for &u in owned_nodes {
+            visited.insert(u);
+            frontier.push(u);
+            members.push(u);
+        }
+        let mut next: Vec<u32> = Vec::new();
+        for _ in 0..halo_hops {
+            if frontier.is_empty() {
+                break;
+            }
+            next.clear();
+            for &x in &frontier {
+                for &v in g.neighbors(NodeId(x)) {
+                    if visited.insert(v.0) {
+                        members.push(v.0);
+                        next.push(v.0);
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        members.sort_unstable();
+
+        // Monotone global→local map for this shard.
+        for (local, &m) in members.iter().enumerate() {
+            to_local[m as usize] = local as u32;
+        }
+
+        // Build the induced CSR directly: the remap is monotone, so
+        // per-node adjacency slices stay sorted and no re-sort is
+        // needed; self-loops and weights carry over verbatim.
+        let weighted = g.has_weights();
+        let mut offsets = Vec::with_capacity(members.len() + 1);
+        offsets.push(0u32);
+        let mut targets: Vec<NodeId> = Vec::new();
+        let mut weights: Vec<f32> = Vec::new();
+        let mut num_edges = 0usize;
+        for &m in &members {
+            let u = NodeId(m);
+            for (v, w) in g.weighted_neighbors(u) {
+                let local_v = to_local[v.index()];
+                if local_v == u32::MAX {
+                    continue;
+                }
+                targets.push(NodeId(local_v));
+                if weighted {
+                    weights.push(w);
+                }
+                // Undirected edges appear from both endpoints except
+                // self-loops (stored once); count each logical edge
+                // from its lower endpoint.
+                if u <= v {
+                    num_edges += 1;
+                }
+            }
+            if targets.len() > u32::MAX as usize {
+                return Err(crate::GraphError::TooManyEdges(targets.len()));
+            }
+            offsets.push(targets.len() as u32);
+        }
+        let graph = CsrGraph::from_parts(
+            offsets,
+            targets,
+            weighted.then_some(weights),
+            num_edges,
+            false,
+        );
+
+        // Ownership mask + boundary bookkeeping (and the shard's
+        // contribution to the edge cut, counted from the lower-owned
+        // endpoint so each cut edge counts once).
+        let shard_id = shards.len() as u32;
+        let mut owned = vec![false; members.len()];
+        let mut owned_count = 0usize;
+        let mut boundary_count = 0usize;
+        for &m in owned_nodes {
+            let u = NodeId(m);
+            owned[to_local[u.index()] as usize] = true;
+            owned_count += 1;
+            let mut is_boundary = false;
+            for &v in g.neighbors(u) {
+                if node_map[v.index()] != shard_id {
+                    is_boundary = true;
+                    // Count each cut edge once, from its lower
+                    // endpoint (whose owning shard reaches here).
+                    if u < v {
+                        edge_cut += 1;
+                    }
+                }
+            }
+            if is_boundary {
+                boundary_count += 1;
+            }
+        }
+
+        // Reset the scratch map for the next shard.
+        for &m in &members {
+            to_local[m as usize] = u32::MAX;
+        }
+
+        shards.push(Shard {
+            graph,
+            global_ids: members.into_iter().map(NodeId).collect(),
+            owned,
+            owned_count,
+            boundary_count,
+        });
+    }
+
+    Ok(ShardedGraph {
+        shards,
+        node_map,
+        halo_hops,
+        strategy,
+        num_global_nodes: n,
+        edge_cut,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn ring(n: u32) -> CsrGraph {
+        GraphBuilder::undirected()
+            .extend_edges((0..n).map(|i| (i, (i + 1) % n)))
+            .build()
+            .unwrap()
+    }
+
+    fn check_invariants(g: &CsrGraph, sharded: &ShardedGraph, halo: u32) {
+        // Every global node owned exactly once, and round-trips.
+        let mut owned_total = 0usize;
+        for shard in sharded.shards() {
+            owned_total += shard.owned_count();
+            assert_eq!(
+                shard.owned_mask().iter().filter(|&&b| b).count(),
+                shard.owned_count()
+            );
+            // Local ids ascend in global order.
+            assert!(shard.global_ids().windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(owned_total, g.num_nodes());
+        for u in g.nodes() {
+            let loc = sharded.locate(u);
+            let shard = sharded.shard(loc.shard);
+            assert!(shard.is_owned(loc.local));
+            assert_eq!(shard.to_global(loc.local), u);
+            assert_eq!(shard.to_local(u), Some(loc.local));
+        }
+        // Halo completeness: the h-hop ball of every owned node is in
+        // the member set, with all its edges among members preserved.
+        for (si, shard) in sharded.shards().iter().enumerate() {
+            for local in shard.graph().nodes() {
+                if !shard.is_owned(local) {
+                    continue;
+                }
+                let global = shard.to_global(local);
+                let mut ball = vec![global];
+                let mut frontier = vec![global];
+                let mut seen = std::collections::HashSet::from([global]);
+                for _ in 0..halo {
+                    let mut nf = Vec::new();
+                    for &x in &frontier {
+                        for &v in g.neighbors(x) {
+                            if seen.insert(v) {
+                                ball.push(v);
+                                nf.push(v);
+                            }
+                        }
+                    }
+                    frontier = nf;
+                }
+                for b in ball {
+                    assert!(
+                        shard.to_local(b).is_some(),
+                        "shard {si}: ball node {b:?} of owned {global:?} missing"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_balances_and_preserves_invariants() {
+        let g = ring(23);
+        for shards in [1, 2, 4, 8] {
+            let sharded = partition(&g, shards, PartitionStrategy::Contiguous, 2).unwrap();
+            assert_eq!(sharded.num_shards(), shards);
+            check_invariants(&g, &sharded, 2);
+            let counts: Vec<usize> = sharded.shards().iter().map(Shard::owned_count).collect();
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn hash_and_degree_preserve_invariants() {
+        let g = ring(30);
+        for strategy in [PartitionStrategy::Hash, PartitionStrategy::DegreeBalanced] {
+            for shards in [1, 3, 5] {
+                let sharded = partition(&g, shards, strategy, 2).unwrap();
+                check_invariants(&g, &sharded, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_graph() {
+        let g = ring(12);
+        let sharded = partition(&g, 1, PartitionStrategy::Hash, 2).unwrap();
+        let s = sharded.shard(0);
+        assert_eq!(s.num_nodes(), 12);
+        assert_eq!(s.owned_count(), 12);
+        assert_eq!(s.halo_count(), 0);
+        assert_eq!(s.boundary_count(), 0);
+        assert_eq!(sharded.edge_cut(), 0);
+        assert!((sharded.replication_factor() - 1.0).abs() < 1e-12);
+        assert_eq!(s.graph().num_edges(), g.num_edges());
+        // Identity remap.
+        for u in g.nodes() {
+            assert_eq!(s.to_global(u), u);
+        }
+    }
+
+    #[test]
+    fn ring_contiguous_halo_is_the_rim() {
+        // 2 shards on a 20-ring with halo 2: each shard owns 10 nodes
+        // and pulls in 2 rim nodes per cut end.
+        let g = ring(20);
+        let sharded = partition(&g, 2, PartitionStrategy::Contiguous, 2).unwrap();
+        for shard in sharded.shards() {
+            assert_eq!(shard.owned_count(), 10);
+            assert_eq!(shard.halo_count(), 4);
+        }
+        assert_eq!(sharded.edge_cut(), 2);
+        // Boundary nodes: the two ends of each contiguous range.
+        assert_eq!(sharded.shard(0).boundary_count(), 2);
+    }
+
+    #[test]
+    fn degree_balanced_spreads_hubs() {
+        // Star: hub 0 plus 12 leaves. Degree balance puts the hub
+        // alone-ish; every shard still owns someone.
+        let g = GraphBuilder::undirected()
+            .extend_edges((1..=12).map(|i| (0, i)))
+            .build()
+            .unwrap();
+        let sharded = partition(&g, 3, PartitionStrategy::DegreeBalanced, 1).unwrap();
+        check_invariants(&g, &sharded, 1);
+        for shard in sharded.shards() {
+            assert!(shard.owned_count() > 0);
+        }
+        // The hub's owner carries far less leaf load than the rest.
+        let hub_shard = sharded.owner_of(NodeId(0));
+        let hub_owned = sharded.shard(hub_shard).owned_count();
+        assert!(hub_owned < 12 / 3 + 2, "hub shard overloaded: {hub_owned}");
+    }
+
+    #[test]
+    fn more_shards_than_nodes_leaves_empties() {
+        let g = ring(3);
+        let sharded = partition(&g, 8, PartitionStrategy::Contiguous, 2).unwrap();
+        assert_eq!(sharded.num_shards(), 8);
+        let owned: usize = sharded.shards().iter().map(Shard::owned_count).sum();
+        assert_eq!(owned, 3);
+        // Empty shards have empty graphs and empty maps.
+        for shard in sharded.shards().iter().filter(|s| s.owned_count() == 0) {
+            assert_eq!(shard.num_nodes(), 0);
+            assert_eq!(shard.graph().num_nodes(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_graph_partitions_cleanly() {
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(0)
+            .build()
+            .unwrap();
+        let sharded = partition(&g, 4, PartitionStrategy::Hash, 2).unwrap();
+        assert_eq!(sharded.num_shards(), 4);
+        assert_eq!(sharded.replication_factor(), 1.0);
+    }
+
+    #[test]
+    fn weights_carry_into_shards() {
+        let g = GraphBuilder::undirected()
+            .add_weighted_edge(0, 1, 2.5)
+            .add_weighted_edge(1, 2, 0.5)
+            .add_weighted_edge(2, 3, 4.0)
+            .build()
+            .unwrap();
+        let sharded = partition(&g, 2, PartitionStrategy::Contiguous, 1).unwrap();
+        let s0 = sharded.shard(0);
+        assert!(s0.graph().has_weights());
+        let l0 = s0.to_local(NodeId(0)).unwrap();
+        let l1 = s0.to_local(NodeId(1)).unwrap();
+        assert_eq!(s0.graph().edge_weight(l0, l1), Some(2.5));
+    }
+
+    #[test]
+    fn strategy_parsing_and_names() {
+        for s in PartitionStrategy::ALL {
+            assert_eq!(s.name().parse::<PartitionStrategy>().unwrap(), s);
+        }
+        assert_eq!(
+            "degree-balanced".parse::<PartitionStrategy>().unwrap(),
+            PartitionStrategy::DegreeBalanced
+        );
+        assert!("metis".parse::<PartitionStrategy>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn directed_rejected() {
+        let g = GraphBuilder::directed().add_edge(0, 1).build().unwrap();
+        let _ = partition(&g, 2, PartitionStrategy::Contiguous, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let g = ring(4);
+        let _ = partition(&g, 0, PartitionStrategy::Contiguous, 1);
+    }
+}

@@ -56,10 +56,11 @@ pub use lona_relevance as relevance;
 pub mod prelude {
     pub use lona_core::{
         Aggregate, Algorithm, BackwardOptions, BatchMode, BatchOptions, BatchQuery, BatchResult,
-        ForwardOptions, GammaSpec, LonaEngine, Plan, PlanReason, PlannerConfig, ProcessingOrder,
-        QueryResult, QueryStats, TopKQuery,
+        CoordinatorStats, EngineState, ForwardOptions, GammaSpec, LonaEngine, Plan, PlanReason,
+        PlannerConfig, ProcessingOrder, QueryResult, QueryStats, ShardOptions, ShardedEngine,
+        ShardedResult, TopKQuery,
     };
     pub use lona_gen::{DatasetKind, DatasetProfile};
-    pub use lona_graph::{CsrGraph, GraphBuilder, NodeId};
+    pub use lona_graph::{partition, CsrGraph, GraphBuilder, NodeId, PartitionStrategy};
     pub use lona_relevance::{binary_blacking, MixtureBuilder, Relevance, ScoreVec};
 }

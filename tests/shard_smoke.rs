@@ -1,0 +1,208 @@
+//! CI smoke for the sharded scatter-gather engine, on fixed seeds:
+//!
+//! * sharded results equal the single engine — bit-identical entries
+//!   for forced order-preserving algorithms (SUM/MAX), values to 1e-9
+//!   for planner-chosen runs and AVG — for every partition strategy
+//!   and shard count in {1, 2, 4, 8};
+//! * on a seeded skewed-score workload the TA coordinator provably
+//!   skips at least one shard re-query (asserted via the
+//!   deterministic coordinator counters, never wall clock);
+//! * on an id-locality graph the cross-shard work ratio stays within
+//!   the same 1.25 budget the `shard-smoke` CI job gates via
+//!   `figures --shards --check`.
+
+use lona::prelude::*;
+
+/// Deterministic work units of one run (mirrors the bench gate).
+fn work_units(stats: &QueryStats) -> u64 {
+    stats.edges_traversed
+        + (stats.nodes_evaluated + stats.nodes_pruned + stats.nodes_distributed) as u64
+}
+
+/// The fixed paper-style workload: smoke-scale collaboration network
+/// with a relevance mixture, both seeds pinned.
+fn fixed_workload() -> (CsrGraph, ScoreVec) {
+    let g = DatasetProfile::smoke(DatasetKind::Collaboration, 2024)
+        .generate()
+        .unwrap();
+    let scores = MixtureBuilder::new(0.02).build(&g, 2024);
+    (g, scores)
+}
+
+/// A community-structured graph whose ids align with contiguous
+/// partitioning: 4 communities of 24 nodes (the shared
+/// `community_path` fixture from `lona-gen`).
+fn community_graph() -> CsrGraph {
+    lona::gen::generators::community_path(4, 24).unwrap()
+}
+
+#[test]
+fn sharded_equals_single_engine_on_fixed_seed() {
+    let (g, scores) = fixed_workload();
+    // Single-engine references, one per (aggregate, k).
+    let mut single = LonaEngine::new(&g, 2);
+    let cases: Vec<(TopKQuery, QueryResult)> = [Aggregate::Sum, Aggregate::Avg, Aggregate::Max]
+        .into_iter()
+        .flat_map(|aggregate| [1usize, 10, 50].map(|k| TopKQuery::new(k, aggregate)))
+        .map(|q| {
+            let r = single.run(&Algorithm::Base, &q, &scores);
+            (q, r)
+        })
+        .collect();
+    for strategy in PartitionStrategy::ALL {
+        for shards in [1usize, 2, 4, 8] {
+            let sharded = partition(&g, shards, strategy, 2).unwrap();
+            let mut engine = ShardedEngine::new(&sharded, 2);
+            for (query, expect) in &cases {
+                let got = engine.run(query, &scores, &ShardOptions::default());
+                assert!(
+                    got.result.same_values(expect, 1e-9),
+                    "{strategy} x{shards} {:?} k={} diverged",
+                    query.aggregate,
+                    query.k
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_forced_sum_is_bit_identical() {
+    let (g, scores) = fixed_workload();
+    let query = TopKQuery::new(10, Aggregate::Sum);
+    let forces = [
+        Algorithm::Base,
+        Algorithm::BackwardNaive,
+        Algorithm::forward(),
+    ];
+    let mut single = LonaEngine::new(&g, 2);
+    let expects: Vec<QueryResult> = forces
+        .iter()
+        .map(|force| single.run(force, &query, &scores))
+        .collect();
+    for strategy in PartitionStrategy::ALL {
+        for shards in [2usize, 4, 8] {
+            let sharded = partition(&g, shards, strategy, 2).unwrap();
+            let mut engine = ShardedEngine::new(&sharded, 2);
+            for (force, expect) in forces.iter().zip(&expects) {
+                let opts = ShardOptions::default().force(*force);
+                let got = engine.run(&query, &scores, &opts);
+                assert_eq!(
+                    got.result.entries, expect.entries,
+                    "{strategy} x{shards} {force}: entries must be bit-identical"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ta_coordinator_skips_requeries_under_skew() {
+    // Strictly graded community scores: community 0 is hot, each next
+    // one ~20x colder. Contiguous sharding aligns shards with
+    // communities; the forward family's adaptive k' leaves every
+    // shard incomplete after round 1, and the cold shards' upper
+    // bounds fall below the global threshold.
+    let g = community_graph();
+    let scores = ScoreVec::from_fn(g.num_nodes(), |u| {
+        [1.0, 0.05, 0.0025, 0.000125][(u.0 / 24) as usize]
+    });
+    let query = TopKQuery::new(8, Aggregate::Sum);
+
+    let mut single = LonaEngine::new(&g, 2);
+    let expect = single.run(&Algorithm::forward(), &query, &scores);
+
+    let sharded = partition(&g, 4, PartitionStrategy::Contiguous, 2).unwrap();
+    let mut engine = ShardedEngine::new(&sharded, 2);
+    let opts = ShardOptions::default().force(Algorithm::forward());
+    let got = engine.run(&query, &scores, &opts);
+
+    assert_eq!(got.result.entries, expect.entries, "identity under skew");
+    let c = &got.coordinator;
+    assert!(
+        c.requeries_skipped >= 1,
+        "TA rule skipped no shard re-query: {c:?}"
+    );
+    assert!(
+        c.edges_saved_estimate > 0.0,
+        "no saved work recorded: {c:?}"
+    );
+    assert_eq!(c.rounds, 2, "the hot shard must force a second round");
+    assert!(
+        c.shards_requeried + c.requeries_skipped <= c.shards_queried,
+        "coordinator accounting inconsistent: {c:?}"
+    );
+    // The skipped shards are the cold tail, never the hot shard.
+    for report in &got.reports {
+        if report.skipped {
+            assert!(report.shard >= 1, "hot shard 0 wrongly skipped");
+        }
+    }
+}
+
+#[test]
+fn cross_shard_work_ratio_is_bounded_on_locality_graph() {
+    // Planner-chosen sparse mixture on the community graph: total
+    // shard work (all rounds) must stay within 1.25x of the single
+    // engine — the same deterministic budget `figures --shards
+    // --check` gates in CI.
+    let g = community_graph();
+    let scores = ScoreVec::from_fn(g.num_nodes(), |u| {
+        if u.0 % 16 == 0 {
+            (((u.0 * 31) % 13) + 1) as f64 / 13.0
+        } else {
+            0.0
+        }
+    });
+    let queries = [
+        TopKQuery::new(10, Aggregate::Sum),
+        TopKQuery::new(5, Aggregate::Avg),
+        TopKQuery::new(20, Aggregate::Sum),
+    ];
+
+    let mut single_work = 0u64;
+    let mut single = LonaEngine::new(&g, 2);
+    let cfg = PlannerConfig::default();
+    let mut expect = Vec::new();
+    for q in &queries {
+        let (_, r) = single.run_planned(q, &scores, &cfg);
+        single_work += work_units(&r.stats);
+        expect.push(r);
+    }
+
+    for shards in [2usize, 4] {
+        let sharded = partition(&g, shards, PartitionStrategy::Contiguous, 2).unwrap();
+        let mut engine = ShardedEngine::new(&sharded, 2);
+        let mut work = 0u64;
+        for (q, exp) in queries.iter().zip(&expect) {
+            let got = engine.run(q, &scores, &ShardOptions::default());
+            assert!(got.result.same_values(exp, 1e-9));
+            work += work_units(&got.result.stats);
+        }
+        let ratio = work as f64 / single_work as f64;
+        assert!(
+            ratio <= 1.25,
+            "x{shards}: cross-shard work ratio {ratio:.3} exceeds 1.25 \
+             ({work} vs {single_work})"
+        );
+    }
+}
+
+#[test]
+fn work_counters_are_reproducible() {
+    let g = community_graph();
+    let scores = ScoreVec::from_fn(g.num_nodes(), |u| ((u.0 * 7) % 11) as f64 / 11.0);
+    let query = TopKQuery::new(6, Aggregate::Sum);
+    let run = || {
+        let sharded = partition(&g, 4, PartitionStrategy::Contiguous, 2).unwrap();
+        let mut engine = ShardedEngine::new(&sharded, 2);
+        let out = engine.run(&query, &scores, &ShardOptions::default());
+        (
+            work_units(&out.result.stats),
+            out.coordinator.requeries_skipped,
+            out.coordinator.shards_requeried,
+            out.result.entries.clone(),
+        )
+    };
+    assert_eq!(run(), run(), "sharded execution must be deterministic");
+}
