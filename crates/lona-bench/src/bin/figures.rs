@@ -25,7 +25,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lona_bench::{
-    ablations, figures::FIGURES, report, run_figure, scaling, shard_scaling, throughput,
+    ablations, figures::FIGURES, report, run_figure, scaling, serve_bench, shard_scaling,
+    throughput,
 };
 use lona_gen::{DatasetKind, DatasetProfile};
 
@@ -35,10 +36,11 @@ struct Args {
     scaling: bool,
     throughput: bool,
     shards: bool,
-    /// With --throughput or --shards: apply the deterministic
-    /// work-counter gate and exit non-zero when the measured mode
-    /// does too much work or results diverge (the CI
-    /// `throughput-smoke` / `shard-smoke` guards).
+    serve: bool,
+    /// With --throughput, --shards or --serve: apply the
+    /// deterministic work-counter gate and exit non-zero when the
+    /// measured mode does too much work or results diverge (the CI
+    /// `throughput-smoke` / `shard-smoke` / `serve-smoke` guards).
     check: bool,
     queries: usize,
     scale: Option<f64>,
@@ -59,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         scaling: false,
         throughput: false,
         shards: false,
+        serve: false,
         check: false,
         queries: 512,
         scale: None,
@@ -83,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
             "--scaling" => args.scaling = true,
             "--throughput" => args.throughput = true,
             "--shards" => args.shards = true,
+            "--serve" => args.serve = true,
             "--check" => args.check = true,
             "--queries" => {
                 args.queries = value("--queries")?
@@ -112,6 +116,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: figures [--fig N|all] [--ablation NAME|all] [--scaling] \
                             [--throughput [--check] [--queries N]] [--shards [--check]] \
+                            [--serve [--check] [--queries N]] \
                             [--scale F] [--seed N] [--reps N] [--out DIR] [--quick]"
                         .into(),
                 )
@@ -247,6 +252,58 @@ fn main() -> ExitCode {
                 "shard guard ok: contiguous work ratio <= {}, results identical, \
                  TA rule skipping re-queries",
                 shard_scaling::MAX_SHARD_WORK_RATIO
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Serve-throughput invocation: run the loopback sweep, print the
+    // table, write the JSON trajectory file, and with --check apply
+    // the deterministic gate (response identity + work ratio + warm
+    // resident state — never wall clock).
+    if args.serve {
+        let scale = args.scale.unwrap_or(if args.quick { 0.01 } else { 0.05 });
+        let requests = if args.quick {
+            args.queries.min(96)
+        } else {
+            args.queries
+        };
+        eprintln!(
+            "running serve-throughput sweep at scale {scale} ({requests} requests, {} clients)...",
+            serve_bench::SERVE_CLIENTS
+        );
+        let data = serve_bench::run_serve_bench(
+            scale,
+            args.seed,
+            requests,
+            serve_bench::SERVE_CLIENTS,
+            &serve_bench::SERVE_WORKERS,
+        );
+        println!("{}", serve_bench::ascii_table(&data));
+        let path = match &args.out_dir {
+            Some(dir) => {
+                if std::fs::create_dir_all(dir).is_err() {
+                    eprintln!("cannot create output directory {dir:?}");
+                    return ExitCode::FAILURE;
+                }
+                dir.join("BENCH_serve.json")
+            }
+            None => PathBuf::from("BENCH_serve.json"),
+        };
+        if let Err(e) = std::fs::write(&path, serve_bench::json(&data)) {
+            eprintln!("failed to write {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("  -> {path:?}");
+        if args.check {
+            if let Err(msg) = serve_bench::guard(&data) {
+                eprintln!("serve guard FAILED: {msg}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "serve guard ok: work ratio {:.3} <= {}, responses identical, state warm",
+                data.work_ratio(),
+                lona_bench::throughput::MAX_WORK_RATIO
             );
         }
         return ExitCode::SUCCESS;

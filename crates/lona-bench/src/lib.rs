@@ -16,7 +16,10 @@
 //!   work-counter gate CI relies on), and `--shards` for the
 //!   scatter-gather sweep over partition strategies and shard counts
 //!   (emits `BENCH_shards.json`; `--check` gates on the cross-shard
-//!   work ratio and the TA skip counters);
+//!   work ratio and the TA skip counters), and `--serve` for the
+//!   loopback serve-throughput sweep (emits `BENCH_serve.json`;
+//!   `--check` gates on response identity, the work ratio, and a
+//!   warm post-warm-up resident state);
 //! * the criterion benches (`benches/fig*_*.rs`, `benches/ablations.rs`)
 //!   — statistically grounded microbenchmarks at smoke scale.
 
@@ -27,12 +30,14 @@ pub mod ablations;
 pub mod figures;
 pub mod report;
 pub mod scaling;
+pub mod serve_bench;
 pub mod shard_scaling;
 pub mod throughput;
 pub mod workload;
 
 pub use figures::{run_figure, FigureData, FigureSpec, SeriesPoint, FIGURES, K_VALUES};
 pub use scaling::{run_scaling, ScalingData, ScalingPoint, THREAD_COUNTS};
+pub use serve_bench::{run_serve_bench, ServeBenchData, ServePoint, SERVE_CLIENTS, SERVE_WORKERS};
 pub use shard_scaling::{run_shard_scaling, ShardCell, ShardScalingData, SHARD_COUNTS};
 pub use throughput::{run_throughput, ThroughputData, ThroughputPoint, BATCH_THREADS};
 pub use workload::Workload;

@@ -1,0 +1,502 @@
+//! The serve-throughput workload: requests/sec through the resident
+//! `lona serve` TCP service vs. a sequential engine loop over the
+//! same request set.
+//!
+//! The batch workload ([`crate::throughput`]) measures the engine with
+//! queries already in memory; this workload measures the whole serving
+//! path — framing, admission queue, micro-batch coalescing, worker
+//! pool — over a real loopback socket with concurrent client
+//! connections. The request mix is seed-deterministic (binary source
+//! sets, k and aggregate cycling), so the CI `serve-smoke` job can
+//! gate on [`guard`]: responses bit-identical to the sequential loop,
+//! served work within [`MAX_WORK_RATIO`] of sequential work, and zero
+//! per-request index-build time after warm-up (the resident state must
+//! stay warm). Wall-clock throughput is *reported* for the
+//! `BENCH_serve.json` trajectory but never gated on.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use lona_core::serve::{binary_scores, Reply, ServeClient, ServeOptions, Server};
+use lona_core::{Aggregate, BatchOptions, BatchQuery, LonaEngine, TopKQuery};
+use lona_gen::DatasetKind;
+use lona_graph::CsrGraph;
+
+use crate::report::format_duration;
+use crate::throughput::{work_units, MAX_WORK_RATIO};
+use crate::workload::Workload;
+
+/// Worker-pool sizes the serve side sweeps.
+pub const SERVE_WORKERS: [usize; 3] = [1, 2, 4];
+
+/// Concurrent client connections issuing the request mix.
+pub const SERVE_CLIENTS: usize = 8;
+
+/// Hop radius of every request (the paper's 2).
+const HOPS: u32 = 2;
+
+/// One serve measurement at a fixed worker count.
+#[derive(Clone, Debug)]
+pub struct ServePoint {
+    /// Worker budget of the micro-batcher's `run_batch` calls.
+    pub workers: usize,
+    /// Wall time of the concurrent phase (first request sent to last
+    /// reply received, across all client threads).
+    pub wall: Duration,
+    /// Requests per second over that wall time.
+    pub rps: f64,
+    /// Mean time a request waited in the admission queue.
+    pub mean_queue: Duration,
+    /// Mean micro-batch size the admission window achieved.
+    pub mean_batch: f64,
+}
+
+/// A measured serve sweep.
+#[derive(Clone, Debug)]
+pub struct ServeBenchData {
+    /// Workload description line.
+    pub workload: String,
+    /// Hop radius of every request.
+    pub hops: u32,
+    /// Requests in the mix (excluding the warm-up pass).
+    pub num_requests: usize,
+    /// Concurrent client connections used.
+    pub clients: usize,
+    /// Sequential-loop wall time (engine runtime, builds excluded).
+    pub sequential_runtime: Duration,
+    /// Sequential requests per second.
+    pub sequential_rps: f64,
+    /// Deterministic work units of the sequential loop.
+    pub sequential_work: u64,
+    /// Deterministic work units reported by the served replies at
+    /// one worker (the apples-to-apples reference; multi-worker runs
+    /// can prune slightly differently under threshold races).
+    pub serve_work: u64,
+    /// Whether every served response (at every worker count) was
+    /// bit-identical to the sequential loop's.
+    pub results_match: bool,
+    /// Whether every post-warm-up reply reported zero index-build
+    /// time (the resident engine state stayed warm).
+    pub warm_after_warmup: bool,
+    /// Serve measurements, one per swept worker count.
+    pub points: Vec<ServePoint>,
+}
+
+impl ServeBenchData {
+    /// Served work / sequential work.
+    pub fn work_ratio(&self) -> f64 {
+        if self.sequential_work == 0 {
+            1.0
+        } else {
+            self.serve_work as f64 / self.sequential_work as f64
+        }
+    }
+}
+
+/// The deterministic CI gate: bit-identical responses, a bounded work
+/// ratio ([`MAX_WORK_RATIO`], shared with the batch gate), and a warm
+/// resident state (no per-request index builds after warm-up).
+pub fn guard(data: &ServeBenchData) -> Result<(), String> {
+    if !data.results_match {
+        return Err("served responses diverged from the sequential loop".into());
+    }
+    let ratio = data.work_ratio();
+    if ratio > MAX_WORK_RATIO {
+        return Err(format!(
+            "serving did {ratio:.3}x the sequential work ({} vs {}), limit {MAX_WORK_RATIO}",
+            data.serve_work, data.sequential_work
+        ));
+    }
+    if !data.warm_after_warmup {
+        return Err("a post-warm-up request was charged an index build".into());
+    }
+    Ok(())
+}
+
+/// The seed-deterministic request mix: request `idx` fully determines
+/// its binary source set (1–5 nodes), k (cycling {1, 10, 50}) and
+/// aggregate (alternating SUM/AVG), mirroring the batch workload's
+/// planner coverage.
+fn request_spec(idx: usize, num_nodes: usize) -> (Vec<u32>, usize, Aggregate, bool) {
+    let n_sources = 1 + idx % 5;
+    let sources: Vec<u32> = (0..n_sources)
+        .map(|s| ((idx * 37 + s * 101) % num_nodes.max(1)) as u32)
+        .collect();
+    let ks = [1usize, 10, 50];
+    let k = ks[idx % ks.len()].min(num_nodes.max(1));
+    let aggregate = if idx.is_multiple_of(2) {
+        Aggregate::Sum
+    } else {
+        Aggregate::Avg
+    };
+    (sources, k, aggregate, !idx.is_multiple_of(3))
+}
+
+/// Sequential reference: a resident engine answering the mix one
+/// request at a time, accumulating engine runtime and work counters.
+fn sequential_loop(g: &CsrGraph, num_requests: usize) -> (Vec<Vec<(u32, u64)>>, Duration, u64) {
+    let n = g.num_nodes();
+    let mut engine = LonaEngine::new(g, HOPS);
+    let mut entries = Vec::with_capacity(num_requests);
+    let mut wall = Duration::ZERO;
+    let mut work = 0u64;
+    for idx in 0..num_requests {
+        let (sources, k, aggregate, include_self) = request_spec(idx, n);
+        let scores = binary_scores(&sources, n);
+        let query = TopKQuery::new(k, aggregate).include_self(include_self);
+        let out = engine.run_batch(
+            &[BatchQuery::new(query, &scores)],
+            &BatchOptions::with_threads(1),
+        );
+        wall += out.stats.runtime;
+        work += work_units(&out.stats);
+        entries.push(
+            out.results[0]
+                .entries
+                .iter()
+                .map(|&(u, v)| (u.0, v.to_bits()))
+                .collect(),
+        );
+    }
+    (entries, wall, work)
+}
+
+/// What one serve pass observed, per request index.
+struct ServedReply {
+    entries: Vec<(u32, u64)>,
+    work: u64,
+    index_build_nanos: u64,
+    queue_nanos: u64,
+    batch_size: u32,
+}
+
+/// Run the full mix against a live server: one warm-up pass over a
+/// single connection, then `clients` concurrent connections splitting
+/// the requests round-robin. Returns replies indexed by request.
+fn serve_pass(
+    graph: &Arc<CsrGraph>,
+    workers: usize,
+    num_requests: usize,
+    clients: usize,
+) -> (Vec<ServedReply>, Duration) {
+    let n = graph.num_nodes();
+    let mut server = Server::bind(
+        Arc::clone(graph),
+        "127.0.0.1:0",
+        ServeOptions {
+            threads: workers,
+            window: Duration::from_micros(500),
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Warm-up: the whole mix once, so every index any plan needs is
+    // built before the measured phase.
+    let mut warm = ServeClient::connect(addr).expect("connect warm-up client");
+    for idx in 0..num_requests {
+        let (sources, k, aggregate, include_self) = request_spec(idx, n);
+        match warm.query(&sources, k, HOPS, aggregate, include_self) {
+            Ok(Reply::Ok(_)) => {}
+            Ok(Reply::Err { message, .. }) => panic!("warm-up request {idx} rejected: {message}"),
+            Err(e) => panic!("warm-up request {idx} failed: {e}"),
+        }
+    }
+
+    let start = Instant::now();
+    let mut replies: Vec<(usize, ServedReply)> = thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                s.spawn(move || {
+                    let mut conn = ServeClient::connect(addr).expect("connect client");
+                    let mut out = Vec::new();
+                    let mut idx = client;
+                    while idx < num_requests {
+                        let (sources, k, aggregate, include_self) = request_spec(idx, n);
+                        match conn.query(&sources, k, HOPS, aggregate, include_self) {
+                            Ok(Reply::Ok(resp)) => out.push((
+                                idx,
+                                ServedReply {
+                                    entries: resp
+                                        .entries
+                                        .iter()
+                                        .map(|&(u, v)| (u, v.to_bits()))
+                                        .collect(),
+                                    work: resp.stats.work_units(),
+                                    index_build_nanos: resp.stats.index_build_nanos,
+                                    queue_nanos: resp.stats.queue_nanos,
+                                    batch_size: resp.stats.batch_size,
+                                },
+                            )),
+                            Ok(Reply::Err { message, .. }) => {
+                                panic!("request {idx} rejected: {message}")
+                            }
+                            Err(e) => panic!("request {idx} failed: {e}"),
+                        }
+                        idx += clients;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    server.shutdown();
+
+    replies.sort_by_key(|(idx, _)| *idx);
+    (replies.into_iter().map(|(_, r)| r).collect(), wall)
+}
+
+/// Run the sweep on the paper's citation workload at `scale`:
+/// `num_requests` requests answered sequentially and then through a
+/// live loopback server at each of `worker_counts`, with `clients`
+/// concurrent connections.
+pub fn run_serve_bench(
+    scale: f64,
+    seed: u64,
+    num_requests: usize,
+    clients: usize,
+    worker_counts: &[usize],
+) -> ServeBenchData {
+    let workload = Workload::paper(DatasetKind::Citation, scale, 0.01, seed);
+    let (g, scores) = workload.build();
+    let description = workload.describe(&g, &scores);
+    let graph = Arc::new(g);
+    let clients = clients.clamp(1, num_requests.max(1));
+
+    let (expect, sequential_runtime, sequential_work) = sequential_loop(&graph, num_requests);
+
+    let mut points = Vec::with_capacity(worker_counts.len());
+    let mut serve_work: Option<u64> = None;
+    let mut results_match = true;
+    let mut warm_after_warmup = true;
+    for &workers in worker_counts {
+        let (replies, wall) = serve_pass(&graph, workers, num_requests, clients);
+        assert_eq!(
+            replies.len(),
+            num_requests,
+            "every request must be answered"
+        );
+        results_match &= replies.iter().zip(&expect).all(|(r, e)| &r.entries == e);
+        warm_after_warmup &= replies.iter().all(|r| r.index_build_nanos == 0);
+        if workers == 1 {
+            serve_work = Some(replies.iter().map(|r| r.work).sum());
+        }
+        let total_queue: u64 = replies.iter().map(|r| r.queue_nanos).sum();
+        let total_batch: u64 = replies.iter().map(|r| u64::from(r.batch_size)).sum();
+        let secs = wall.as_secs_f64();
+        points.push(ServePoint {
+            workers,
+            wall,
+            rps: if secs > 0.0 {
+                num_requests as f64 / secs
+            } else {
+                f64::INFINITY
+            },
+            mean_queue: Duration::from_nanos(total_queue / num_requests.max(1) as u64),
+            mean_batch: total_batch as f64 / num_requests.max(1) as f64,
+        });
+    }
+
+    // The guard's work reference is always a one-worker pass: reuse
+    // the sweep's workers=1 point when it exists, otherwise run one
+    // dedicated pass.
+    let serve_work = serve_work.unwrap_or_else(|| {
+        let (replies, _) = serve_pass(&graph, 1, num_requests, clients);
+        replies.iter().map(|r| r.work).sum()
+    });
+
+    let seq_secs = sequential_runtime.as_secs_f64();
+    ServeBenchData {
+        workload: description,
+        hops: HOPS,
+        num_requests,
+        clients,
+        sequential_runtime,
+        sequential_rps: if seq_secs > 0.0 {
+            num_requests as f64 / seq_secs
+        } else {
+            f64::INFINITY
+        },
+        sequential_work,
+        serve_work,
+        results_match,
+        warm_after_warmup,
+        points,
+    }
+}
+
+/// Render the sweep as the ASCII table EXPERIMENTS.md embeds.
+pub fn ascii_table(data: &ServeBenchData) -> String {
+    let mut out = String::from("Serve throughput (2-hop binary source sets over loopback TCP)\n");
+    let _ = writeln!(out, "  workload: {}", data.workload);
+    let _ = writeln!(
+        out,
+        "  requests: {}  clients: {}  work ratio (serve/sequential): {:.3}  \
+         results match: {}  warm after warm-up: {}",
+        data.num_requests,
+        data.clients,
+        data.work_ratio(),
+        data.results_match,
+        data.warm_after_warmup
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>8} {:>12} {:>10} {:>12} {:>11}",
+        "mode", "workers", "wall", "req/s", "mean queue", "mean batch"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>8} {:>12} {:>10.0} {:>12} {:>11}",
+        "sequential",
+        1,
+        format_duration(data.sequential_runtime),
+        data.sequential_rps,
+        "-",
+        "-"
+    );
+    for p in &data.points {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>8} {:>12} {:>10.0} {:>12} {:>11.2}",
+            "serve",
+            p.workers,
+            format_duration(p.wall),
+            p.rps,
+            format_duration(p.mean_queue),
+            p.mean_batch
+        );
+    }
+    out
+}
+
+/// Render the sweep as machine-readable JSON (`BENCH_serve.json`).
+/// Hand-rolled like the other reports: no serde, flat schema.
+pub fn json(data: &ServeBenchData) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"serve\",");
+    let _ = writeln!(out, "  \"workload\": \"{}\",", escape(&data.workload));
+    let _ = writeln!(out, "  \"hops\": {},", data.hops);
+    let _ = writeln!(
+        out,
+        "  \"num_requests\": {}, \"clients\": {},",
+        data.num_requests, data.clients
+    );
+    let _ = writeln!(
+        out,
+        "  \"sequential\": {{\"runtime_s\": {:.6}, \"rps\": {:.3}, \"work_units\": {}}},",
+        data.sequential_runtime.as_secs_f64(),
+        data.sequential_rps,
+        data.sequential_work
+    );
+    let _ = writeln!(
+        out,
+        "  \"serve_work_units\": {}, \"work_ratio\": {:.6}, \"results_match\": {}, \
+         \"warm_after_warmup\": {},",
+        data.serve_work,
+        data.work_ratio(),
+        data.results_match,
+        data.warm_after_warmup
+    );
+    let _ = writeln!(out, "  \"series\": [");
+    for (pi, p) in data.points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"workers\": {}, \"wall_s\": {:.6}, \"rps\": {:.3}, \
+             \"mean_queue_s\": {:.9}, \"mean_batch\": {:.3}}}{}",
+            p.workers,
+            p.wall.as_secs_f64(),
+            p.rps,
+            p.mean_queue.as_secs_f64(),
+            p.mean_batch,
+            if pi + 1 < data.points.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServeBenchData {
+        run_serve_bench(0.004, 7, 12, 4, &[1, 2])
+    }
+
+    #[test]
+    fn sweep_measures_all_cells_and_matches() {
+        let data = tiny();
+        assert_eq!(data.num_requests, 12);
+        assert_eq!(data.points.len(), 2);
+        assert!(data.results_match, "serve must equal the sequential loop");
+        assert!(data.warm_after_warmup, "no index builds after warm-up");
+        assert!(data.sequential_work > 0);
+        assert!(data.serve_work > 0);
+        assert!(data.points.iter().all(|p| p.mean_batch >= 1.0));
+        assert!(guard(&data).is_ok(), "{:?}", guard(&data));
+    }
+
+    #[test]
+    fn work_is_deterministic_across_runs() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.sequential_work, b.sequential_work);
+        assert_eq!(a.serve_work, b.serve_work);
+    }
+
+    #[test]
+    fn work_reference_is_independent_of_the_worker_set() {
+        let data = run_serve_bench(0.004, 7, 8, 2, &[2]);
+        assert!(data.serve_work > 0);
+        assert!(guard(&data).is_ok(), "{:?}", guard(&data));
+    }
+
+    #[test]
+    fn guard_rejects_divergence_overwork_and_cold_state() {
+        let mut data = tiny();
+        data.results_match = false;
+        assert!(guard(&data).unwrap_err().contains("diverged"));
+        let mut data = tiny();
+        data.serve_work = data.sequential_work * 2;
+        assert!(guard(&data).unwrap_err().contains("limit"));
+        let mut data = tiny();
+        data.warm_after_warmup = false;
+        assert!(guard(&data).unwrap_err().contains("index build"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let data = tiny();
+        let j = json(&data);
+        assert!(j.starts_with("{\n"));
+        assert!(j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"workers\"").count(), 2);
+        assert!(j.contains("\"work_ratio\""));
+        assert!(j.contains("\"warm_after_warmup\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn table_renders() {
+        let data = tiny();
+        let t = ascii_table(&data);
+        assert!(t.contains("Serve throughput"));
+        assert!(t.contains("sequential"));
+        assert!(t.contains("serve"));
+    }
+}

@@ -144,6 +144,35 @@ pub enum Command {
         /// Output binary snapshot path.
         output: String,
     },
+    /// `lona serve <edgelist> [--addr A] [--threads N] [--window-us N]
+    /// [--max-batch N]` — the resident query service. Blocks until
+    /// killed.
+    Serve {
+        /// Input edge-list path.
+        input: String,
+        /// Listen address (default `127.0.0.1:7878`; port 0 picks an
+        /// ephemeral port, reported on stderr).
+        addr: String,
+        /// Worker budget per micro-batch (default 0 = one per core).
+        threads: usize,
+        /// Admission window in microseconds (default 500). Purely a
+        /// latency/throughput dial; answers never depend on it.
+        window_us: u64,
+        /// Micro-batch size cap (default 64).
+        max_batch: usize,
+    },
+    /// `lona client <addr> <queryfile> [--exclude-self]` — run a
+    /// batch query file against a running `lona serve`, printing
+    /// result lines byte-identical to `lona batch` on the same
+    /// graph.
+    Client {
+        /// Server address, e.g. `127.0.0.1:7878`.
+        addr: String,
+        /// Query file (same format as `lona batch`).
+        queries: String,
+        /// Exclude each node's own score from its aggregate.
+        exclude_self: bool,
+    },
     /// `lona help` / `--help`
     Help,
 }
@@ -167,6 +196,9 @@ USAGE:
                  e.g. `3,17,29/10/2/sum`)
   lona shard    <edgelist> --shards N [--strategy contiguous|hash|degree] [--halo H]
   lona convert  <edgelist> <snapshot>
+  lona serve    <edgelist> [--addr HOST:PORT] [--threads N] [--window-us N]
+                [--max-batch N]
+  lona client   <HOST:PORT> <queryfile> [--exclude-self]
   lona help
 ";
 
@@ -186,6 +218,29 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let input = positional(&rest, 0, "edgelist path")?;
             let output = positional(&rest, 1, "snapshot path")?;
             Ok(Command::Convert { input, output })
+        }
+        "serve" => {
+            let input = positional(&rest, 0, "edgelist path")?;
+            let max_batch: usize = parse_flag(&rest, "--max-batch")?.unwrap_or(64);
+            if max_batch == 0 {
+                return Err("--max-batch must be at least 1".into());
+            }
+            Ok(Command::Serve {
+                input,
+                addr: flag_value(&rest, "--addr")?.unwrap_or_else(|| "127.0.0.1:7878".into()),
+                threads: parse_flag(&rest, "--threads")?.unwrap_or(0),
+                window_us: parse_flag(&rest, "--window-us")?.unwrap_or(500),
+                max_batch,
+            })
+        }
+        "client" => {
+            let addr = positional(&rest, 0, "server address")?;
+            let queries = positional(&rest, 1, "query file path")?;
+            Ok(Command::Client {
+                addr,
+                queries,
+                exclude_self: has_flag(&rest, "--exclude-self"),
+            })
         }
         "generate" => {
             let kind: DatasetKind = positional(&rest, 0, "dataset kind")?.parse()?;
@@ -596,6 +651,60 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn serve_parses_with_defaults_and_flags() {
+        let c = parse(&v(&["serve", "g.txt"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                input: "g.txt".into(),
+                addr: "127.0.0.1:7878".into(),
+                threads: 0,
+                window_us: 500,
+                max_batch: 64,
+            }
+        );
+        let c = parse(&v(&[
+            "serve",
+            "g.txt",
+            "--addr",
+            "0.0.0.0:9000",
+            "--threads",
+            "4",
+            "--window-us",
+            "250",
+            "--max-batch",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                input: "g.txt".into(),
+                addr: "0.0.0.0:9000".into(),
+                threads: 4,
+                window_us: 250,
+                max_batch: 16,
+            }
+        );
+        assert!(parse(&v(&["serve"])).is_err(), "edgelist required");
+        assert!(parse(&v(&["serve", "g.txt", "--max-batch", "0"])).is_err());
+    }
+
+    #[test]
+    fn client_parses() {
+        let c = parse(&v(&["client", "127.0.0.1:7878", "q.txt", "--exclude-self"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Client {
+                addr: "127.0.0.1:7878".into(),
+                queries: "q.txt".into(),
+                exclude_self: true,
+            }
+        );
+        assert!(parse(&v(&["client", "127.0.0.1:7878"])).is_err());
     }
 
     #[test]

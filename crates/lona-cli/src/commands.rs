@@ -5,9 +5,11 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write as IoWrite};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lona_core::exec::resolve_threads;
+use lona_core::serve::{Reply, ServeClient, ServeOptions, Server};
 use lona_core::{
     Aggregate, Algorithm, BatchOptions, BatchQuery, LonaEngine, PlannerConfig, ShardOptions,
     ShardedEngine, TopKQuery,
@@ -65,8 +67,9 @@ pub fn execute(command: &Command) -> Result<String, String> {
             }
             let g = load_graph(input)?;
             let text = read_text(queries)?;
-            let specs =
-                parse_query_file(&text, g.num_nodes()).map_err(|e| format!("{queries}: {e}"))?;
+            // Per-line parsing: malformed lines become `q{i} error:`
+            // result lines instead of aborting the whole batch.
+            let lines = parse_query_lines(&text, g.num_nodes());
             let opts = BatchRunOptions {
                 threads: *threads,
                 force: *algorithm,
@@ -81,9 +84,37 @@ pub fn execute(command: &Command) -> Result<String, String> {
             // stdout stay byte-identical.
             let stdout = std::io::stdout();
             let mut lock = stdout.lock();
-            let summary = run_batch_file(&g, &specs, &opts, &mut lock)?;
+            let summary = run_batch_file(&g, &lines, &opts, &mut lock)?;
             lock.flush().map_err(|e| format!("stdout: {e}"))?;
             eprint!("{}", summary.describe());
+            Ok(String::new())
+        }
+        Command::Serve {
+            input,
+            addr,
+            threads,
+            window_us,
+            max_batch,
+        } => serve_forever(
+            input,
+            addr,
+            ServeOptions {
+                threads: *threads,
+                window: Duration::from_micros(*window_us),
+                max_batch: *max_batch,
+                ..Default::default()
+            },
+        ),
+        Command::Client {
+            addr,
+            queries,
+            exclude_self,
+        } => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            let summary = run_client_file(addr, queries, !*exclude_self, &mut lock)?;
+            lock.flush().map_err(|e| format!("stdout: {e}"))?;
+            eprint!("{summary}");
             Ok(String::new())
         }
         Command::TopK {
@@ -311,66 +342,98 @@ pub struct QuerySpec {
     pub aggregate: Aggregate,
 }
 
-/// Parse a batch query file: one `source-set/k/hops/aggregate` per
-/// line (e.g. `3,17,29/10/2/sum`), `#` comments and blank lines
-/// ignored. Source node ids are validated against `num_nodes`.
-pub fn parse_query_file(text: &str, num_nodes: usize) -> Result<Vec<QuerySpec>, String> {
-    let mut specs = Vec::new();
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
-        let fields: Vec<&str> = line.split('/').collect();
-        if fields.len() != 4 {
-            return Err(at(format!(
-                "expected `source-set/k/hops/aggregate`, got {} field(s)",
-                fields.len()
-            )));
-        }
-        let sources: Result<Vec<u32>, String> = fields[0]
-            .split(',')
-            .map(|s| {
-                let s = s.trim();
-                s.parse::<u32>()
-                    .map_err(|e| at(format!("bad source node `{s}`: {e}")))
-            })
-            .collect();
-        let sources = sources?;
-        if sources.is_empty() {
-            return Err(at("empty source set".into()));
-        }
-        for &u in &sources {
-            if (u as usize) >= num_nodes {
-                return Err(at(format!(
-                    "source node {u} out of range (graph has {num_nodes} nodes)"
-                )));
-            }
-        }
-        let k: usize = fields[1]
-            .trim()
-            .parse()
-            .map_err(|e| at(format!("bad k `{}`: {e}", fields[1].trim())))?;
-        if k == 0 {
-            return Err(at("k must be at least 1".into()));
-        }
-        let hops: u32 = fields[2]
-            .trim()
-            .parse()
-            .map_err(|e| at(format!("bad hops `{}`: {e}", fields[2].trim())))?;
-        if hops == 0 {
-            return Err(at("hops must be at least 1".into()));
-        }
-        let aggregate: Aggregate = fields[3].trim().parse().map_err(&at)?;
-        specs.push(QuerySpec {
-            sources,
-            k,
-            hops,
-            aggregate,
-        });
+/// One non-blank, non-comment line of a query file: its 1-based line
+/// number and either the parsed spec or the reason it was rejected.
+/// Malformed lines flow through the batch as `q{i} error:` result
+/// lines instead of aborting everything after them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryLine {
+    /// 1-based line number in the source file.
+    pub lineno: usize,
+    /// The parsed spec, or why this line was rejected (message
+    /// without the `line N:` prefix — callers add placement).
+    pub parsed: Result<QuerySpec, String>,
+}
+
+/// Parse one query line: `source-set/k/hops/aggregate`, e.g.
+/// `3,17,29/10/2/sum`. k=0, hops=0, empty source sets and
+/// out-of-range nodes are rejected here, at parse time.
+fn parse_query_line(line: &str, num_nodes: usize) -> Result<QuerySpec, String> {
+    let fields: Vec<&str> = line.split('/').collect();
+    if fields.len() != 4 {
+        return Err(format!(
+            "expected `source-set/k/hops/aggregate`, got {} field(s)",
+            fields.len()
+        ));
     }
-    Ok(specs)
+    let sources: Vec<u32> = fields[0]
+        .split(',')
+        .map(|s| {
+            let s = s.trim();
+            s.parse::<u32>()
+                .map_err(|e| format!("bad source node `{s}`: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if sources.is_empty() {
+        return Err("empty source set".into());
+    }
+    for &u in &sources {
+        if (u as usize) >= num_nodes {
+            return Err(format!(
+                "source node {u} out of range (graph has {num_nodes} nodes)"
+            ));
+        }
+    }
+    let k: usize = fields[1]
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad k `{}`: {e}", fields[1].trim()))?;
+    if k == 0 {
+        return Err("k must be at least 1".into());
+    }
+    let hops: u32 = fields[2]
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad hops `{}`: {e}", fields[2].trim()))?;
+    if hops == 0 {
+        return Err("hops must be at least 1".into());
+    }
+    let aggregate: Aggregate = fields[3].trim().parse()?;
+    Ok(QuerySpec {
+        sources,
+        k,
+        hops,
+        aggregate,
+    })
+}
+
+/// Parse a batch query file line by line: one
+/// `source-set/k/hops/aggregate` per line, `#` comments and blank
+/// lines ignored. Every surviving line gets an entry — bad lines
+/// carry their error instead of poisoning the rest of the file. Pass
+/// `usize::MAX` as `num_nodes` to defer source-range checking (the
+/// client mode does; the server re-validates against its own graph).
+pub fn parse_query_lines(text: &str, num_nodes: usize) -> Vec<QueryLine> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, raw)| {
+            let line = raw.trim();
+            !line.is_empty() && !line.starts_with('#')
+        })
+        .map(|(i, raw)| QueryLine {
+            lineno: i + 1,
+            parsed: parse_query_line(raw.trim(), num_nodes),
+        })
+        .collect()
+}
+
+/// Strict variant of [`parse_query_lines`]: the first bad line fails
+/// the whole file, with the line number in the message.
+pub fn parse_query_file(text: &str, num_nodes: usize) -> Result<Vec<QuerySpec>, String> {
+    parse_query_lines(text, num_nodes)
+        .into_iter()
+        .map(|l| l.parsed.map_err(|e| format!("line {}: {e}", l.lineno)))
+        .collect()
 }
 
 /// Options for [`run_batch_file`].
@@ -415,6 +478,8 @@ pub struct BatchSummary {
     /// Sharded runs only: re-queries the TA coordinator skipped,
     /// summed over the batch.
     pub requeries_skipped: usize,
+    /// Malformed query lines answered with `q{i} error:` lines.
+    pub errors: usize,
 }
 
 impl BatchSummary {
@@ -442,6 +507,9 @@ impl BatchSummary {
         // Workers and shards on one line so a reader can check the
         // two knobs were set consistently at a glance.
         let _ = writeln!(out, "  workers {}  shards {}", self.workers, self.shards);
+        if self.errors > 0 {
+            let _ = writeln!(out, "  rejected {} malformed line(s)", self.errors);
+        }
         if self.shards > 1 {
             let _ = writeln!(
                 out,
@@ -479,8 +547,24 @@ fn write_result_line(
         .map_err(|e| format!("write failed: {e}"))
 }
 
-/// Execute a parsed query file against one graph, streaming one
-/// result line per query (input order) to `sink`.
+/// Write one rejected query's error line. Same placement and `q{i}`
+/// indexing as result lines, so output order always mirrors input
+/// order — and the line is identical whether the rejection happened
+/// at local parse time (`lona batch`) or on the server
+/// (`lona client`), which reuses the same message text.
+fn write_error_line(
+    sink: &mut dyn IoWrite,
+    index: usize,
+    lineno: usize,
+    reason: &str,
+) -> Result<(), String> {
+    writeln!(sink, "q{index} error: line {lineno}: {reason}")
+        .map_err(|e| format!("write failed: {e}"))
+}
+
+/// Execute a parsed query file against one graph, streaming one line
+/// per query-file line (input order) to `sink`: a result line for
+/// every valid query, a `q{i} error:` line for every malformed one.
 ///
 /// Queries are processed in chunks of `opts.chunk` (bounding score
 /// vector memory); within a chunk they are grouped by hop radius —
@@ -488,7 +572,7 @@ fn write_result_line(
 /// chunks, so index builds amortize over the whole file.
 pub fn run_batch_file(
     g: &CsrGraph,
-    specs: &[QuerySpec],
+    lines: &[QueryLine],
     opts: &BatchRunOptions,
     sink: &mut dyn IoWrite,
 ) -> Result<BatchSummary, String> {
@@ -498,7 +582,12 @@ pub fn run_batch_file(
         if g.is_directed() {
             return Err("--shards requires an undirected graph".into());
         }
-        let halo = specs.iter().map(|s| s.hops).max().unwrap_or(2);
+        let halo = lines
+            .iter()
+            .filter_map(|l| l.parsed.as_ref().ok())
+            .map(|s| s.hops)
+            .max()
+            .unwrap_or(2);
         Some(partition(g, opts.shards, opts.strategy, halo).map_err(|e| e.to_string())?)
     } else {
         None
@@ -512,15 +601,24 @@ pub fn run_batch_file(
         ..Default::default()
     };
 
-    for (chunk_start, chunk) in specs
+    for (chunk_start, chunk) in lines
         .chunks(opts.chunk.max(1))
         .enumerate()
         .map(|(ci, c)| (ci * opts.chunk.max(1), c))
     {
-        // Materialize this chunk's binary score vectors.
-        let score_vecs: Vec<ScoreVec> = chunk
+        // Valid queries of this chunk, with their chunk positions;
+        // malformed lines skip execution and surface as error lines
+        // in the output pass below.
+        let valid: Vec<(usize, &QuerySpec)> = chunk
             .iter()
-            .map(|spec| {
+            .enumerate()
+            .filter_map(|(i, l)| l.parsed.as_ref().ok().map(|s| (i, s)))
+            .collect();
+
+        // Materialize this chunk's binary score vectors.
+        let score_vecs: Vec<ScoreVec> = valid
+            .iter()
+            .map(|(_, spec)| {
                 let mut values = vec![0.0; g.num_nodes()];
                 for &u in &spec.sources {
                     values[u as usize] = 1.0;
@@ -528,17 +626,17 @@ pub fn run_batch_file(
                 ScoreVec::new(values)
             })
             .collect();
-        let queries: Vec<TopKQuery> = chunk
+        let queries: Vec<TopKQuery> = valid
             .iter()
-            .map(|spec| TopKQuery::new(spec.k, spec.aggregate).include_self(opts.include_self))
+            .map(|(_, spec)| TopKQuery::new(spec.k, spec.aggregate).include_self(opts.include_self))
             .collect();
 
-        let mut results: Vec<Option<Vec<(lona_graph::NodeId, f64)>>> = vec![None; chunk.len()];
+        let mut results: Vec<Option<Vec<(lona_graph::NodeId, f64)>>> = vec![None; valid.len()];
 
         if opts.sequential {
             // The determinism reference: a plain Engine::run loop in
             // file order, planned per query with a serial budget.
-            for (i, spec) in chunk.iter().enumerate() {
+            for (i, &(_, spec)) in valid.iter().enumerate() {
                 let engine = engines
                     .entry(spec.hops)
                     .or_insert_with(|| LonaEngine::new(g, spec.hops));
@@ -565,7 +663,7 @@ pub fn run_batch_file(
             // Sharded scatter-gather: group by hop radius, one
             // ShardedEngine (with warm per-shard indexes) per radius.
             let mut by_hops: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
-            for (i, spec) in chunk.iter().enumerate() {
+            for (i, (_, spec)) in valid.iter().enumerate() {
                 by_hops.entry(spec.hops).or_default().push(i);
             }
             for (hops, indices) in by_hops {
@@ -616,7 +714,7 @@ pub fn run_batch_file(
             // Group the chunk by hop radius and hand each group to
             // the batch subsystem.
             let mut by_hops: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
-            for (i, spec) in chunk.iter().enumerate() {
+            for (i, (_, spec)) in valid.iter().enumerate() {
                 by_hops.entry(spec.hops).or_default().push(i);
             }
             for (hops, indices) in by_hops {
@@ -652,13 +750,138 @@ pub fn run_batch_file(
             }
         }
 
-        for (i, entries) in results.into_iter().enumerate() {
-            let entries = entries.expect("every chunk query produced a result");
-            write_result_line(sink, chunk_start + i, &chunk[i], &entries)?;
+        // Output pass: walk the chunk in input order, interleaving
+        // result lines (identical across sequential/batch/sharded
+        // modes) with error lines for malformed inputs.
+        let mut results = results.into_iter();
+        for (i, line) in chunk.iter().enumerate() {
+            match &line.parsed {
+                Ok(spec) => {
+                    let entries = results
+                        .next()
+                        .flatten()
+                        .expect("every valid chunk query produced a result");
+                    write_result_line(sink, chunk_start + i, spec, &entries)?;
+                    summary.queries += 1;
+                }
+                Err(reason) => {
+                    write_error_line(sink, chunk_start + i, line.lineno, reason)?;
+                    summary.errors += 1;
+                }
+            }
         }
-        summary.queries += chunk.len();
     }
     Ok(summary)
+}
+
+/// `lona serve`: host the graph behind the resident query service.
+/// Blocks until the process is killed; status goes to stderr.
+fn serve_forever(input: &str, addr: &str, opts: ServeOptions) -> Result<String, String> {
+    let g = Arc::new(load_graph(input)?);
+    eprintln!(
+        "lona serve: {input}: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    let server = Server::bind(g, addr, opts).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!(
+        "lona serve: listening on {} (window {:?}, max batch {}, workers {})",
+        server.local_addr(),
+        opts.window,
+        opts.max_batch,
+        if opts.threads == 0 {
+            "per-core".to_string()
+        } else {
+            opts.threads.to_string()
+        }
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `lona client`: run a batch query file against a running
+/// `lona serve`, writing one line per query-file line to `sink` —
+/// byte-identical to what `lona batch` prints for the same file on
+/// the same graph. Locally unparseable lines error without a round
+/// trip; the server's own rejections (which reuse the same message
+/// text, e.g. out-of-range sources) land on the same `q{i} error:`
+/// format. Returns the stderr summary.
+pub fn run_client_file(
+    addr: &str,
+    queries_path: &str,
+    include_self: bool,
+    sink: &mut dyn IoWrite,
+) -> Result<String, String> {
+    let text = read_text(queries_path)?;
+    // usize::MAX defers the source-range check: only the server
+    // knows its graph's node count.
+    let lines = parse_query_lines(&text, usize::MAX);
+    let mut client =
+        ServeClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    let mut served = 0usize;
+    let mut errors = 0usize;
+    let mut runtime_nanos = 0u64;
+    let mut index_build_nanos = 0u64;
+    let mut queue_nanos = 0u64;
+    let mut serve_nanos = 0u64;
+    for (index, line) in lines.iter().enumerate() {
+        let spec = match &line.parsed {
+            Ok(spec) => spec,
+            Err(reason) => {
+                write_error_line(sink, index, line.lineno, reason)?;
+                errors += 1;
+                continue;
+            }
+        };
+        let reply = client
+            .query(
+                &spec.sources,
+                spec.k,
+                spec.hops,
+                spec.aggregate,
+                include_self,
+            )
+            .map_err(|e| format!("{addr}: {e}"))?;
+        match reply {
+            Reply::Ok(resp) => {
+                let entries: Vec<(lona_graph::NodeId, f64)> = resp
+                    .entries
+                    .iter()
+                    .map(|&(node, value)| (lona_graph::NodeId(node), value))
+                    .collect();
+                write_result_line(sink, index, spec, &entries)?;
+                served += 1;
+                runtime_nanos += resp.stats.runtime_nanos;
+                index_build_nanos += resp.stats.index_build_nanos;
+                queue_nanos += resp.stats.queue_nanos;
+                serve_nanos += resp.stats.serve_nanos;
+            }
+            Reply::Err { message, .. } => {
+                write_error_line(sink, index, line.lineno, &message)?;
+                errors += 1;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "client: {served} served, {errors} rejected, engine time {:.3?}, \
+         index build charged {:.3?}",
+        Duration::from_nanos(runtime_nanos),
+        Duration::from_nanos(index_build_nanos),
+    );
+    if served > 0 {
+        let _ = writeln!(
+            out,
+            "  mean latency: queue {:?}  serve {:?}",
+            Duration::from_nanos(queue_nanos / served as u64),
+            Duration::from_nanos(serve_nanos / served as u64),
+        );
+    }
+    Ok(out)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -895,12 +1118,12 @@ mod tests {
     }
 
     fn batch_output(
-        specs: &[QuerySpec],
+        lines: &[QueryLine],
         g: &CsrGraph,
         opts: &BatchRunOptions,
     ) -> (String, BatchSummary) {
         let mut sink = Vec::new();
-        let summary = run_batch_file(g, specs, opts, &mut sink).unwrap();
+        let summary = run_batch_file(g, lines, opts, &mut sink).unwrap();
         (String::from_utf8(sink).unwrap(), summary)
     }
 
@@ -916,7 +1139,7 @@ mod tests {
 0/5/2/avg
 2,3,4/2/1/dwsum
 ";
-        let specs = parse_query_file(text, g.num_nodes()).unwrap();
+        let lines = parse_query_lines(text, g.num_nodes());
         let base = BatchRunOptions {
             threads: 1,
             force: None,
@@ -926,8 +1149,8 @@ mod tests {
             shards: 1,
             strategy: PartitionStrategy::Contiguous,
         };
-        let (sequential, seq_summary) = batch_output(&specs, &g, &base);
-        assert_eq!(sequential.lines().count(), specs.len());
+        let (sequential, seq_summary) = batch_output(&lines, &g, &base);
+        assert_eq!(sequential.lines().count(), lines.len());
         assert!(sequential.starts_with("q0 k=3 hops=2 agg=sum:"));
         assert!(!seq_summary.batched);
 
@@ -937,11 +1160,78 @@ mod tests {
                 sequential: false,
                 ..base.clone()
             };
-            let (batched, summary) = batch_output(&specs, &g, &opts);
+            let (batched, summary) = batch_output(&lines, &g, &opts);
             assert_eq!(batched, sequential, "threads={threads}");
             assert!(summary.batched);
-            assert_eq!(summary.queries, specs.len());
+            assert_eq!(summary.queries, lines.len());
         }
+    }
+
+    #[test]
+    fn malformed_lines_error_in_place_and_the_rest_still_run() {
+        let p = tmp("batch_graph_err.txt");
+        write_sample_graph(&p);
+        let g = load_graph(&p).unwrap();
+        // Lines 3 and 5 are bad (k=0; out-of-range source); 1, 4 and
+        // 6 must still be answered, with indexes following input
+        // order across the error lines.
+        let text = "\
+0,2/3/2/sum
+# comment lines keep their file line numbers
+0/0/2/sum
+4/1/1/avg
+9/1/2/sum
+1,3/2/2/sum
+";
+        let lines = parse_query_lines(text, g.num_nodes());
+        assert_eq!(lines.len(), 5, "comment line is skipped");
+        let base = BatchRunOptions {
+            threads: 1,
+            force: None,
+            sequential: true,
+            chunk: 2, // error lines must survive chunk boundaries
+            include_self: true,
+            shards: 1,
+            strategy: PartitionStrategy::Contiguous,
+        };
+        let (sequential, summary) = batch_output(&lines, &g, &base);
+        assert_eq!(summary.queries, 3);
+        assert_eq!(summary.errors, 2);
+        assert!(summary.describe().contains("rejected 2 malformed line(s)"));
+
+        let out: Vec<&str> = sequential.lines().collect();
+        assert_eq!(out.len(), 5);
+        assert!(out[0].starts_with("q0 k=3 hops=2 agg=sum:"), "{}", out[0]);
+        assert_eq!(out[1], "q1 error: line 3: k must be at least 1");
+        assert!(out[2].starts_with("q2 k=1 hops=1 agg=avg:"), "{}", out[2]);
+        assert_eq!(
+            out[3],
+            "q3 error: line 5: source node 9 out of range (graph has 5 nodes)"
+        );
+        assert!(out[4].starts_with("q4 k=2 hops=2 agg=sum:"), "{}", out[4]);
+
+        // Error placement is part of the byte contract: batch mode
+        // (any thread count) prints the identical interleaving.
+        for threads in [1, 4] {
+            let opts = BatchRunOptions {
+                threads,
+                sequential: false,
+                ..base.clone()
+            };
+            let (batched, summary) = batch_output(&lines, &g, &opts);
+            assert_eq!(batched, sequential, "threads={threads}");
+            assert_eq!(summary.errors, 2);
+        }
+    }
+
+    #[test]
+    fn parse_query_lines_keeps_file_line_numbers() {
+        let lines = parse_query_lines("# head\n\n0/1/1/sum\nbad\n", 5);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].lineno, 3);
+        assert!(lines[0].parsed.is_ok());
+        assert_eq!(lines[1].lineno, 4);
+        assert!(lines[1].parsed.as_ref().unwrap_err().contains("field(s)"));
     }
 
     #[test]
@@ -949,7 +1239,7 @@ mod tests {
         let p = tmp("batch_graph2.txt");
         write_sample_graph(&p);
         let g = load_graph(&p).unwrap();
-        let specs = parse_query_file("0,1/2/2/sum\n2/1/2/sum\n", g.num_nodes()).unwrap();
+        let lines = parse_query_lines("0,1/2/2/sum\n2/1/2/sum\n", g.num_nodes());
         let opts = BatchRunOptions {
             threads: 1,
             force: Some(AlgorithmChoice::Base),
@@ -959,7 +1249,7 @@ mod tests {
             shards: 1,
             strategy: PartitionStrategy::Contiguous,
         };
-        let (_, summary) = batch_output(&specs, &g, &opts);
+        let (_, summary) = batch_output(&lines, &g, &opts);
         assert_eq!(summary.plan_counts.len(), 1);
         assert!(
             summary
@@ -1065,8 +1355,7 @@ mod tests {
         let p = tmp("sharded_batch.txt");
         write_two_community_graph(&p);
         let g = load_graph(&p).unwrap();
-        let specs =
-            parse_query_file("0,5/3/2/sum\n2/2/1/avg\n1,3/4/2/sum\n", g.num_nodes()).unwrap();
+        let lines = parse_query_lines("0,5/3/2/sum\n2/2/1/avg\n1,3/4/2/sum\n", g.num_nodes());
         let base = BatchRunOptions {
             threads: 1,
             force: None,
@@ -1076,12 +1365,12 @@ mod tests {
             shards: 1,
             strategy: PartitionStrategy::Contiguous,
         };
-        let (plain, plain_summary) = batch_output(&specs, &g, &base);
+        let (plain, plain_summary) = batch_output(&lines, &g, &base);
         assert_eq!(plain_summary.shards, 1);
         assert!(plain_summary.describe().contains("workers 1  shards 1"));
 
         let opts = BatchRunOptions { shards: 2, ..base };
-        let (sharded, summary) = batch_output(&specs, &g, &opts);
+        let (sharded, summary) = batch_output(&lines, &g, &opts);
         assert_eq!(sharded, plain, "sharded result lines diverged");
         assert_eq!(summary.shards, 2);
         let text = summary.describe();
@@ -1106,6 +1395,66 @@ mod tests {
         .unwrap();
         let err = execute(&cmd).unwrap_err();
         assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn client_lines_match_local_batch_byte_for_byte() {
+        let p = tmp("serve_graph.txt");
+        write_sample_graph(&p);
+        let g = load_graph(&p).unwrap();
+        // Line 2 is locally unparseable; line 4's source 9 parses but
+        // only the server can reject it (the client defers range
+        // checks). Both must land on the same q{i} error: format that
+        // `lona batch` prints.
+        let text = "\
+0,2/3/2/sum
+0/0/2/sum
+4/1/1/avg
+9/1/2/sum
+1,3/2/2/sum
+";
+        let q = tmp("serve_queries.txt");
+        std::fs::write(&q, text).unwrap();
+
+        let local_lines = parse_query_lines(text, g.num_nodes());
+        let opts = BatchRunOptions {
+            threads: 1,
+            force: None,
+            sequential: true,
+            chunk: 1024,
+            include_self: true,
+            shards: 1,
+            strategy: PartitionStrategy::Contiguous,
+        };
+        let (local, _) = batch_output(&local_lines, &g, &opts);
+
+        let server = Server::bind(
+            Arc::new(g),
+            "127.0.0.1:0",
+            ServeOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let mut sink = Vec::new();
+        let summary = run_client_file(&addr, &q, true, &mut sink).unwrap();
+        let remote = String::from_utf8(sink).unwrap();
+
+        assert_eq!(remote, local, "client output diverged from lona batch");
+        assert!(summary.contains("3 served, 2 rejected"), "{summary}");
+        assert!(summary.contains("mean latency"), "{summary}");
+    }
+
+    #[test]
+    fn client_connect_failure_is_a_clean_error() {
+        let q = tmp("client_queries.txt");
+        std::fs::write(&q, "0/1/1/sum\n").unwrap();
+        // A port from the ephemeral range with nothing bound: connect
+        // must fail fast with context, not panic.
+        let err = run_client_file("127.0.0.1:1", &q, true, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
     }
 
     #[test]

@@ -58,6 +58,9 @@
 //!   large ones, indexes built once per batch);
 //! * [`shard`] — scatter-gather execution over a partitioned graph
 //!   with a TA-style cross-shard top-k merge;
+//! * [`serve`] — the resident TCP query service: versioned codec,
+//!   micro-batched admission queue, and warm per-radius engine state
+//!   behind concurrent connections;
 //! * [`validate`] — brute-force oracle for tests.
 
 #![warn(missing_docs)]
@@ -73,6 +76,7 @@ pub mod index;
 pub mod neighborhood;
 pub mod plan;
 pub mod result;
+pub mod serve;
 pub mod shard;
 pub mod stats;
 pub mod topk;
@@ -86,6 +90,7 @@ pub use exec::SharedThreshold;
 pub use index::{DiffIndex, SizeIndex};
 pub use plan::{plan_query, Plan, PlanReason, PlannerConfig};
 pub use result::QueryResult;
+pub use serve::{ServeClient, ServeOptions, Server};
 pub use shard::{
     CoordinatorStats, ShardOptions, ShardRunReport, ShardedBatchResult, ShardedEngine,
     ShardedResult,

@@ -1,0 +1,88 @@
+//! A small blocking client for the serve protocol.
+//!
+//! One connection, strict request/response: [`ServeClient::query`]
+//! writes a frame, waits for the matching reply, and hands it back.
+//! Concurrency in tests and benches comes from one client per
+//! thread, which is also the deployment shape `lona client` uses.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::aggregate::Aggregate;
+
+use super::codec::{
+    decode_reply, encode_request, read_frame, write_frame, Reply, Request, MAX_FRAME,
+};
+
+/// Blocking connection to a `lona serve` instance.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl ServeClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+            max_frame: MAX_FRAME,
+        })
+    }
+
+    /// Send one query and block for its reply. A [`Reply::Err`] is a
+    /// *per-request* rejection (bad k, out-of-range source, …) — the
+    /// connection stays usable; `Err(io::Error)` means the transport
+    /// or protocol broke.
+    pub fn query(
+        &mut self,
+        sources: &[u32],
+        k: usize,
+        hops: u32,
+        aggregate: Aggregate,
+        include_self: bool,
+    ) -> io::Result<Reply> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.request(&Request {
+            id,
+            sources: sources.to_vec(),
+            k,
+            hops,
+            aggregate,
+            include_self,
+        })
+    }
+
+    /// Send a fully-specified request and block for the reply with
+    /// the same id.
+    pub fn request(&mut self, req: &Request) -> io::Result<Reply> {
+        write_frame(&mut self.writer, &encode_request(req), self.max_frame)?;
+        self.writer.flush()?;
+        let payload = read_frame(&mut self.reader, self.max_frame)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            )
+        })?;
+        let reply = decode_reply(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if reply.id() != req.id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "reply id {} does not match request id {}",
+                    reply.id(),
+                    req.id
+                ),
+            ));
+        }
+        Ok(reply)
+    }
+}

@@ -1,0 +1,671 @@
+//! The versioned wire format of `lona serve`.
+//!
+//! Every message travels as one **length-prefixed frame**: a
+//! little-endian `u32` payload length followed by that many payload
+//! bytes. The payload itself starts with a three-byte header —
+//! magic [`MAGIC`], version [`VERSION`], message kind — and then the
+//! kind-specific body, all encoded with the vendored `bytes`
+//! accessors (fixed-width little-endian, no padding, no endianness
+//! surprises across machines):
+//!
+//! ```text
+//! frame    := len:u32le payload[len]
+//! payload  := magic:u8 version:u8 kind:u8 body
+//! request  := id:u64 k:u32 hops:u32 aggregate:u8 include_self:u8
+//!             n_sources:u32 source:u32 * n_sources          (kind 1)
+//! ok       := id:u64 n_entries:u32 (node:u32 value:f64)*
+//!             stats(7 x u64) queue_nanos:u64 serve_nanos:u64
+//!             batch_size:u32                                 (kind 2)
+//! error    := id:u64 msg_len:u32 msg_utf8[msg_len]           (kind 3)
+//! stats    := nodes_evaluated nodes_pruned edges_traversed
+//!             nodes_distributed exact_from_bound
+//!             index_build_nanos runtime_nanos    (all u64le)
+//! ```
+//!
+//! The **deterministic** part of an `ok` body is `id` + the entry
+//! list: nodes and exact `f64` bit patterns as the engine produced
+//! them. Latency and work-counter fields describe one particular
+//! execution and are excluded from the byte-identity contract
+//! (DESIGN.md §10).
+//!
+//! Decoding is total: every failure mode (truncated frame, oversized
+//! length prefix, bad magic/version/kind/tag, trailing bytes) returns
+//! a [`CodecError`] instead of panicking, so one malformed client
+//! cannot take a connection handler down.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut};
+
+use crate::aggregate::Aggregate;
+use crate::stats::QueryStats;
+
+/// First payload byte of every message.
+pub const MAGIC: u8 = b'L';
+/// Wire format version this build speaks.
+pub const VERSION: u8 = 1;
+/// Frames larger than this are rejected before allocation: a corrupt
+/// or hostile length prefix must not trigger a multi-gigabyte
+/// allocation. 16 MiB fits ~2M two-hop result entries.
+pub const MAX_FRAME: usize = 16 << 20;
+
+const KIND_REQUEST: u8 = 1;
+const KIND_OK: u8 = 2;
+const KIND_ERROR: u8 = 3;
+
+/// Why a payload failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the structure it promised.
+    Truncated,
+    /// The payload has bytes left after a complete message.
+    TrailingBytes(usize),
+    /// First byte was not [`MAGIC`].
+    BadMagic(u8),
+    /// Version byte this build does not speak.
+    BadVersion(u8),
+    /// Unknown message kind.
+    BadKind(u8),
+    /// Unknown aggregate tag.
+    BadAggregate(u8),
+    /// A boolean field held something other than 0/1.
+    BadBool(u8),
+    /// An error message was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "payload truncated"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after message"),
+            CodecError::BadMagic(b) => write!(f, "bad magic byte 0x{b:02x}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            CodecError::BadKind(k) => write!(f, "unknown message kind {k}"),
+            CodecError::BadAggregate(a) => write!(f, "unknown aggregate tag {a}"),
+            CodecError::BadBool(b) => write!(f, "boolean field holds {b}"),
+            CodecError::BadUtf8 => write!(f, "error message is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// One top-k query as it crosses the wire: the binary-relevance
+/// source set plus the query shape. `id` is chosen by the client and
+/// echoed verbatim in the response, so pipelined requests can be
+/// matched up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Nodes scored 1 (binary relevance); every other node scores 0.
+    pub sources: Vec<u32>,
+    /// Number of results.
+    pub k: usize,
+    /// Hop radius.
+    pub hops: u32,
+    /// Aggregate function.
+    pub aggregate: Aggregate,
+    /// Whether `F(u)` includes `f(u)` itself.
+    pub include_self: bool,
+}
+
+/// Execution metadata attached to a successful response. Everything
+/// here describes *one particular* execution (latency, micro-batch
+/// size, work counters) and is excluded from the byte-identity
+/// contract; the deterministic result is [`Response::entries`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// The query's own work counters ([`QueryStats`] minus its
+    /// `Duration` fields, which travel as the nanos below).
+    pub nodes_evaluated: u64,
+    /// Nodes eliminated by an upper bound before evaluation.
+    pub nodes_pruned: u64,
+    /// Adjacency entries touched.
+    pub edges_traversed: u64,
+    /// Backward only: nodes whose score was distributed.
+    pub nodes_distributed: u64,
+    /// Backward only: exact values taken straight from the bound.
+    pub exact_from_bound: u64,
+    /// Index build time charged to the micro-batch this request rode
+    /// in. Zero once the resident engine is warm — the regression
+    /// surface the serve smoke test gates on.
+    pub index_build_nanos: u64,
+    /// In-engine execution time of this query.
+    pub runtime_nanos: u64,
+    /// Time spent in the admission queue before the micro-batch
+    /// started executing.
+    pub queue_nanos: u64,
+    /// End-to-end server-side latency (receipt to response write).
+    pub serve_nanos: u64,
+    /// Requests coalesced into the `run_batch` call that served this
+    /// one (same graph, same hop radius).
+    pub batch_size: u32,
+}
+
+impl ServeStats {
+    /// Capture the counter fields of one [`QueryStats`].
+    pub fn from_query(stats: &QueryStats) -> Self {
+        ServeStats {
+            nodes_evaluated: stats.nodes_evaluated as u64,
+            nodes_pruned: stats.nodes_pruned as u64,
+            edges_traversed: stats.edges_traversed,
+            nodes_distributed: stats.nodes_distributed as u64,
+            exact_from_bound: stats.exact_from_bound as u64,
+            index_build_nanos: duration_nanos(stats.index_build),
+            runtime_nanos: duration_nanos(stats.runtime),
+            queue_nanos: 0,
+            serve_nanos: 0,
+            batch_size: 1,
+        }
+    }
+
+    /// Deterministic work units of this response (the same formula as
+    /// the throughput workload's `work_units`).
+    pub fn work_units(&self) -> u64 {
+        self.edges_traversed + self.nodes_evaluated + self.nodes_pruned + self.nodes_distributed
+    }
+}
+
+/// Saturating `Duration` → whole nanoseconds.
+pub(crate) fn duration_nanos(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A successful answer: the ranked entries exactly as the engine
+/// produced them, plus execution metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: u64,
+    /// `(node, aggregate)` pairs, best first — bit-identical to a
+    /// sequential `Engine::run` loop over the same requests.
+    pub entries: Vec<(u32, f64)>,
+    /// Execution metadata (not part of the identity contract).
+    pub stats: ServeStats,
+}
+
+/// Either side of a response frame: the answer, or a per-request
+/// error that leaves the connection alive.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// The query ran.
+    Ok(Response),
+    /// The query was rejected (parse/validation failure), with the
+    /// offending request's id (0 when the id itself was unreadable).
+    Err {
+        /// Echo of the request id, if it could be read.
+        id: u64,
+        /// Human-readable rejection reason.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// The correlation id either arm carries.
+    pub fn id(&self) -> u64 {
+        match self {
+            Reply::Ok(r) => r.id,
+            Reply::Err { id, .. } => *id,
+        }
+    }
+}
+
+fn aggregate_tag(a: Aggregate) -> u8 {
+    match a {
+        Aggregate::Sum => 0,
+        Aggregate::Avg => 1,
+        Aggregate::DistanceWeightedSum => 2,
+        Aggregate::Max => 3,
+    }
+}
+
+fn aggregate_from_tag(tag: u8) -> Result<Aggregate, CodecError> {
+    match tag {
+        0 => Ok(Aggregate::Sum),
+        1 => Ok(Aggregate::Avg),
+        2 => Ok(Aggregate::DistanceWeightedSum),
+        3 => Ok(Aggregate::Max),
+        other => Err(CodecError::BadAggregate(other)),
+    }
+}
+
+/// Checked cursor over a payload: every accessor verifies the bytes
+/// exist before delegating to the `bytes` shim (whose own accessors
+/// panic on underflow — fine for trusted snapshots, not for frames
+/// off a socket).
+struct Take<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Take<'a> {
+    fn need(&self, n: usize) -> Result<(), CodecError> {
+        if self.rest.remaining() < n {
+            Err(CodecError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        self.need(1)?;
+        Ok(self.rest.get_u8())
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        self.need(4)?;
+        Ok(self.rest.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        self.need(8)?;
+        Ok(self.rest.get_u64_le())
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        self.need(8)?;
+        Ok(self.rest.get_f64_le())
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.need(n)?;
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.rest.len()))
+        }
+    }
+}
+
+fn put_header(out: &mut Vec<u8>, kind: u8) {
+    out.put_u8(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u8(kind);
+}
+
+fn take_header(t: &mut Take<'_>) -> Result<u8, CodecError> {
+    let magic = t.u8()?;
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = t.u8()?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    t.u8()
+}
+
+/// Encode a request payload (header included, length prefix not).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(3 + 8 + 4 + 4 + 2 + 4 + 4 * req.sources.len());
+    put_header(&mut out, KIND_REQUEST);
+    out.put_u64_le(req.id);
+    out.put_u32_le(req.k as u32);
+    out.put_u32_le(req.hops);
+    out.put_u8(aggregate_tag(req.aggregate));
+    out.put_u8(req.include_self as u8);
+    out.put_u32_le(req.sources.len() as u32);
+    for &s in &req.sources {
+        out.put_u32_le(s);
+    }
+    out
+}
+
+/// Decode a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
+    let mut t = Take { rest: payload };
+    let kind = take_header(&mut t)?;
+    if kind != KIND_REQUEST {
+        return Err(CodecError::BadKind(kind));
+    }
+    let id = t.u64()?;
+    let k = t.u32()? as usize;
+    let hops = t.u32()?;
+    let aggregate = aggregate_from_tag(t.u8()?)?;
+    let include_self = match t.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(CodecError::BadBool(other)),
+    };
+    let n_sources = t.u32()? as usize;
+    // The count must be coverable by the remaining bytes before the
+    // Vec is sized from it.
+    t.need(n_sources.saturating_mul(4))?;
+    let mut sources = Vec::with_capacity(n_sources);
+    for _ in 0..n_sources {
+        sources.push(t.u32()?);
+    }
+    t.finish()?;
+    Ok(Request {
+        id,
+        sources,
+        k,
+        hops,
+        aggregate,
+        include_self,
+    })
+}
+
+/// Best-effort peek at the correlation id of a request payload whose
+/// full decode failed, so the error response can still be matched to
+/// the request that caused it. Returns 0 when even the id is
+/// unreadable.
+pub fn peek_request_id(payload: &[u8]) -> u64 {
+    let mut t = Take { rest: payload };
+    take_header(&mut t)
+        .and_then(|_| t.u64())
+        .unwrap_or_default()
+}
+
+/// Encode a reply payload (header included, length prefix not).
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    match reply {
+        Reply::Ok(r) => {
+            let mut out = Vec::with_capacity(3 + 8 + 4 + 12 * r.entries.len() + 9 * 8 + 4);
+            put_header(&mut out, KIND_OK);
+            out.put_u64_le(r.id);
+            out.put_u32_le(r.entries.len() as u32);
+            for &(node, value) in &r.entries {
+                out.put_u32_le(node);
+                out.put_f64_le(value);
+            }
+            let s = &r.stats;
+            for v in [
+                s.nodes_evaluated,
+                s.nodes_pruned,
+                s.edges_traversed,
+                s.nodes_distributed,
+                s.exact_from_bound,
+                s.index_build_nanos,
+                s.runtime_nanos,
+                s.queue_nanos,
+                s.serve_nanos,
+            ] {
+                out.put_u64_le(v);
+            }
+            out.put_u32_le(s.batch_size);
+            out
+        }
+        Reply::Err { id, message } => {
+            let bytes = message.as_bytes();
+            let mut out = Vec::with_capacity(3 + 8 + 4 + bytes.len());
+            put_header(&mut out, KIND_ERROR);
+            out.put_u64_le(*id);
+            out.put_u32_le(bytes.len() as u32);
+            out.put_slice(bytes);
+            out
+        }
+    }
+}
+
+/// Decode a reply payload.
+pub fn decode_reply(payload: &[u8]) -> Result<Reply, CodecError> {
+    let mut t = Take { rest: payload };
+    let kind = take_header(&mut t)?;
+    match kind {
+        KIND_OK => {
+            let id = t.u64()?;
+            let n = t.u32()? as usize;
+            t.need(n.saturating_mul(12))?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let node = t.u32()?;
+                let value = t.f64()?;
+                entries.push((node, value));
+            }
+            let stats = ServeStats {
+                nodes_evaluated: t.u64()?,
+                nodes_pruned: t.u64()?,
+                edges_traversed: t.u64()?,
+                nodes_distributed: t.u64()?,
+                exact_from_bound: t.u64()?,
+                index_build_nanos: t.u64()?,
+                runtime_nanos: t.u64()?,
+                queue_nanos: t.u64()?,
+                serve_nanos: t.u64()?,
+                batch_size: t.u32()?,
+            };
+            t.finish()?;
+            Ok(Reply::Ok(Response { id, entries, stats }))
+        }
+        KIND_ERROR => {
+            let id = t.u64()?;
+            let n = t.u32()? as usize;
+            let raw = t.bytes(n)?;
+            let message = std::str::from_utf8(raw)
+                .map_err(|_| CodecError::BadUtf8)?
+                .to_string();
+            t.finish()?;
+            Ok(Reply::Err { id, message })
+        }
+        other => Err(CodecError::BadKind(other)),
+    }
+}
+
+/// Read one length-prefixed frame. `Ok(None)` is a clean EOF at a
+/// frame boundary (the peer closed); EOF mid-frame is an error. A
+/// length prefix above `max_frame` is rejected **before** any
+/// allocation.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid length prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_frame}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Write one length-prefixed frame. Payloads above `max_frame` are
+/// refused — the peer would drop the connection on receipt anyway.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max_frame: usize) -> io::Result<()> {
+    if payload.len() > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame of {} bytes exceeds the {max_frame}-byte limit",
+                payload.len()
+            ),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Request {
+        Request {
+            id: 77,
+            sources: vec![0, 3, 17],
+            k: 5,
+            hops: 2,
+            aggregate: Aggregate::Avg,
+            include_self: true,
+        }
+    }
+
+    fn sample_response() -> Response {
+        Response {
+            id: 77,
+            entries: vec![(4, 1.5), (9, -0.0), (2, f64::MIN_POSITIVE)],
+            stats: ServeStats {
+                nodes_evaluated: 10,
+                nodes_pruned: 20,
+                edges_traversed: 30,
+                nodes_distributed: 2,
+                exact_from_bound: 1,
+                index_build_nanos: 0,
+                runtime_nanos: 1234,
+                queue_nanos: 55,
+                serve_nanos: 99,
+                batch_size: 8,
+            },
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = sample_request();
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+    }
+
+    #[test]
+    fn reply_round_trips_bit_exactly() {
+        let reply = Reply::Ok(sample_response());
+        let back = decode_reply(&encode_reply(&reply)).unwrap();
+        match (&reply, &back) {
+            (Reply::Ok(a), Reply::Ok(b)) => {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.stats, b.stats);
+                // -0.0 == 0.0 under PartialEq; the contract is bit
+                // identity.
+                assert_eq!(a.entries.len(), b.entries.len());
+                for (x, y) in a.entries.iter().zip(&b.entries) {
+                    assert_eq!(x.0, y.0);
+                    assert_eq!(x.1.to_bits(), y.1.to_bits());
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = Reply::Err {
+            id: 3,
+            message: "nope — bad k".into(),
+        };
+        assert_eq!(decode_reply(&encode_reply(&err)).unwrap(), err);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_not_panicking() {
+        let frames = [
+            encode_request(&sample_request()),
+            encode_reply(&Reply::Ok(sample_response())),
+            encode_reply(&Reply::Err {
+                id: 1,
+                message: "x".into(),
+            }),
+        ];
+        for full in &frames {
+            for cut in 0..full.len() {
+                let prefix = &full[..cut];
+                let req = decode_request(prefix);
+                let rep = decode_reply(prefix);
+                assert!(req.is_err() && rep.is_err(), "prefix of {cut} accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_request(&sample_request());
+        payload.push(0);
+        assert_eq!(
+            decode_request(&payload).unwrap_err(),
+            CodecError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn header_violations_name_the_byte() {
+        let good = encode_request(&sample_request());
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            decode_request(&bad).unwrap_err(),
+            CodecError::BadMagic(b'X')
+        );
+        let mut bad = good.clone();
+        bad[1] = 9;
+        assert_eq!(decode_request(&bad).unwrap_err(), CodecError::BadVersion(9));
+        let mut bad = good;
+        bad[2] = 200;
+        assert_eq!(decode_request(&bad).unwrap_err(), CodecError::BadKind(200));
+    }
+
+    #[test]
+    fn hostile_source_count_does_not_allocate() {
+        // A request claiming u32::MAX sources with a near-empty body
+        // must fail on the length check, not attempt a 16 GiB Vec.
+        let mut payload = encode_request(&Request {
+            sources: vec![],
+            ..sample_request()
+        });
+        let n = payload.len();
+        payload[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&payload).unwrap_err(), CodecError::Truncated);
+    }
+
+    #[test]
+    fn frame_round_trip_and_limits() {
+        let payload = encode_request(&sample_request());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload, MAX_FRAME).unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap().unwrap(), payload);
+        assert!(read_frame(&mut r, MAX_FRAME).unwrap().is_none(), "EOF");
+
+        // Oversized length prefix: rejected before allocation.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut &hostile[..], MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Oversized writes are refused symmetrically.
+        let big = vec![0u8; 65];
+        assert!(write_frame(&mut Vec::new(), &big, 64).is_err());
+
+        // Truncation inside the length prefix and inside the payload.
+        assert!(read_frame(&mut &wire[..2], MAX_FRAME).is_err());
+        assert!(read_frame(&mut &wire[..wire.len() - 1], MAX_FRAME).is_err());
+    }
+
+    #[test]
+    fn peek_id_survives_bad_bodies() {
+        let mut payload = encode_request(&sample_request());
+        payload[16] = 250; // corrupt the aggregate tag region
+        assert_eq!(peek_request_id(&payload), 77);
+        assert_eq!(peek_request_id(&payload[..4]), 0);
+        assert_eq!(peek_request_id(b""), 0);
+    }
+
+    #[test]
+    fn aggregate_tags_cover_every_variant() {
+        for a in [
+            Aggregate::Sum,
+            Aggregate::Avg,
+            Aggregate::DistanceWeightedSum,
+            Aggregate::Max,
+        ] {
+            assert_eq!(aggregate_from_tag(aggregate_tag(a)).unwrap(), a);
+        }
+        assert_eq!(
+            aggregate_from_tag(200).unwrap_err(),
+            CodecError::BadAggregate(200)
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! `lona serve`: a resident query service with micro-batched
+//! admission.
+//!
+//! The paper's engine is one-shot: parse, build indexes, answer,
+//! exit. This module keeps the expensive parts — the graph and the
+//! per-hop-radius [`crate::engine::EngineState`] index sets — warm
+//! behind a std-only TCP server, and turns concurrent client
+//! requests into the batched execution the engine already optimizes
+//! for:
+//!
+//! * [`codec`] — the versioned length-prefixed wire format (requests
+//!   in; ranked entries, per-request work counters, and queue/serve
+//!   latency out), with total decoding — malformed bytes become
+//!   typed errors, never panics;
+//! * [`queue`] — the admission queue, which coalesces requests
+//!   arriving within a short window into micro-batches;
+//! * [`server`] — the accept/handler/batcher threads around one
+//!   shared queue; each micro-batch is a single
+//!   [`crate::engine::LonaEngine::run_batch`] call, so
+//!   union-of-index-needs planning and the worker pool are amortized
+//!   across clients;
+//! * [`client`] — a blocking client, used by `lona client`, the
+//!   loopback smoke test, and the serve benchmark.
+//!
+//! The load-bearing property (argued in `server`, enforced by
+//! `tests/serve_smoke.rs` and CI's `serve-smoke` job): responses are
+//! **bit-identical to a sequential [`crate::engine::LonaEngine::run`]
+//! loop** over the same requests, at any worker count and any
+//! micro-batch composition. DESIGN.md §10 has the full wire format
+//! and the admission policy.
+
+pub mod client;
+pub mod codec;
+pub mod queue;
+pub mod server;
+
+pub use client::ServeClient;
+pub use codec::{CodecError, Reply, Request, Response, ServeStats};
+pub use queue::AdmissionQueue;
+pub use server::{binary_scores, validate_request, ServeOptions, Server};

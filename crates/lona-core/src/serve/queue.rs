@@ -1,0 +1,251 @@
+//! The admission queue: where concurrent requests become
+//! micro-batches.
+//!
+//! Connection handlers push validated requests; one batcher thread
+//! pulls them back out in **micro-batches** — everything that arrived
+//! within a short window of the first waiting request, capped at
+//! `max_batch`. Each micro-batch becomes a single
+//! [`crate::engine::LonaEngine::run_batch`] call, so the
+//! union-of-index-needs planning and the inter-query worker pool are
+//! amortized across clients instead of paid per request.
+//!
+//! The coalescing policy is deliberately simple (and documented in
+//! DESIGN.md §10): the batcher blocks until *some* request exists,
+//! then keeps draining until the window measured from that first
+//! dequeue elapses or the cap is hit. Under load the window never
+//! waits (the queue is never empty); when idle a lone request pays at
+//! most one window of extra latency. Correctness never depends on how
+//! requests land in batches — per-request results are
+//! batch-composition-independent (see `serve::server`), so the window
+//! is purely a throughput/latency dial.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use lona_relevance::ScoreVec;
+
+use super::codec::{Reply, Request};
+
+/// One admitted request waiting for a micro-batch: the decoded,
+/// validated request, its materialized binary-relevance scores, and
+/// the channel its connection handler is blocked on.
+pub struct Pending {
+    /// The decoded request.
+    pub request: Request,
+    /// Binary relevance: 1.0 at each source node, 0 elsewhere,
+    /// materialized by the connection handler so the batcher never
+    /// does per-request O(n) work under its own thread.
+    pub scores: ScoreVec,
+    /// When the request entered the queue (queue latency starts
+    /// here).
+    pub enqueued: Instant,
+    /// Where the answer goes; the handler is blocked on the other
+    /// end.
+    pub reply: Sender<Reply>,
+}
+
+#[derive(Default)]
+struct Inner {
+    pending: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// MPSC coalescing queue between connection handlers and the batcher.
+#[derive(Default)]
+pub struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    arrived: Condvar,
+}
+
+impl AdmissionQueue {
+    /// An open, empty queue.
+    pub fn new() -> Self {
+        AdmissionQueue::default()
+    }
+
+    /// Admit one request. Returns `false` (dropping the request)
+    /// when the queue has been closed — the handler then reports
+    /// shutdown to its client instead of blocking forever.
+    pub fn push(&self, p: Pending) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return false;
+        }
+        inner.pending.push_back(p);
+        drop(inner);
+        self.arrived.notify_one();
+        true
+    }
+
+    /// Close the queue: no further admissions, and the batcher drains
+    /// what remains before seeing `None`. Pending requests already
+    /// queued are still served.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.arrived.notify_all();
+    }
+
+    /// Number of requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().pending.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Block until at least one request is available, then coalesce:
+    /// drain arrivals until `window` (measured from the first
+    /// dequeue) elapses or `max_batch` requests are in hand. Returns
+    /// `None` only when the queue is closed **and** empty — the
+    /// batcher's signal to exit.
+    pub fn next_batch(&self, window: Duration, max_batch: usize) -> Option<Vec<Pending>> {
+        let max_batch = max_batch.max(1);
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if !inner.pending.is_empty() {
+                break;
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.arrived.wait(inner).unwrap();
+        }
+
+        let deadline = Instant::now() + window;
+        let mut batch = Vec::new();
+        loop {
+            while batch.len() < max_batch {
+                match inner.pending.pop_front() {
+                    Some(p) => batch.push(p),
+                    None => break,
+                }
+            }
+            if batch.len() >= max_batch || inner.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self.arrived.wait_timeout(inner, deadline - now).unwrap();
+            inner = guard;
+            if timeout.timed_out() && inner.pending.is_empty() {
+                break;
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Aggregate;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+
+    fn pending(id: u64) -> (Pending, std::sync::mpsc::Receiver<Reply>) {
+        let (tx, rx) = channel();
+        (
+            Pending {
+                request: Request {
+                    id,
+                    sources: vec![0],
+                    k: 1,
+                    hops: 1,
+                    aggregate: Aggregate::Sum,
+                    include_self: true,
+                },
+                scores: ScoreVec::zeros(4),
+                enqueued: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn coalesces_waiting_requests_into_one_batch() {
+        let q = AdmissionQueue::new();
+        let mut rxs = Vec::new();
+        for id in 0..5 {
+            let (p, rx) = pending(id);
+            assert!(q.push(p));
+            rxs.push(rx);
+        }
+        let batch = q.next_batch(Duration::ZERO, 64).unwrap();
+        let ids: Vec<u64> = batch.iter().map(|p| p.request.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4], "FIFO order");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn max_batch_caps_a_full_queue() {
+        let q = AdmissionQueue::new();
+        let rxs: Vec<_> = (0..10)
+            .map(|id| {
+                let (p, rx) = pending(id);
+                q.push(p);
+                rx
+            })
+            .collect();
+        assert_eq!(q.next_batch(Duration::ZERO, 4).unwrap().len(), 4);
+        assert_eq!(q.len(), 6);
+        drop(rxs);
+    }
+
+    #[test]
+    fn blocks_for_the_first_arrival() {
+        let q = Arc::new(AdmissionQueue::new());
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.next_batch(Duration::ZERO, 64));
+        std::thread::sleep(Duration::from_millis(20));
+        let (p, _rx) = pending(9);
+        q.push(p);
+        let batch = t.join().unwrap().unwrap();
+        assert_eq!(batch[0].request.id, 9);
+    }
+
+    #[test]
+    fn window_picks_up_late_arrivals() {
+        let q = Arc::new(AdmissionQueue::new());
+        let (p, _rx0) = pending(0);
+        q.push(p);
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.next_batch(Duration::from_millis(200), 64));
+        std::thread::sleep(Duration::from_millis(20));
+        let (p, _rx1) = pending(1);
+        q.push(p);
+        let batch = t.join().unwrap().unwrap();
+        assert_eq!(batch.len(), 2, "second request rode the window");
+    }
+
+    #[test]
+    fn close_rejects_new_pushes_but_drains_the_rest() {
+        let q = AdmissionQueue::new();
+        let (p, _rx) = pending(1);
+        assert!(q.push(p));
+        q.close();
+        let (p, _rx) = pending(2);
+        assert!(!q.push(p), "closed queue admits nothing");
+        assert_eq!(q.next_batch(Duration::ZERO, 64).unwrap().len(), 1);
+        assert!(
+            q.next_batch(Duration::ZERO, 64).is_none(),
+            "drained + closed"
+        );
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_batcher() {
+        let q = Arc::new(AdmissionQueue::new());
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.next_batch(Duration::from_secs(60), 64));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(t.join().unwrap().is_none());
+    }
+}

@@ -1,0 +1,436 @@
+//! The resident query service.
+//!
+//! [`Server`] owns three kinds of threads around one shared
+//! [`AdmissionQueue`]:
+//!
+//! * an **accept loop** that turns each TCP connection into a
+//!   detached handler thread;
+//! * **connection handlers** that read frames, decode + validate
+//!   requests (every failure becomes a per-request error reply — the
+//!   connection survives), materialize the binary-relevance scores,
+//!   and block on a reply channel;
+//! * one **batcher** that owns the warm per-hop-radius
+//!   [`EngineState`]s, pulls micro-batches off the queue, and runs
+//!   each hop group through a single [`LonaEngine::run_batch`] call.
+//!
+//! ## Byte identity
+//!
+//! Responses are **bit-identical to a sequential
+//! [`LonaEngine::run`] loop** over the same requests, at any worker
+//! count and any micro-batch composition:
+//!
+//! 1. `run_batch` with default (deterministic) options returns
+//!    results bit-identical to a serial loop over its own plans
+//!    (`tests/batch_smoke.rs` holds that line);
+//! 2. plans are **state-independent**: the batch planner runs with
+//!    `allow_index_build = true`, so the chosen algorithm depends
+//!    only on `(graph, query, scores)` — never on which indexes some
+//!    earlier batch happened to warm up;
+//! 3. each request's result depends only on its own
+//!    `(query, scores)` — batch-mates contribute nothing — so *how*
+//!    requests coalesce into micro-batches cannot change any answer.
+//!
+//! Timing fields ([`ServeStats`] latencies, batch size) are the only
+//! execution-dependent parts of a response, and they are excluded
+//! from the identity contract. `tests/serve_smoke.rs` checks the
+//! whole claim end-to-end over real sockets.
+//!
+//! ## Index amortization
+//!
+//! The engine states persist across micro-batches, so index builds
+//! happen once per hop radius for the life of the server. Each
+//! response reports the build time its micro-batch was charged
+//! ([`ServeStats::index_build_nanos`]); after the first batch at a
+//! given radius it is zero — the regression surface the serve smoke
+//! test and the `figures --serve` guard gate on.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lona_graph::CsrGraph;
+use lona_relevance::ScoreVec;
+
+use crate::batch::{BatchOptions, BatchQuery};
+use crate::engine::{EngineState, LonaEngine, TopKQuery};
+
+use super::codec::{
+    decode_request, duration_nanos, encode_reply, peek_request_id, read_frame, write_frame, Reply,
+    Request, Response, ServeStats, MAX_FRAME,
+};
+use super::queue::{AdmissionQueue, Pending};
+
+/// Server knobs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Worker budget per micro-batch (0 = one per core), passed to
+    /// [`BatchOptions::threads`].
+    pub threads: usize,
+    /// Admission window: how long the batcher keeps draining after
+    /// the first request of a micro-batch. Purely a
+    /// throughput/latency dial — answers never depend on it.
+    pub window: Duration,
+    /// Micro-batch size cap.
+    pub max_batch: usize,
+    /// Largest frame accepted or sent.
+    pub max_frame: usize,
+    /// Largest accepted hop radius — indexes are per-radius and
+    /// their build cost grows quickly with `h`, so an unbounded
+    /// client-supplied radius would be a trivial resource-exhaustion
+    /// vector.
+    pub max_hops: u32,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            threads: 0,
+            window: Duration::from_micros(500),
+            max_batch: 64,
+            max_frame: MAX_FRAME,
+            max_hops: 8,
+        }
+    }
+}
+
+/// Validate a decoded request against the graph the server hosts.
+/// The error text is the wire message; `lona client` reprints it
+/// verbatim, so it matches the CLI's own parse-time messages.
+pub fn validate_request(req: &Request, num_nodes: usize, max_hops: u32) -> Result<(), String> {
+    if req.k == 0 {
+        return Err("k must be at least 1".into());
+    }
+    if req.hops == 0 {
+        return Err("hops must be at least 1".into());
+    }
+    if req.hops > max_hops {
+        return Err(format!(
+            "hop radius {} exceeds the server limit of {max_hops}",
+            req.hops
+        ));
+    }
+    if req.sources.is_empty() {
+        return Err("source set is empty".into());
+    }
+    for &s in &req.sources {
+        if (s as usize) >= num_nodes {
+            return Err(format!(
+                "source node {s} out of range (graph has {num_nodes} nodes)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Binary relevance for a validated source set: 1.0 at each source,
+/// 0 elsewhere.
+pub fn binary_scores(sources: &[u32], num_nodes: usize) -> ScoreVec {
+    let mut raw = vec![0.0; num_nodes];
+    for &s in sources {
+        raw[s as usize] = 1.0;
+    }
+    ScoreVec::new(raw)
+}
+
+/// A running `lona serve` instance. Dropping it (or calling
+/// [`Server::shutdown`]) stops the accept loop and the batcher;
+/// requests already admitted are still answered.
+pub struct Server {
+    addr: SocketAddr,
+    queue: Arc<AdmissionQueue>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `graph`. The graph is `Arc`-shared because
+    /// handler and batcher threads outlive any scoped borrow.
+    pub fn bind(
+        graph: Arc<CsrGraph>,
+        addr: impl ToSocketAddrs,
+        opts: ServeOptions,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let queue = Arc::new(AdmissionQueue::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept = {
+            let graph = Arc::clone(&graph);
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("lona-serve-accept".into())
+                .spawn(move || accept_loop(listener, graph, queue, stop, opts))?
+        };
+        let batcher = {
+            let graph = Arc::clone(&graph);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("lona-serve-batch".into())
+                .spawn(move || batch_loop(graph, queue, opts))?
+        };
+
+        Ok(Server {
+            addr: local,
+            queue,
+            stop,
+            accept: Some(accept),
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain admitted requests, and join the service
+    /// threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop is blocked in `accept()`; a throwaway
+        // connection wakes it to observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        self.queue.close();
+        if let Some(t) = self.batcher.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    graph: Arc<CsrGraph>,
+    queue: Arc<AdmissionQueue>,
+    stop: Arc<AtomicBool>,
+    opts: ServeOptions,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let graph = Arc::clone(&graph);
+        let queue = Arc::clone(&queue);
+        // Handlers are detached: they exit when their client closes
+        // (or on shutdown, when the queue refuses admissions and the
+        // reply channels drop).
+        let _ = std::thread::Builder::new()
+            .name("lona-serve-conn".into())
+            .spawn(move || handle_connection(stream, graph, queue, opts));
+    }
+}
+
+/// Serve one connection: a strict frame-in/frame-out loop. Decode
+/// and validation failures answer with [`Reply::Err`] and keep the
+/// connection; framing/transport failures close it.
+fn handle_connection(
+    stream: TcpStream,
+    graph: Arc<CsrGraph>,
+    queue: Arc<AdmissionQueue>,
+    opts: ServeOptions,
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        let payload = match read_frame(&mut reader, opts.max_frame) {
+            Ok(Some(p)) => p,
+            // Clean EOF, oversized frame, or a transport error: the
+            // stream can no longer be trusted to be frame-aligned.
+            Ok(None) | Err(_) => return,
+        };
+        let received = Instant::now();
+        let mut reply = answer(&payload, &graph, &queue, opts);
+        if let Reply::Ok(r) = &mut reply {
+            r.stats.serve_nanos = duration_nanos(received.elapsed());
+        }
+        let ok = write_frame(&mut writer, &encode_reply(&reply), opts.max_frame)
+            .and_then(|_| writer.flush());
+        if ok.is_err() {
+            return;
+        }
+    }
+}
+
+/// Produce the reply for one request payload, blocking on the
+/// batcher for valid requests.
+fn answer(
+    payload: &[u8],
+    graph: &Arc<CsrGraph>,
+    queue: &AdmissionQueue,
+    opts: ServeOptions,
+) -> Reply {
+    let request = match decode_request(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            return Reply::Err {
+                id: peek_request_id(payload),
+                message: e.to_string(),
+            }
+        }
+    };
+    let id = request.id;
+    if let Err(message) = validate_request(&request, graph.num_nodes(), opts.max_hops) {
+        return Reply::Err { id, message };
+    }
+
+    let scores = binary_scores(&request.sources, graph.num_nodes());
+    let (tx, rx) = mpsc::channel();
+    let admitted = queue.push(Pending {
+        request,
+        scores,
+        enqueued: Instant::now(),
+        reply: tx,
+    });
+    if !admitted {
+        return Reply::Err {
+            id,
+            message: "server is shutting down".into(),
+        };
+    }
+    match rx.recv() {
+        Ok(reply) => reply,
+        Err(_) => Reply::Err {
+            id,
+            message: "server is shutting down".into(),
+        },
+    }
+}
+
+/// The batcher: pull micro-batches, group by hop radius (indexes and
+/// engines are per-radius), run each group through one `run_batch`
+/// call against the warm state, and fan the results back out.
+fn batch_loop(graph: Arc<CsrGraph>, queue: Arc<AdmissionQueue>, opts: ServeOptions) {
+    let mut states: BTreeMap<u32, EngineState> = BTreeMap::new();
+    while let Some(batch) = queue.next_batch(opts.window, opts.max_batch) {
+        let exec_start = Instant::now();
+        let mut by_hops: BTreeMap<u32, Vec<Pending>> = BTreeMap::new();
+        for p in batch {
+            by_hops.entry(p.request.hops).or_default().push(p);
+        }
+        for (hops, group) in by_hops {
+            let state = states.remove(&hops).unwrap_or_default();
+            let state = run_group(&graph, hops, state, group, exec_start, opts);
+            states.insert(hops, state);
+        }
+    }
+}
+
+/// Run one same-radius group as a single batch and deliver replies.
+/// Returns the (now warm) engine state.
+fn run_group(
+    graph: &CsrGraph,
+    hops: u32,
+    state: EngineState,
+    group: Vec<Pending>,
+    exec_start: Instant,
+    opts: ServeOptions,
+) -> EngineState {
+    let queries: Vec<TopKQuery> = group
+        .iter()
+        .map(|p| {
+            TopKQuery::new(p.request.k, p.request.aggregate).include_self(p.request.include_self)
+        })
+        .collect();
+    let batch: Vec<BatchQuery<'_>> = queries
+        .iter()
+        .zip(&group)
+        .map(|(q, p)| BatchQuery::new(*q, &p.scores))
+        .collect();
+
+    let mut engine = LonaEngine::from_state(graph, hops, state);
+    let out = engine.run_batch(&batch, &BatchOptions::with_threads(opts.threads));
+    let index_build_nanos = duration_nanos(out.index_build);
+    let batch_size = group.len() as u32;
+
+    for (p, result) in group.into_iter().zip(out.results) {
+        let mut stats = ServeStats::from_query(&result.stats);
+        stats.index_build_nanos = index_build_nanos;
+        stats.queue_nanos = duration_nanos(exec_start.saturating_duration_since(p.enqueued));
+        stats.batch_size = batch_size;
+        let reply = Reply::Ok(Response {
+            id: p.request.id,
+            entries: result
+                .entries
+                .iter()
+                .map(|&(node, v)| (node.0, v))
+                .collect(),
+            stats,
+        });
+        // A handler that gave up (connection died) just means nobody
+        // is listening; the batch ran regardless.
+        let _ = p.reply.send(reply);
+    }
+    engine.into_state()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Aggregate;
+
+    fn req(sources: Vec<u32>, k: usize, hops: u32) -> Request {
+        Request {
+            id: 1,
+            sources,
+            k,
+            hops,
+            aggregate: Aggregate::Sum,
+            include_self: true,
+        }
+    }
+
+    #[test]
+    fn validation_rejects_each_bad_shape_with_a_clear_message() {
+        let cases = [
+            (req(vec![0], 0, 2), "k must be at least 1"),
+            (req(vec![0], 1, 0), "hops must be at least 1"),
+            (req(vec![0], 1, 99), "exceeds the server limit"),
+            (req(vec![], 1, 2), "source set is empty"),
+            (req(vec![10], 1, 2), "source node 10 out of range"),
+        ];
+        for (r, want) in cases {
+            let err = validate_request(&r, 10, 8).unwrap_err();
+            assert!(err.contains(want), "{err:?} missing {want:?}");
+        }
+        assert!(validate_request(&req(vec![0, 9], 1, 2), 10, 8).is_ok());
+    }
+
+    #[test]
+    fn binary_scores_mark_exactly_the_sources() {
+        let s = binary_scores(&[1, 3], 5);
+        assert_eq!(s.as_slice(), &[0.0, 1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn default_options_are_sane() {
+        let o = ServeOptions::default();
+        assert_eq!(o.threads, 0);
+        assert!(o.max_batch >= 1);
+        assert_eq!(o.max_frame, MAX_FRAME);
+        assert!(o.max_hops >= 2, "the paper's h=2 must be servable");
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests for the serve wire format: encode→decode identity
+//! for arbitrary requests and replies (bit-exact, including hostile
+//! f64 payloads), plus rejection — not panic — for every truncation,
+//! oversized frame, and corrupted header byte.
+
+use proptest::prelude::*;
+
+use lona_core::serve::codec::{
+    decode_reply, decode_request, encode_reply, encode_request, read_frame, write_frame, MAX_FRAME,
+};
+use lona_core::serve::{Reply, Request, Response, ServeStats};
+use lona_core::Aggregate;
+
+fn arb_aggregate() -> impl Strategy<Value = Aggregate> {
+    prop_oneof![
+        Just(Aggregate::Sum),
+        Just(Aggregate::Avg),
+        Just(Aggregate::DistanceWeightedSum),
+        Just(Aggregate::Max)
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u64..u64::MAX,
+        proptest::collection::vec(0u32..1_000_000, 0..40),
+        0usize..100_000,
+        0u32..64,
+        arb_aggregate(),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(id, sources, k, hops, aggregate, include_self)| Request {
+            id,
+            sources,
+            k,
+            hops,
+            aggregate,
+            include_self,
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        0u64..u64::MAX,
+        // Raw bit patterns, so NaNs (any payload), ±inf, -0.0 and
+        // subnormals all cross the wire; identity is over to_bits.
+        proptest::collection::vec((0u32..1_000_000, 0u64..u64::MAX), 0..30),
+        proptest::collection::vec(0u64..u64::MAX, 10),
+    )
+        .prop_map(|(id, raw_entries, s)| Response {
+            id,
+            entries: raw_entries
+                .into_iter()
+                .map(|(n, bits)| (n, f64::from_bits(bits)))
+                .collect(),
+            stats: ServeStats {
+                nodes_evaluated: s[0],
+                nodes_pruned: s[1],
+                edges_traversed: s[2],
+                nodes_distributed: s[3],
+                exact_from_bound: s[4],
+                index_build_nanos: s[5],
+                runtime_nanos: s[6],
+                queue_nanos: s[7],
+                serve_nanos: s[8],
+                batch_size: (s[9] % u32::MAX as u64) as u32,
+            },
+        })
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    // The vendored shim has no regex string strategy; build printable
+    // ASCII (plus UTF-8 snowmen, to exercise multi-byte paths) by hand.
+    let arb_message = proptest::collection::vec(32u8..127, 0..60).prop_map(|bytes| {
+        let mut m = String::from_utf8(bytes).expect("printable ascii");
+        if m.len().is_multiple_of(3) {
+            m.push('\u{2603}');
+        }
+        m
+    });
+    prop_oneof![
+        arb_response().prop_map(Reply::Ok),
+        (arb_message, 0u64..u64::MAX).prop_map(|(message, id)| Reply::Err { id, message }),
+    ]
+}
+
+/// Bit-exact equality for replies: `PartialEq` on f64 conflates
+/// -0.0/0.0 and rejects NaN == NaN, but the wire contract is the bit
+/// pattern.
+fn reply_bits_equal(a: &Reply, b: &Reply) -> bool {
+    match (a, b) {
+        (Reply::Ok(x), Reply::Ok(y)) => {
+            x.id == y.id
+                && x.stats == y.stats
+                && x.entries.len() == y.entries.len()
+                && x.entries
+                    .iter()
+                    .zip(&y.entries)
+                    .all(|(p, q)| p.0 == q.0 && p.1.to_bits() == q.1.to_bits())
+        }
+        (
+            Reply::Err {
+                id: a_id,
+                message: a_msg,
+            },
+            Reply::Err {
+                id: b_id,
+                message: b_msg,
+            },
+        ) => a_id == b_id && a_msg == b_msg,
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// encode→decode is the identity on requests.
+    #[test]
+    fn request_round_trips(req in arb_request()) {
+        let payload = encode_request(&req);
+        prop_assert_eq!(decode_request(&payload).unwrap(), req);
+    }
+
+    /// encode→decode is the identity on replies, bit-exact on every
+    /// f64 — including NaN payloads, ±inf, -0.0 and subnormals.
+    #[test]
+    fn reply_round_trips_bit_exactly(reply in arb_reply()) {
+        let payload = encode_reply(&reply);
+        let back = decode_reply(&payload).unwrap();
+        prop_assert!(reply_bits_equal(&reply, &back), "{:?} vs {:?}", reply, back);
+    }
+
+    /// Every strict prefix of a valid payload is rejected with an
+    /// error — never a panic, never a bogus accept.
+    #[test]
+    fn truncated_requests_are_rejected(req in arb_request(), frac in 0.0f64..1.0) {
+        let payload = encode_request(&req);
+        let cut = ((payload.len() as f64) * frac) as usize; // < len
+        prop_assert!(decode_request(&payload[..cut]).is_err());
+        prop_assert!(decode_reply(&payload[..cut]).is_err());
+    }
+
+    /// Same for replies.
+    #[test]
+    fn truncated_replies_are_rejected(reply in arb_reply(), frac in 0.0f64..1.0) {
+        let payload = encode_reply(&reply);
+        let cut = ((payload.len() as f64) * frac) as usize;
+        prop_assert!(decode_reply(&payload[..cut]).is_err());
+    }
+
+    /// Trailing garbage after a complete message is rejected.
+    #[test]
+    fn trailing_bytes_are_rejected(req in arb_request(), extra in 1usize..16) {
+        let mut payload = encode_request(&req);
+        payload.extend(std::iter::repeat_n(0u8, extra));
+        prop_assert!(decode_request(&payload).is_err());
+    }
+
+    /// Corrupting any single header byte to an invalid value fails
+    /// the decode.
+    #[test]
+    fn corrupted_headers_are_rejected(req in arb_request(), byte in 0usize..3) {
+        let mut payload = encode_request(&req);
+        payload[byte] = payload[byte].wrapping_add(100);
+        prop_assert!(decode_request(&payload).is_err());
+    }
+
+    /// Framing: a frame round-trips through a byte pipe, and a length
+    /// prefix above the cap is rejected before any allocation.
+    #[test]
+    fn frames_round_trip_and_oversize_is_rejected(req in arb_request(), over in 1u64..1_000) {
+        let payload = encode_request(&req);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload, MAX_FRAME).unwrap();
+        let mut cursor = &wire[..];
+        prop_assert_eq!(read_frame(&mut cursor, MAX_FRAME).unwrap().unwrap(), payload);
+        prop_assert!(read_frame(&mut cursor, MAX_FRAME).unwrap().is_none(), "clean EOF");
+
+        // An oversized length prefix (cap + over) must fail fast.
+        let hostile_len = (MAX_FRAME as u64 + over) as u32;
+        let mut hostile = hostile_len.to_le_bytes().to_vec();
+        hostile.extend_from_slice(&payload);
+        let err = read_frame(&mut &hostile[..], MAX_FRAME).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

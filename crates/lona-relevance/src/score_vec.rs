@@ -69,7 +69,11 @@ impl ScoreVec {
     /// order required by LONA's backward processing.
     pub fn nonzero_descending(&self) -> Vec<(NodeId, f64)> {
         let mut v: Vec<(NodeId, f64)> = self.iter().filter(|&(_, s)| s > 0.0).collect();
-        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        // total_cmp, not partial_cmp().unwrap(): scores are clamped
+        // on construction today, but a sort comparator must not be
+        // one invariant change away from a panic (the same class of
+        // bug fixed in algo/context.rs).
+        v.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
 
@@ -86,7 +90,7 @@ impl ScoreVec {
         if nz.is_empty() {
             return 0.0;
         }
-        nz.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        nz.sort_unstable_by(f64::total_cmp);
         let idx = ((nz.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         nz[idx]
     }
@@ -139,5 +143,51 @@ mod tests {
     fn quantile_empty_is_zero() {
         let s = ScoreVec::zeros(5);
         assert_eq!(s.nonzero_quantile(0.5), 0.0);
+    }
+
+    /// Regression: NaN/±inf inputs must flow through the descending
+    /// top-k order and the quantile without panicking — both sorts
+    /// once used `partial_cmp(..).unwrap()`, which aborts on the
+    /// first NaN comparison.
+    #[test]
+    fn non_finite_scores_never_panic_the_sort_paths() {
+        let hostile = vec![
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.7,
+            -0.0,
+            f64::NAN,
+            0.3,
+            1e308,
+        ];
+        let s = ScoreVec::new(hostile.clone());
+
+        // Construction sanitizes: NaN → 0, everything clamped.
+        assert!(s.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+
+        // Top-k distribution order: finite, descending, ties by id.
+        let order = s.nonzero_descending();
+        assert_eq!(
+            order.iter().map(|(u, _)| u.0).collect::<Vec<_>>(),
+            vec![1, 7, 3, 6],
+            "+inf and 1e308 clamp to 1.0 and tie-break by id"
+        );
+        for w in order.windows(2) {
+            assert!(w[0].1 >= w[1].1, "descending order violated: {order:?}");
+        }
+
+        // Quantile path over the same hostile input.
+        assert_eq!(s.nonzero_quantile(1.0), 1.0);
+        assert_eq!(s.nonzero_quantile(0.0), 0.3);
+
+        // And via from_fn, the other construction route.
+        let f = ScoreVec::from_fn(4, |u| match u.0 {
+            0 => f64::NAN,
+            1 => f64::NEG_INFINITY,
+            _ => 0.5,
+        });
+        assert_eq!(f.nonzero_descending().len(), 2);
+        assert_eq!(f.nonzero_quantile(0.5), 0.5);
     }
 }

@@ -57,8 +57,8 @@ pub mod prelude {
     pub use lona_core::{
         Aggregate, Algorithm, BackwardOptions, BatchMode, BatchOptions, BatchQuery, BatchResult,
         CoordinatorStats, EngineState, ForwardOptions, GammaSpec, LonaEngine, Plan, PlanReason,
-        PlannerConfig, ProcessingOrder, QueryResult, QueryStats, ShardOptions, ShardedEngine,
-        ShardedResult, TopKQuery,
+        PlannerConfig, ProcessingOrder, QueryResult, QueryStats, ServeClient, ServeOptions, Server,
+        ShardOptions, ShardedEngine, ShardedResult, TopKQuery,
     };
     pub use lona_gen::{DatasetKind, DatasetProfile};
     pub use lona_graph::{partition, CsrGraph, GraphBuilder, NodeId, PartitionStrategy};
