@@ -25,7 +25,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lona_bench::{
-    ablations, figures::FIGURES, report, run_figure, scaling, serve_bench, shard_scaling,
+    ablations, figures::FIGURES, report, run_figure, scaling, serve_bench, shard_scaling, startup,
     throughput,
 };
 use lona_gen::{DatasetKind, DatasetProfile};
@@ -37,7 +37,8 @@ struct Args {
     throughput: bool,
     shards: bool,
     serve: bool,
-    /// With --throughput, --shards or --serve: apply the
+    startup: bool,
+    /// With --throughput, --shards, --serve or --startup: apply the
     /// deterministic work-counter gate and exit non-zero when the
     /// measured mode does too much work or results diverge (the CI
     /// `throughput-smoke` / `shard-smoke` / `serve-smoke` guards).
@@ -62,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         throughput: false,
         shards: false,
         serve: false,
+        startup: false,
         check: false,
         queries: 512,
         scale: None,
@@ -87,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
             "--throughput" => args.throughput = true,
             "--shards" => args.shards = true,
             "--serve" => args.serve = true,
+            "--startup" => args.startup = true,
             "--check" => args.check = true,
             "--queries" => {
                 args.queries = value("--queries")?
@@ -116,7 +119,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: figures [--fig N|all] [--ablation NAME|all] [--scaling] \
                             [--throughput [--check] [--queries N]] [--shards [--check]] \
-                            [--serve [--check] [--queries N]] \
+                            [--serve [--check] [--queries N]] [--startup [--check]] \
                             [--scale F] [--seed N] [--reps N] [--out DIR] [--quick]"
                         .into(),
                 )
@@ -304,6 +307,46 @@ fn main() -> ExitCode {
                 "serve guard ok: work ratio {:.3} <= {}, responses identical, state warm",
                 data.work_ratio(),
                 lona_bench::throughput::MAX_WORK_RATIO
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Startup-latency invocation: compare cold edge-list startup
+    // (parse + index build + first query) against compiled-mmap
+    // startup, write the JSON trajectory file, and with --check apply
+    // the deterministic gate (result identity + a zero index-build
+    // counter on the mapped path — never wall clock).
+    if args.startup {
+        let scale = args.scale.unwrap_or(if args.quick { 0.01 } else { 0.1 });
+        eprintln!("running startup-latency comparison at scale {scale}...");
+        let staging = std::env::temp_dir().join("lona-startup-bench");
+        let data = startup::run_startup(scale, args.seed, &staging);
+        println!("{}", startup::ascii_table(&data));
+        let path = match &args.out_dir {
+            Some(dir) => {
+                if std::fs::create_dir_all(dir).is_err() {
+                    eprintln!("cannot create output directory {dir:?}");
+                    return ExitCode::FAILURE;
+                }
+                dir.join("BENCH_startup.json")
+            }
+            None => PathBuf::from("BENCH_startup.json"),
+        };
+        if let Err(e) = std::fs::write(&path, startup::json(&data)) {
+            eprintln!("failed to write {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("  -> {path:?}");
+        if args.check {
+            if let Err(msg) = startup::guard(&data) {
+                eprintln!("startup guard FAILED: {msg}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "startup guard ok: results identical, mapped path built 0 indexes \
+                 ({:.1}x time-to-first-result)",
+                data.startup_speedup()
             );
         }
         return ExitCode::SUCCESS;

@@ -19,7 +19,10 @@
 //!   work ratio and the TA skip counters), and `--serve` for the
 //!   loopback serve-throughput sweep (emits `BENCH_serve.json`;
 //!   `--check` gates on response identity, the work ratio, and a
-//!   warm post-warm-up resident state);
+//!   warm post-warm-up resident state), and `--startup` for the
+//!   cold-parse vs. compiled-mmap startup comparison (emits
+//!   `BENCH_startup.json`; `--check` gates on result identity and a
+//!   zero index-build counter on the mapped path);
 //! * the criterion benches (`benches/fig*_*.rs`, `benches/ablations.rs`)
 //!   — statistically grounded microbenchmarks at smoke scale.
 
@@ -32,6 +35,7 @@ pub mod report;
 pub mod scaling;
 pub mod serve_bench;
 pub mod shard_scaling;
+pub mod startup;
 pub mod throughput;
 pub mod workload;
 
@@ -39,5 +43,6 @@ pub use figures::{run_figure, FigureData, FigureSpec, SeriesPoint, FIGURES, K_VA
 pub use scaling::{run_scaling, ScalingData, ScalingPoint, THREAD_COUNTS};
 pub use serve_bench::{run_serve_bench, ServeBenchData, ServePoint, SERVE_CLIENTS, SERVE_WORKERS};
 pub use shard_scaling::{run_shard_scaling, ShardCell, ShardScalingData, SHARD_COUNTS};
+pub use startup::{run_startup, StartupData};
 pub use throughput::{run_throughput, ThroughputData, ThroughputPoint, BATCH_THREADS};
 pub use workload::Workload;

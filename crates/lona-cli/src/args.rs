@@ -62,10 +62,34 @@ pub enum Command {
         /// Generator seed (default 42).
         seed: u64,
     },
+    /// `lona compile <edgelist> --out <file> [--scores FILE |
+    /// --blacking R [--binary]] [--seed N] [--hops H1,H2,...]` — pack
+    /// the graph, a score vector, and pre-built per-radius indexes
+    /// into one mmap-able file for zero-build startup.
+    Compile {
+        /// Input edge-list path.
+        input: String,
+        /// Output compiled-file path.
+        out: String,
+        /// Score file to embed; `None` = generate the same mixture
+        /// `lona topk` would (so compiled and edge-list runs agree).
+        scores: Option<String>,
+        /// Blacking ratio for generated scores (default 0.01).
+        blacking: f64,
+        /// Generate pure 0/1 scores.
+        binary: bool,
+        /// Score generation seed (default 42).
+        seed: u64,
+        /// Hop radii to pre-build indexes for (default `[2]`).
+        hops: Vec<u32>,
+    },
     /// `lona topk <edgelist> [flags]`
     TopK {
         /// Input edge-list path.
         input: String,
+        /// Treat `input` as a compiled file (`lona compile` output)
+        /// instead of an edge list.
+        compiled: bool,
         /// Number of results (default 10).
         k: usize,
         /// Hop radius (default 2).
@@ -98,6 +122,8 @@ pub enum Command {
     Batch {
         /// Input edge-list path.
         input: String,
+        /// Treat `input` as a compiled file.
+        compiled: bool,
         /// Query file: one query per line as
         /// `source-set/k/hops/aggregate` (e.g. `3,17,29/10/2/sum`),
         /// where the source set is the comma-separated nodes scored 1
@@ -150,6 +176,9 @@ pub enum Command {
     Serve {
         /// Input edge-list path.
         input: String,
+        /// Treat `input` as a compiled file: start warm with its
+        /// packed per-radius indexes, building nothing at startup.
+        compiled: bool,
         /// Listen address (default `127.0.0.1:7878`; port 0 picks an
         /// ephemeral port, reported on stderr).
         addr: String,
@@ -184,20 +213,24 @@ lona — top-k neighborhood aggregation queries over large networks (ICDE 2010)
 USAGE:
   lona stats    <edgelist>
   lona generate <collaboration|citation|intrusion> --out FILE [--scale S] [--seed N]
-  lona topk     <edgelist> [--k N] [--hops H] [--aggregate sum|avg|max|dwsum]
+  lona compile  <edgelist> --out FILE [--scores FILE | --blacking R [--binary]]
+                [--seed N] [--hops H1,H2,...]
+  lona topk     <edgelist|compiled --compiled> [--k N] [--hops H]
+                [--aggregate sum|avg|max|dwsum]
                 [--algorithm base|parallel|forward|parallel-forward|backward|
                  parallel-backward|backward-naive] [--threads N]
                 [--scores FILE | --blacking R [--binary]] [--seed N] [--exclude-self]
                 [--shards N [--strategy contiguous|hash|degree]]
-  lona batch    <edgelist> <queryfile> [--threads N] [--algorithm CHOICE]
+  lona batch    <edgelist|compiled --compiled> <queryfile> [--threads N]
+                [--algorithm CHOICE]
                 [--sequential] [--chunk N] [--exclude-self]
                 [--shards N [--strategy contiguous|hash|degree]]
                 (query file: one `source-set/k/hops/aggregate` per line,
                  e.g. `3,17,29/10/2/sum`)
   lona shard    <edgelist> --shards N [--strategy contiguous|hash|degree] [--halo H]
   lona convert  <edgelist> <snapshot>
-  lona serve    <edgelist> [--addr HOST:PORT] [--threads N] [--window-us N]
-                [--max-batch N]
+  lona serve    <edgelist|compiled --compiled> [--addr HOST:PORT] [--threads N]
+                [--window-us N] [--max-batch N]
   lona client   <HOST:PORT> <queryfile> [--exclude-self]
   lona help
 ";
@@ -219,6 +252,40 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let output = positional(&rest, 1, "snapshot path")?;
             Ok(Command::Convert { input, output })
         }
+        "compile" => {
+            let input = positional(&rest, 0, "edgelist path")?;
+            let out = flag_value(&rest, "--out")?.ok_or("compile requires --out FILE")?;
+            let hops = match flag_value(&rest, "--hops")? {
+                None => vec![2],
+                Some(list) => {
+                    let parsed: Result<Vec<u32>, String> = list
+                        .split(',')
+                        .map(|s| {
+                            let s = s.trim();
+                            s.parse::<u32>()
+                                .map_err(|e| format!("bad --hops entry `{s}`: {e}"))
+                                .and_then(|h| {
+                                    if h == 0 {
+                                        Err("hop radius 0 cannot be indexed".into())
+                                    } else {
+                                        Ok(h)
+                                    }
+                                })
+                        })
+                        .collect();
+                    parsed?
+                }
+            };
+            Ok(Command::Compile {
+                input,
+                out,
+                scores: flag_value(&rest, "--scores")?,
+                blacking: parse_flag(&rest, "--blacking")?.unwrap_or(0.01),
+                binary: has_flag(&rest, "--binary"),
+                seed: parse_flag(&rest, "--seed")?.unwrap_or(42),
+                hops,
+            })
+        }
         "serve" => {
             let input = positional(&rest, 0, "edgelist path")?;
             let max_batch: usize = parse_flag(&rest, "--max-batch")?.unwrap_or(64);
@@ -227,6 +294,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Serve {
                 input,
+                compiled: has_flag(&rest, "--compiled"),
                 addr: flag_value(&rest, "--addr")?.unwrap_or_else(|| "127.0.0.1:7878".into()),
                 threads: parse_flag(&rest, "--threads")?.unwrap_or(0),
                 window_us: parse_flag(&rest, "--window-us")?.unwrap_or(500),
@@ -265,6 +333,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Batch {
                 input,
+                compiled: has_flag(&rest, "--compiled"),
                 queries,
                 threads: parse_flag(&rest, "--threads")?.unwrap_or(0),
                 algorithm: parse_flag(&rest, "--algorithm")?,
@@ -297,6 +366,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let input = positional(&rest, 0, "edgelist path")?;
             Ok(Command::TopK {
                 input,
+                compiled: has_flag(&rest, "--compiled"),
                 k: parse_flag(&rest, "--k")?.unwrap_or(10),
                 hops: parse_flag(&rest, "--hops")?.unwrap_or(2),
                 aggregate: parse_flag(&rest, "--aggregate")?.unwrap_or(Aggregate::Sum),
@@ -329,7 +399,10 @@ fn positional(rest: &[&str], index: usize, what: &str) -> Result<String, String>
         let a = rest[i];
         if a.starts_with("--") {
             // Boolean flags take no value; skip the value of the rest.
-            if !matches!(a, "--binary" | "--exclude-self" | "--sequential") {
+            if !matches!(
+                a,
+                "--binary" | "--exclude-self" | "--sequential" | "--compiled"
+            ) {
                 i += 1;
             }
         } else {
@@ -516,6 +589,7 @@ mod tests {
         match c {
             Command::Batch {
                 input,
+                compiled,
                 queries,
                 threads,
                 algorithm,
@@ -526,6 +600,7 @@ mod tests {
                 strategy,
             } => {
                 assert_eq!(input, "g.txt");
+                assert!(!compiled);
                 assert_eq!(queries, "q.txt");
                 assert_eq!(threads, 0);
                 assert_eq!(algorithm, None);
@@ -660,6 +735,7 @@ mod tests {
             c,
             Command::Serve {
                 input: "g.txt".into(),
+                compiled: false,
                 addr: "127.0.0.1:7878".into(),
                 threads: 0,
                 window_us: 500,
@@ -683,6 +759,7 @@ mod tests {
             c,
             Command::Serve {
                 input: "g.txt".into(),
+                compiled: false,
                 addr: "0.0.0.0:9000".into(),
                 threads: 4,
                 window_us: 250,
@@ -713,6 +790,81 @@ mod tests {
         assert!(parse(&v(&["topk", "g.txt", "--aggregate", "median"])).is_err());
         assert!(parse(&v(&["generate", "socialnet", "--out", "x"])).is_err());
         assert!(parse(&v(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn compile_parses_with_defaults_and_hops_list() {
+        let c = parse(&v(&["compile", "g.txt", "--out", "g.lona"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Compile {
+                input: "g.txt".into(),
+                out: "g.lona".into(),
+                scores: None,
+                blacking: 0.01,
+                binary: false,
+                seed: 42,
+                hops: vec![2],
+            }
+        );
+        let c = parse(&v(&[
+            "compile", "g.txt", "--out", "g.lona", "--hops", "1,2,3", "--binary", "--seed", "7",
+        ]))
+        .unwrap();
+        match c {
+            Command::Compile {
+                hops, binary, seed, ..
+            } => {
+                assert_eq!(hops, vec![1, 2, 3]);
+                assert!(binary);
+                assert_eq!(seed, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["compile", "g.txt"])).is_err(), "--out required");
+        assert!(parse(&v(&["compile", "g.txt", "--out", "x", "--hops", "0"])).is_err());
+        assert!(parse(&v(&["compile", "g.txt", "--out", "x", "--hops", "2,x"])).is_err());
+    }
+
+    #[test]
+    fn compiled_flag_is_boolean_on_topk_batch_serve() {
+        // --compiled takes no value: the path after it must still be
+        // seen as a positional.
+        let c = parse(&v(&["topk", "--compiled", "g.lona", "--k", "3"])).unwrap();
+        match c {
+            Command::TopK {
+                input, compiled, k, ..
+            } => {
+                assert_eq!(input, "g.lona");
+                assert!(compiled);
+                assert_eq!(k, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse(&v(&["batch", "--compiled", "g.lona", "q.txt"])).unwrap();
+        match c {
+            Command::Batch {
+                input,
+                compiled,
+                queries,
+                ..
+            } => {
+                assert_eq!(input, "g.lona");
+                assert!(compiled);
+                assert_eq!(queries, "q.txt");
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse(&v(&["serve", "g.lona", "--compiled"])).unwrap();
+        match c {
+            Command::Serve {
+                input, compiled, ..
+            } => {
+                assert_eq!(input, "g.lona");
+                assert!(compiled);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

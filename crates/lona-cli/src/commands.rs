@@ -5,14 +5,15 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write as IoWrite};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lona_core::exec::resolve_threads;
 use lona_core::serve::{Reply, ServeClient, ServeOptions, Server};
 use lona_core::{
-    Aggregate, Algorithm, BatchOptions, BatchQuery, LonaEngine, PlannerConfig, ShardOptions,
-    ShardedEngine, TopKQuery,
+    compile_to_file, Aggregate, Algorithm, BatchOptions, BatchQuery, CompileSpec, CompiledGraph,
+    EngineState, LonaEngine, PlannerConfig, ShardOptions, ShardedEngine, TopKQuery,
 };
 use lona_gen::DatasetProfile;
 use lona_graph::algo::{
@@ -21,7 +22,7 @@ use lona_graph::algo::{
 };
 use lona_graph::io::{read_edge_list, write_edge_list, write_snapshot, EdgeListOptions};
 use lona_graph::partition::{partition, PartitionStrategy, ShardedGraph};
-use lona_graph::CsrGraph;
+use lona_graph::{CsrGraph, GraphStore};
 use lona_relevance::{MixtureBuilder, ScoreVec};
 
 use crate::args::{AlgorithmChoice, Command};
@@ -45,6 +46,23 @@ pub fn execute(command: &Command) -> Result<String, String> {
             generate(&profile, out)
         }
         Command::Convert { input, output } => convert(input, output),
+        Command::Compile {
+            input,
+            out,
+            scores,
+            blacking,
+            binary,
+            seed,
+            hops,
+        } => compile_cmd(
+            input,
+            out,
+            scores.as_deref(),
+            *blacking,
+            *binary,
+            *seed,
+            hops,
+        ),
         Command::Shard {
             input,
             shards,
@@ -53,6 +71,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
         } => shard_report(input, *shards, *strategy, *halo),
         Command::Batch {
             input,
+            compiled,
             queries,
             threads,
             algorithm,
@@ -65,11 +84,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             if *sequential && *shards > 1 {
                 return Err("--sequential and --shards are mutually exclusive".into());
             }
-            let g = load_graph(input)?;
             let text = read_text(queries)?;
-            // Per-line parsing: malformed lines become `q{i} error:`
-            // result lines instead of aborting the whole batch.
-            let lines = parse_query_lines(&text, g.num_nodes());
             let opts = BatchRunOptions {
                 threads: *threads,
                 force: *algorithm,
@@ -84,19 +99,31 @@ pub fn execute(command: &Command) -> Result<String, String> {
             // stdout stay byte-identical.
             let stdout = std::io::stdout();
             let mut lock = stdout.lock();
-            let summary = run_batch_file(&g, &lines, &opts, &mut lock)?;
+            // Per-line parsing: malformed lines become `q{i} error:`
+            // result lines instead of aborting the whole batch.
+            let summary = if *compiled {
+                let c = load_compiled(input)?;
+                let lines = parse_query_lines(&text, c.csr().num_nodes());
+                run_batch_file(&c, &lines, &opts, c.warm_states(), &mut lock)?
+            } else {
+                let g = load_graph(input)?;
+                let lines = parse_query_lines(&text, g.num_nodes());
+                run_batch_file(&g, &lines, &opts, BTreeMap::new(), &mut lock)?
+            };
             lock.flush().map_err(|e| format!("stdout: {e}"))?;
             eprint!("{}", summary.describe());
             Ok(String::new())
         }
         Command::Serve {
             input,
+            compiled,
             addr,
             threads,
             window_us,
             max_batch,
         } => serve_forever(
             input,
+            *compiled,
             addr,
             ServeOptions {
                 threads: *threads,
@@ -119,6 +146,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
         }
         Command::TopK {
             input,
+            compiled,
             k,
             hops,
             aggregate,
@@ -132,6 +160,40 @@ pub fn execute(command: &Command) -> Result<String, String> {
             shards,
             strategy,
         } => {
+            if *compiled {
+                let c = load_compiled(input)?;
+                let score_vec = match scores {
+                    Some(path) => load_scores(path, c.csr().num_nodes())?,
+                    None => c.scores().cloned().ok_or_else(|| {
+                        format!("{input} carries no score vector; pass --scores FILE")
+                    })?,
+                };
+                if *shards > 1 {
+                    return sharded_topk(
+                        &c,
+                        &score_vec,
+                        *k,
+                        *hops,
+                        *aggregate,
+                        *algorithm,
+                        !*exclude_self,
+                        *threads,
+                        *shards,
+                        *strategy,
+                    );
+                }
+                return topk(
+                    &c,
+                    &score_vec,
+                    *k,
+                    *hops,
+                    *aggregate,
+                    *algorithm,
+                    !*exclude_self,
+                    *threads,
+                    c.engine_state(*hops),
+                );
+            }
             let g = load_graph(input)?;
             let score_vec = match scores {
                 Some(path) => load_scores(path, g.num_nodes())?,
@@ -166,10 +228,15 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     *algorithm,
                     !*exclude_self,
                     *threads,
+                    None,
                 )
             }
         }
     }
+}
+
+fn load_compiled(path: &str) -> Result<CompiledGraph, String> {
+    CompiledGraph::load(Path::new(path)).map_err(|e| format!("cannot load {path}: {e}"))
 }
 
 fn load_graph(path: &str) -> Result<CsrGraph, String> {
@@ -294,6 +361,47 @@ fn shard_report(
         );
     }
     Ok(out)
+}
+
+/// `lona compile`: pack graph + scores + per-radius indexes into one
+/// mmap-able file. The score default mirrors `lona topk`'s generation
+/// exactly, so a compiled run and an edge-list run of the same seed
+/// answer identically.
+fn compile_cmd(
+    input: &str,
+    out: &str,
+    scores: Option<&str>,
+    blacking: f64,
+    binary: bool,
+    seed: u64,
+    hops: &[u32],
+) -> Result<String, String> {
+    let g = load_graph(input)?;
+    let score_vec = match scores {
+        Some(path) => load_scores(path, g.num_nodes())?,
+        None => {
+            let mut mix = MixtureBuilder::new(blacking);
+            if binary {
+                mix = mix.binary();
+            }
+            mix.build(&g, seed)
+        }
+    };
+    let spec = CompileSpec {
+        graph: g.view(),
+        scores: Some(&score_vec),
+        hops,
+        with_diff: true,
+    };
+    compile_to_file(&spec, Path::new(out)).map_err(|e| format!("compile failed: {e}"))?;
+    let bytes = std::fs::metadata(out)
+        .map(|m| m.len())
+        .map_err(|e| format!("cannot stat {out}: {e}"))?;
+    Ok(format!(
+        "{} nodes, {} edges, radii {hops:?} -> compiled {out} ({bytes} bytes)\n",
+        g.num_nodes(),
+        g.num_edges(),
+    ))
 }
 
 fn convert(input: &str, output: &str) -> Result<String, String> {
@@ -569,17 +677,22 @@ fn write_error_line(
 /// Queries are processed in chunks of `opts.chunk` (bounding score
 /// vector memory); within a chunk they are grouped by hop radius —
 /// engines and their indexes are per-radius and persist across
-/// chunks, so index builds amortize over the whole file.
-pub fn run_batch_file(
-    g: &CsrGraph,
+/// chunks, so index builds amortize over the whole file. `warm` seeds
+/// per-radius engine states (the compiled path passes its mapped
+/// indexes; radii not covered fall back to building as usual).
+pub fn run_batch_file<G: GraphStore + ?Sized>(
+    g: &G,
     lines: &[QueryLine],
     opts: &BatchRunOptions,
+    warm: BTreeMap<u32, EngineState>,
     sink: &mut dyn IoWrite,
 ) -> Result<BatchSummary, String> {
+    let num_nodes = g.csr().num_nodes();
+    let mut warm = warm;
     // Sharded mode partitions once, at the deepest hop radius any
     // query needs, so every per-hops engine stays exact.
     let sharded_graph: Option<ShardedGraph> = if opts.shards > 1 {
-        if g.is_directed() {
+        if g.csr().is_directed() {
             return Err("--shards requires an undirected graph".into());
         }
         let halo = lines
@@ -619,7 +732,7 @@ pub fn run_batch_file(
         let score_vecs: Vec<ScoreVec> = valid
             .iter()
             .map(|(_, spec)| {
-                let mut values = vec![0.0; g.num_nodes()];
+                let mut values = vec![0.0; num_nodes];
                 for &u in &spec.sources {
                     values[u as usize] = 1.0;
                 }
@@ -637,9 +750,13 @@ pub fn run_batch_file(
             // The determinism reference: a plain Engine::run loop in
             // file order, planned per query with a serial budget.
             for (i, &(_, spec)) in valid.iter().enumerate() {
-                let engine = engines
-                    .entry(spec.hops)
-                    .or_insert_with(|| LonaEngine::new(g, spec.hops));
+                let engine =
+                    engines
+                        .entry(spec.hops)
+                        .or_insert_with(|| match warm.remove(&spec.hops) {
+                            Some(state) => LonaEngine::from_state(g, spec.hops, state),
+                            None => LonaEngine::new(g, spec.hops),
+                        });
                 let cfg = PlannerConfig {
                     threads: 1,
                     force: opts.force.map(|c| choice_to_algorithm(c, 1)),
@@ -720,7 +837,10 @@ pub fn run_batch_file(
             for (hops, indices) in by_hops {
                 let engine = engines
                     .entry(hops)
-                    .or_insert_with(|| LonaEngine::new(g, hops));
+                    .or_insert_with(|| match warm.remove(&hops) {
+                        Some(state) => LonaEngine::from_state(g, hops, state),
+                        None => LonaEngine::new(g, hops),
+                    });
                 let batch: Vec<BatchQuery<'_>> = indices
                     .iter()
                     .map(|&i| {
@@ -775,15 +895,36 @@ pub fn run_batch_file(
 }
 
 /// `lona serve`: host the graph behind the resident query service.
-/// Blocks until the process is killed; status goes to stderr.
-fn serve_forever(input: &str, addr: &str, opts: ServeOptions) -> Result<String, String> {
-    let g = Arc::new(load_graph(input)?);
-    eprintln!(
-        "lona serve: {input}: {} nodes, {} edges",
-        g.num_nodes(),
-        g.num_edges()
-    );
-    let server = Server::bind(g, addr, opts).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+/// Blocks until the process is killed; status goes to stderr. With
+/// `compiled`, the input is mapped rather than parsed and the batcher
+/// starts warm with the file's per-radius indexes — zero index builds
+/// after startup for the packed radii.
+fn serve_forever(
+    input: &str,
+    compiled: bool,
+    addr: &str,
+    opts: ServeOptions,
+) -> Result<String, String> {
+    let server = if compiled {
+        let c = load_compiled(input)?;
+        let warm = c.warm_states();
+        eprintln!(
+            "lona serve: {input}: {} nodes, {} edges (compiled, warm radii {:?})",
+            c.csr().num_nodes(),
+            c.csr().num_edges(),
+            c.hops_list(),
+        );
+        Server::bind_warm(Arc::new(c), addr, opts, warm)
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?
+    } else {
+        let g = Arc::new(load_graph(input)?);
+        eprintln!(
+            "lona serve: {input}: {} nodes, {} edges",
+            g.num_nodes(),
+            g.num_edges()
+        );
+        Server::bind(g, addr, opts).map_err(|e| format!("cannot bind {addr}: {e}"))?
+    };
     eprintln!(
         "lona serve: listening on {} (window {:?}, max batch {}, workers {})",
         server.local_addr(),
@@ -885,8 +1026,8 @@ pub fn run_client_file(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn topk(
-    g: &CsrGraph,
+fn topk<G: GraphStore + ?Sized>(
+    g: &G,
     scores: &ScoreVec,
     k: usize,
     hops: u32,
@@ -894,9 +1035,13 @@ fn topk(
     choice: AlgorithmChoice,
     include_self: bool,
     threads: usize,
+    warm: Option<EngineState>,
 ) -> Result<String, String> {
     let algorithm = choice_to_algorithm(choice, threads);
-    let mut engine = LonaEngine::new(g, hops);
+    let mut engine = match warm {
+        Some(state) => LonaEngine::from_state(g, hops, state),
+        None => LonaEngine::new(g, hops),
+    };
     let query = TopKQuery::new(k.max(1), aggregate).include_self(include_self);
     let result = engine.run(&algorithm, &query, scores);
 
@@ -925,8 +1070,8 @@ fn topk(
 /// `lona topk --shards N`: one query through the scatter-gather
 /// engine.
 #[allow(clippy::too_many_arguments)]
-fn sharded_topk(
-    g: &CsrGraph,
+fn sharded_topk<G: GraphStore + ?Sized>(
+    g: &G,
     scores: &ScoreVec,
     k: usize,
     hops: u32,
@@ -937,7 +1082,7 @@ fn sharded_topk(
     shards: usize,
     strategy: PartitionStrategy,
 ) -> Result<String, String> {
-    if g.is_directed() {
+    if g.csr().is_directed() {
         return Err("--shards requires an undirected graph".into());
     }
     let sharded = partition(g, shards, strategy, hops).map_err(|e| e.to_string())?;
@@ -1123,7 +1268,7 @@ mod tests {
         opts: &BatchRunOptions,
     ) -> (String, BatchSummary) {
         let mut sink = Vec::new();
-        let summary = run_batch_file(g, lines, opts, &mut sink).unwrap();
+        let summary = run_batch_file(g, lines, opts, BTreeMap::new(), &mut sink).unwrap();
         (String::from_utf8(sink).unwrap(), summary)
     }
 
@@ -1455,6 +1600,102 @@ mod tests {
         // must fail fast with context, not panic.
         let err = run_client_file("127.0.0.1:1", &q, true, &mut Vec::new()).unwrap_err();
         assert!(err.contains("cannot connect"), "{err}");
+    }
+
+    #[test]
+    fn compile_then_topk_matches_edge_list_output() {
+        let p = tmp("compile_graph.txt");
+        write_sample_graph(&p);
+        let c = tmp("compile_graph.lona");
+        let out =
+            execute(&parse(&["compile".into(), p.clone(), "--out".into(), c.clone()]).unwrap())
+                .unwrap();
+        assert!(out.contains("compiled"), "{out}");
+
+        // Same seed/blacking defaults on both paths, so the ranked
+        // result lines must agree byte for byte; only the timing
+        // lines (work:, index build charged:) may differ.
+        let plain =
+            execute(&parse(&["topk".into(), p, "--k".into(), "3".into()]).unwrap()).unwrap();
+        let mapped = execute(
+            &parse(&[
+                "topk".into(),
+                c,
+                "--compiled".into(),
+                "--k".into(),
+                "3".into(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let ranked = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| !l.starts_with("work:") && !l.starts_with("index build charged:"))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(ranked(&mapped), ranked(&plain));
+        // The compiled path starts warm at the default radius: no
+        // index-build line can appear.
+        assert!(!mapped.contains("index build charged"), "{mapped}");
+    }
+
+    #[test]
+    fn compiled_batch_is_byte_identical_to_edge_list_batch() {
+        let p = tmp("compile_batch.txt");
+        write_sample_graph(&p);
+        let g = load_graph(&p).unwrap();
+        let c = tmp("compile_batch.lona");
+        execute(&parse(&["compile".into(), p, "--out".into(), c.clone()]).unwrap()).unwrap();
+
+        let text = "0,2/3/2/sum\n4/1/1/avg\n1,3/2/2/dwsum\n";
+        let lines = parse_query_lines(text, g.num_nodes());
+        let opts = BatchRunOptions {
+            threads: 1,
+            force: None,
+            sequential: false,
+            chunk: 1024,
+            include_self: true,
+            shards: 1,
+            strategy: PartitionStrategy::Contiguous,
+        };
+        let (plain, _) = batch_output(&lines, &g, &opts);
+
+        let compiled = load_compiled(&c).unwrap();
+        let mut sink = Vec::new();
+        let summary =
+            run_batch_file(&compiled, &lines, &opts, compiled.warm_states(), &mut sink).unwrap();
+        let mapped = String::from_utf8(sink).unwrap();
+        assert_eq!(mapped, plain, "compiled batch output diverged");
+        assert_eq!(summary.queries, 3);
+    }
+
+    #[test]
+    fn compiled_without_scores_needs_a_score_file() {
+        let p = tmp("compile_noscores.txt");
+        write_sample_graph(&p);
+        let g = load_graph(&p).unwrap();
+        let c = tmp("compile_noscores.lona");
+        lona_core::compile_to_file(
+            &CompileSpec {
+                graph: g.view(),
+                scores: None,
+                hops: &[2],
+                with_diff: true,
+            },
+            Path::new(&c),
+        )
+        .unwrap();
+        let err = execute(&parse(&["topk".into(), c, "--compiled".into()]).unwrap()).unwrap_err();
+        assert!(err.contains("no score vector"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_compiled_file_is_a_clean_error() {
+        let c = tmp("corrupt.lona");
+        std::fs::write(&c, b"LONACPK1 but not really a compiled file").unwrap();
+        let err = load_compiled(&c).unwrap_err();
+        assert!(err.contains("cannot load"), "{err}");
     }
 
     #[test]

@@ -93,6 +93,7 @@ mod tests {
     use crate::engine::TopKQuery;
     use crate::index::SizeIndex;
     use lona_graph::{CsrGraph, GraphBuilder};
+    use lona_relevance::ScoreVec;
 
     fn gadget() -> (CsrGraph, Vec<f64>) {
         // 0-1-2-3-4 path plus chord 1-3.
@@ -105,11 +106,13 @@ mod tests {
     }
 
     fn run_naive(g: &CsrGraph, scores: &[f64], h: u32, query: &TopKQuery) -> QueryResult {
-        let sizes = SizeIndex::build(g, h);
+        let sizes = SizeIndex::build(g.view(), h);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g,
+            g: g.view(),
             hops: h,
             scores,
+            score_vec: &score_vec,
             query,
             sizes: Some(&sizes),
             diffs: None,
@@ -129,10 +132,12 @@ mod tests {
             for h in 1..=3 {
                 for include_self in [true, false] {
                     let query = TopKQuery::new(5, aggregate).include_self(include_self);
+                    let score_vec = ScoreVec::new(scores.to_vec());
                     let ctx = Ctx {
-                        g: &g,
+                        g: g.view(),
                         hops: h,
                         scores: &scores,
+                        score_vec: &score_vec,
                         query: &query,
                         sizes: None,
                         diffs: None,
@@ -183,10 +188,12 @@ mod tests {
         let g = GraphBuilder::directed().add_edge(0, 1).build().unwrap();
         let scores = vec![1.0, 1.0];
         let query = TopKQuery::new(1, Aggregate::Sum);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g: &g,
+            g: g.view(),
             hops: 1,
             scores: &scores,
+            score_vec: &score_vec,
             query: &query,
             sizes: None,
             diffs: None,

@@ -41,6 +41,7 @@ mod tests {
     use crate::aggregate::Aggregate;
     use crate::engine::TopKQuery;
     use lona_graph::GraphBuilder;
+    use lona_relevance::ScoreVec;
 
     #[test]
     fn star_center_wins_sum() {
@@ -51,10 +52,12 @@ mod tests {
             .unwrap();
         let scores = vec![1.0; 5];
         let query = TopKQuery::new(1, Aggregate::Sum);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g: &g,
+            g: g.view(),
             hops: 1,
             scores: &scores,
+            score_vec: &score_vec,
             query: &query,
             sizes: None,
             diffs: None,
@@ -76,10 +79,12 @@ mod tests {
             .unwrap();
         let scores = vec![0.0, 1.0, 0.0];
         let query = TopKQuery::new(3, Aggregate::Avg);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g: &g,
+            g: g.view(),
             hops: 1,
             scores: &scores,
+            score_vec: &score_vec,
             query: &query,
             sizes: None,
             diffs: None,
@@ -97,10 +102,12 @@ mod tests {
         let g = GraphBuilder::undirected().add_edge(0, 1).build().unwrap();
         let scores = vec![1.0, 0.25];
         let query = TopKQuery::new(2, Aggregate::Sum).include_self(false);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g: &g,
+            g: g.view(),
             hops: 1,
             scores: &scores,
+            score_vec: &score_vec,
             query: &query,
             sizes: None,
             diffs: None,

@@ -1,6 +1,7 @@
 //! Shared execution context handed to each algorithm.
 
-use lona_graph::{CsrGraph, NodeId};
+use lona_graph::{CsrView, NodeId};
+use lona_relevance::ScoreVec;
 
 use crate::aggregate::Aggregate;
 use crate::engine::TopKQuery;
@@ -10,10 +11,16 @@ use crate::stats::QueryStats;
 
 /// Everything an algorithm needs to run one query.
 pub(crate) struct Ctx<'a> {
-    pub g: &'a CsrGraph,
+    /// The graph as a `Copy` slice bundle — identical for the in-RAM
+    /// and memory-mapped backends, so every algorithm body is
+    /// backend-agnostic machine code.
+    pub g: CsrView<'a>,
     pub hops: u32,
     /// Raw score slice (`scores[u]` = `f(u)`).
     pub scores: &'a [f64],
+    /// The owning score vector (carries the cached backward
+    /// distribution order; `scores` above is its slice).
+    pub score_vec: &'a ScoreVec,
     pub query: &'a TopKQuery,
     pub sizes: Option<&'a SizeIndex>,
     pub diffs: Option<&'a DiffIndex>,
@@ -27,20 +34,11 @@ pub(crate) struct Ctx<'a> {
 
 impl<'a> Ctx<'a> {
     /// Non-zero `(node, score)` pairs in descending score order — the
-    /// backward distribution order. (Recomputed per run; the sort is
-    /// O(nnz log nnz), negligible next to the distribution itself.)
-    pub fn nonzero_descending(&self) -> Vec<(NodeId, f64)> {
-        let mut v: Vec<(NodeId, f64)> = self
-            .scores
-            .iter()
-            .enumerate()
-            .filter(|&(_, &s)| s > 0.0)
-            .map(|(i, &s)| (NodeId(i as u32), s))
-            .collect();
-        // total_cmp: a NaN score must not panic the sort (it orders
-        // above every finite value and still lands deterministically).
-        v.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        v
+    /// backward distribution order. Computed once per score vector
+    /// and cached there (the sort is O(nnz log nnz); batch and serve
+    /// traffic runs many backward queries against one vector).
+    pub fn nonzero_descending(&self) -> &'a [(NodeId, f64)] {
+        self.score_vec.nonzero_descending_cached()
     }
 
     /// Whether `u` is eligible for the top-k.

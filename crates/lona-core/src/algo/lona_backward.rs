@@ -41,7 +41,7 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions) -> QueryResult {
 
     let mut partial = vec![0.0f64; n];
     let mut received = vec![0u32; n];
-    for (u, f_u) in ctx.nonzero_descending() {
+    for &(u, f_u) in ctx.nonzero_descending() {
         if f_u <= gamma {
             break; // descending order: nothing further qualifies
         }
@@ -220,6 +220,7 @@ mod tests {
     use crate::engine::TopKQuery;
     use crate::index::SizeIndex;
     use lona_graph::{CsrGraph, GraphBuilder};
+    use lona_relevance::ScoreVec;
 
     fn gadget() -> (CsrGraph, Vec<f64>) {
         // Two triangles bridged: {0,1,2} hot, {3,4,5} cold.
@@ -238,11 +239,13 @@ mod tests {
         query: &TopKQuery,
         gamma: GammaSpec,
     ) -> QueryResult {
-        let sizes = SizeIndex::build(g, h);
+        let sizes = SizeIndex::build(g.view(), h);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g,
+            g: g.view(),
             hops: h,
             scores,
+            score_vec: &score_vec,
             query,
             sizes: Some(&sizes),
             diffs: None,
@@ -270,10 +273,12 @@ mod tests {
                         GammaSpec::NonzeroQuantile(0.9),
                     ] {
                         let query = TopKQuery::new(k, aggregate);
+                        let score_vec = ScoreVec::new(scores.to_vec());
                         let ctx = Ctx {
-                            g: &g,
+                            g: g.view(),
                             hops: h,
                             scores: &scores,
+                            score_vec: &score_vec,
                             query: &query,
                             sizes: None,
                             diffs: None,
@@ -338,10 +343,12 @@ mod tests {
     fn include_self_false_agrees() {
         let (g, scores) = gadget();
         let query = TopKQuery::new(4, Aggregate::Avg).include_self(false);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g: &g,
+            g: g.view(),
             hops: 2,
             scores: &scores,
+            score_vec: &score_vec,
             query: &query,
             sizes: None,
             diffs: None,

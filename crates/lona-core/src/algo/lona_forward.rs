@@ -153,6 +153,7 @@ mod tests {
     use crate::engine::TopKQuery;
     use crate::index::{DiffIndex, SizeIndex};
     use lona_graph::{CsrGraph, GraphBuilder};
+    use lona_relevance::ScoreVec;
 
     fn run_forward(
         g: &CsrGraph,
@@ -161,12 +162,14 @@ mod tests {
         query: &TopKQuery,
         order: ProcessingOrder,
     ) -> QueryResult {
-        let sizes = SizeIndex::build(g, h);
-        let diffs = DiffIndex::build(g, h, &sizes);
+        let sizes = SizeIndex::build(g.view(), h);
+        let diffs = DiffIndex::build(g.view(), h, &sizes);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g,
+            g: g.view(),
             hops: h,
             scores,
+            score_vec: &score_vec,
             query,
             sizes: Some(&sizes),
             diffs: Some(&diffs),
@@ -196,10 +199,12 @@ mod tests {
             for h in 1..=3 {
                 for k in [1, 2, 4] {
                     let query = TopKQuery::new(k, aggregate);
+                    let score_vec = ScoreVec::new(scores.to_vec());
                     let ctx = Ctx {
-                        g: &g,
+                        g: g.view(),
                         hops: h,
                         scores: &scores,
+                        score_vec: &score_vec,
                         query: &query,
                         sizes: None,
                         diffs: None,
@@ -259,10 +264,12 @@ mod tests {
     fn exclude_self_agrees_with_base() {
         let (g, scores) = two_communities();
         let query = TopKQuery::new(3, Aggregate::Avg).include_self(false);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g: &g,
+            g: g.view(),
             hops: 2,
             scores: &scores,
+            score_vec: &score_vec,
             query: &query,
             sizes: None,
             diffs: None,
@@ -279,10 +286,12 @@ mod tests {
         let g = GraphBuilder::directed().add_edge(0, 1).build().unwrap();
         let scores = vec![1.0, 1.0];
         let query = TopKQuery::new(1, Aggregate::Sum);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g: &g,
+            g: g.view(),
             hops: 1,
             scores: &scores,
+            score_vec: &score_vec,
             query: &query,
             sizes: None,
             diffs: None,

@@ -58,7 +58,8 @@ pub(crate) fn run(ctx: &Ctx<'_>, opts: &BackwardOptions, threads: usize) -> Quer
     // --- Phase 1: parallel partial distribution above γ. ---
     let distributors: Vec<(NodeId, f64)> = ctx
         .nonzero_descending()
-        .into_iter()
+        .iter()
+        .copied()
         .take_while(|&(_, f_u)| f_u > gamma)
         .collect();
     stats.nodes_distributed = distributors.len();
@@ -177,6 +178,7 @@ mod tests {
     use crate::engine::TopKQuery;
     use crate::index::SizeIndex;
     use lona_graph::{CsrGraph, GraphBuilder};
+    use lona_relevance::ScoreVec;
 
     fn ladder(n: u32) -> (CsrGraph, Vec<f64>) {
         let mut b = GraphBuilder::undirected();
@@ -200,7 +202,7 @@ mod tests {
     #[test]
     fn agrees_with_serial_backward() {
         let (g, scores) = ladder(150);
-        let sizes = SizeIndex::build(&g, 2);
+        let sizes = SizeIndex::build(g.view(), 2);
         for aggregate in [
             Aggregate::Sum,
             Aggregate::Avg,
@@ -214,10 +216,12 @@ mod tests {
             ] {
                 for k in [1usize, 4, 12] {
                     let query = TopKQuery::new(k, aggregate);
+                    let score_vec = ScoreVec::new(scores.to_vec());
                     let ctx = Ctx {
-                        g: &g,
+                        g: g.view(),
                         hops: 2,
                         scores: &scores,
+                        score_vec: &score_vec,
                         query: &query,
                         sizes: Some(&sizes),
                         diffs: None,
@@ -245,12 +249,14 @@ mod tests {
         let scores: Vec<f64> = (0..120)
             .map(|i| if i % 9 == 0 { 1.0 } else { 0.0 })
             .collect();
-        let sizes = SizeIndex::build(&g, 2);
+        let sizes = SizeIndex::build(g.view(), 2);
         let query = TopKQuery::new(5, Aggregate::Sum);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g: &g,
+            g: g.view(),
             hops: 2,
             scores: &scores,
+            score_vec: &score_vec,
             query: &query,
             sizes: Some(&sizes),
             diffs: None,
@@ -270,12 +276,14 @@ mod tests {
     #[test]
     fn stats_account_for_every_node() {
         let (g, scores) = ladder(150);
-        let sizes = SizeIndex::build(&g, 2);
+        let sizes = SizeIndex::build(g.view(), 2);
         let query = TopKQuery::new(3, Aggregate::Sum);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g: &g,
+            g: g.view(),
             hops: 2,
             scores: &scores,
+            score_vec: &score_vec,
             query: &query,
             sizes: Some(&sizes),
             diffs: None,

@@ -68,6 +68,7 @@ mod tests {
     use crate::algo::base_forward;
     use crate::engine::TopKQuery;
     use lona_graph::{CsrGraph, GraphBuilder};
+    use lona_relevance::ScoreVec;
 
     fn medium_graph() -> (CsrGraph, Vec<f64>) {
         let mut b = GraphBuilder::undirected();
@@ -85,10 +86,12 @@ mod tests {
         let (g, scores) = medium_graph();
         for aggregate in [Aggregate::Sum, Aggregate::Avg, Aggregate::Max] {
             let query = TopKQuery::new(12, aggregate);
+            let score_vec = ScoreVec::new(scores.to_vec());
             let ctx = Ctx {
-                g: &g,
+                g: g.view(),
                 hops: 2,
                 scores: &scores,
+                score_vec: &score_vec,
                 query: &query,
                 sizes: None,
                 diffs: None,
@@ -111,10 +114,12 @@ mod tests {
     fn counters_cover_all_nodes() {
         let (g, scores) = medium_graph();
         let query = TopKQuery::new(5, Aggregate::Sum);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g: &g,
+            g: g.view(),
             hops: 2,
             scores: &scores,
+            score_vec: &score_vec,
             query: &query,
             sizes: None,
             diffs: None,
@@ -134,10 +139,12 @@ mod tests {
             .unwrap();
         let scores = vec![1.0, 0.5, 0.0];
         let query = TopKQuery::new(2, Aggregate::Sum);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g: &g,
+            g: g.view(),
             hops: 1,
             scores: &scores,
+            score_vec: &score_vec,
             query: &query,
             sizes: None,
             diffs: None,

@@ -142,6 +142,7 @@ mod tests {
     use crate::engine::TopKQuery;
     use crate::index::{DiffIndex, SizeIndex};
     use lona_graph::{CsrGraph, GraphBuilder};
+    use lona_relevance::ScoreVec;
 
     fn clique_ring(n: u32) -> (CsrGraph, Vec<f64>) {
         let mut b = GraphBuilder::undirected();
@@ -162,8 +163,8 @@ mod tests {
     #[test]
     fn agrees_with_serial_forward() {
         let (g, scores) = clique_ring(120);
-        let sizes = SizeIndex::build(&g, 2);
-        let diffs = DiffIndex::build(&g, 2, &sizes);
+        let sizes = SizeIndex::build(g.view(), 2);
+        let diffs = DiffIndex::build(g.view(), 2, &sizes);
         for aggregate in [
             Aggregate::Sum,
             Aggregate::Avg,
@@ -172,10 +173,12 @@ mod tests {
         ] {
             for k in [1usize, 5, 20] {
                 let query = TopKQuery::new(k, aggregate);
+                let score_vec = ScoreVec::new(scores.to_vec());
                 let ctx = Ctx {
-                    g: &g,
+                    g: g.view(),
                     hops: 2,
                     scores: &scores,
+                    score_vec: &score_vec,
                     query: &query,
                     sizes: Some(&sizes),
                     diffs: Some(&diffs),
@@ -201,13 +204,15 @@ mod tests {
     #[test]
     fn state_accounting_covers_graph() {
         let (g, scores) = clique_ring(120);
-        let sizes = SizeIndex::build(&g, 2);
-        let diffs = DiffIndex::build(&g, 2, &sizes);
+        let sizes = SizeIndex::build(g.view(), 2);
+        let diffs = DiffIndex::build(g.view(), 2, &sizes);
         let query = TopKQuery::new(1, Aggregate::Sum);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g: &g,
+            g: g.view(),
             hops: 2,
             scores: &scores,
+            score_vec: &score_vec,
             query: &query,
             sizes: Some(&sizes),
             diffs: Some(&diffs),
@@ -223,13 +228,15 @@ mod tests {
     #[test]
     fn one_thread_falls_back_to_serial() {
         let (g, scores) = clique_ring(24);
-        let sizes = SizeIndex::build(&g, 2);
-        let diffs = DiffIndex::build(&g, 2, &sizes);
+        let sizes = SizeIndex::build(g.view(), 2);
+        let diffs = DiffIndex::build(g.view(), 2, &sizes);
         let query = TopKQuery::new(3, Aggregate::Sum);
+        let score_vec = ScoreVec::new(scores.to_vec());
         let ctx = Ctx {
-            g: &g,
+            g: g.view(),
             hops: 2,
             scores: &scores,
+            score_vec: &score_vec,
             query: &query,
             sizes: Some(&sizes),
             diffs: Some(&diffs),

@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use lona_graph::CsrGraph;
+use lona_graph::{CsrView, GraphStore};
 use lona_relevance::ScoreVec;
 
 use crate::aggregate::Aggregate;
@@ -106,6 +106,12 @@ impl TopKQuery {
 pub struct EngineState {
     size_index: Option<SizeIndex>,
     diff_index: Option<DiffIndex>,
+    /// How many index *builds* this state has actually performed
+    /// (cached reuse and [`EngineState::install_size_index`]-style
+    /// installs do not count). Deterministic — unlike build wall time
+    /// on a 1-core container — so tests and CI can gate "the compiled
+    /// path built nothing" exactly.
+    builds: u32,
 }
 
 impl EngineState {
@@ -114,13 +120,30 @@ impl EngineState {
         EngineState::default()
     }
 
+    /// Number of index builds this state has performed (see the field
+    /// doc: installs and cache hits are free).
+    pub fn index_builds(&self) -> u32 {
+        self.builds
+    }
+
+    /// Assemble a state around pre-built indexes — e.g. views mapped
+    /// from a compiled file. Counts zero builds: the whole point of
+    /// the compiled path is that [`EngineState::index_builds`] stays 0.
+    pub fn from_indexes(size: Option<SizeIndex>, diff: Option<DiffIndex>) -> Self {
+        EngineState {
+            size_index: size,
+            diff_index: diff,
+            builds: 0,
+        }
+    }
+
     /// Build (or reuse) the size index for `(g, hops)`; returns the
     /// build time (zero when cached).
     ///
     /// # Panics
     /// Panics if a cached index does not match `(g, hops)` — reusing
     /// state across graphs or radii would silently corrupt results.
-    pub fn prepare_size_index(&mut self, g: &CsrGraph, hops: u32) -> Duration {
+    pub fn prepare_size_index(&mut self, g: CsrView<'_>, hops: u32) -> Duration {
         if let Some(idx) = &self.size_index {
             assert_eq!(idx.hops(), hops, "cached size index hop radius mismatch");
             assert_eq!(
@@ -132,6 +155,7 @@ impl EngineState {
         }
         let t = Instant::now();
         self.size_index = Some(SizeIndex::build(g, hops));
+        self.builds += 1;
         t.elapsed()
     }
 
@@ -140,7 +164,7 @@ impl EngineState {
     ///
     /// # Panics
     /// Panics if a cached index does not match `(g, hops)`.
-    pub fn prepare_diff_index(&mut self, g: &CsrGraph, hops: u32) -> Duration {
+    pub fn prepare_diff_index(&mut self, g: CsrView<'_>, hops: u32) -> Duration {
         if let Some(idx) = &self.diff_index {
             assert_eq!(idx.hops(), hops, "cached diff index hop radius mismatch");
             assert_eq!(
@@ -153,12 +177,18 @@ impl EngineState {
         let mut took = self.prepare_size_index(g, hops);
         let t = Instant::now();
         self.diff_index = Some(DiffIndex::build(g, hops, self.size_index.as_ref().unwrap()));
+        self.builds += 1;
         took += t.elapsed();
         took
     }
 
     /// Build whatever `needs` asks for; returns the charged time.
-    pub(crate) fn prepare_needs(&mut self, g: &CsrGraph, hops: u32, needs: IndexNeeds) -> Duration {
+    pub(crate) fn prepare_needs(
+        &mut self,
+        g: CsrView<'_>,
+        hops: u32,
+        needs: IndexNeeds,
+    ) -> Duration {
         let mut took = Duration::ZERO;
         if needs.diff {
             took += self.prepare_diff_index(g, hops);
@@ -184,7 +214,7 @@ impl EngineState {
     /// to masked nodes (see [`crate::shard`]).
     pub(crate) fn dispatch(
         &self,
-        g: &CsrGraph,
+        g: CsrView<'_>,
         hops: u32,
         candidates: Option<&[bool]>,
         algorithm: &Algorithm,
@@ -195,6 +225,7 @@ impl EngineState {
             g,
             hops,
             scores: scores.as_slice(),
+            score_vec: scores,
             query,
             sizes: self.size_index.as_ref(),
             diffs: self.diff_index.as_ref(),
@@ -248,7 +279,7 @@ impl EngineState {
 /// assert!(base.same_values(&bwd, 1e-9));
 /// ```
 pub struct LonaEngine<'g> {
-    g: &'g CsrGraph,
+    g: CsrView<'g>,
     hops: u32,
     state: EngineState,
     /// Top-k candidate mask (`None` = every node); see
@@ -258,22 +289,27 @@ pub struct LonaEngine<'g> {
 
 impl<'g> LonaEngine<'g> {
     /// Create an engine for `g` at hop radius `hops` (the paper
-    /// evaluates `hops = 2`).
+    /// evaluates `hops = 2`). `g` may be any [`GraphStore`] backend —
+    /// the in-RAM [`lona_graph::CsrGraph`] or the memory-mapped
+    /// [`lona_graph::CsrGraphMmap`]; the engine reads through the
+    /// same [`CsrView`] either way.
     ///
     /// # Panics
     /// Panics if `hops == 0`.
-    pub fn new(g: &'g CsrGraph, hops: u32) -> Self {
+    pub fn new<G: GraphStore + ?Sized>(g: &'g G, hops: u32) -> Self {
         Self::from_state(g, hops, EngineState::new())
     }
 
     /// Assemble an engine around existing (possibly warm) index
     /// state. The sharded coordinator uses this to run one shard's
-    /// query without rebuilding that shard's indexes.
+    /// query without rebuilding that shard's indexes; the compiled
+    /// loader uses it to start with mapped indexes and zero builds.
     ///
     /// # Panics
     /// Panics if `hops == 0` or if `state` holds indexes that do not
     /// match `(g, hops)`.
-    pub fn from_state(g: &'g CsrGraph, hops: u32, state: EngineState) -> Self {
+    pub fn from_state<G: GraphStore + ?Sized>(g: &'g G, hops: u32, state: EngineState) -> Self {
+        let g = g.csr();
         assert!(hops >= 1, "hop radius must be at least 1");
         if let Some(idx) = state.size_index() {
             assert_eq!(idx.hops(), hops, "size index hop radius mismatch");
@@ -327,8 +363,8 @@ impl<'g> LonaEngine<'g> {
         &self.state
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &CsrGraph {
+    /// The underlying graph, as the backend-agnostic slice view.
+    pub fn graph(&self) -> CsrView<'g> {
         self.g
     }
 
@@ -492,7 +528,7 @@ impl<'g> LonaEngine<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lona_graph::GraphBuilder;
+    use lona_graph::{CsrGraph, GraphBuilder};
 
     fn ring(n: u32) -> CsrGraph {
         GraphBuilder::undirected()
@@ -576,6 +612,36 @@ mod tests {
         assert_eq!(engine.prepare_diff_index(), Duration::ZERO);
         assert!(engine.size_index().is_some());
         assert!(engine.diff_index().is_some());
+        // Two real builds (size + diff); the cached retries were free.
+        assert_eq!(engine.state().index_builds(), 2);
+    }
+
+    #[test]
+    fn installed_indexes_do_not_count_as_builds() {
+        let g = ring(12);
+        let mut a = LonaEngine::new(&g, 2);
+        a.prepare_diff_index();
+        let size = a.size_index().unwrap().clone();
+        let diff = a.diff_index().unwrap().clone();
+
+        let mut b = LonaEngine::new(&g, 2);
+        b.set_size_index(size);
+        b.set_diff_index(diff);
+        assert_eq!(b.prepare_diff_index(), Duration::ZERO);
+        assert_eq!(b.state().index_builds(), 0);
+    }
+
+    #[test]
+    fn engine_runs_identically_on_a_plain_view() {
+        let g = ring(40);
+        let scores = ScoreVec::from_fn(40, |u| ((u.0 * 37) % 11) as f64 / 10.0);
+        let query = TopKQuery::new(5, Aggregate::Sum);
+        let view = g.view();
+        let mut owned = LonaEngine::new(&g, 2);
+        let mut viewed = LonaEngine::new(&view, 2);
+        let a = owned.run(&Algorithm::backward(), &query, &scores);
+        let b = viewed.run(&Algorithm::backward(), &query, &scores);
+        assert_eq!(a.entries, b.entries);
     }
 
     #[test]

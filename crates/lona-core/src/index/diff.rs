@@ -3,10 +3,10 @@
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use lona_graph::{CsrGraph, GraphError, NodeId};
+use lona_graph::{CsrView, GraphError, MapSlice, NodeId};
 
 use crate::exec::{self, ChunkCursor};
-use crate::index::SizeIndex;
+use crate::index::{SizeIndex, U32Store};
 use crate::neighborhood::NeighborhoodScanner;
 
 const MAGIC: &[u8; 8] = b"LONADIF1";
@@ -38,11 +38,19 @@ const MAGIC: &[u8; 8] = b"LONADIF1";
 /// source nodes; both directions of an edge are written by the thread
 /// owning the lower endpoint, through relaxed atomics (each slot is
 /// written exactly once).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct DiffIndex {
     hops: u32,
-    deltas: Vec<u32>,
+    deltas: U32Store,
 }
+
+impl PartialEq for DiffIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.hops == other.hops && self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for DiffIndex {}
 
 impl DiffIndex {
     /// Build the index for `g` at radius `hops`, given the matching
@@ -52,7 +60,7 @@ impl DiffIndex {
     /// Panics if `g` is directed (Eq. 1's soundness needs mutual
     /// adjacency; see `bounds.rs`) or if `sizes` was built at a
     /// different radius.
-    pub fn build(g: &CsrGraph, hops: u32, sizes: &SizeIndex) -> Self {
+    pub fn build(g: CsrView<'_>, hops: u32, sizes: &SizeIndex) -> Self {
         assert!(
             !g.is_directed(),
             "the differential index requires an undirected graph"
@@ -74,7 +82,7 @@ impl DiffIndex {
         Self::build_impl(g, hops, sizes, deltas)
     }
 
-    fn build_impl(g: &CsrGraph, hops: u32, sizes: &SizeIndex, deltas: Vec<AtomicU32>) -> Self {
+    fn build_impl(g: CsrView<'_>, hops: u32, sizes: &SizeIndex, deltas: Vec<AtomicU32>) -> Self {
         let n = g.num_nodes();
         let threads = exec::resolve_threads(0, n);
         let deltas_ref = &deltas;
@@ -120,7 +128,20 @@ impl DiffIndex {
         });
 
         let deltas = deltas.into_iter().map(AtomicU32::into_inner).collect();
-        DiffIndex { hops, deltas }
+        DiffIndex {
+            hops,
+            deltas: U32Store::Owned(deltas),
+        }
+    }
+
+    /// Wrap a zero-copy view of a compiled file's differential-index
+    /// section. No build, no copy; the compiled loader cross-checks
+    /// the length against the mapped graph's adjacency array first.
+    pub fn from_mapped(hops: u32, deltas: MapSlice<u32>) -> Self {
+        DiffIndex {
+            hops,
+            deltas: U32Store::Mapped(deltas),
+        }
     }
 
     /// The hop radius this index was built for.
@@ -130,40 +151,46 @@ impl DiffIndex {
 
     /// Number of adjacency entries covered.
     pub fn len(&self) -> usize {
-        self.deltas.len()
+        self.as_slice().len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.deltas.is_empty()
+        self.as_slice().is_empty()
+    }
+
+    /// Raw slice access (one `u32` per adjacency entry).
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[u32] {
+        self.deltas.as_slice()
     }
 
     /// `delta(v − u)` where `v` is the neighbor at `adjacency_pos`
     /// within `u`'s adjacency range (see
-    /// [`CsrGraph::adjacency_range`]).
+    /// [`lona_graph::CsrGraph::adjacency_range`]).
     #[inline(always)]
     pub fn delta_at(&self, adjacency_pos: usize) -> u32 {
-        self.deltas[adjacency_pos]
+        self.as_slice()[adjacency_pos]
     }
 
     /// `delta(v − u)` by endpoint lookup (binary search; prefer
     /// [`DiffIndex::delta_at`] in loops that already track positions).
-    pub fn delta(&self, g: &CsrGraph, u: NodeId, v: NodeId) -> Option<u32> {
-        g.adjacency_index(u, v).map(|pos| self.deltas[pos])
+    pub fn delta(&self, g: CsrView<'_>, u: NodeId, v: NodeId) -> Option<u32> {
+        g.adjacency_index(u, v).map(|pos| self.as_slice()[pos])
     }
 
     /// Approximate resident memory, in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.deltas.len() * std::mem::size_of::<u32>()
+        std::mem::size_of_val(self.as_slice())
     }
 
     /// Serialize.
     pub fn write_to<W: Write>(&self, mut w: W) -> lona_graph::Result<()> {
         w.write_all(MAGIC)?;
         w.write_all(&self.hops.to_le_bytes())?;
-        w.write_all(&(self.deltas.len() as u64).to_le_bytes())?;
+        w.write_all(&(self.as_slice().len() as u64).to_le_bytes())?;
         let mut buf = Vec::with_capacity(4 * 16384);
-        for chunk in self.deltas.chunks(16384) {
+        for chunk in self.as_slice().chunks(16384) {
             buf.clear();
             for &d in chunk {
                 buf.extend_from_slice(&d.to_le_bytes());
@@ -188,7 +215,10 @@ impl DiffIndex {
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        Ok(DiffIndex { hops, deltas })
+        Ok(DiffIndex {
+            hops,
+            deltas: U32Store::Owned(deltas),
+        })
     }
 }
 
@@ -196,7 +226,7 @@ impl DiffIndex {
 mod tests {
     use super::*;
     use lona_graph::traversal::bfs_distances;
-    use lona_graph::GraphBuilder;
+    use lona_graph::{CsrGraph, GraphBuilder};
 
     /// Brute-force `delta(v − u)` via BFS distance sets.
     fn reference_delta(g: &CsrGraph, u: NodeId, v: NodeId, h: u32) -> u32 {
@@ -212,12 +242,12 @@ mod tests {
     }
 
     fn check_graph(g: &CsrGraph, h: u32) {
-        let sizes = SizeIndex::build(g, h);
-        let idx = DiffIndex::build(g, h, &sizes);
+        let sizes = SizeIndex::build(g.view(), h);
+        let idx = DiffIndex::build(g.view(), h, &sizes);
         for u in g.nodes() {
             for &v in g.neighbors(u) {
                 assert_eq!(
-                    idx.delta(g, u, v).unwrap(),
+                    idx.delta(g.view(), u, v).unwrap(),
                     reference_delta(g, u, v, h),
                     "delta({v:?} - {u:?}) at h={h}"
                 );
@@ -263,8 +293,8 @@ mod tests {
             .extend_edges([(0, 1), (1, 2), (2, 0)])
             .build()
             .unwrap();
-        let sizes = SizeIndex::build(&g, 2);
-        let idx = DiffIndex::build(&g, 2, &sizes);
+        let sizes = SizeIndex::build(g.view(), 2);
+        let idx = DiffIndex::build(g.view(), 2, &sizes);
         let mut buf = Vec::new();
         idx.write_to(&mut buf).unwrap();
         assert_eq!(DiffIndex::read_from(&buf[..]).unwrap(), idx);
@@ -274,15 +304,15 @@ mod tests {
     #[should_panic(expected = "undirected")]
     fn directed_graph_rejected() {
         let g = GraphBuilder::directed().add_edge(0, 1).build().unwrap();
-        let sizes = SizeIndex::build(&g, 2);
-        let _ = DiffIndex::build(&g, 2, &sizes);
+        let sizes = SizeIndex::build(g.view(), 2);
+        let _ = DiffIndex::build(g.view(), 2, &sizes);
     }
 
     #[test]
     #[should_panic(expected = "size index was built for")]
     fn hop_mismatch_rejected() {
         let g = GraphBuilder::undirected().add_edge(0, 1).build().unwrap();
-        let sizes = SizeIndex::build(&g, 1);
-        let _ = DiffIndex::build(&g, 2, &sizes);
+        let sizes = SizeIndex::build(g.view(), 1);
+        let _ = DiffIndex::build(g.view(), 2, &sizes);
     }
 }

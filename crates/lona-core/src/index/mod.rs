@@ -15,3 +15,24 @@ mod size;
 
 pub use diff::DiffIndex;
 pub use size::SizeIndex;
+
+use lona_graph::MapSlice;
+
+/// Backing storage for an index's `u32` payload: owned by the index
+/// (the build and `read_from` paths) or a zero-copy view into a
+/// compiled file's section (the `from_mapped` paths).
+#[derive(Clone, Debug)]
+pub(crate) enum U32Store {
+    Owned(Vec<u32>),
+    Mapped(MapSlice<u32>),
+}
+
+impl U32Store {
+    #[inline(always)]
+    pub(crate) fn as_slice(&self) -> &[u32] {
+        match self {
+            U32Store::Owned(v) => v,
+            U32Store::Mapped(m) => m.as_slice(),
+        }
+    }
+}

@@ -2,9 +2,10 @@
 
 use std::io::{Read, Write};
 
-use lona_graph::{CsrGraph, GraphError, NodeId};
+use lona_graph::{CsrView, GraphError, MapSlice, NodeId};
 
 use crate::exec;
+use crate::index::U32Store;
 use crate::neighborhood::NeighborhoodScanner;
 
 const MAGIC: &[u8; 8] = b"LONASIZ1";
@@ -13,16 +14,26 @@ const MAGIC: &[u8; 8] = b"LONASIZ1";
 ///
 /// One full sweep of the graph (the cost of a single Base query);
 /// amortized across every subsequent query on the same graph. The
-/// build runs on all available cores.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// build runs on all available cores. Alternatively the payload can be
+/// a zero-copy view into a compiled file ([`SizeIndex::from_mapped`]),
+/// skipping the build entirely.
+#[derive(Clone, Debug)]
 pub struct SizeIndex {
     hops: u32,
-    sizes: Vec<u32>,
+    sizes: U32Store,
 }
+
+impl PartialEq for SizeIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.hops == other.hops && self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SizeIndex {}
 
 impl SizeIndex {
     /// Build the index for `g` at radius `hops`.
-    pub fn build(g: &CsrGraph, hops: u32) -> Self {
+    pub fn build(g: CsrView<'_>, hops: u32) -> Self {
         let n = g.num_nodes();
         let mut sizes = vec![0u32; n];
         let threads = if n < 1024 {
@@ -39,7 +50,20 @@ impl SizeIndex {
                 *slot = count as u32;
             }
         });
-        SizeIndex { hops, sizes }
+        SizeIndex {
+            hops,
+            sizes: U32Store::Owned(sizes),
+        }
+    }
+
+    /// Wrap a zero-copy view of a compiled file's size section. No
+    /// build, no copy; the compiled loader cross-checks the length
+    /// against the mapped graph before calling this.
+    pub fn from_mapped(hops: u32, sizes: MapSlice<u32>) -> Self {
+        SizeIndex {
+            hops,
+            sizes: U32Store::Mapped(sizes),
+        }
     }
 
     /// The hop radius this index was built for.
@@ -49,33 +73,33 @@ impl SizeIndex {
 
     /// Number of nodes covered.
     pub fn len(&self) -> usize {
-        self.sizes.len()
+        self.as_slice().len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.sizes.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// `N(v)` — the proper h-hop neighborhood size of `v`.
     #[inline(always)]
     pub fn get(&self, v: NodeId) -> usize {
-        self.sizes[v.index()] as usize
+        self.as_slice()[v.index()] as usize
     }
 
     /// Raw slice access for hot loops.
     #[inline(always)]
     pub fn as_slice(&self) -> &[u32] {
-        &self.sizes
+        self.sizes.as_slice()
     }
 
     /// Serialize (see `io::binary` for the format conventions).
     pub fn write_to<W: Write>(&self, mut w: W) -> lona_graph::Result<()> {
         w.write_all(MAGIC)?;
         w.write_all(&self.hops.to_le_bytes())?;
-        w.write_all(&(self.sizes.len() as u64).to_le_bytes())?;
+        w.write_all(&(self.as_slice().len() as u64).to_le_bytes())?;
         let mut buf = Vec::with_capacity(4 * 16384);
-        for chunk in self.sizes.chunks(16384) {
+        for chunk in self.as_slice().chunks(16384) {
             buf.clear();
             for &s in chunk {
                 buf.extend_from_slice(&s.to_le_bytes());
@@ -100,7 +124,10 @@ impl SizeIndex {
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        Ok(SizeIndex { hops, sizes })
+        Ok(SizeIndex {
+            hops,
+            sizes: U32Store::Owned(sizes),
+        })
     }
 }
 
@@ -108,7 +135,7 @@ impl SizeIndex {
 mod tests {
     use super::*;
     use lona_graph::traversal::bfs_distances;
-    use lona_graph::GraphBuilder;
+    use lona_graph::{CsrGraph, GraphBuilder};
 
     fn reference_sizes(g: &CsrGraph, h: u32) -> Vec<u32> {
         (0..g.num_nodes() as u32)
@@ -126,7 +153,7 @@ mod tests {
             .build()
             .unwrap();
         for h in 1..=3 {
-            let idx = SizeIndex::build(&g, h);
+            let idx = SizeIndex::build(g.view(), h);
             assert_eq!(idx.as_slice(), &reference_sizes(&g, h)[..], "h={h}");
         }
     }
@@ -140,7 +167,7 @@ mod tests {
             b.push_edge(i, (i * 13 + 7) % 2000);
         }
         let g = b.build().unwrap();
-        let idx = SizeIndex::build(&g, 2);
+        let idx = SizeIndex::build(g.view(), 2);
         assert_eq!(idx.as_slice(), &reference_sizes(&g, 2)[..]);
     }
 
@@ -150,7 +177,7 @@ mod tests {
             .extend_edges([(0, 1), (1, 2)])
             .build()
             .unwrap();
-        let idx = SizeIndex::build(&g, 2);
+        let idx = SizeIndex::build(g.view(), 2);
         let mut buf = Vec::new();
         idx.write_to(&mut buf).unwrap();
         let idx2 = SizeIndex::read_from(&buf[..]).unwrap();
@@ -160,7 +187,7 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let g = GraphBuilder::undirected().add_edge(0, 1).build().unwrap();
-        let idx = SizeIndex::build(&g, 1);
+        let idx = SizeIndex::build(g.view(), 1);
         let mut buf = Vec::new();
         idx.write_to(&mut buf).unwrap();
         buf[0] ^= 0xff;
@@ -174,7 +201,7 @@ mod tests {
             .add_edge(0, 1)
             .build()
             .unwrap();
-        let idx = SizeIndex::build(&g, 2);
+        let idx = SizeIndex::build(g.view(), 2);
         assert_eq!(idx.get(NodeId(2)), 0);
     }
 }

@@ -50,6 +50,8 @@
 //!   work-stealing chunks, the shared rising threshold;
 //! * [`algo`] — Base, LONA-Forward, BackwardNaive, LONA-Backward and
 //!   their thread-parallel variants;
+//! * [`compiled`] — the `lona compile` container: graph + scores +
+//!   indexes packed into one mmap-able file for zero-build startup;
 //! * [`engine`] — index lifecycle + dispatch;
 //! * [`plan`] — the cost-based per-query planner (algorithm + thread
 //!   split, with an override escape hatch);
@@ -70,6 +72,7 @@ pub mod aggregate;
 pub mod algo;
 pub mod batch;
 pub mod bounds;
+pub mod compiled;
 pub mod engine;
 pub mod exec;
 pub mod index;
@@ -85,6 +88,7 @@ pub mod validate;
 pub use aggregate::Aggregate;
 pub use algo::{Algorithm, BackwardOptions, ForwardOptions, GammaSpec, ProcessingOrder};
 pub use batch::{BatchMode, BatchOptions, BatchQuery, BatchResult};
+pub use compiled::{compile_to_file, compile_to_vec, CompileSpec, CompiledGraph};
 pub use engine::{EngineState, LonaEngine, TopKQuery};
 pub use exec::SharedThreshold;
 pub use index::{DiffIndex, SizeIndex};

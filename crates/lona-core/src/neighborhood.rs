@@ -7,7 +7,7 @@
 //! number of edges to be accessed could be around `m^h · |V|`").
 
 use lona_graph::traversal::EpochSet;
-use lona_graph::{CsrGraph, NodeId};
+use lona_graph::{CsrView, NodeId};
 
 /// Outcome of one neighborhood scan.
 #[derive(Copy, Clone, Debug, Default, PartialEq)]
@@ -44,7 +44,7 @@ impl NeighborhoodScanner {
     }
 
     /// Sum `scores` over `S_h(u)`.
-    pub fn sum_scan(&mut self, g: &CsrGraph, u: NodeId, h: u32, scores: &[f64]) -> ScanResult {
+    pub fn sum_scan(&mut self, g: CsrView<'_>, u: NodeId, h: u32, scores: &[f64]) -> ScanResult {
         let mut res = ScanResult::default();
         self.visited.clear();
         self.visited.insert(u.0);
@@ -77,7 +77,7 @@ impl NeighborhoodScanner {
     /// inverse-distance connection strength).
     pub fn distance_weighted_scan(
         &mut self,
-        g: &CsrGraph,
+        g: CsrView<'_>,
         u: NodeId,
         h: u32,
         scores: &[f64],
@@ -114,7 +114,7 @@ impl NeighborhoodScanner {
 
     /// Max of `scores` over `S_h(u)` (reported in `mass`; `raw_mass`
     /// carries the plain sum so SUM-based bounds stay available).
-    pub fn max_scan(&mut self, g: &CsrGraph, u: NodeId, h: u32, scores: &[f64]) -> ScanResult {
+    pub fn max_scan(&mut self, g: CsrView<'_>, u: NodeId, h: u32, scores: &[f64]) -> ScanResult {
         let mut res = ScanResult::default();
         self.visited.clear();
         self.visited.insert(u.0);
@@ -149,7 +149,7 @@ impl NeighborhoodScanner {
     /// used by the distance-weighted backward distribution.
     pub fn for_each_depth(
         &mut self,
-        g: &CsrGraph,
+        g: CsrView<'_>,
         u: NodeId,
         h: u32,
         mut f: impl FnMut(u32, u32),
@@ -186,7 +186,7 @@ impl NeighborhoodScanner {
     /// `(|S_h(u)|, edges touched)`.
     pub fn for_each(
         &mut self,
-        g: &CsrGraph,
+        g: CsrView<'_>,
         u: NodeId,
         h: u32,
         mut f: impl FnMut(u32),
@@ -220,7 +220,7 @@ impl NeighborhoodScanner {
     }
 
     /// `|S_h(u)|` plus the edge count of the expansion.
-    pub fn size_scan(&mut self, g: &CsrGraph, u: NodeId, h: u32) -> (usize, u64) {
+    pub fn size_scan(&mut self, g: CsrView<'_>, u: NodeId, h: u32) -> (usize, u64) {
         self.for_each(g, u, h, |_| {})
     }
 
@@ -228,7 +228,7 @@ impl NeighborhoodScanner {
     /// `|S_h(u)|`. The marks stay valid until the next scan and can be
     /// probed with [`NeighborhoodScanner::marked`]; the differential
     /// index builder uses this for its intersection counting.
-    pub fn mark(&mut self, g: &CsrGraph, u: NodeId, h: u32) -> usize {
+    pub fn mark(&mut self, g: CsrView<'_>, u: NodeId, h: u32) -> usize {
         let (count, _) = self.for_each(g, u, h, |_| {});
         // `for_each` marked u too; unmark so probes see S(u) exactly.
         self.visited.remove(u.0);
@@ -245,7 +245,7 @@ impl NeighborhoodScanner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lona_graph::GraphBuilder;
+    use lona_graph::{CsrGraph, GraphBuilder};
 
     fn sample() -> CsrGraph {
         // 0-1-2-3 path + 1-4
@@ -260,7 +260,7 @@ mod tests {
         let g = sample();
         let scores = vec![0.1, 0.2, 0.3, 0.4, 0.5];
         let mut s = NeighborhoodScanner::new(g.num_nodes());
-        let r = s.sum_scan(&g, NodeId(0), 2, &scores);
+        let r = s.sum_scan(g.view(), NodeId(0), 2, &scores);
         // S_2(0) = {1, 2, 4}
         assert_eq!(r.count, 3);
         assert!((r.mass - (0.2 + 0.3 + 0.5)).abs() < 1e-12);
@@ -273,7 +273,7 @@ mod tests {
         let g = sample();
         let scores = vec![1.0; 5];
         let mut s = NeighborhoodScanner::new(g.num_nodes());
-        let r = s.distance_weighted_scan(&g, NodeId(0), 2, &scores);
+        let r = s.distance_weighted_scan(g.view(), NodeId(0), 2, &scores);
         // node 1 at depth 1 (1.0), nodes 2 and 4 at depth 2 (0.5 each)
         assert!((r.mass - 2.0).abs() < 1e-12);
     }
@@ -283,7 +283,7 @@ mod tests {
         let g = sample();
         let mut s = NeighborhoodScanner::new(g.num_nodes());
         let mut seen = vec![];
-        let (count, _) = s.for_each(&g, NodeId(3), 2, |v| seen.push(v));
+        let (count, _) = s.for_each(g.view(), NodeId(3), 2, |v| seen.push(v));
         seen.sort_unstable();
         assert_eq!(count, 2);
         assert_eq!(seen, vec![1, 2]);
@@ -293,7 +293,7 @@ mod tests {
     fn mark_and_probe() {
         let g = sample();
         let mut s = NeighborhoodScanner::new(g.num_nodes());
-        let n = s.mark(&g, NodeId(0), 2);
+        let n = s.mark(g.view(), NodeId(0), 2);
         assert_eq!(n, 3);
         assert!(s.marked(NodeId(1)));
         assert!(s.marked(NodeId(2)));
@@ -307,9 +307,9 @@ mod tests {
         let g = sample();
         let scores = vec![1.0; 5];
         let mut s = NeighborhoodScanner::new(g.num_nodes());
-        let a = s.sum_scan(&g, NodeId(0), 2, &scores);
-        let _ = s.sum_scan(&g, NodeId(3), 1, &scores);
-        let a2 = s.sum_scan(&g, NodeId(0), 2, &scores);
+        let a = s.sum_scan(g.view(), NodeId(0), 2, &scores);
+        let _ = s.sum_scan(g.view(), NodeId(3), 1, &scores);
+        let a2 = s.sum_scan(g.view(), NodeId(0), 2, &scores);
         assert_eq!(a, a2);
     }
 
@@ -317,7 +317,7 @@ mod tests {
     fn zero_hop_scan_is_empty() {
         let g = sample();
         let mut s = NeighborhoodScanner::new(g.num_nodes());
-        let r = s.sum_scan(&g, NodeId(1), 0, &[0.0; 5]);
+        let r = s.sum_scan(g.view(), NodeId(1), 0, &[0.0; 5]);
         assert_eq!(r, ScanResult::default());
     }
 }

@@ -52,7 +52,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use lona_graph::CsrGraph;
+use lona_graph::{CsrView, GraphStore};
 use lona_relevance::ScoreVec;
 
 use crate::batch::{BatchOptions, BatchQuery};
@@ -150,11 +150,25 @@ pub struct Server {
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// start serving `graph`. The graph is `Arc`-shared because
-    /// handler and batcher threads outlive any scoped borrow.
-    pub fn bind(
-        graph: Arc<CsrGraph>,
+    /// handler and batcher threads outlive any scoped borrow; any
+    /// [`GraphStore`] backend works (in-RAM or memory-mapped).
+    pub fn bind<G: GraphStore + Send + Sync + 'static>(
+        graph: Arc<G>,
         addr: impl ToSocketAddrs,
         opts: ServeOptions,
+    ) -> io::Result<Server> {
+        Self::bind_warm(graph, addr, opts, BTreeMap::new())
+    }
+
+    /// Like [`Server::bind`], but seed the batcher with pre-built
+    /// per-hop-radius engine states. A server started from a compiled
+    /// file passes the mapped indexes here and answers its first
+    /// request with zero index builds.
+    pub fn bind_warm<G: GraphStore + Send + Sync + 'static>(
+        graph: Arc<G>,
+        addr: impl ToSocketAddrs,
+        opts: ServeOptions,
+        warm: BTreeMap<u32, EngineState>,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -174,7 +188,7 @@ impl Server {
             let queue = Arc::clone(&queue);
             std::thread::Builder::new()
                 .name("lona-serve-batch".into())
-                .spawn(move || batch_loop(graph, queue, opts))?
+                .spawn(move || batch_loop(graph, queue, opts, warm))?
         };
 
         Ok(Server {
@@ -216,9 +230,9 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
+fn accept_loop<G: GraphStore + Send + Sync + 'static>(
     listener: TcpListener,
-    graph: Arc<CsrGraph>,
+    graph: Arc<G>,
     queue: Arc<AdmissionQueue>,
     stop: Arc<AtomicBool>,
     opts: ServeOptions,
@@ -242,9 +256,9 @@ fn accept_loop(
 /// Serve one connection: a strict frame-in/frame-out loop. Decode
 /// and validation failures answer with [`Reply::Err`] and keep the
 /// connection; framing/transport failures close it.
-fn handle_connection(
+fn handle_connection<G: GraphStore + Send + Sync>(
     stream: TcpStream,
-    graph: Arc<CsrGraph>,
+    graph: Arc<G>,
     queue: Arc<AdmissionQueue>,
     opts: ServeOptions,
 ) {
@@ -277,9 +291,9 @@ fn handle_connection(
 
 /// Produce the reply for one request payload, blocking on the
 /// batcher for valid requests.
-fn answer(
+fn answer<G: GraphStore>(
     payload: &[u8],
-    graph: &Arc<CsrGraph>,
+    graph: &Arc<G>,
     queue: &AdmissionQueue,
     opts: ServeOptions,
 ) -> Reply {
@@ -293,11 +307,12 @@ fn answer(
         }
     };
     let id = request.id;
-    if let Err(message) = validate_request(&request, graph.num_nodes(), opts.max_hops) {
+    let num_nodes = graph.csr().num_nodes();
+    if let Err(message) = validate_request(&request, num_nodes, opts.max_hops) {
         return Reply::Err { id, message };
     }
 
-    let scores = binary_scores(&request.sources, graph.num_nodes());
+    let scores = binary_scores(&request.sources, num_nodes);
     let (tx, rx) = mpsc::channel();
     let admitted = queue.push(Pending {
         request,
@@ -323,8 +338,13 @@ fn answer(
 /// The batcher: pull micro-batches, group by hop radius (indexes and
 /// engines are per-radius), run each group through one `run_batch`
 /// call against the warm state, and fan the results back out.
-fn batch_loop(graph: Arc<CsrGraph>, queue: Arc<AdmissionQueue>, opts: ServeOptions) {
-    let mut states: BTreeMap<u32, EngineState> = BTreeMap::new();
+fn batch_loop<G: GraphStore>(
+    graph: Arc<G>,
+    queue: Arc<AdmissionQueue>,
+    opts: ServeOptions,
+    warm: BTreeMap<u32, EngineState>,
+) {
+    let mut states: BTreeMap<u32, EngineState> = warm;
     while let Some(batch) = queue.next_batch(opts.window, opts.max_batch) {
         let exec_start = Instant::now();
         let mut by_hops: BTreeMap<u32, Vec<Pending>> = BTreeMap::new();
@@ -333,7 +353,7 @@ fn batch_loop(graph: Arc<CsrGraph>, queue: Arc<AdmissionQueue>, opts: ServeOptio
         }
         for (hops, group) in by_hops {
             let state = states.remove(&hops).unwrap_or_default();
-            let state = run_group(&graph, hops, state, group, exec_start, opts);
+            let state = run_group(graph.csr(), hops, state, group, exec_start, opts);
             states.insert(hops, state);
         }
     }
@@ -342,7 +362,7 @@ fn batch_loop(graph: Arc<CsrGraph>, queue: Arc<AdmissionQueue>, opts: ServeOptio
 /// Run one same-radius group as a single batch and deliver replies.
 /// Returns the (now warm) engine state.
 fn run_group(
-    graph: &CsrGraph,
+    graph: CsrView<'_>,
     hops: u32,
     state: EngineState,
     group: Vec<Pending>,
@@ -361,7 +381,7 @@ fn run_group(
         .map(|(q, p)| BatchQuery::new(*q, &p.scores))
         .collect();
 
-    let mut engine = LonaEngine::from_state(graph, hops, state);
+    let mut engine = LonaEngine::from_state(&graph, hops, state);
     let out = engine.run_batch(&batch, &BatchOptions::with_threads(opts.threads));
     let index_build_nanos = duration_nanos(out.index_build);
     let batch_size = group.len() as u32;

@@ -440,7 +440,7 @@ impl<'g> ShardedEngine<'g> {
                 plans[s].as_ref().map(|plan| {
                     let shard = sharded.shard(s);
                     states[s].dispatch(
-                        shard.graph(),
+                        shard.graph().view(),
                         hops,
                         Some(shard.owned_mask()),
                         &plan.algorithm,
@@ -545,7 +545,7 @@ impl<'g> ShardedEngine<'g> {
                     let shard = sharded.shard(s);
                     let plan = round2_plans[s].as_ref().expect("planned above");
                     states[s].dispatch(
-                        shard.graph(),
+                        shard.graph().view(),
                         hops,
                         Some(shard.owned_mask()),
                         &plan.algorithm,

@@ -44,13 +44,13 @@ proptest! {
         h in 1u32..4,
         include_self in proptest::bool::ANY,
     ) {
-        let sizes = SizeIndex::build(&g, h);
-        let diffs = DiffIndex::build(&g, h, &sizes);
+        let sizes = SizeIndex::build(g.view(), h);
+        let diffs = DiffIndex::build(g.view(), h, &sizes);
         for u in g.nodes() {
             let f_sum_u =
                 brute_force_value(&g, &scores, h, u, Aggregate::Sum, include_self);
             for &v in g.neighbors(u) {
-                let delta = diffs.delta(&g, u, v).unwrap();
+                let delta = diffs.delta(g.view(), u, v).unwrap();
                 let n_v = sizes.get(v);
                 let sum_bound =
                     forward_sum_bound(f_sum_u, delta, n_v, scores.get(v), include_self);
@@ -91,7 +91,7 @@ proptest! {
         include_self in proptest::bool::ANY,
     ) {
         let n = g.num_nodes();
-        let sizes = SizeIndex::build(&g, h);
+        let sizes = SizeIndex::build(g.view(), h);
 
         // Simulate the distribution phase exactly as the algorithm does.
         let mut partial = vec![0.0f64; n];
@@ -134,8 +134,8 @@ proptest! {
         (g, _) in arb_graph_scores(),
         h in 1u32..4,
     ) {
-        let sizes = SizeIndex::build(&g, h);
-        let diffs = DiffIndex::build(&g, h, &sizes);
+        let sizes = SizeIndex::build(g.view(), h);
+        let diffs = DiffIndex::build(g.view(), h, &sizes);
         for u in g.nodes() {
             let du = bfs_distances(&g, u);
             for &v in g.neighbors(u) {
@@ -147,7 +147,7 @@ proptest! {
                         in_sv && !in_su
                     })
                     .count() as u32;
-                let got = diffs.delta(&g, u, v).unwrap();
+                let got = diffs.delta(g.view(), u, v).unwrap();
                 prop_assert_eq!(got, expect, "delta({:?} - {:?})", v, u);
                 prop_assert!(got as usize <= sizes.get(v));
             }

@@ -21,6 +21,10 @@
 //! * [`view`] — induced subgraphs.
 //! * [`mod@partition`] — edge-cut sharding with halo replication, the
 //!   storage layer of the scatter-gather engine.
+//! * [`GraphStore`] / [`mapped`] — the storage abstraction: every
+//!   engine loop reads through a [`CsrView`] slice bundle, provided
+//!   either by the in-RAM [`CsrGraph`] or by [`CsrGraphMmap`] over a
+//!   read-only memory map of a compiled file (zero-copy startup).
 //!
 //! ## Quick example
 //!
@@ -46,16 +50,24 @@ mod builder;
 mod csr;
 mod error;
 pub mod io;
+pub mod mapped;
 mod node;
 pub mod partition;
+mod store;
 pub mod traversal;
 pub mod view;
 
 pub use builder::{GraphBuilder, SelfLoopPolicy};
-pub use csr::{CsrGraph, EdgeIter, NeighborIter};
+pub use csr::{CsrGraph, CsrView, EdgeIter, NeighborIter};
 pub use error::GraphError;
+pub use mapped::{CsrGraphMmap, MapSlice, Pod};
 pub use node::NodeId;
 pub use partition::{partition, PartitionStrategy, Shard, ShardLoc, ShardedGraph};
+pub use store::GraphStore;
+
+// The mapped backend's buffer type, re-exported so downstream crates
+// (the compiled-file loader) need no direct memmap2 dependency.
+pub use memmap2::Mmap;
 
 /// Result alias for graph operations.
 pub type Result<T> = std::result::Result<T, GraphError>;

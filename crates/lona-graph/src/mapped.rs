@@ -1,0 +1,421 @@
+//! Memory-mapped CSR storage: typed views over a shared byte buffer.
+//!
+//! [`MapSlice`] is the unit of zero-copy access: a `(buffer, offset,
+//! length)` triple that views part of an [`Mmap`] as a `&[T]` for a
+//! fixed-layout element type. Construction is where all safety lives —
+//! bounds and alignment are checked against the buffer *before* any
+//! slice is formed, and the set of viewable types is sealed to
+//! little-endian fixed-width primitives whose every bit pattern is a
+//! valid value. After that, reads are plain slice indexing.
+//!
+//! [`CsrGraphMmap`] assembles such slices into a full CSR graph and
+//! validates the structural invariants the traversal loops rely on
+//! (monotone offsets, in-range sorted targets) once, at load time.
+
+use std::sync::Arc;
+
+use memmap2::Mmap;
+
+use crate::csr::CsrView;
+use crate::error::GraphError;
+use crate::node::NodeId;
+use crate::store::GraphStore;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+    impl Sealed for crate::node::NodeId {}
+}
+
+/// Element types that may be viewed directly over mapped bytes.
+///
+/// Sealed: only fixed-width primitives (and `repr(transparent)`
+/// wrappers of them) for which **every** bit pattern is a valid value
+/// qualify, so no byte sequence in a hostile file can construct an
+/// invalid instance. Multi-byte values are read in native byte order;
+/// the compiled format is little-endian and every supported target of
+/// this workspace is too (a big-endian port would add explicit
+/// byte-swapping at load).
+pub trait Pod: sealed::Sealed + Copy + 'static {}
+
+impl Pod for u32 {}
+impl Pod for u64 {}
+impl Pod for f32 {}
+impl Pod for f64 {}
+// Safe per `NodeId`'s repr(transparent) layout guarantee.
+impl Pod for NodeId {}
+
+/// A typed view over a range of a shared [`Mmap`].
+///
+/// Holds the buffer by `Arc`, so clones are cheap and the mapping
+/// stays alive as long as any view does. No raw pointer is stored —
+/// the slice is re-derived from `(buffer, byte_offset, len)` on each
+/// access, which keeps the type automatically `Send + Sync`.
+#[derive(Clone)]
+pub struct MapSlice<T: Pod> {
+    buf: Arc<Mmap>,
+    byte_offset: usize,
+    len: usize,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Pod> MapSlice<T> {
+    /// View `len` elements of `T` starting at `byte_offset` in `buf`.
+    ///
+    /// Rejects (never panics) when the range overflows, exceeds the
+    /// buffer, or is misaligned for `T`. The buffer's base address is
+    /// at least 8-byte aligned on both `Mmap` backings, so checking
+    /// the offset alone settles alignment for every supported `T`.
+    pub fn new(buf: Arc<Mmap>, byte_offset: usize, len: usize) -> Result<Self, GraphError> {
+        let size = std::mem::size_of::<T>();
+        debug_assert!(std::mem::align_of::<T>() <= 8);
+        debug_assert_eq!(buf.as_ptr() as usize % 8, 0);
+        let byte_len = len
+            .checked_mul(size)
+            .ok_or_else(|| GraphError::BadSnapshot("section length overflows".into()))?;
+        let end = byte_offset
+            .checked_add(byte_len)
+            .ok_or_else(|| GraphError::BadSnapshot("section range overflows".into()))?;
+        if end > buf.len() {
+            return Err(GraphError::BadSnapshot(format!(
+                "section [{byte_offset}, {end}) exceeds file length {}",
+                buf.len()
+            )));
+        }
+        if !byte_offset.is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(GraphError::BadSnapshot(format!(
+                "section offset {byte_offset} misaligned for element size {size}"
+            )));
+        }
+        Ok(MapSlice {
+            buf,
+            byte_offset,
+            len,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The viewed elements.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        // Safe: the constructor proved `byte_offset .. byte_offset +
+        // len * size_of::<T>()` lies inside the buffer and is aligned
+        // for T, the buffer is immutable and outlives `self` (Arc),
+        // and T is Pod so any bytes are a valid value.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.buf.as_ptr().add(self.byte_offset) as *const T,
+                self.len,
+            )
+        }
+    }
+
+    /// Number of viewed elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for MapSlice<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapSlice")
+            .field("byte_offset", &self.byte_offset)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// A CSR graph whose arrays live in a read-only memory map.
+///
+/// Construction via [`CsrGraphMmap::from_sections`] validates the full
+/// CSR structure once; afterwards [`GraphStore::csr`] hands out the
+/// same [`CsrView`] the in-RAM graph does, so every algorithm runs
+/// unchanged — and bit-identically — over either backend. Clones share
+/// the underlying mapping.
+#[derive(Clone, Debug)]
+pub struct CsrGraphMmap {
+    offsets: MapSlice<u32>,
+    targets: MapSlice<NodeId>,
+    weights: Option<MapSlice<f32>>,
+    /// Reverse-CSR arrays (incoming adjacency), present for directed
+    /// graphs when the compiled file carries them.
+    reverse: Option<(MapSlice<u32>, MapSlice<NodeId>)>,
+    num_edges: usize,
+    directed: bool,
+}
+
+/// Check one offsets/targets array pair for the CSR invariants:
+/// non-empty offsets starting at 0, monotone, ending exactly at the
+/// adjacency length; targets in range and strictly sorted per row.
+fn validate_csr_arrays(
+    what: &str,
+    offsets: &[u32],
+    targets: &[NodeId],
+    num_nodes: Option<usize>,
+) -> Result<(), GraphError> {
+    let bad = |msg: String| Err(GraphError::BadSnapshot(format!("{what}: {msg}")));
+    if offsets.is_empty() {
+        return bad("empty offsets array".into());
+    }
+    if let Some(n) = num_nodes {
+        if offsets.len() != n + 1 {
+            return bad(format!(
+                "expected {} offsets, found {}",
+                n + 1,
+                offsets.len()
+            ));
+        }
+    }
+    if offsets[0] != 0 {
+        return bad(format!("offsets[0] = {}, expected 0", offsets[0]));
+    }
+    if *offsets.last().unwrap() as usize != targets.len() {
+        return bad(format!(
+            "final offset {} does not match adjacency length {}",
+            offsets.last().unwrap(),
+            targets.len()
+        ));
+    }
+    let n = offsets.len() - 1;
+    for i in 0..n {
+        if offsets[i] > offsets[i + 1] {
+            return bad(format!("offsets not monotone at node {i}"));
+        }
+        let row = &targets[offsets[i] as usize..offsets[i + 1] as usize];
+        for pair in row.windows(2) {
+            if pair[0] >= pair[1] {
+                return bad(format!("neighbors of node {i} not strictly sorted"));
+            }
+        }
+        if let Some(&last) = row.last() {
+            if last.index() >= n {
+                return bad(format!(
+                    "neighbor {last} of node {i} out of range (graph has {n} nodes)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl CsrGraphMmap {
+    /// Assemble a mapped graph from validated sections.
+    ///
+    /// The slices themselves are already bounds/alignment-checked
+    /// ([`MapSlice::new`]); this constructor validates the *structural*
+    /// invariants every traversal loop indexes by — so a hostile file
+    /// is rejected here, once, and the hot loops stay assertion-free.
+    pub fn from_sections(
+        offsets: MapSlice<u32>,
+        targets: MapSlice<NodeId>,
+        weights: Option<MapSlice<f32>>,
+        reverse: Option<(MapSlice<u32>, MapSlice<NodeId>)>,
+        num_edges: usize,
+        directed: bool,
+    ) -> Result<Self, GraphError> {
+        validate_csr_arrays("csr", offsets.as_slice(), targets.as_slice(), None)?;
+        let n = offsets.len() - 1;
+        if let Some(w) = &weights {
+            if w.len() != targets.len() {
+                return Err(GraphError::BadSnapshot(format!(
+                    "weight section length {} does not match adjacency length {}",
+                    w.len(),
+                    targets.len()
+                )));
+            }
+        }
+        if let Some((ro, rt)) = &reverse {
+            if !directed {
+                return Err(GraphError::BadSnapshot(
+                    "reverse CSR present on an undirected graph".into(),
+                ));
+            }
+            validate_csr_arrays("reverse csr", ro.as_slice(), rt.as_slice(), Some(n))?;
+            if rt.len() != targets.len() {
+                return Err(GraphError::BadSnapshot(format!(
+                    "reverse adjacency length {} does not match forward length {}",
+                    rt.len(),
+                    targets.len()
+                )));
+            }
+        }
+        if num_edges > targets.len() {
+            return Err(GraphError::BadSnapshot(format!(
+                "declared edge count {num_edges} exceeds adjacency length {}",
+                targets.len()
+            )));
+        }
+        Ok(CsrGraphMmap {
+            offsets,
+            targets,
+            weights,
+            reverse,
+            num_edges,
+            directed,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of logical edges (an undirected edge counts once).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Whether the graph is directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// The reverse (incoming) adjacency as a view, if the compiled
+    /// file carried it (directed graphs only; undirected adjacency is
+    /// its own reverse).
+    pub fn reverse_csr(&self) -> Option<CsrView<'_>> {
+        let (ro, rt) = self.reverse.as_ref()?;
+        Some(CsrView::from_raw(
+            ro.as_slice(),
+            rt.as_slice(),
+            None,
+            self.num_edges,
+            self.directed,
+        ))
+    }
+
+    /// Copy the mapped arrays into an owned [`crate::CsrGraph`].
+    pub fn to_owned_graph(&self) -> crate::CsrGraph {
+        crate::CsrGraph::from_parts(
+            self.offsets.as_slice().to_vec(),
+            self.targets.as_slice().to_vec(),
+            self.weights.as_ref().map(|w| w.as_slice().to_vec()),
+            self.num_edges,
+            self.directed,
+        )
+    }
+}
+
+impl GraphStore for CsrGraphMmap {
+    #[inline(always)]
+    fn csr(&self) -> CsrView<'_> {
+        CsrView::from_raw(
+            self.offsets.as_slice(),
+            self.targets.as_slice(),
+            self.weights.as_ref().map(|w| w.as_slice()),
+            self.num_edges,
+            self.directed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Little-endian encode a u32 slice into bytes.
+    fn bytes_of_u32(vals: &[u32]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn map_of(vals: &[u32]) -> Arc<Mmap> {
+        Arc::new(Mmap::from_vec(bytes_of_u32(vals)))
+    }
+
+    #[test]
+    fn map_slice_views_the_right_elements() {
+        let buf = map_of(&[1, 2, 3, 4]);
+        let s = MapSlice::<u32>::new(buf.clone(), 4, 2).unwrap();
+        assert_eq!(s.as_slice(), &[2, 3]);
+        assert_eq!(s.len(), 2);
+        let all = MapSlice::<NodeId>::new(buf, 0, 4).unwrap();
+        assert_eq!(all.as_slice()[3], NodeId(4));
+    }
+
+    #[test]
+    fn map_slice_rejects_out_of_bounds_and_misalignment() {
+        let buf = map_of(&[1, 2, 3, 4]);
+        assert!(MapSlice::<u32>::new(buf.clone(), 0, 5).is_err());
+        assert!(MapSlice::<u32>::new(buf.clone(), 2, 1).is_err());
+        assert!(MapSlice::<f64>::new(buf.clone(), 4, 1).is_err());
+        assert!(MapSlice::<u32>::new(buf.clone(), usize::MAX, 1).is_err());
+        assert!(MapSlice::<u32>::new(buf, 0, usize::MAX / 2).is_err());
+    }
+
+    /// A mapped copy of an in-RAM graph, built by round-tripping the
+    /// raw arrays through a byte buffer.
+    fn mapped_copy(g: &crate::CsrGraph) -> CsrGraphMmap {
+        let v = g.view();
+        let mut bytes = bytes_of_u32(v.offsets());
+        bytes.extend(v.targets().iter().flat_map(|t| t.0.to_le_bytes()));
+        let buf = Arc::new(Mmap::from_vec(bytes));
+        let offsets = MapSlice::<u32>::new(buf.clone(), 0, v.offsets().len()).unwrap();
+        let targets =
+            MapSlice::<NodeId>::new(buf, v.offsets().len() * 4, v.targets().len()).unwrap();
+        CsrGraphMmap::from_sections(offsets, targets, None, None, g.num_edges(), g.is_directed())
+            .unwrap()
+    }
+
+    #[test]
+    fn mapped_graph_matches_in_ram() {
+        let g = GraphBuilder::undirected()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .add_edge(2, 3)
+            .build()
+            .unwrap();
+        let m = mapped_copy(&g);
+        assert_eq!(m.num_nodes(), g.num_nodes());
+        assert_eq!(m.num_edges(), g.num_edges());
+        let mv = m.csr();
+        let gv = g.view();
+        for u in gv.nodes() {
+            assert_eq!(mv.neighbors(u), gv.neighbors(u));
+            assert_eq!(mv.degree(u), gv.degree(u));
+        }
+        assert_eq!(
+            mv.edges().collect::<Vec<_>>(),
+            gv.edges().collect::<Vec<_>>()
+        );
+        let owned = m.to_owned_graph();
+        assert_eq!(owned.neighbors(NodeId(2)), gv.neighbors(NodeId(2)));
+    }
+
+    #[test]
+    fn structural_validation_rejects_hostile_sections() {
+        // Non-monotone offsets.
+        let buf = map_of(&[0, 3, 1, /* targets */ 1, 0, 2]);
+        let offsets = MapSlice::<u32>::new(buf.clone(), 0, 3).unwrap();
+        let targets = MapSlice::<NodeId>::new(buf.clone(), 12, 3).unwrap();
+        assert!(CsrGraphMmap::from_sections(offsets, targets, None, None, 3, true).is_err());
+
+        // Target out of range.
+        let buf = map_of(&[0, 1, 2, /* targets */ 1, 9]);
+        let offsets = MapSlice::<u32>::new(buf.clone(), 0, 3).unwrap();
+        let targets = MapSlice::<NodeId>::new(buf.clone(), 12, 2).unwrap();
+        assert!(CsrGraphMmap::from_sections(offsets, targets, None, None, 2, true).is_err());
+
+        // Unsorted row.
+        let buf = map_of(&[0, 2, 2, /* targets */ 1, 0]);
+        let offsets = MapSlice::<u32>::new(buf.clone(), 0, 3).unwrap();
+        let targets = MapSlice::<NodeId>::new(buf.clone(), 12, 2).unwrap();
+        assert!(CsrGraphMmap::from_sections(offsets, targets, None, None, 2, true).is_err());
+
+        // Final offset disagrees with adjacency length.
+        let buf = map_of(&[0, 1, 4, /* targets */ 1, 0]);
+        let offsets = MapSlice::<u32>::new(buf.clone(), 0, 3).unwrap();
+        let targets = MapSlice::<NodeId>::new(buf, 12, 2).unwrap();
+        assert!(CsrGraphMmap::from_sections(offsets, targets, None, None, 2, true).is_err());
+    }
+}

@@ -9,7 +9,13 @@ use std::fmt;
 /// adjacency array, which matters for multi-million-edge networks (the
 /// paper's citation network has 16M edges) and keeps more of the
 /// frontier in cache during h-hop expansion.
+///
+/// The layout is guaranteed identical to `u32` (`repr(transparent)`),
+/// so `[NodeId]` slices can be viewed over raw little-endian `u32`
+/// storage — the compiled-file loader maps adjacency sections without
+/// copying on that basis.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -34,8 +34,9 @@
 //! traversal order. Floating-point sums inside one shard are
 //! **bit-identical** to the single-graph run, not merely close.
 
-use crate::csr::CsrGraph;
+use crate::csr::{CsrGraph, CsrView};
 use crate::node::NodeId;
+use crate::store::GraphStore;
 use crate::traversal::EpochSet;
 
 /// How global nodes are assigned to owning shards.
@@ -283,7 +284,7 @@ fn hash_owner(u: u32, num_shards: usize) -> u32 {
 }
 
 /// Assign every node an owning shard under `strategy`.
-fn assign_owners(g: &CsrGraph, num_shards: usize, strategy: PartitionStrategy) -> Vec<u32> {
+fn assign_owners(g: CsrView<'_>, num_shards: usize, strategy: PartitionStrategy) -> Vec<u32> {
     let n = g.num_nodes();
     match strategy {
         PartitionStrategy::Contiguous => {
@@ -327,12 +328,13 @@ fn assign_owners(g: &CsrGraph, num_shards: usize, strategy: PartitionStrategy) -
 /// Panics if `num_shards == 0`, `halo_hops == 0`, or `g` is directed
 /// (the halo-completeness argument and the backward algorithms need
 /// symmetric adjacency).
-pub fn partition(
-    g: &CsrGraph,
+pub fn partition<G: GraphStore + ?Sized>(
+    g: &G,
     num_shards: usize,
     strategy: PartitionStrategy,
     halo_hops: u32,
 ) -> crate::Result<ShardedGraph> {
+    let g = g.csr();
     assert!(num_shards >= 1, "need at least one shard");
     assert!(halo_hops >= 1, "halo depth must be at least 1");
     assert!(

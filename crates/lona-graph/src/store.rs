@@ -1,0 +1,74 @@
+//! The storage abstraction: anything that can expose a [`CsrView`].
+//!
+//! The engine's hot loops all read the graph through [`CsrView`] — a
+//! `Copy` bundle of slices — so the only thing a storage backend has
+//! to provide is that view. [`GraphStore`] is that one-method trait.
+//! Public entry points (engine constructors, partitioners, index
+//! builders) are generic over it; everything below them is monomorphic
+//! over the view, so the in-RAM and memory-mapped backends run the
+//! same machine code.
+
+use std::sync::Arc;
+
+use crate::csr::{CsrGraph, CsrView};
+
+/// A CSR graph storage backend.
+///
+/// Implemented by the in-RAM [`CsrGraph`], the memory-mapped
+/// [`crate::CsrGraphMmap`], [`CsrView`] itself, and references /
+/// `Arc`s to any of them — call sites never need to unwrap a smart
+/// pointer before handing the graph to the engine.
+pub trait GraphStore {
+    /// Borrow the graph as the slice bundle the engine consumes.
+    fn csr(&self) -> CsrView<'_>;
+}
+
+impl GraphStore for CsrGraph {
+    #[inline(always)]
+    fn csr(&self) -> CsrView<'_> {
+        self.view()
+    }
+}
+
+impl GraphStore for CsrView<'_> {
+    #[inline(always)]
+    fn csr(&self) -> CsrView<'_> {
+        *self
+    }
+}
+
+impl<G: GraphStore + ?Sized> GraphStore for &G {
+    #[inline(always)]
+    fn csr(&self) -> CsrView<'_> {
+        (**self).csr()
+    }
+}
+
+impl<G: GraphStore + ?Sized> GraphStore for Arc<G> {
+    #[inline(always)]
+    fn csr(&self) -> CsrView<'_> {
+        (**self).csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::node::NodeId;
+
+    fn takes_store(g: &impl GraphStore) -> usize {
+        g.csr().num_nodes()
+    }
+
+    #[test]
+    fn every_wrapper_dispatches() {
+        let g = GraphBuilder::undirected().add_edge(0, 1).build().unwrap();
+        assert_eq!(takes_store(&g), 2);
+        assert_eq!(takes_store(&g.view()), 2);
+        assert_eq!(takes_store(&&g), 2);
+        let arc = Arc::new(g);
+        assert_eq!(takes_store(&arc), 2);
+        assert_eq!(arc.csr().degree(NodeId(0)), 1);
+    }
+}

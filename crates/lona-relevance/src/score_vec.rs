@@ -1,32 +1,102 @@
 //! Dense per-node score storage.
 
-use lona_graph::NodeId;
+use std::sync::OnceLock;
+
+use lona_graph::{GraphError, MapSlice, NodeId};
+
+/// Backing storage for the score slice: owned by this vector, or a
+/// zero-copy view into a compiled file's score section.
+#[derive(Clone, Debug)]
+enum Storage {
+    Owned(Vec<f64>),
+    Mapped(MapSlice<f64>),
+}
+
+impl Storage {
+    #[inline(always)]
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Mapped(m) => m.as_slice(),
+        }
+    }
+}
 
 /// A dense vector of relevance scores, one per node, each in `[0, 1]`.
 ///
 /// This is the materialized form every LONA algorithm consumes; the
 /// clamp-on-construction invariant means the query engine never has to
-/// re-validate scores in its inner loops.
-#[derive(Clone, Debug, PartialEq)]
+/// re-validate scores in its inner loops. (The zero-copy constructor
+/// [`ScoreVec::from_mapped`] cannot rewrite its storage, so it
+/// *rejects* out-of-range values instead of clamping — the invariant
+/// holds either way.)
+///
+/// The backward algorithm family consumes the non-zero scores in
+/// descending order; that sorted order is cached here
+/// ([`ScoreVec::nonzero_descending_cached`]) so it is computed once
+/// per score vector rather than once per query.
+#[derive(Debug)]
 pub struct ScoreVec {
-    scores: Vec<f64>,
+    scores: Storage,
+    /// Lazily-computed backward distribution order. Lives on the
+    /// score vector (not the engine) so every engine and shard
+    /// querying the same scores shares one sort, and a new score
+    /// vector can never observe a stale order.
+    descending: OnceLock<Box<[(NodeId, f64)]>>,
+}
+
+impl Clone for ScoreVec {
+    fn clone(&self) -> Self {
+        ScoreVec {
+            scores: self.scores.clone(),
+            descending: self.descending.clone(),
+        }
+    }
+}
+
+impl PartialEq for ScoreVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
 }
 
 impl ScoreVec {
+    fn from_storage(scores: Storage) -> Self {
+        ScoreVec {
+            scores,
+            descending: OnceLock::new(),
+        }
+    }
+
     /// Wrap raw scores, clamping every entry into `[0, 1]` (NaN
     /// becomes 0, matching "not relevant").
     pub fn new(mut scores: Vec<f64>) -> Self {
         for s in &mut scores {
             *s = if s.is_nan() { 0.0 } else { s.clamp(0.0, 1.0) };
         }
-        ScoreVec { scores }
+        Self::from_storage(Storage::Owned(scores))
+    }
+
+    /// Wrap a zero-copy view of a compiled file's score section.
+    ///
+    /// Mapped storage is read-only, so the usual clamp cannot be
+    /// applied; instead every value is validated to already satisfy
+    /// the `[0, 1]`, non-NaN invariant and hostile sections are
+    /// rejected. One O(n) pass at load time, no copy.
+    pub fn from_mapped(scores: MapSlice<f64>) -> Result<Self, GraphError> {
+        for (i, &s) in scores.as_slice().iter().enumerate() {
+            if !(0.0..=1.0).contains(&s) {
+                return Err(GraphError::BadSnapshot(format!(
+                    "score section entry {i} is {s} (outside [0, 1])"
+                )));
+            }
+        }
+        Ok(Self::from_storage(Storage::Mapped(scores)))
     }
 
     /// All-zero scores for `n` nodes.
     pub fn zeros(n: usize) -> Self {
-        ScoreVec {
-            scores: vec![0.0; n],
-        }
+        Self::from_storage(Storage::Owned(vec![0.0; n]))
     }
 
     /// Build by evaluating `f` on every node id.
@@ -36,29 +106,29 @@ impl ScoreVec {
 
     /// Number of nodes covered.
     pub fn len(&self) -> usize {
-        self.scores.len()
+        self.as_slice().len()
     }
 
     /// Whether the vector is empty.
     pub fn is_empty(&self) -> bool {
-        self.scores.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// Score of one node.
     #[inline(always)]
     pub fn get(&self, u: NodeId) -> f64 {
-        self.scores[u.index()]
+        self.as_slice()[u.index()]
     }
 
     /// The underlying slice.
     #[inline(always)]
     pub fn as_slice(&self) -> &[f64] {
-        &self.scores
+        self.scores.as_slice()
     }
 
     /// Iterator over `(node, score)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.scores
+        self.as_slice()
             .iter()
             .enumerate()
             .map(|(i, &s)| (NodeId(i as u32), s))
@@ -77,16 +147,31 @@ impl ScoreVec {
         v
     }
 
+    /// The backward distribution order, computed once per score
+    /// vector and shared by every subsequent query (the sort is
+    /// O(nnz log nnz) — cheap next to one distribution, but the batch
+    /// and serve paths run thousands of backward queries against one
+    /// vector, and re-sorting per run was pure waste).
+    pub fn nonzero_descending_cached(&self) -> &[(NodeId, f64)] {
+        self.descending
+            .get_or_init(|| self.nonzero_descending().into_boxed_slice())
+    }
+
     /// Number of nodes with a non-zero score.
     pub fn nonzero_count(&self) -> usize {
-        self.scores.iter().filter(|&&s| s > 0.0).count()
+        self.as_slice().iter().filter(|&&s| s > 0.0).count()
     }
 
     /// The `q`-quantile of the *non-zero* scores (`q` in `[0, 1]`),
     /// or 0 when no node scores. Used to pick the backward-processing
     /// threshold γ ("distribute the top-p fraction").
     pub fn nonzero_quantile(&self, q: f64) -> f64 {
-        let mut nz: Vec<f64> = self.scores.iter().copied().filter(|&s| s > 0.0).collect();
+        let mut nz: Vec<f64> = self
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|&s| s > 0.0)
+            .collect();
         if nz.is_empty() {
             return 0.0;
         }
@@ -143,6 +228,42 @@ mod tests {
     fn quantile_empty_is_zero() {
         let s = ScoreVec::zeros(5);
         assert_eq!(s.nonzero_quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn cached_descending_matches_uncached_and_survives_clone() {
+        let s = ScoreVec::new(vec![0.0, 0.5, 1.0, 0.5, 0.0]);
+        assert_eq!(s.nonzero_descending_cached(), &s.nonzero_descending()[..]);
+        // Second call returns the same cached slice.
+        let a = s.nonzero_descending_cached().as_ptr();
+        let b = s.nonzero_descending_cached().as_ptr();
+        assert_eq!(a, b);
+        let c = s.clone();
+        assert_eq!(c, s);
+        assert_eq!(c.nonzero_descending_cached(), s.nonzero_descending_cached());
+    }
+
+    #[test]
+    fn mapped_storage_validates_and_reads_zero_copy() {
+        use lona_graph::{MapSlice, Mmap};
+        use std::sync::Arc;
+
+        let vals = [0.0f64, 0.25, 1.0, 0.5];
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let buf = Arc::new(Mmap::from_vec(bytes));
+        let slice = MapSlice::<f64>::new(buf, 0, vals.len()).unwrap();
+        let s = ScoreVec::from_mapped(slice).unwrap();
+        assert_eq!(s.as_slice(), &vals);
+        assert_eq!(s, ScoreVec::new(vals.to_vec()));
+        assert_eq!(s.nonzero_count(), 3);
+
+        // Out-of-range and NaN sections are rejected, not clamped.
+        for bad in [-0.1f64, 1.5, f64::NAN] {
+            let bytes: Vec<u8> = [0.5, bad].iter().flat_map(|v| v.to_le_bytes()).collect();
+            let buf = Arc::new(Mmap::from_vec(bytes));
+            let slice = MapSlice::<f64>::new(buf, 0, 2).unwrap();
+            assert!(ScoreVec::from_mapped(slice).is_err(), "accepted {bad}");
+        }
     }
 
     /// Regression: NaN/±inf inputs must flow through the descending

@@ -56,9 +56,9 @@ pub use lona_relevance as relevance;
 pub mod prelude {
     pub use lona_core::{
         Aggregate, Algorithm, BackwardOptions, BatchMode, BatchOptions, BatchQuery, BatchResult,
-        CoordinatorStats, EngineState, ForwardOptions, GammaSpec, LonaEngine, Plan, PlanReason,
-        PlannerConfig, ProcessingOrder, QueryResult, QueryStats, ServeClient, ServeOptions, Server,
-        ShardOptions, ShardedEngine, ShardedResult, TopKQuery,
+        CompiledGraph, CoordinatorStats, EngineState, ForwardOptions, GammaSpec, LonaEngine, Plan,
+        PlanReason, PlannerConfig, ProcessingOrder, QueryResult, QueryStats, ServeClient,
+        ServeOptions, Server, ShardOptions, ShardedEngine, ShardedResult, TopKQuery,
     };
     pub use lona_gen::{DatasetKind, DatasetProfile};
     pub use lona_graph::{partition, CsrGraph, GraphBuilder, NodeId, PartitionStrategy};

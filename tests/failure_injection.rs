@@ -53,7 +53,7 @@ fn truncated_snapshot_every_length_rejected_or_consistent() {
 #[test]
 fn size_index_header_corruption_rejected() {
     let g = small_graph();
-    let idx = SizeIndex::build(&g, 2);
+    let idx = SizeIndex::build(g.view(), 2);
     let mut buf = Vec::new();
     idx.write_to(&mut buf).unwrap();
     let mut bad = buf.clone();
@@ -66,8 +66,8 @@ fn size_index_header_corruption_rejected() {
 #[test]
 fn diff_index_header_corruption_rejected() {
     let g = small_graph();
-    let sizes = SizeIndex::build(&g, 2);
-    let idx = DiffIndex::build(&g, 2, &sizes);
+    let sizes = SizeIndex::build(g.view(), 2);
+    let idx = DiffIndex::build(g.view(), 2, &sizes);
     let mut buf = Vec::new();
     idx.write_to(&mut buf).unwrap();
     let mut bad = buf.clone();
@@ -79,7 +79,7 @@ fn diff_index_header_corruption_rejected() {
 #[should_panic(expected = "hop radius mismatch")]
 fn engine_rejects_foreign_hop_index() {
     let g = small_graph();
-    let idx = SizeIndex::build(&g, 1);
+    let idx = SizeIndex::build(g.view(), 1);
     let mut engine = LonaEngine::new(&g, 2);
     engine.set_size_index(idx);
 }
@@ -89,7 +89,7 @@ fn engine_rejects_foreign_hop_index() {
 fn engine_rejects_foreign_graph_index() {
     let g = small_graph();
     let other = GraphBuilder::undirected().add_edge(0, 1).build().unwrap();
-    let idx = SizeIndex::build(&other, 2);
+    let idx = SizeIndex::build(other.view(), 2);
     let mut engine = LonaEngine::new(&g, 2);
     engine.set_size_index(idx);
 }

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `memmap2` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides the one thing the workspace needs from `memmap2`: a
+//! read-only [`Mmap`] over a file, dereferencing to `&[u8]`.
+//!
+//! On unix targets [`Mmap::map`] issues a real `mmap(2)` call
+//! (`PROT_READ`, `MAP_PRIVATE`) through a local `extern "C"`
+//! declaration — libc is always linked by std on these targets, so no
+//! `libc` crate dependency is needed. Everywhere else, and for
+//! in-memory buffers via [`Mmap::from_vec`], the bytes live in a
+//! `Vec<u64>` so the backing storage is always 8-byte aligned (page
+//! alignment on the mmap path is stricter still). Consumers that cast
+//! section bytes to `u32`/`f64` slices rely on that base alignment.
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+enum Backing {
+    /// A real memory map (unix only): base pointer + length.
+    #[cfg(unix)]
+    Map {
+        ptr: *mut std::ffi::c_void,
+        len: usize,
+    },
+    /// 8-byte-aligned heap storage; `len` is the byte length (the
+    /// `Vec<u64>` tail may pad past it).
+    Heap { words: Vec<u64>, len: usize },
+}
+
+/// An immutable byte buffer: a read-only memory map of a file on unix,
+/// aligned heap storage otherwise. Dereferences to `&[u8]`.
+pub struct Mmap {
+    backing: Backing,
+}
+
+// The mapping is immutable for its whole lifetime (PROT_READ, private),
+// so shared references from any thread are fine; the raw pointer is
+// what suppresses the auto impls.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only.
+    ///
+    /// # Safety
+    ///
+    /// As with upstream `memmap2`: the caller must ensure the file is
+    /// not truncated or mutated by another process while the map is
+    /// live (doing so is undefined behavior on the mmap path). Files
+    /// this workspace maps are write-once compiled artifacts.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to map",
+            ));
+        }
+        let len = len as usize;
+        // mmap(2) rejects zero-length maps; represent them on the heap.
+        if len == 0 {
+            return Ok(Mmap {
+                backing: Backing::Heap {
+                    words: Vec::new(),
+                    len: 0,
+                },
+            });
+        }
+        Self::map_nonempty(file, len)
+    }
+
+    #[cfg(unix)]
+    unsafe fn map_nonempty(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let ptr = sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ,
+            sys::MAP_PRIVATE,
+            file.as_raw_fd(),
+            0,
+        );
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            backing: Backing::Map { ptr, len },
+        })
+    }
+
+    #[cfg(not(unix))]
+    unsafe fn map_nonempty(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut bytes = Vec::with_capacity(len);
+        let mut f = file;
+        f.read_to_end(&mut bytes)?;
+        Ok(Mmap::from_vec(bytes))
+    }
+
+    /// Wrap an in-memory buffer (copied into 8-byte-aligned storage).
+    /// This is the backing used by tests and by loaders handed raw
+    /// bytes instead of a path.
+    pub fn from_vec(bytes: Vec<u8>) -> Mmap {
+        let len = bytes.len();
+        let mut words = vec![0u64; len.div_ceil(8)];
+        // Safe: the destination word buffer covers >= len bytes.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), words.as_mut_ptr() as *mut u8, len);
+        }
+        Mmap {
+            backing: Backing::Heap { words, len },
+        }
+    }
+
+    /// Byte length of the buffer.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Map { len, .. } => *len,
+            Backing::Heap { len, .. } => *len,
+        }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Base pointer of the buffer.
+    pub fn as_ptr(&self) -> *const u8 {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Map { ptr, .. } => *ptr as *const u8,
+            Backing::Heap { words, .. } => words.as_ptr() as *const u8,
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        let len = self.len();
+        if len == 0 {
+            return &[];
+        }
+        // Safe: the pointer covers `len` readable bytes for the
+        // lifetime of `self` on both backings.
+        unsafe { std::slice::from_raw_parts(self.as_ptr(), len) }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Map { ptr, len } = self.backing {
+            // Safe: the pointer/length pair came from a successful mmap.
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    #[test]
+    fn maps_a_real_file() {
+        let dir = std::env::temp_dir().join(format!("memmap2-shim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(&map[..], &payload[..]);
+        // Page alignment implies 8-byte alignment.
+        assert_eq!(map.as_ptr() as usize % 8, 0);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn empty_file_maps_as_empty() {
+        let dir = std::env::temp_dir().join(format!("memmap2-shim-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::File::create(&path).unwrap();
+        let map = unsafe { Mmap::map(&File::open(&path).unwrap()) }.unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], &[] as &[u8]);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn from_vec_is_aligned_and_identical() {
+        let bytes: Vec<u8> = (0..100u8).collect();
+        let map = Mmap::from_vec(bytes.clone());
+        assert_eq!(&map[..], &bytes[..]);
+        assert_eq!(map.as_ptr() as usize % 8, 0);
+        assert_eq!(Mmap::from_vec(Vec::new()).len(), 0);
+    }
+}
