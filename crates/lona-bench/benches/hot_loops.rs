@@ -79,8 +79,7 @@ fn scans(c: &mut Criterion) {
         let mut group = c.benchmark_group(kernel);
         configure(&mut group);
         for (backend, view) in [("in_ram", g.view()), ("mmap", compiled.csr())] {
-            let mut scanner =
-                lona_core::neighborhood::NeighborhoodScanner::new(view.num_nodes());
+            let mut scanner = lona_core::neighborhood::NeighborhoodScanner::new(view.num_nodes());
             group.bench_with_input(BenchmarkId::new(backend, SAMPLE), &view, |b, view| {
                 b.iter(|| {
                     let mut acc = 0.0;

@@ -172,6 +172,15 @@ fn reverse_csr(g: CsrView<'_>) -> (Vec<u32>, Vec<u32>) {
 /// Serialize `spec` into the compiled container format.
 pub fn compile_to_vec(spec: &CompileSpec<'_>) -> Result<Vec<u8>, GraphError> {
     let g = spec.graph;
+    // Offsets (and reverse_csr's in-degree accumulators) are u32: the
+    // builder already enforces this bound, but make it explicit here so
+    // a future graph source cannot silently wrap the packed arrays.
+    if u32::try_from(g.num_adjacency_entries()).is_err() {
+        return Err(bad(format!(
+            "adjacency length {} exceeds the u32 offset space",
+            g.num_adjacency_entries()
+        )));
+    }
     if let Some(s) = spec.scores {
         if s.len() != g.num_nodes() {
             return Err(bad(format!(
@@ -749,6 +758,79 @@ mod tests {
         let last = b.len() - 1;
         b[last] ^= 0x01;
         assert!(CompiledGraph::from_bytes(b).is_err());
+    }
+
+    /// Patch the first section of `kind` through `patch` and forge its
+    /// checksum, so only the *structural* validation passes — not the
+    /// integrity check — can catch the corruption.
+    fn forge_section(bytes: &mut [u8], kind: SectionKind, patch: impl FnOnce(&mut [u8])) {
+        let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        for i in 0..count {
+            let e = 16 + 32 * i;
+            if u32::from_le_bytes(bytes[e..e + 4].try_into().unwrap()) == kind as u32 {
+                let off = u64::from_le_bytes(bytes[e + 8..e + 16].try_into().unwrap()) as usize;
+                let len = u64::from_le_bytes(bytes[e + 16..e + 24].try_into().unwrap()) as usize;
+                patch(&mut bytes[off..off + len]);
+                let sum = fnv1a(&bytes[off..off + len]);
+                bytes[e + 24..e + 32].copy_from_slice(&sum.to_le_bytes());
+                return;
+            }
+        }
+        panic!("no {kind:?} section in the container");
+    }
+
+    #[test]
+    fn forged_out_of_range_interior_offset_rejected() {
+        // Regression: an interior offset past the adjacency length with
+        // a valid checksum used to panic in structural validation
+        // instead of rejecting. The final offset is left intact so the
+        // adjacency-length check cannot catch it first.
+        let g = sample();
+        let mut bytes = compile(&g, None, &[2]);
+        forge_section(&mut bytes, SectionKind::Offsets, |p| {
+            p[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        });
+        assert!(CompiledGraph::from_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn forged_reverse_offsets_rejected() {
+        // Same hostile shape against the reverse CSR of a directed
+        // pack — validation is shared, but gate it explicitly.
+        let g = GraphBuilder::directed()
+            .extend_edges([(0, 1), (0, 2), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        let mut bytes = compile_to_vec(&CompileSpec {
+            graph: g.view(),
+            scores: None,
+            hops: &[],
+            with_diff: false,
+        })
+        .unwrap();
+        forge_section(&mut bytes, SectionKind::RevOffsets, |p| {
+            p[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        });
+        assert!(CompiledGraph::from_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn forged_meta_edge_count_rejected() {
+        // A meta section that understates (or overstates) the edge
+        // count must fail the exact adjacency cross-check even though
+        // its checksum validates.
+        let g = sample();
+        let base = compile(&g, None, &[2]);
+        for lie in [0u64, 1, g.num_edges() as u64 - 1, g.num_edges() as u64 + 1] {
+            let mut bytes = base.clone();
+            forge_section(&mut bytes, SectionKind::Meta, |p| {
+                p[8..16].copy_from_slice(&lie.to_le_bytes());
+            });
+            assert!(
+                CompiledGraph::from_bytes(bytes).is_err(),
+                "forged edge count {lie} was accepted"
+            );
+        }
     }
 
     #[test]

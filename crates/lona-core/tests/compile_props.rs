@@ -65,6 +65,42 @@ fn arb_case() -> impl Strategy<Value = Case> {
         })
 }
 
+/// FNV-1a 64 — mirrors the container's section checksum so tests can
+/// forge a valid checksum over corrupted bytes and force the loader's
+/// *structural* validation (not the integrity check) to stand alone.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Overwrite one u32 in the payload of the first section of `kind`
+/// (1 = Meta, 2 = Offsets, 3 = Targets, …) and re-forge the section
+/// checksum. Returns false if the container has no such section or
+/// its payload is empty (a zero-edge graph's Targets section).
+fn forge_u32(bytes: &mut [u8], kind: u32, elem: usize, val: u32) -> bool {
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    for i in 0..count {
+        let e = 16 + 32 * i;
+        if u32::from_le_bytes(bytes[e..e + 4].try_into().unwrap()) == kind {
+            let off = u64::from_le_bytes(bytes[e + 8..e + 16].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[e + 16..e + 24].try_into().unwrap()) as usize;
+            if len < 4 {
+                return false;
+            }
+            let at = off + (elem % (len / 4)) * 4;
+            bytes[at..at + 4].copy_from_slice(&val.to_le_bytes());
+            let sum = fnv1a(&bytes[off..off + len]);
+            bytes[e + 24..e + 32].copy_from_slice(&sum.to_le_bytes());
+            return true;
+        }
+    }
+    false
+}
+
 fn compile_case(case: &Case) -> Vec<u8> {
     compile_to_vec(&CompileSpec {
         graph: case.g.view(),
@@ -193,6 +229,58 @@ proptest! {
                 let _ = c.engine_state(h);
             }
         }
+    }
+
+    /// Structural corruption with a *forged* checksum — an arbitrary
+    /// u32 planted anywhere in the Offsets, Targets, or Meta payload —
+    /// never panics and never over-reads: the structural validation
+    /// passes must stand on their own once the integrity check is
+    /// sidestepped. Covers the non-monotone / out-of-range interior
+    /// offset shape (e.g. [0, 10, 2] over 2 targets) that slipped past
+    /// the pairwise monotone check and panicked the row slice.
+    #[test]
+    fn forged_checksum_corruption_never_panics(
+        case in arb_case(),
+        kind in prop_oneof![Just(1u32), Just(2), Just(3)],
+        elem in 0usize..64,
+        val in 0u32..u32::MAX,
+    ) {
+        let mut bytes = compile_case(&case);
+        if !forge_u32(&mut bytes, kind, elem, val) {
+            return Ok(()); // zero-edge graph: no Targets payload to forge
+        }
+        if let Ok(c) = CompiledGraph::from_bytes(bytes) {
+            // Accepted means the planted value happened to keep every
+            // invariant — exercise the views to prove it.
+            let view = c.csr();
+            for u in view.nodes() {
+                let _ = view.neighbors(u);
+            }
+            for h in c.hops_list() {
+                let _ = c.engine_state(h);
+            }
+        }
+    }
+
+    /// The specific reported repro, scaled to random graphs: bound an
+    /// interior offset past the adjacency length while leaving the
+    /// final offset intact, forge the checksum — must reject with an
+    /// error, never panic.
+    #[test]
+    fn forged_oversized_offset_is_rejected(case in arb_case(), elem in 0usize..64) {
+        let mut bytes = compile_case(&case);
+        // An offset past the adjacency length fails whichever slot it
+        // lands on: slot 0 breaks offsets[0] == 0, the final slot
+        // breaks the adjacency-length match, and an interior slot must
+        // trip the bound check *before* any row slice is formed.
+        let oversized = case.g.view().num_adjacency_entries() as u32 + 7;
+        if !forge_u32(&mut bytes, 2, elem, oversized) {
+            return Ok(());
+        }
+        prop_assert!(
+            CompiledGraph::from_bytes(bytes).is_err(),
+            "oversized offset accepted"
+        );
     }
 
     /// Zero-length and junk buffers of any size are rejected cleanly.

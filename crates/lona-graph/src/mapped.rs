@@ -154,14 +154,17 @@ pub struct CsrGraphMmap {
 }
 
 /// Check one offsets/targets array pair for the CSR invariants:
-/// non-empty offsets starting at 0, monotone, ending exactly at the
-/// adjacency length; targets in range and strictly sorted per row.
+/// non-empty offsets starting at 0, monotone and bounded by the
+/// adjacency length, ending exactly at it; targets in range and
+/// strictly sorted per row. Returns the number of self-loop entries
+/// (target == own row), which the caller cross-checks against the
+/// declared edge count.
 fn validate_csr_arrays(
     what: &str,
     offsets: &[u32],
     targets: &[NodeId],
     num_nodes: Option<usize>,
-) -> Result<(), GraphError> {
+) -> Result<usize, GraphError> {
     let bad = |msg: String| Err(GraphError::BadSnapshot(format!("{what}: {msg}")));
     if offsets.is_empty() {
         return bad("empty offsets array".into());
@@ -186,10 +189,26 @@ fn validate_csr_arrays(
         ));
     }
     let n = offsets.len() - 1;
+    // First prove every offset pair is monotone AND within the
+    // adjacency array; only then is it safe to form row slices. The
+    // final-offset check alone does not bound interior values — a
+    // hostile [0, 10, 2] with 2 targets passes it and would panic the
+    // slice below.
     for i in 0..n {
-        if offsets[i] > offsets[i + 1] {
+        let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+        if lo > hi {
             return bad(format!("offsets not monotone at node {i}"));
         }
+        if hi > targets.len() {
+            return bad(format!(
+                "offset {hi} at node {} exceeds adjacency length {}",
+                i + 1,
+                targets.len()
+            ));
+        }
+    }
+    let mut self_loops = 0usize;
+    for i in 0..n {
         let row = &targets[offsets[i] as usize..offsets[i + 1] as usize];
         for pair in row.windows(2) {
             if pair[0] >= pair[1] {
@@ -203,8 +222,12 @@ fn validate_csr_arrays(
                 ));
             }
         }
+        // Rows are strictly sorted, so at most one self-loop each.
+        if row.binary_search(&NodeId(i as u32)).is_ok() {
+            self_loops += 1;
+        }
     }
-    Ok(())
+    Ok(self_loops)
 }
 
 impl CsrGraphMmap {
@@ -222,7 +245,7 @@ impl CsrGraphMmap {
         num_edges: usize,
         directed: bool,
     ) -> Result<Self, GraphError> {
-        validate_csr_arrays("csr", offsets.as_slice(), targets.as_slice(), None)?;
+        let self_loops = validate_csr_arrays("csr", offsets.as_slice(), targets.as_slice(), None)?;
         let n = offsets.len() - 1;
         if let Some(w) = &weights {
             if w.len() != targets.len() {
@@ -248,9 +271,21 @@ impl CsrGraphMmap {
                 )));
             }
         }
-        if num_edges > targets.len() {
+        // Exact cross-check: each directed arc is stored once; each
+        // undirected edge twice except self-loops, stored once. A
+        // tampered meta edge count would otherwise silently misreport
+        // through num_edges()/stats.
+        let expected_adjacency = if directed {
+            Some(num_edges)
+        } else {
+            num_edges
+                .checked_mul(2)
+                .and_then(|d| d.checked_sub(self_loops))
+        };
+        if expected_adjacency != Some(targets.len()) {
             return Err(GraphError::BadSnapshot(format!(
-                "declared edge count {num_edges} exceeds adjacency length {}",
+                "declared edge count {num_edges} does not match adjacency length {} \
+                 ({self_loops} self-loops, directed: {directed})",
                 targets.len()
             )));
         }
@@ -352,9 +387,9 @@ mod tests {
         assert!(MapSlice::<u32>::new(buf, 0, usize::MAX / 2).is_err());
     }
 
-    /// A mapped copy of an in-RAM graph, built by round-tripping the
-    /// raw arrays through a byte buffer.
-    fn mapped_copy(g: &crate::CsrGraph) -> CsrGraphMmap {
+    /// The offsets/targets arrays of an in-RAM graph as map slices,
+    /// round-tripped through a byte buffer.
+    fn sections_of(g: &crate::CsrGraph) -> (MapSlice<u32>, MapSlice<NodeId>) {
         let v = g.view();
         let mut bytes = bytes_of_u32(v.offsets());
         bytes.extend(v.targets().iter().flat_map(|t| t.0.to_le_bytes()));
@@ -362,6 +397,12 @@ mod tests {
         let offsets = MapSlice::<u32>::new(buf.clone(), 0, v.offsets().len()).unwrap();
         let targets =
             MapSlice::<NodeId>::new(buf, v.offsets().len() * 4, v.targets().len()).unwrap();
+        (offsets, targets)
+    }
+
+    /// A mapped copy of an in-RAM graph.
+    fn mapped_copy(g: &crate::CsrGraph) -> CsrGraphMmap {
+        let (offsets, targets) = sections_of(g);
         CsrGraphMmap::from_sections(offsets, targets, None, None, g.num_edges(), g.is_directed())
             .unwrap()
     }
@@ -417,5 +458,63 @@ mod tests {
         let offsets = MapSlice::<u32>::new(buf.clone(), 0, 3).unwrap();
         let targets = MapSlice::<NodeId>::new(buf, 12, 2).unwrap();
         assert!(CsrGraphMmap::from_sections(offsets, targets, None, None, 2, true).is_err());
+
+        // Interior offset beyond the adjacency array while the final
+        // offset still matches its length: the pairwise monotone check
+        // passes at node 0 (0 <= 10), so slicing before bounding would
+        // panic. Must reject with an error instead.
+        let buf = map_of(&[0, 10, 2, /* targets */ 1, 0]);
+        let offsets = MapSlice::<u32>::new(buf.clone(), 0, 3).unwrap();
+        let targets = MapSlice::<NodeId>::new(buf, 12, 2).unwrap();
+        assert!(CsrGraphMmap::from_sections(offsets, targets, None, None, 2, true).is_err());
+    }
+
+    #[test]
+    fn declared_edge_count_must_match_adjacency_exactly() {
+        let g = GraphBuilder::undirected()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .build()
+            .unwrap();
+        let (offsets, targets) = sections_of(&g);
+        // The true count loads; understated and overstated counts are
+        // both rejected (a tampered meta would misreport num_edges()).
+        let ok = CsrGraphMmap::from_sections(
+            offsets.clone(),
+            targets.clone(),
+            None,
+            None,
+            g.num_edges(),
+            false,
+        );
+        assert!(ok.is_ok());
+        for lie in [g.num_edges() - 1, g.num_edges() + 1, 0, usize::MAX] {
+            let r = CsrGraphMmap::from_sections(
+                offsets.clone(),
+                targets.clone(),
+                None,
+                None,
+                lie,
+                false,
+            );
+            assert!(r.is_err(), "edge count {lie} was accepted");
+        }
+    }
+
+    #[test]
+    fn self_loops_count_once_in_edge_cross_check() {
+        use crate::builder::SelfLoopPolicy;
+        let g = GraphBuilder::undirected()
+            .self_loops(SelfLoopPolicy::Keep)
+            .add_edge(0, 0)
+            .add_edge(0, 1)
+            .add_edge(1, 1)
+            .build()
+            .unwrap();
+        // 3 edges, 2 self-loops: adjacency holds 2*3 - 2 = 4 entries.
+        let m = mapped_copy(&g);
+        assert_eq!(m.num_edges(), 3);
+        assert_eq!(m.csr().num_adjacency_entries(), 4);
     }
 }
