@@ -80,6 +80,11 @@ pub struct ServeBenchData {
     /// Whether every post-warm-up reply reported zero index-build
     /// time (the resident engine state stayed warm).
     pub warm_after_warmup: bool,
+    /// Requests shed with `Busy` across every pass, from the servers'
+    /// stats endpoints. The default queue capacity (1024) dwarfs the
+    /// bench's client count, so shedding is deterministically zero —
+    /// any shed means the admission path regressed.
+    pub shed: u64,
     /// Serve measurements, one per swept worker count.
     pub points: Vec<ServePoint>,
 }
@@ -111,6 +116,12 @@ pub fn guard(data: &ServeBenchData) -> Result<(), String> {
     }
     if !data.warm_after_warmup {
         return Err("a post-warm-up request was charged an index build".into());
+    }
+    if data.shed != 0 {
+        return Err(format!(
+            "{} request(s) were shed under a queue capacity far above the load",
+            data.shed
+        ));
     }
     Ok(())
 }
@@ -180,7 +191,7 @@ fn serve_pass(
     workers: usize,
     num_requests: usize,
     clients: usize,
-) -> (Vec<ServedReply>, Duration) {
+) -> (Vec<ServedReply>, Duration, u64) {
     let n = graph.num_nodes();
     let mut server = Server::bind(
         Arc::clone(graph),
@@ -196,7 +207,9 @@ fn serve_pass(
 
     // Warm-up: the whole mix once, so every index any plan needs is
     // built before the measured phase.
-    let mut warm = ServeClient::connect(addr).expect("connect warm-up client");
+    let mut warm = ServeClient::connect(addr)
+        .open()
+        .expect("connect warm-up client");
     for idx in 0..num_requests {
         let (sources, k, aggregate, include_self) = request_spec(idx, n);
         match warm.query(&sources, k, HOPS, aggregate, include_self) {
@@ -211,7 +224,7 @@ fn serve_pass(
         let handles: Vec<_> = (0..clients)
             .map(|client| {
                 s.spawn(move || {
-                    let mut conn = ServeClient::connect(addr).expect("connect client");
+                    let mut conn = ServeClient::connect(addr).open().expect("connect client");
                     let mut out = Vec::new();
                     let mut idx = client;
                     while idx < num_requests {
@@ -248,10 +261,13 @@ fn serve_pass(
             .collect()
     });
     let wall = start.elapsed();
+    // Snapshot the stats endpoint before shutdown: the shed counter
+    // is part of the deterministic guard.
+    let shed = warm.stats().map(|r| r.shed).unwrap_or(0);
     server.shutdown();
 
     replies.sort_by_key(|(idx, _)| *idx);
-    (replies.into_iter().map(|(_, r)| r).collect(), wall)
+    (replies.into_iter().map(|(_, r)| r).collect(), wall, shed)
 }
 
 /// Run the sweep on the paper's citation workload at `scale`:
@@ -277,8 +293,10 @@ pub fn run_serve_bench(
     let mut serve_work: Option<u64> = None;
     let mut results_match = true;
     let mut warm_after_warmup = true;
+    let mut shed = 0u64;
     for &workers in worker_counts {
-        let (replies, wall) = serve_pass(&graph, workers, num_requests, clients);
+        let (replies, wall, pass_shed) = serve_pass(&graph, workers, num_requests, clients);
+        shed += pass_shed;
         assert_eq!(
             replies.len(),
             num_requests,
@@ -309,7 +327,7 @@ pub fn run_serve_bench(
     // the sweep's workers=1 point when it exists, otherwise run one
     // dedicated pass.
     let serve_work = serve_work.unwrap_or_else(|| {
-        let (replies, _) = serve_pass(&graph, 1, num_requests, clients);
+        let (replies, _, _) = serve_pass(&graph, 1, num_requests, clients);
         replies.iter().map(|r| r.work).sum()
     });
 
@@ -329,6 +347,7 @@ pub fn run_serve_bench(
         serve_work,
         results_match,
         warm_after_warmup,
+        shed,
         points,
     }
 }
@@ -340,12 +359,13 @@ pub fn ascii_table(data: &ServeBenchData) -> String {
     let _ = writeln!(
         out,
         "  requests: {}  clients: {}  work ratio (serve/sequential): {:.3}  \
-         results match: {}  warm after warm-up: {}",
+         results match: {}  warm after warm-up: {}  shed: {}",
         data.num_requests,
         data.clients,
         data.work_ratio(),
         data.results_match,
-        data.warm_after_warmup
+        data.warm_after_warmup,
+        data.shed
     );
     let _ = writeln!(out);
     let _ = writeln!(
@@ -400,11 +420,12 @@ pub fn json(data: &ServeBenchData) -> String {
     let _ = writeln!(
         out,
         "  \"serve_work_units\": {}, \"work_ratio\": {:.6}, \"results_match\": {}, \
-         \"warm_after_warmup\": {},",
+         \"warm_after_warmup\": {}, \"shed\": {},",
         data.serve_work,
         data.work_ratio(),
         data.results_match,
-        data.warm_after_warmup
+        data.warm_after_warmup,
+        data.shed
     );
     let _ = writeln!(out, "  \"series\": [");
     for (pi, p) in data.points.iter().enumerate() {
@@ -476,6 +497,9 @@ mod tests {
         let mut data = tiny();
         data.warm_after_warmup = false;
         assert!(guard(&data).unwrap_err().contains("index build"));
+        let mut data = tiny();
+        data.shed = 3;
+        assert!(guard(&data).unwrap_err().contains("shed"));
     }
 
     #[test]

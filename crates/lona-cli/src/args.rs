@@ -46,9 +46,11 @@ impl std::str::FromStr for AlgorithmChoice {
 /// A parsed invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
-    /// `lona stats <edgelist>`
+    /// `lona stats <edgelist|HOST:PORT>` — a socket address polls a
+    /// running `lona serve` for its counters and latency histograms;
+    /// anything else is treated as an edge-list path.
     Stats {
-        /// Input edge-list path.
+        /// Input edge-list path, or a server address.
         input: String,
     },
     /// `lona generate <kind> --out <file> [--scale S] [--seed N]`
@@ -171,8 +173,10 @@ pub enum Command {
         output: String,
     },
     /// `lona serve <edgelist> [--addr A] [--threads N] [--window-us N]
-    /// [--max-batch N]` — the resident query service. Blocks until
-    /// killed.
+    /// [--max-batch N] [--shards N [--strategy S] [--halo H]]
+    /// [--register NAME=SCOREFILE]... [--queue-capacity N]
+    /// [--max-connections N] [--io-timeout-ms N]` — the resident
+    /// query service. Blocks until killed.
     Serve {
         /// Input edge-list path.
         input: String,
@@ -189,6 +193,25 @@ pub enum Command {
         window_us: u64,
         /// Micro-batch size cap (default 64).
         max_batch: usize,
+        /// Shard count (default 1 = single warm engine; more routes
+        /// every query through the scatter-gather engine).
+        shards: usize,
+        /// Partition strategy for `--shards` (default contiguous).
+        strategy: PartitionStrategy,
+        /// Halo depth when sharded (default 2). The server clamps its
+        /// hop-radius limit to the halo so answers stay exact.
+        halo: u32,
+        /// Named relevance functions to register, as
+        /// `(name, score file)` pairs from repeated `--register`.
+        register: Vec<(String, String)>,
+        /// Bounded admission-queue capacity (default 1024); requests
+        /// beyond it are shed with `Busy`.
+        queue_capacity: usize,
+        /// Concurrent connection cap (default 1024).
+        max_connections: usize,
+        /// Per-connection read/write timeout in milliseconds
+        /// (default 30000; 0 disables the timeout).
+        io_timeout_ms: u64,
     },
     /// `lona client <addr> <queryfile> [--exclude-self]` — run a
     /// batch query file against a running `lona serve`, printing
@@ -211,7 +234,8 @@ pub const USAGE: &str = "\
 lona — top-k neighborhood aggregation queries over large networks (ICDE 2010)
 
 USAGE:
-  lona stats    <edgelist>
+  lona stats    <edgelist|HOST:PORT>   (a socket address polls a running
+                 `lona serve` for counters and latency percentiles)
   lona generate <collaboration|citation|intrusion> --out FILE [--scale S] [--seed N]
   lona compile  <edgelist> --out FILE [--scores FILE | --blacking R [--binary]]
                 [--seed N] [--hops H1,H2,...]
@@ -231,7 +255,12 @@ USAGE:
   lona convert  <edgelist> <snapshot>
   lona serve    <edgelist|compiled --compiled> [--addr HOST:PORT] [--threads N]
                 [--window-us N] [--max-batch N]
+                [--shards N [--strategy contiguous|hash|degree] [--halo H]]
+                [--register NAME=SCOREFILE]... [--queue-capacity N]
+                [--max-connections N] [--io-timeout-ms N]
   lona client   <HOST:PORT> <queryfile> [--exclude-self]
+                (query lines may also reference a server-registered
+                 relevance function: `@NAME/k/hops/aggregate`)
   lona help
 ";
 
@@ -292,6 +321,31 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if max_batch == 0 {
                 return Err("--max-batch must be at least 1".into());
             }
+            let shards: usize = parse_flag(&rest, "--shards")?.unwrap_or(1);
+            if shards == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            let halo: u32 = parse_flag(&rest, "--halo")?.unwrap_or(2);
+            if halo == 0 {
+                return Err("--halo must be at least 1".into());
+            }
+            let queue_capacity: usize = parse_flag(&rest, "--queue-capacity")?.unwrap_or(1024);
+            if queue_capacity == 0 {
+                return Err("--queue-capacity must be at least 1".into());
+            }
+            let max_connections: usize = parse_flag(&rest, "--max-connections")?.unwrap_or(1024);
+            if max_connections == 0 {
+                return Err("--max-connections must be at least 1".into());
+            }
+            let register = flag_values(&rest, "--register")?
+                .into_iter()
+                .map(|spec| match spec.split_once('=') {
+                    Some((name, path)) if !name.trim().is_empty() && !path.trim().is_empty() => {
+                        Ok((name.trim().to_string(), path.trim().to_string()))
+                    }
+                    _ => Err(format!("bad --register `{spec}` (expected NAME=SCOREFILE)")),
+                })
+                .collect::<Result<Vec<_>, String>>()?;
             Ok(Command::Serve {
                 input,
                 compiled: has_flag(&rest, "--compiled"),
@@ -299,6 +353,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 threads: parse_flag(&rest, "--threads")?.unwrap_or(0),
                 window_us: parse_flag(&rest, "--window-us")?.unwrap_or(500),
                 max_batch,
+                shards,
+                strategy: parse_flag(&rest, "--strategy")?.unwrap_or(PartitionStrategy::Contiguous),
+                halo,
+                register,
+                queue_capacity,
+                max_connections,
+                io_timeout_ms: parse_flag(&rest, "--io-timeout-ms")?.unwrap_or(30_000),
             })
         }
         "client" => {
@@ -427,6 +488,20 @@ fn flag_value(rest: &[&str], flag: &str) -> Result<Option<String>, String> {
         }
     }
     Ok(None)
+}
+
+/// Every value of a repeatable `--flag`, in argument order.
+fn flag_values(rest: &[&str], flag: &str) -> Result<Vec<String>, String> {
+    let mut values = Vec::new();
+    for (i, a) in rest.iter().enumerate() {
+        if *a == flag {
+            match rest.get(i + 1) {
+                Some(v) => values.push(v.to_string()),
+                None => return Err(format!("{flag} requires a value")),
+            }
+        }
+    }
+    Ok(values)
 }
 
 /// Parsed value of `--flag`, if present.
@@ -740,6 +815,13 @@ mod tests {
                 threads: 0,
                 window_us: 500,
                 max_batch: 64,
+                shards: 1,
+                strategy: PartitionStrategy::Contiguous,
+                halo: 2,
+                register: vec![],
+                queue_capacity: 1024,
+                max_connections: 1024,
+                io_timeout_ms: 30_000,
             }
         );
         let c = parse(&v(&[
@@ -753,6 +835,22 @@ mod tests {
             "250",
             "--max-batch",
             "16",
+            "--shards",
+            "4",
+            "--strategy",
+            "hash",
+            "--halo",
+            "3",
+            "--register",
+            "pagerank=pr.txt",
+            "--register",
+            "uniform=u.txt",
+            "--queue-capacity",
+            "32",
+            "--max-connections",
+            "8",
+            "--io-timeout-ms",
+            "0",
         ]))
         .unwrap();
         assert_eq!(
@@ -764,10 +862,26 @@ mod tests {
                 threads: 4,
                 window_us: 250,
                 max_batch: 16,
+                shards: 4,
+                strategy: PartitionStrategy::Hash,
+                halo: 3,
+                register: vec![
+                    ("pagerank".into(), "pr.txt".into()),
+                    ("uniform".into(), "u.txt".into()),
+                ],
+                queue_capacity: 32,
+                max_connections: 8,
+                io_timeout_ms: 0,
             }
         );
         assert!(parse(&v(&["serve"])).is_err(), "edgelist required");
         assert!(parse(&v(&["serve", "g.txt", "--max-batch", "0"])).is_err());
+        assert!(parse(&v(&["serve", "g.txt", "--shards", "0"])).is_err());
+        assert!(parse(&v(&["serve", "g.txt", "--halo", "0"])).is_err());
+        assert!(parse(&v(&["serve", "g.txt", "--queue-capacity", "0"])).is_err());
+        assert!(parse(&v(&["serve", "g.txt", "--max-connections", "0"])).is_err());
+        assert!(parse(&v(&["serve", "g.txt", "--register", "nofile"])).is_err());
+        assert!(parse(&v(&["serve", "g.txt", "--register"])).is_err());
     }
 
     #[test]

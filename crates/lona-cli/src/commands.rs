@@ -1,5 +1,7 @@
-//! Subcommand implementations. Each returns its report as a `String`
-//! so the logic is unit-testable; `main` only prints.
+//! Subcommand implementations. Each returns its report as an
+//! [`Execution`] (text plus an ok/failed verdict) so the logic is
+//! unit-testable; `main` only prints and maps the verdict onto the
+//! process exit code.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -10,7 +12,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lona_core::exec::resolve_threads;
-use lona_core::serve::{Reply, ServeClient, ServeOptions, Server};
+use lona_core::serve::{
+    histogram_count, histogram_quantile, ErrorCode, Reply, ServeClient, ServeOptions, Server,
+    StatsReport,
+};
 use lona_core::{
     compile_to_file, Aggregate, Algorithm, BatchOptions, BatchQuery, CompileSpec, CompiledGraph,
     EngineState, LonaEngine, PlannerConfig, ShardOptions, ShardedEngine, TopKQuery,
@@ -27,11 +32,39 @@ use lona_relevance::{MixtureBuilder, ScoreVec};
 
 use crate::args::{AlgorithmChoice, Command};
 
-/// Execute a parsed command; returns the text to print.
-pub fn execute(command: &Command) -> Result<String, String> {
+/// The outcome of a successfully-executed command: the text to print
+/// on stdout plus whether the run counts as a success for the exit
+/// code. `Err(String)` from [`execute`] still means "could not run at
+/// all"; `ok: false` means "ran, printed its output, but some of the
+/// work failed" — e.g. `lona client` received error replies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Execution {
+    /// Text for stdout (already-streamed commands return empty).
+    pub report: String,
+    /// Whether the process should exit 0.
+    pub ok: bool,
+}
+
+impl Execution {
+    fn done(report: String) -> Execution {
+        Execution { report, ok: true }
+    }
+}
+
+/// Execute a parsed command; returns the text to print and the exit
+/// verdict.
+pub fn execute(command: &Command) -> Result<Execution, String> {
     match command {
-        Command::Help => Ok(crate::args::USAGE.to_string()),
-        Command::Stats { input } => stats(input),
+        Command::Help => Ok(Execution::done(crate::args::USAGE.to_string())),
+        Command::Stats { input } => {
+            // A socket address polls a running server; anything else
+            // is a graph on disk.
+            if input.parse::<std::net::SocketAddr>().is_ok() {
+                remote_stats(input).map(Execution::done)
+            } else {
+                stats(input).map(Execution::done)
+            }
+        }
         Command::Generate {
             kind,
             out,
@@ -43,9 +76,9 @@ pub fn execute(command: &Command) -> Result<String, String> {
                 scale: *scale,
                 seed: *seed,
             };
-            generate(&profile, out)
+            generate(&profile, out).map(Execution::done)
         }
-        Command::Convert { input, output } => convert(input, output),
+        Command::Convert { input, output } => convert(input, output).map(Execution::done),
         Command::Compile {
             input,
             out,
@@ -62,13 +95,14 @@ pub fn execute(command: &Command) -> Result<String, String> {
             *binary,
             *seed,
             hops,
-        ),
+        )
+        .map(Execution::done),
         Command::Shard {
             input,
             shards,
             strategy,
             halo,
-        } => shard_report(input, *shards, *strategy, *halo),
+        } => shard_report(input, *shards, *strategy, *halo).map(Execution::done),
         Command::Batch {
             input,
             compiled,
@@ -112,7 +146,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             };
             lock.flush().map_err(|e| format!("stdout: {e}"))?;
             eprint!("{}", summary.describe());
-            Ok(String::new())
+            Ok(Execution::done(String::new()))
         }
         Command::Serve {
             input,
@@ -121,6 +155,13 @@ pub fn execute(command: &Command) -> Result<String, String> {
             threads,
             window_us,
             max_batch,
+            shards,
+            strategy,
+            halo,
+            register,
+            queue_capacity,
+            max_connections,
+            io_timeout_ms,
         } => serve_forever(
             input,
             *compiled,
@@ -129,9 +170,22 @@ pub fn execute(command: &Command) -> Result<String, String> {
                 threads: *threads,
                 window: Duration::from_micros(*window_us),
                 max_batch: *max_batch,
+                queue_capacity: *queue_capacity,
+                max_connections: *max_connections,
+                io_timeout: match *io_timeout_ms {
+                    0 => None,
+                    ms => Some(Duration::from_millis(ms)),
+                },
                 ..Default::default()
             },
-        ),
+            if *shards > 1 {
+                Some((*shards, *strategy, *halo))
+            } else {
+                None
+            },
+            register,
+        )
+        .map(Execution::done),
         Command::Client {
             addr,
             queries,
@@ -139,10 +193,15 @@ pub fn execute(command: &Command) -> Result<String, String> {
         } => {
             let stdout = std::io::stdout();
             let mut lock = stdout.lock();
-            let summary = run_client_file(addr, queries, !*exclude_self, &mut lock)?;
+            let run = run_client_file(addr, queries, !*exclude_self, &mut lock)?;
             lock.flush().map_err(|e| format!("stdout: {e}"))?;
-            eprint!("{summary}");
-            Ok(String::new())
+            eprint!("{}", run.summary);
+            // Any error reply — local parse failure or a server-side
+            // rejection — fails the invocation for scripting.
+            Ok(Execution {
+                report: String::new(),
+                ok: run.errors == 0,
+            })
         }
         Command::TopK {
             input,
@@ -180,7 +239,8 @@ pub fn execute(command: &Command) -> Result<String, String> {
                         *threads,
                         *shards,
                         *strategy,
-                    );
+                    )
+                    .map(Execution::done);
                 }
                 return topk(
                     &c,
@@ -192,7 +252,8 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     !*exclude_self,
                     *threads,
                     c.engine_state(*hops),
-                );
+                )
+                .map(Execution::done);
             }
             let g = load_graph(input)?;
             let score_vec = match scores {
@@ -218,6 +279,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     *shards,
                     *strategy,
                 )
+                .map(Execution::done)
             } else {
                 topk(
                     &g,
@@ -230,6 +292,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
                     *threads,
                     None,
                 )
+                .map(Execution::done)
             }
         }
     }
@@ -313,6 +376,54 @@ fn stats(input: &str) -> Result<String, String> {
         dist.sources, dist.mean_distance, dist.effective_diameter, dist.max_distance
     );
     Ok(out)
+}
+
+/// One histogram line of the remote-stats report: p50/p95/p99 are
+/// bucket upper bounds of the server's base-2 log histograms, so each
+/// is an overestimate by at most 2x — honest enough for load triage,
+/// cheap enough to record on every request.
+fn stats_line(out: &mut String, label: &str, buckets: &[u64], unit: &str) {
+    let n = histogram_count(buckets);
+    let _ = writeln!(
+        out,
+        "  {label:<11} p50 {}{unit}  p95 {}{unit}  p99 {}{unit}  ({n} samples)",
+        histogram_quantile(buckets, 0.50),
+        histogram_quantile(buckets, 0.95),
+        histogram_quantile(buckets, 0.99),
+    );
+}
+
+/// Render a [`StatsReport`] as the `lona stats <addr>` report.
+pub fn format_stats_report(addr: &str, r: &StatsReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "serve stats @ {addr}:");
+    let _ = writeln!(
+        out,
+        "  connections {}  rejected {}  queue depth {}",
+        r.connections, r.conn_rejected, r.queue_depth
+    );
+    let _ = writeln!(
+        out,
+        "  admitted {}  shed {}  error replies {}  rejected frames {}  \
+         timeouts {}  index builds {}",
+        r.admitted, r.shed, r.error_replies, r.rejected_frames, r.timeouts, r.index_builds
+    );
+    stats_line(&mut out, "queue wait:", &r.queue_wait, "µs");
+    stats_line(&mut out, "dispatch:", &r.dispatch, "µs");
+    stats_line(&mut out, "end-to-end:", &r.end_to_end, "µs");
+    stats_line(&mut out, "batch size:", &r.batch_size, "");
+    out
+}
+
+/// `lona stats <addr>`: poll a running `lona serve` for its counters
+/// and latency histograms.
+fn remote_stats(addr: &str) -> Result<String, String> {
+    let mut client = ServeClient::connect(addr)
+        .timeout(Duration::from_secs(10))
+        .open()
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let report = client.stats().map_err(|e| format!("{addr}: {e}"))?;
+    Ok(format_stats_report(addr, &report))
 }
 
 fn generate(profile: &DatasetProfile, out_path: &str) -> Result<String, String> {
@@ -441,7 +552,11 @@ fn choice_to_algorithm(choice: AlgorithmChoice, threads: usize) -> Algorithm {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QuerySpec {
     /// Nodes scored 1 (binary relevance); every other node scores 0.
+    /// Empty when `named` carries the relevance reference instead.
     pub sources: Vec<u32>,
+    /// A server-registered relevance function (`@name/...` lines,
+    /// `lona client` only — a local batch has no registry).
+    pub named: Option<String>,
     /// Number of results.
     pub k: usize,
     /// Hop radius.
@@ -464,9 +579,11 @@ pub struct QueryLine {
 }
 
 /// Parse one query line: `source-set/k/hops/aggregate`, e.g.
-/// `3,17,29/10/2/sum`. k=0, hops=0, empty source sets and
-/// out-of-range nodes are rejected here, at parse time.
-fn parse_query_line(line: &str, num_nodes: usize) -> Result<QuerySpec, String> {
+/// `3,17,29/10/2/sum`, or (when `allow_named`) `@name/k/hops/agg` to
+/// reference a server-registered relevance function. k=0, hops=0,
+/// empty source sets and out-of-range nodes are rejected here, at
+/// parse time.
+fn parse_query_line(line: &str, num_nodes: usize, allow_named: bool) -> Result<QuerySpec, String> {
     let fields: Vec<&str> = line.split('/').collect();
     if fields.len() != 4 {
         return Err(format!(
@@ -474,24 +591,40 @@ fn parse_query_line(line: &str, num_nodes: usize) -> Result<QuerySpec, String> {
             fields.len()
         ));
     }
-    let sources: Vec<u32> = fields[0]
-        .split(',')
-        .map(|s| {
-            let s = s.trim();
-            s.parse::<u32>()
-                .map_err(|e| format!("bad source node `{s}`: {e}"))
-        })
-        .collect::<Result<_, _>>()?;
-    if sources.is_empty() {
-        return Err("empty source set".into());
-    }
-    for &u in &sources {
-        if (u as usize) >= num_nodes {
+    let relevance = fields[0].trim();
+    let (sources, named) = if let Some(name) = relevance.strip_prefix('@') {
+        if !allow_named {
             return Err(format!(
-                "source node {u} out of range (graph has {num_nodes} nodes)"
+                "named relevance `@{name}` requires `lona client` against \
+                 a server started with --register"
             ));
         }
-    }
+        let name = name.trim();
+        if name.is_empty() {
+            return Err("empty relevance function name".into());
+        }
+        (Vec::new(), Some(name.to_string()))
+    } else {
+        let sources: Vec<u32> = relevance
+            .split(',')
+            .map(|s| {
+                let s = s.trim();
+                s.parse::<u32>()
+                    .map_err(|e| format!("bad source node `{s}`: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        if sources.is_empty() {
+            return Err("empty source set".into());
+        }
+        for &u in &sources {
+            if (u as usize) >= num_nodes {
+                return Err(format!(
+                    "source node {u} out of range (graph has {num_nodes} nodes)"
+                ));
+            }
+        }
+        (sources, None)
+    };
     let k: usize = fields[1]
         .trim()
         .parse()
@@ -509,6 +642,7 @@ fn parse_query_line(line: &str, num_nodes: usize) -> Result<QuerySpec, String> {
     let aggregate: Aggregate = fields[3].trim().parse()?;
     Ok(QuerySpec {
         sources,
+        named,
         k,
         hops,
         aggregate,
@@ -522,6 +656,18 @@ fn parse_query_line(line: &str, num_nodes: usize) -> Result<QuerySpec, String> {
 /// `usize::MAX` as `num_nodes` to defer source-range checking (the
 /// client mode does; the server re-validates against its own graph).
 pub fn parse_query_lines(text: &str, num_nodes: usize) -> Vec<QueryLine> {
+    parse_lines_inner(text, num_nodes, false)
+}
+
+/// [`parse_query_lines`] for `lona client`: source-range checks are
+/// deferred to the server (pass-through of `usize::MAX`), and
+/// `@name/k/hops/agg` lines referencing a server-registered relevance
+/// function are accepted.
+pub fn parse_client_query_lines(text: &str) -> Vec<QueryLine> {
+    parse_lines_inner(text, usize::MAX, true)
+}
+
+fn parse_lines_inner(text: &str, num_nodes: usize, allow_named: bool) -> Vec<QueryLine> {
     text.lines()
         .enumerate()
         .filter(|(_, raw)| {
@@ -530,7 +676,7 @@ pub fn parse_query_lines(text: &str, num_nodes: usize) -> Vec<QueryLine> {
         })
         .map(|(i, raw)| QueryLine {
             lineno: i + 1,
-            parsed: parse_query_line(raw.trim(), num_nodes),
+            parsed: parse_query_line(raw.trim(), num_nodes, allow_named),
         })
         .collect()
 }
@@ -894,6 +1040,30 @@ pub fn run_batch_file<G: GraphStore + ?Sized>(
     Ok(summary)
 }
 
+/// Configure and bind one [`Server`] from CLI-level inputs: the warm
+/// states (compiled path), every `--register NAME=SCOREFILE` pair,
+/// and the optional `--shards` routing.
+fn build_server<G: GraphStore + Send + Sync + 'static>(
+    graph: Arc<G>,
+    addr: &str,
+    opts: ServeOptions,
+    sharding: Option<(usize, PartitionStrategy, u32)>,
+    register: &[(String, String)],
+    warm: BTreeMap<u32, EngineState>,
+) -> Result<Server, String> {
+    let num_nodes = graph.csr().num_nodes();
+    let mut builder = Server::builder(graph).options(opts).warm(warm);
+    for (name, path) in register {
+        builder = builder.register(name.clone(), load_scores(path, num_nodes)?);
+    }
+    if let Some((shards, strategy, halo)) = sharding {
+        builder = builder.shards(shards, strategy, halo);
+    }
+    builder
+        .bind(addr)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))
+}
+
 /// `lona serve`: host the graph behind the resident query service.
 /// Blocks until the process is killed; status goes to stderr. With
 /// `compiled`, the input is mapped rather than parsed and the batcher
@@ -904,6 +1074,8 @@ fn serve_forever(
     compiled: bool,
     addr: &str,
     opts: ServeOptions,
+    sharding: Option<(usize, PartitionStrategy, u32)>,
+    register: &[(String, String)],
 ) -> Result<String, String> {
     let server = if compiled {
         let c = load_compiled(input)?;
@@ -914,8 +1086,7 @@ fn serve_forever(
             c.csr().num_edges(),
             c.hops_list(),
         );
-        Server::bind_warm(Arc::new(c), addr, opts, warm)
-            .map_err(|e| format!("cannot bind {addr}: {e}"))?
+        build_server(Arc::new(c), addr, opts, sharding, register, warm)?
     } else {
         let g = Arc::new(load_graph(input)?);
         eprintln!(
@@ -923,10 +1094,15 @@ fn serve_forever(
             g.num_nodes(),
             g.num_edges()
         );
-        Server::bind(g, addr, opts).map_err(|e| format!("cannot bind {addr}: {e}"))?
+        build_server(g, addr, opts, sharding, register, BTreeMap::new())?
+    };
+    let backend_note = match sharding {
+        Some((shards, strategy, halo)) => format!("{shards} shards ({strategy}, halo {halo})"),
+        None => "single engine".to_string(),
     };
     eprintln!(
-        "lona serve: listening on {} (window {:?}, max batch {}, workers {})",
+        "lona serve: listening on {} (window {:?}, max batch {}, workers {}, {backend_note}, \
+         queue capacity {}, {} relevance function(s) registered)",
         server.local_addr(),
         opts.window,
         opts.max_batch,
@@ -934,11 +1110,26 @@ fn serve_forever(
             "per-core".to_string()
         } else {
             opts.threads.to_string()
-        }
+        },
+        opts.queue_capacity,
+        register.len(),
     );
     loop {
         std::thread::park();
     }
+}
+
+/// What one `lona client` run did, for the summary line and the
+/// process exit code.
+#[derive(Clone, Debug, Default)]
+pub struct ClientRun {
+    /// The stderr summary text.
+    pub summary: String,
+    /// Queries answered with results.
+    pub served: usize,
+    /// Error lines printed — local parse failures plus server
+    /// rejections. Any of these fails the invocation.
+    pub errors: usize,
 }
 
 /// `lona client`: run a batch query file against a running
@@ -947,19 +1138,21 @@ fn serve_forever(
 /// the same graph. Locally unparseable lines error without a round
 /// trip; the server's own rejections (which reuse the same message
 /// text, e.g. out-of-range sources) land on the same `q{i} error:`
-/// format. Returns the stderr summary.
+/// format. `@name/k/hops/agg` lines run against the server-registered
+/// relevance function `name`.
 pub fn run_client_file(
     addr: &str,
     queries_path: &str,
     include_self: bool,
     sink: &mut dyn IoWrite,
-) -> Result<String, String> {
+) -> Result<ClientRun, String> {
     let text = read_text(queries_path)?;
-    // usize::MAX defers the source-range check: only the server
-    // knows its graph's node count.
-    let lines = parse_query_lines(&text, usize::MAX);
-    let mut client =
-        ServeClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    // Source-range checks are deferred: only the server knows its
+    // graph's node count.
+    let lines = parse_client_query_lines(&text);
+    let mut client = ServeClient::connect(addr)
+        .open()
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
 
     let mut served = 0usize;
     let mut errors = 0usize;
@@ -976,15 +1169,17 @@ pub fn run_client_file(
                 continue;
             }
         };
-        let reply = client
-            .query(
+        let reply = match &spec.named {
+            Some(name) => client.query_named(name, spec.k, spec.hops, spec.aggregate, include_self),
+            None => client.query(
                 &spec.sources,
                 spec.k,
                 spec.hops,
                 spec.aggregate,
                 include_self,
-            )
-            .map_err(|e| format!("{addr}: {e}"))?;
+            ),
+        }
+        .map_err(|e| format!("{addr}: {e}"))?;
         match reply {
             Reply::Ok(resp) => {
                 let entries: Vec<(lona_graph::NodeId, f64)> = resp
@@ -999,8 +1194,18 @@ pub fn run_client_file(
                 queue_nanos += resp.stats.queue_nanos;
                 serve_nanos += resp.stats.serve_nanos;
             }
-            Reply::Err { message, .. } => {
-                write_error_line(sink, index, line.lineno, &message)?;
+            Reply::Err { code, message, .. } => {
+                // Validation rejections (`BadRequest`) reuse the exact
+                // message a local `lona batch` parse would emit, so
+                // the error line stays byte-identical between the two
+                // paths; other codes (busy, internal) have no batch
+                // counterpart and carry their code tag.
+                let reason = if code == ErrorCode::BadRequest {
+                    message
+                } else {
+                    format!("[{}] {message}", code.name())
+                };
+                write_error_line(sink, index, line.lineno, &reason)?;
                 errors += 1;
             }
         }
@@ -1022,7 +1227,11 @@ pub fn run_client_file(
             Duration::from_nanos(serve_nanos / served as u64),
         );
     }
-    Ok(out)
+    Ok(ClientRun {
+        summary: out,
+        served,
+        errors,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1160,7 +1369,7 @@ mod tests {
             "0.003".into(),
         ])
         .unwrap();
-        let out = execute(&cmd).unwrap();
+        let out = execute(&cmd).unwrap().report;
         assert!(out.contains("written to"));
         assert!(stats(&p).unwrap().contains("nodes"));
     }
@@ -1189,7 +1398,7 @@ mod tests {
             "base".into(),
         ])
         .unwrap();
-        let out = execute(&cmd).unwrap();
+        let out = execute(&cmd).unwrap().report;
         assert!(out.contains("top-3 SUM"));
         assert!(
             out.lines()
@@ -1225,7 +1434,7 @@ mod tests {
                 "2".into(),
             ])
             .unwrap();
-            let out = execute(&cmd).unwrap();
+            let out = execute(&cmd).unwrap().report;
             assert!(out.contains("top-2"), "{alg}: {out}");
         }
     }
@@ -1418,7 +1627,9 @@ mod tests {
         // execute() streams to the real stdout and returns an empty
         // report; success is what we can assert here (the streaming
         // path itself is covered by the sink-based tests above).
-        assert_eq!(execute(&cmd).unwrap(), "");
+        let run = execute(&cmd).unwrap();
+        assert_eq!(run.report, "");
+        assert!(run.ok);
     }
 
     fn write_two_community_graph(path: &str) {
@@ -1440,7 +1651,7 @@ mod tests {
             "2".into(),
         ])
         .unwrap();
-        let out = execute(&cmd).unwrap();
+        let out = execute(&cmd).unwrap().report;
         assert!(out.contains("2 shards"), "{out}");
         assert!(out.contains("edge cut: 1"), "{out}");
         assert!(out.contains("shard 0: owned 3"), "{out}");
@@ -1466,7 +1677,8 @@ mod tests {
             ])
             .unwrap(),
         )
-        .unwrap();
+        .unwrap()
+        .report;
         let sharded = execute(
             &parse(&[
                 "topk".into(),
@@ -1482,7 +1694,8 @@ mod tests {
             ])
             .unwrap(),
         )
-        .unwrap();
+        .unwrap()
+        .report;
         assert!(sharded.contains("scatter-gather (2 shards"), "{sharded}");
         assert!(sharded.contains("coordinator: rounds"), "{sharded}");
         // The ranked result lines must agree with the single engine.
@@ -1584,10 +1797,12 @@ mod tests {
         .unwrap();
         let addr = server.local_addr().to_string();
         let mut sink = Vec::new();
-        let summary = run_client_file(&addr, &q, true, &mut sink).unwrap();
+        let run = run_client_file(&addr, &q, true, &mut sink).unwrap();
         let remote = String::from_utf8(sink).unwrap();
 
         assert_eq!(remote, local, "client output diverged from lona batch");
+        assert_eq!((run.served, run.errors), (3, 2));
+        let summary = &run.summary;
         assert!(summary.contains("3 served, 2 rejected"), "{summary}");
         assert!(summary.contains("mean latency"), "{summary}");
     }
@@ -1609,14 +1824,16 @@ mod tests {
         let c = tmp("compile_graph.lona");
         let out =
             execute(&parse(&["compile".into(), p.clone(), "--out".into(), c.clone()]).unwrap())
-                .unwrap();
+                .unwrap()
+                .report;
         assert!(out.contains("compiled"), "{out}");
 
         // Same seed/blacking defaults on both paths, so the ranked
         // result lines must agree byte for byte; only the timing
         // lines (work:, index build charged:) may differ.
-        let plain =
-            execute(&parse(&["topk".into(), p, "--k".into(), "3".into()]).unwrap()).unwrap();
+        let plain = execute(&parse(&["topk".into(), p, "--k".into(), "3".into()]).unwrap())
+            .unwrap()
+            .report;
         let mapped = execute(
             &parse(&[
                 "topk".into(),
@@ -1627,7 +1844,8 @@ mod tests {
             ])
             .unwrap(),
         )
-        .unwrap();
+        .unwrap()
+        .report;
         let ranked = |text: &str| -> Vec<String> {
             text.lines()
                 .filter(|l| !l.starts_with("work:") && !l.starts_with("index build charged:"))

@@ -7,9 +7,15 @@ use lona_cli::{args, commands};
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv).and_then(|cmd| commands::execute(&cmd)) {
-        Ok(report) => {
-            print!("{report}");
-            ExitCode::SUCCESS
+        // Stdout is the same either way; `ok` only decides the exit
+        // code (e.g. `lona client` fails when any reply errored).
+        Ok(run) => {
+            print!("{}", run.report);
+            if run.ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(message) => {
             eprintln!("{message}");

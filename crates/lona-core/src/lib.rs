@@ -94,7 +94,10 @@ pub use exec::SharedThreshold;
 pub use index::{DiffIndex, SizeIndex};
 pub use plan::{plan_query, Plan, PlanReason, PlannerConfig};
 pub use result::QueryResult;
-pub use serve::{ServeClient, ServeOptions, Server};
+pub use serve::{
+    ClientBuilder, ErrorCode, ScoreRef, ServeClient, ServeOptions, Server, ServerBuilder,
+    StatsReport,
+};
 pub use shard::{
     CoordinatorStats, ShardOptions, ShardRunReport, ShardedBatchResult, ShardedEngine,
     ShardedResult,

@@ -1,18 +1,88 @@
 //! A small blocking client for the serve protocol.
 //!
+//! Construction is builder-style: [`ServeClient::connect`] returns a
+//! [`ClientBuilder`] whose knobs (I/O timeout, automatic `Busy`
+//! retries, frame cap) are all optional; [`ClientBuilder::open`]
+//! performs the TCP connect.
+//!
+//! ```no_run
+//! # use lona_core::serve::client::ServeClient;
+//! # use std::time::Duration;
+//! let mut client = ServeClient::connect("127.0.0.1:7171")
+//!     .timeout(Duration::from_secs(5))
+//!     .retries(3)
+//!     .open()?;
+//! # std::io::Result::Ok(())
+//! ```
+//!
 //! One connection, strict request/response: [`ServeClient::query`]
 //! writes a frame, waits for the matching reply, and hands it back.
-//! Concurrency in tests and benches comes from one client per
-//! thread, which is also the deployment shape `lona client` uses.
+//! When `retries(n)` is set, a `Busy` (load-shed) reply is retried
+//! up to `n` times, sleeping the server's retry-after hint between
+//! attempts; every other reply — including other errors — is
+//! returned as-is. Concurrency in tests and benches comes from one
+//! client per thread, which is also the deployment shape
+//! `lona client` uses.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::aggregate::Aggregate;
 
 use super::codec::{
-    decode_reply, encode_request, read_frame, write_frame, Reply, Request, MAX_FRAME,
+    decode_reply, decode_stats_reply, encode_request_v2, encode_stats_request, read_frame,
+    write_frame, ErrorCode, Reply, Request, ScoreRef, StatsReport, MAX_FRAME,
 };
+
+/// Deferred connection settings; made by [`ServeClient::connect`].
+#[derive(Clone, Debug)]
+pub struct ClientBuilder<A> {
+    addr: A,
+    timeout: Option<Duration>,
+    retries: u32,
+    max_frame: usize,
+}
+
+impl<A: ToSocketAddrs> ClientBuilder<A> {
+    /// Read/write timeout on the socket (`None` = block forever,
+    /// the default).
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// How many times a `Busy` reply is retried (sleeping the
+    /// server's retry-after hint between attempts) before being
+    /// returned to the caller. Default 0: every reply comes back
+    /// as-is.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Largest frame sent or accepted (default [`MAX_FRAME`]).
+    pub fn max_frame(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
+
+    /// Connect.
+    pub fn open(self) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(self.addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        let read_half = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+            max_frame: self.max_frame,
+            retries: self.retries,
+        })
+    }
+}
 
 /// Blocking connection to a `lona serve` instance.
 pub struct ServeClient {
@@ -20,26 +90,32 @@ pub struct ServeClient {
     writer: BufWriter<TcpStream>,
     next_id: u64,
     max_frame: usize,
+    retries: u32,
 }
 
 impl ServeClient {
-    /// Connect to a server.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
-        let read_half = stream.try_clone()?;
-        Ok(ServeClient {
-            reader: BufReader::new(read_half),
-            writer: BufWriter::new(stream),
-            next_id: 1,
+    /// Start configuring a connection (builder-style; call
+    /// [`ClientBuilder::open`] to connect).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> ClientBuilder<A> {
+        ClientBuilder {
+            addr,
+            timeout: None,
+            retries: 0,
             max_frame: MAX_FRAME,
-        })
+        }
     }
 
-    /// Send one query and block for its reply. A [`Reply::Err`] is a
-    /// *per-request* rejection (bad k, out-of-range source, …) — the
-    /// connection stays usable; `Err(io::Error)` means the transport
-    /// or protocol broke.
+    /// Connect with default settings.
+    #[deprecated(note = "use `ServeClient::connect(addr).open()`")]
+    pub fn dial(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        ServeClient::connect(addr).open()
+    }
+
+    /// Send one binary-relevance query and block for its reply. A
+    /// [`Reply::Err`] is a *per-request* rejection (bad k,
+    /// out-of-range source, shed under load, …) — the connection
+    /// stays usable; `Err(io::Error)` means the transport or
+    /// protocol broke.
     pub fn query(
         &mut self,
         sources: &[u32],
@@ -48,11 +124,10 @@ impl ServeClient {
         aggregate: Aggregate,
         include_self: bool,
     ) -> io::Result<Reply> {
-        let id = self.next_id;
-        self.next_id += 1;
+        let id = self.take_id();
         self.request(&Request {
             id,
-            sources: sources.to_vec(),
+            scores: ScoreRef::Sources(sources.to_vec()),
             k,
             hops,
             aggregate,
@@ -60,29 +135,97 @@ impl ServeClient {
         })
     }
 
-    /// Send a fully-specified request and block for the reply with
-    /// the same id.
-    pub fn request(&mut self, req: &Request) -> io::Result<Reply> {
-        write_frame(&mut self.writer, &encode_request(req), self.max_frame)?;
+    /// Send one query against a server-registered named relevance
+    /// function (a v2 frame).
+    pub fn query_named(
+        &mut self,
+        name: &str,
+        k: usize,
+        hops: u32,
+        aggregate: Aggregate,
+        include_self: bool,
+    ) -> io::Result<Reply> {
+        let id = self.take_id();
+        self.request(&Request {
+            id,
+            scores: ScoreRef::Named(name.to_string()),
+            k,
+            hops,
+            aggregate,
+            include_self,
+        })
+    }
+
+    /// Poll the server's counters and latency histograms.
+    pub fn stats(&mut self) -> io::Result<StatsReport> {
+        let id = self.take_id();
+        write_frame(&mut self.writer, &encode_stats_request(id), self.max_frame)?;
         self.writer.flush()?;
-        let payload = read_frame(&mut self.reader, self.max_frame)?.ok_or_else(|| {
+        let payload = self.read_reply_payload()?;
+        let (got_id, report) = decode_stats_reply(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if got_id != id {
+            return Err(id_mismatch(got_id, id));
+        }
+        Ok(report)
+    }
+
+    /// Send a fully-specified request and block for the reply with
+    /// the same id, retrying `Busy` replies up to the configured
+    /// retry budget.
+    pub fn request(&mut self, req: &Request) -> io::Result<Reply> {
+        let mut attempts_left = self.retries;
+        loop {
+            let reply = self.request_once(req)?;
+            match &reply {
+                Reply::Err {
+                    code: ErrorCode::Busy,
+                    retry_after_micros,
+                    ..
+                } if attempts_left > 0 => {
+                    attempts_left -= 1;
+                    std::thread::sleep(Duration::from_micros(*retry_after_micros));
+                }
+                _ => return Ok(reply),
+            }
+        }
+    }
+
+    /// One request/reply exchange, no retries. Always sends a v2
+    /// frame: the server mirrors the request version in its reply,
+    /// and only v2 error frames carry the structured code and
+    /// retry-after hint this client branches on.
+    pub fn request_once(&mut self, req: &Request) -> io::Result<Reply> {
+        write_frame(&mut self.writer, &encode_request_v2(req), self.max_frame)?;
+        self.writer.flush()?;
+        let payload = self.read_reply_payload()?;
+        let reply = decode_reply(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if reply.id() != req.id {
+            return Err(id_mismatch(reply.id(), req.id));
+        }
+        Ok(reply)
+    }
+
+    fn take_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn read_reply_payload(&mut self) -> io::Result<Vec<u8>> {
+        read_frame(&mut self.reader, self.max_frame)?.ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection before replying",
             )
-        })?;
-        let reply = decode_reply(&payload)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        if reply.id() != req.id {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "reply id {} does not match request id {}",
-                    reply.id(),
-                    req.id
-                ),
-            ));
-        }
-        Ok(reply)
+        })
     }
+}
+
+fn id_mismatch(got: u64, want: u64) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("reply id {got} does not match request id {want}"),
+    )
 }

@@ -1,0 +1,176 @@
+//! Lock-cheap server-side observability.
+//!
+//! [`ServeMetrics`] is one shared struct of relaxed atomics: plain
+//! `u64` counters plus four [`LatencyHistogram`]s (queue wait,
+//! dispatch, end-to-end — all microseconds — and micro-batch size).
+//! Every hot-path touch is a single `fetch_add(Relaxed)`; snapshots
+//! ([`ServeMetrics::report`]) read the same atomics without stopping
+//! anything, so a stats poll under full load costs a few hundred
+//! relaxed loads and no locks.
+//!
+//! Histograms are **base-2 logarithmic**: bucket `i` counts
+//! observations `v` with `floor(log2(max(v, 1))) == i`, clamped to
+//! the last bucket. Forty buckets cover `[0, 2^40)` µs ≈ 12.7 days —
+//! any latency the service could plausibly produce. Quantiles are
+//! answered from the snapshot by
+//! [`histogram_quantile`](super::codec::histogram_quantile), which
+//! returns the holding bucket's upper bound (so a reported p99 is a
+//! ≤2× overestimate, never an underestimate).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::codec::StatsReport;
+
+/// Bucket count: `[0, 2^40)` µs with log2 resolution.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed-bucket base-2 log histogram of `u64` observations.
+/// `record` is one relaxed `fetch_add`; `snapshot` is lock-free.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            // `AtomicU64` is not `Copy`; array-initialize via the
+            // const-block form instead.
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Index of the bucket holding `value`.
+    fn bucket_of(value: u64) -> usize {
+        // floor(log2(max(v,1))) == 63 - leading_zeros, clamped.
+        let idx = 63 - value.max(1).leading_zeros() as usize;
+        idx.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Count one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current bucket counts.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// All counters and histograms one server instance maintains,
+/// shared (`Arc`) between the accept loop, every connection handler,
+/// and the batcher.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Connections refused at the per-listener limit.
+    pub conn_rejected: AtomicU64,
+    /// Requests admitted to the queue.
+    pub admitted: AtomicU64,
+    /// Requests shed with `Busy` (queue full).
+    pub shed: AtomicU64,
+    /// Error replies sent.
+    pub error_replies: AtomicU64,
+    /// Frames rejected before yielding a request.
+    pub rejected_frames: AtomicU64,
+    /// Connections closed by a read/write timeout.
+    pub timeouts: AtomicU64,
+    /// Index builds charged to micro-batches.
+    pub index_builds: AtomicU64,
+    /// Queue-wait latency (µs).
+    pub queue_wait: LatencyHistogram,
+    /// Engine dispatch latency (µs).
+    pub dispatch: LatencyHistogram,
+    /// End-to-end server-side latency (µs).
+    pub end_to_end: LatencyHistogram,
+    /// Requests per micro-batch dispatch.
+    pub batch_size: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    /// Bump a counter by one.
+    pub fn bump(counter: &AtomicU64) -> u64 {
+        counter.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Snapshot everything into a wire-ready [`StatsReport`].
+    /// `queue_depth` is sampled by the caller (the queue owns it).
+    pub fn report(&self, queue_depth: u64) -> StatsReport {
+        StatsReport {
+            connections: self.connections.load(Ordering::Relaxed),
+            conn_rejected: self.conn_rejected.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            error_replies: self.error_replies.load(Ordering::Relaxed),
+            rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            index_builds: self.index_builds.load(Ordering::Relaxed),
+            queue_depth,
+            queue_wait: self.queue_wait.snapshot(),
+            dispatch: self.dispatch.snapshot(),
+            end_to_end: self.end_to_end.snapshot(),
+            batch_size: self.batch_size.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::codec::{histogram_count, histogram_quantile};
+
+    #[test]
+    fn buckets_are_log2_with_clamping() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 1);
+        assert_eq!(LatencyHistogram::bucket_of(4), 2);
+        assert_eq!(LatencyHistogram::bucket_of(1023), 9);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_snapshot_agree() {
+        let h = LatencyHistogram::new();
+        for v in [0, 1, 2, 100, 100, 1_000_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(histogram_count(&snap), 6);
+        assert_eq!(snap[0], 2); // 0 and 1
+        assert_eq!(snap[1], 1); // 2
+        assert_eq!(snap[6], 2); // 100 twice
+        assert_eq!(snap[19], 1); // 1_000_000
+                                 // The median of {0,1,2,100,100,1e6} sits in bucket 1 → 3.
+        assert_eq!(histogram_quantile(&snap, 0.5), 3);
+    }
+
+    #[test]
+    fn report_carries_every_counter() {
+        let m = ServeMetrics::default();
+        assert_eq!(ServeMetrics::bump(&m.connections), 1);
+        assert_eq!(ServeMetrics::bump(&m.connections), 2);
+        ServeMetrics::bump(&m.shed);
+        m.queue_wait.record(7);
+        let r = m.report(3);
+        assert_eq!(r.connections, 2);
+        assert_eq!(r.shed, 1);
+        assert_eq!(r.queue_depth, 3);
+        assert_eq!(histogram_count(&r.queue_wait), 1);
+        assert_eq!(r.queue_wait.len(), HISTOGRAM_BUCKETS);
+    }
+}

@@ -1,5 +1,6 @@
 //! `lona serve`: a resident query service with micro-batched
-//! admission.
+//! admission, bounded-queue backpressure, and optional sharded
+//! routing.
 //!
 //! The paper's engine is one-shot: parse, build indexes, answer,
 //! exit. This module keeps the expensive parts — the graph and the
@@ -8,33 +9,50 @@
 //! requests into the batched execution the engine already optimizes
 //! for:
 //!
-//! * [`codec`] — the versioned length-prefixed wire format (requests
-//!   in; ranked entries, per-request work counters, and queue/serve
-//!   latency out), with total decoding — malformed bytes become
+//! * [`codec`] — the versioned length-prefixed wire format (v1
+//!   requests carry inline source sets; v2 adds named relevance
+//!   references, structured error codes with retry-after hints, and
+//!   stats frames), with total decoding — malformed bytes become
 //!   typed errors, never panics;
-//! * [`queue`] — the admission queue, which coalesces requests
-//!   arriving within a short window into micro-batches;
+//! * [`queue`] — the **bounded** admission queue, which coalesces
+//!   requests arriving within a short window into micro-batches and
+//!   sheds with `Busy` once full;
+//! * [`metrics`] — lock-cheap counters and base-2 log latency
+//!   histograms, answered by the `Stats` wire request even under
+//!   full load;
 //! * [`server`] — the accept/handler/batcher threads around one
-//!   shared queue; each micro-batch is a single
-//!   [`crate::engine::LonaEngine::run_batch`] call, so
-//!   union-of-index-needs planning and the worker pool are amortized
-//!   across clients;
-//! * [`client`] — a blocking client, used by `lona client`, the
-//!   loopback smoke test, and the serve benchmark.
+//!   shared queue; each micro-batch is a single batch call against
+//!   the warm single-engine state or a [`crate::shard::ShardedEngine`],
+//!   so union-of-index-needs planning and the worker pool are
+//!   amortized across clients;
+//! * [`client`] — a builder-configured blocking client
+//!   ([`ServeClient::connect`]`(addr).timeout(..).retries(..).open()`),
+//!   used by `lona client`, `lona stats`, the loopback tests, and
+//!   the serve benchmark.
 //!
 //! The load-bearing property (argued in `server`, enforced by
-//! `tests/serve_smoke.rs` and CI's `serve-smoke` job): responses are
-//! **bit-identical to a sequential [`crate::engine::LonaEngine::run`]
-//! loop** over the same requests, at any worker count and any
-//! micro-batch composition. DESIGN.md §10 has the full wire format
-//! and the admission policy.
+//! `tests/serve_smoke.rs`, `tests/serve_stress.rs`, and CI's
+//! `serve-smoke`/`serve-stress` jobs): responses are **bit-identical
+//! to a sequential [`crate::engine::LonaEngine::run`] loop** over the
+//! same requests, at any worker count, any micro-batch composition,
+//! and either backend (single-engine or sharded). DESIGN.md §10 has
+//! the v1 wire format and admission policy; §12 covers the bounded
+//! queue, shedding rule, histograms, the v2 layout, and the sharded
+//! byte-identity argument.
 
 pub mod client;
 pub mod codec;
+pub mod metrics;
 pub mod queue;
 pub mod server;
 
-pub use client::ServeClient;
-pub use codec::{CodecError, Reply, Request, Response, ServeStats};
-pub use queue::AdmissionQueue;
-pub use server::{binary_scores, validate_request, ServeOptions, Server};
+pub use client::{ClientBuilder, ServeClient};
+pub use codec::{
+    bucket_upper_bound, histogram_count, histogram_quantile, CodecError, ErrorCode, Inbound, Reply,
+    Request, Response, ScoreRef, ServeStats, StatsReport,
+};
+pub use metrics::{LatencyHistogram, ServeMetrics};
+pub use queue::{AdmissionQueue, Admit};
+pub use server::{
+    binary_scores, serve_algorithm, validate_request, ServeOptions, Server, ServerBuilder,
+};

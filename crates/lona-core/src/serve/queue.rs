@@ -1,5 +1,5 @@
 //! The admission queue: where concurrent requests become
-//! micro-batches.
+//! micro-batches — and where load is shed.
 //!
 //! Connection handlers push validated requests; one batcher thread
 //! pulls them back out in **micro-batches** — everything that arrived
@@ -9,19 +9,29 @@
 //! union-of-index-needs planning and the inter-query worker pool are
 //! amortized across clients instead of paid per request.
 //!
+//! The queue is **bounded**: when `capacity` requests are already
+//! waiting, [`AdmissionQueue::push`] returns [`Admit::Busy`]
+//! immediately instead of blocking — the handler turns that into a
+//! `Busy` wire reply with a retry-after hint, and the shed is counted
+//! ([`AdmissionQueue::shed_count`]). A full queue therefore costs one
+//! mutex acquisition per rejected request and never stalls a client,
+//! and the shed decision is deterministic: it depends only on how
+//! many requests are waiting, never on timing inside the engine.
+//!
 //! The coalescing policy is deliberately simple (and documented in
-//! DESIGN.md §10): the batcher blocks until *some* request exists,
-//! then keeps draining until the window measured from that first
-//! dequeue elapses or the cap is hit. Under load the window never
-//! waits (the queue is never empty); when idle a lone request pays at
-//! most one window of extra latency. Correctness never depends on how
-//! requests land in batches — per-request results are
+//! DESIGN.md §10/§12): the batcher blocks until *some* request
+//! exists, then keeps draining until the window measured from that
+//! first dequeue elapses or the cap is hit. Under load the window
+//! never waits (the queue is never empty); when idle a lone request
+//! pays at most one window of extra latency. Correctness never
+//! depends on how requests land in batches — per-request results are
 //! batch-composition-independent (see `serve::server`), so the window
 //! is purely a throughput/latency dial.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use lona_relevance::ScoreVec;
@@ -29,21 +39,37 @@ use lona_relevance::ScoreVec;
 use super::codec::{Reply, Request};
 
 /// One admitted request waiting for a micro-batch: the decoded,
-/// validated request, its materialized binary-relevance scores, and
-/// the channel its connection handler is blocked on.
+/// validated request, its resolved relevance scores, and the channel
+/// its connection handler is blocked on.
 pub struct Pending {
     /// The decoded request.
     pub request: Request,
-    /// Binary relevance: 1.0 at each source node, 0 elsewhere,
-    /// materialized by the connection handler so the batcher never
-    /// does per-request O(n) work under its own thread.
-    pub scores: ScoreVec,
+    /// The resolved relevance function: binary scores materialized by
+    /// the connection handler (inline source sets) or a shared
+    /// registered vector (named references) — either way the batcher
+    /// never does per-request O(n) work under its own thread.
+    pub scores: Arc<ScoreVec>,
     /// When the request entered the queue (queue latency starts
     /// here).
     pub enqueued: Instant,
     /// Where the answer goes; the handler is blocked on the other
     /// end.
     pub reply: Sender<Reply>,
+}
+
+/// Outcome of an admission attempt.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Admit {
+    /// The request is queued; a reply will arrive on its channel.
+    Admitted,
+    /// The queue is at capacity; the request was shed. `waiting` is
+    /// the queue depth observed at the moment of rejection.
+    Busy {
+        /// Requests ahead of the rejected one.
+        waiting: usize,
+    },
+    /// The queue is closed (server shutting down).
+    Closed,
 }
 
 #[derive(Default)]
@@ -53,30 +79,61 @@ struct Inner {
 }
 
 /// MPSC coalescing queue between connection handlers and the batcher.
-#[derive(Default)]
 pub struct AdmissionQueue {
     inner: Mutex<Inner>,
     arrived: Condvar,
+    capacity: usize,
+    shed: AtomicU64,
+}
+
+impl Default for AdmissionQueue {
+    fn default() -> Self {
+        AdmissionQueue::new()
+    }
 }
 
 impl AdmissionQueue {
-    /// An open, empty queue.
+    /// An open queue with no practical bound (legacy behaviour; the
+    /// server always passes an explicit capacity).
     pub fn new() -> Self {
-        AdmissionQueue::default()
+        AdmissionQueue::with_capacity(usize::MAX)
     }
 
-    /// Admit one request. Returns `false` (dropping the request)
-    /// when the queue has been closed — the handler then reports
-    /// shutdown to its client instead of blocking forever.
-    pub fn push(&self, p: Pending) -> bool {
+    /// An open, empty queue that sheds once `capacity` requests wait.
+    /// A capacity of 0 is clamped to 1 (a queue that admits nothing
+    /// could never serve).
+    pub fn with_capacity(capacity: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner::default()),
+            arrived: Condvar::new(),
+            capacity: capacity.max(1),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempt to admit one request. Never blocks: a full queue sheds
+    /// with [`Admit::Busy`] (counted), a closed queue returns
+    /// [`Admit::Closed`]. Only [`Admit::Admitted`] keeps the request.
+    pub fn push(&self, p: Pending) -> Admit {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
-            return false;
+            return Admit::Closed;
+        }
+        let waiting = inner.pending.len();
+        if waiting >= self.capacity {
+            drop(inner);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Admit::Busy { waiting };
         }
         inner.pending.push_back(p);
         drop(inner);
         self.arrived.notify_one();
-        true
+        Admit::Admitted
+    }
+
+    /// Requests shed with [`Admit::Busy`] since creation.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Close the queue: no further admissions, and the batcher drains
@@ -145,8 +202,8 @@ impl AdmissionQueue {
 mod tests {
     use super::*;
     use crate::aggregate::Aggregate;
+    use crate::serve::codec::ScoreRef;
     use std::sync::mpsc::channel;
-    use std::sync::Arc;
 
     fn pending(id: u64) -> (Pending, std::sync::mpsc::Receiver<Reply>) {
         let (tx, rx) = channel();
@@ -154,13 +211,13 @@ mod tests {
             Pending {
                 request: Request {
                     id,
-                    sources: vec![0],
+                    scores: ScoreRef::Sources(vec![0]),
                     k: 1,
                     hops: 1,
                     aggregate: Aggregate::Sum,
                     include_self: true,
                 },
-                scores: ScoreVec::zeros(4),
+                scores: Arc::new(ScoreVec::zeros(4)),
                 enqueued: Instant::now(),
                 reply: tx,
             },
@@ -174,7 +231,7 @@ mod tests {
         let mut rxs = Vec::new();
         for id in 0..5 {
             let (p, rx) = pending(id);
-            assert!(q.push(p));
+            assert_eq!(q.push(p), Admit::Admitted);
             rxs.push(rx);
         }
         let batch = q.next_batch(Duration::ZERO, 64).unwrap();
@@ -196,6 +253,39 @@ mod tests {
         assert_eq!(q.next_batch(Duration::ZERO, 4).unwrap().len(), 4);
         assert_eq!(q.len(), 6);
         drop(rxs);
+    }
+
+    #[test]
+    fn capacity_sheds_deterministically_and_counts() {
+        let q = AdmissionQueue::with_capacity(3);
+        let mut rxs = Vec::new();
+        for id in 0..3 {
+            let (p, rx) = pending(id);
+            assert_eq!(q.push(p), Admit::Admitted);
+            rxs.push(rx);
+        }
+        // The 4th and 5th are shed — immediately, with the observed
+        // depth, and counted.
+        for _ in 0..2 {
+            let (p, _rx) = pending(99);
+            assert_eq!(q.push(p), Admit::Busy { waiting: 3 });
+        }
+        assert_eq!(q.shed_count(), 2);
+        assert_eq!(q.len(), 3, "shed requests never entered the queue");
+        // Draining frees capacity again.
+        assert_eq!(q.next_batch(Duration::ZERO, 64).unwrap().len(), 3);
+        let (p, _rx) = pending(100);
+        assert_eq!(q.push(p), Admit::Admitted);
+        assert_eq!(q.shed_count(), 2, "admission does not bump the counter");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = AdmissionQueue::with_capacity(0);
+        let (p, _rx) = pending(1);
+        assert_eq!(q.push(p), Admit::Admitted);
+        let (p, _rx) = pending(2);
+        assert_eq!(q.push(p), Admit::Busy { waiting: 1 });
     }
 
     #[test]
@@ -228,10 +318,10 @@ mod tests {
     fn close_rejects_new_pushes_but_drains_the_rest() {
         let q = AdmissionQueue::new();
         let (p, _rx) = pending(1);
-        assert!(q.push(p));
+        assert_eq!(q.push(p), Admit::Admitted);
         q.close();
         let (p, _rx) = pending(2);
-        assert!(!q.push(p), "closed queue admits nothing");
+        assert_eq!(q.push(p), Admit::Closed, "closed queue admits nothing");
         assert_eq!(q.next_batch(Duration::ZERO, 64).unwrap().len(), 1);
         assert!(
             q.next_batch(Duration::ZERO, 64).is_none(),

@@ -300,6 +300,39 @@ impl<'g> ShardedEngine<'g> {
         }
     }
 
+    /// Reassemble an engine around previously extracted per-shard
+    /// states (see [`ShardedEngine::into_states`]) — how a resident
+    /// server keeps shard indexes warm across micro-batches without
+    /// holding a borrow of the partition between them.
+    ///
+    /// # Panics
+    /// Panics under the same `hops` rules as [`ShardedEngine::new`],
+    /// or if `states` does not hold exactly one state per shard.
+    pub fn from_states(sharded: &'g ShardedGraph, hops: u32, states: Vec<EngineState>) -> Self {
+        assert!(hops >= 1, "hop radius must be at least 1");
+        assert!(
+            hops <= sharded.halo_hops(),
+            "hop radius {hops} exceeds the partition's halo depth {}",
+            sharded.halo_hops()
+        );
+        assert_eq!(
+            states.len(),
+            sharded.num_shards(),
+            "need exactly one engine state per shard"
+        );
+        ShardedEngine {
+            sharded,
+            hops,
+            states,
+        }
+    }
+
+    /// Extract the per-shard states (warm indexes included), consuming
+    /// the engine. Pair with [`ShardedEngine::from_states`].
+    pub fn into_states(self) -> Vec<EngineState> {
+        self.states
+    }
+
     /// The partitioned graph.
     pub fn sharded_graph(&self) -> &ShardedGraph {
         self.sharded
@@ -681,6 +714,7 @@ mod tests {
         ] {
             for aggregate in [
                 Aggregate::Sum,
+                Aggregate::Avg,
                 Aggregate::DistanceWeightedSum,
                 Aggregate::Max,
             ] {

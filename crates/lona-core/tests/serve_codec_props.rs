@@ -1,14 +1,18 @@
 //! Property tests for the serve wire format: encode→decode identity
 //! for arbitrary requests and replies (bit-exact, including hostile
-//! f64 payloads), plus rejection — not panic — for every truncation,
-//! oversized frame, and corrupted header byte.
+//! f64 payloads) across **both protocol versions**, plus rejection —
+//! not panic — for every truncation, oversized frame, and corrupted
+//! header byte. The v1↔v2 cross-version properties pin the compat
+//! contract: v1 frames from PR-5-era clients must decode forever.
 
 use proptest::prelude::*;
 
 use lona_core::serve::codec::{
-    decode_reply, decode_request, encode_reply, encode_request, read_frame, write_frame, MAX_FRAME,
+    decode_reply, decode_request, decode_stats_reply, encode_reply, encode_reply_v2,
+    encode_request, encode_request_v2, encode_stats_reply, encode_stats_request, read_frame,
+    write_frame, MAX_FRAME,
 };
-use lona_core::serve::{Reply, Request, Response, ServeStats};
+use lona_core::serve::{ErrorCode, Reply, Request, Response, ScoreRef, ServeStats, StatsReport};
 use lona_core::Aggregate;
 
 fn arb_aggregate() -> impl Strategy<Value = Aggregate> {
@@ -20,23 +24,53 @@ fn arb_aggregate() -> impl Strategy<Value = Aggregate> {
     ]
 }
 
-fn arb_request() -> impl Strategy<Value = Request> {
+/// The vendored shim has no regex string strategy; build printable
+/// ASCII (plus UTF-8 snowmen, to exercise multi-byte paths) by hand.
+fn arb_text(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127, 0..max).prop_map(|bytes| {
+        let mut m = String::from_utf8(bytes).expect("printable ascii");
+        if m.len().is_multiple_of(3) {
+            m.push('\u{2603}');
+        }
+        m
+    })
+}
+
+/// A v1-expressible relevance reference: an inline source set.
+fn arb_sources() -> impl Strategy<Value = ScoreRef> {
+    proptest::collection::vec(0u32..1_000_000, 0..40).prop_map(ScoreRef::Sources)
+}
+
+/// Any relevance reference, including v2-only named functions.
+fn arb_scores() -> impl Strategy<Value = ScoreRef> {
+    prop_oneof![arb_sources(), arb_text(30).prop_map(ScoreRef::Named),]
+}
+
+fn request_with(scores: impl Strategy<Value = ScoreRef>) -> impl Strategy<Value = Request> {
     (
         0u64..u64::MAX,
-        proptest::collection::vec(0u32..1_000_000, 0..40),
+        scores,
         0usize..100_000,
         0u32..64,
         arb_aggregate(),
         proptest::bool::ANY,
     )
-        .prop_map(|(id, sources, k, hops, aggregate, include_self)| Request {
+        .prop_map(|(id, scores, k, hops, aggregate, include_self)| Request {
             id,
-            sources,
+            scores,
             k,
             hops,
             aggregate,
             include_self,
         })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    request_with(arb_scores())
+}
+
+fn arb_request_v1() -> impl Strategy<Value = Request> {
+    request_with(arb_sources())
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
@@ -68,20 +102,69 @@ fn arb_response() -> impl Strategy<Value = Response> {
         })
 }
 
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::BadRequest),
+        Just(ErrorCode::Busy),
+        Just(ErrorCode::Unsupported),
+        Just(ErrorCode::Internal),
+    ]
+}
+
+/// Any reply, including v2-only error structure (non-default code,
+/// retry hints); full fidelity needs a v2 frame.
 fn arb_reply() -> impl Strategy<Value = Reply> {
-    // The vendored shim has no regex string strategy; build printable
-    // ASCII (plus UTF-8 snowmen, to exercise multi-byte paths) by hand.
-    let arb_message = proptest::collection::vec(32u8..127, 0..60).prop_map(|bytes| {
-        let mut m = String::from_utf8(bytes).expect("printable ascii");
-        if m.len().is_multiple_of(3) {
-            m.push('\u{2603}');
-        }
-        m
-    });
     prop_oneof![
         arb_response().prop_map(Reply::Ok),
-        (arb_message, 0u64..u64::MAX).prop_map(|(message, id)| Reply::Err { id, message }),
+        (
+            arb_text(60),
+            0u64..u64::MAX,
+            arb_error_code(),
+            0u64..u64::MAX
+        )
+            .prop_map(|(message, id, code, retry_after_micros)| Reply::Err {
+                id,
+                code,
+                retry_after_micros,
+                message,
+            }),
     ]
+}
+
+/// A reply a v1 frame can carry losslessly: v1 error frames have no
+/// code/retry fields, and decode as `BadRequest` with no hint.
+fn arb_reply_v1() -> impl Strategy<Value = Reply> {
+    prop_oneof![
+        arb_response().prop_map(Reply::Ok),
+        (arb_text(60), 0u64..u64::MAX).prop_map(|(message, id)| Reply::Err {
+            id,
+            code: ErrorCode::BadRequest,
+            retry_after_micros: 0,
+            message,
+        }),
+    ]
+}
+
+fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
+    (
+        proptest::collection::vec(0u64..u64::MAX, 9),
+        proptest::collection::vec(proptest::collection::vec(0u64..u64::MAX, 0..44), 4),
+    )
+        .prop_map(|(c, h)| StatsReport {
+            connections: c[0],
+            conn_rejected: c[1],
+            admitted: c[2],
+            shed: c[3],
+            error_replies: c[4],
+            rejected_frames: c[5],
+            timeouts: c[6],
+            index_builds: c[7],
+            queue_depth: c[8],
+            queue_wait: h[0].clone(),
+            dispatch: h[1].clone(),
+            end_to_end: h[2].clone(),
+            batch_size: h[3].clone(),
+        })
 }
 
 /// Bit-exact equality for replies: `PartialEq` on f64 conflates
@@ -101,13 +184,17 @@ fn reply_bits_equal(a: &Reply, b: &Reply) -> bool {
         (
             Reply::Err {
                 id: a_id,
+                code: a_code,
+                retry_after_micros: a_retry,
                 message: a_msg,
             },
             Reply::Err {
                 id: b_id,
+                code: b_code,
+                retry_after_micros: b_retry,
                 message: b_msg,
             },
-        ) => a_id == b_id && a_msg == b_msg,
+        ) => a_id == b_id && a_code == b_code && a_retry == b_retry && a_msg == b_msg,
         _ => false,
     }
 }
@@ -115,20 +202,51 @@ fn reply_bits_equal(a: &Reply, b: &Reply) -> bool {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// encode→decode is the identity on requests.
+    /// encode→decode is the identity on requests. `encode_request`
+    /// picks the wire version itself (v1 for inline sources, v2 for
+    /// named references); both must land back on the same value.
     #[test]
     fn request_round_trips(req in arb_request()) {
         let payload = encode_request(&req);
         prop_assert_eq!(decode_request(&payload).unwrap(), req);
     }
 
-    /// encode→decode is the identity on replies, bit-exact on every
-    /// f64 — including NaN payloads, ±inf, -0.0 and subnormals.
+    /// Cross-version: any v1-expressible request also round-trips
+    /// through an explicit v2 frame — same decoded value, so a
+    /// client may upgrade frame versions without answers moving.
+    #[test]
+    fn v1_requests_survive_v2_framing(req in arb_request_v1()) {
+        let v1 = encode_request(&req);
+        let v2 = encode_request_v2(&req);
+        prop_assert_ne!(&v1, &v2, "the frames differ on the wire");
+        prop_assert_eq!(decode_request(&v1).unwrap(), decode_request(&v2).unwrap());
+    }
+
+    /// encode→decode is the identity on replies through a v2 frame,
+    /// bit-exact on every f64 — including NaN payloads, ±inf, -0.0
+    /// and subnormals — and exact on code/retry structure.
     #[test]
     fn reply_round_trips_bit_exactly(reply in arb_reply()) {
+        let payload = encode_reply_v2(&reply);
+        let back = decode_reply(&payload).unwrap();
+        prop_assert!(reply_bits_equal(&reply, &back), "{:?} vs {:?}", reply, back);
+    }
+
+    /// v1 reply frames (what a PR-5-era server emitted) still decode,
+    /// losslessly for everything v1 could express.
+    #[test]
+    fn v1_replies_still_decode(reply in arb_reply_v1()) {
         let payload = encode_reply(&reply);
         let back = decode_reply(&payload).unwrap();
         prop_assert!(reply_bits_equal(&reply, &back), "{:?} vs {:?}", reply, back);
+    }
+
+    /// Stats frames round-trip: the poll request and the full report
+    /// (counters plus all four histograms).
+    #[test]
+    fn stats_reply_round_trips(id in 0u64..u64::MAX, report in arb_stats_report()) {
+        let payload = encode_stats_reply(id, &report);
+        prop_assert_eq!(decode_stats_reply(&payload).unwrap(), (id, report));
     }
 
     /// Every strict prefix of a valid payload is rejected with an
@@ -141,12 +259,30 @@ proptest! {
         prop_assert!(decode_reply(&payload[..cut]).is_err());
     }
 
-    /// Same for replies.
+    /// Same for replies, in both frame versions.
     #[test]
     fn truncated_replies_are_rejected(reply in arb_reply(), frac in 0.0f64..1.0) {
-        let payload = encode_reply(&reply);
+        for payload in [encode_reply(&reply), encode_reply_v2(&reply)] {
+            let cut = ((payload.len() as f64) * frac) as usize;
+            prop_assert!(decode_reply(&payload[..cut]).is_err());
+        }
+    }
+
+    /// Same for the new (v2) frame kinds: every strict prefix of a
+    /// stats request or stats reply is rejected.
+    #[test]
+    fn truncated_stats_frames_are_rejected(
+        id in 0u64..u64::MAX,
+        report in arb_stats_report(),
+        frac in 0.0f64..1.0,
+    ) {
+        let poll = encode_stats_request(id);
+        let cut = ((poll.len() as f64) * frac) as usize;
+        prop_assert!(lona_core::serve::codec::decode_inbound(&poll[..cut]).is_err());
+
+        let payload = encode_stats_reply(id, &report);
         let cut = ((payload.len() as f64) * frac) as usize;
-        prop_assert!(decode_reply(&payload[..cut]).is_err());
+        prop_assert!(decode_stats_reply(&payload[..cut]).is_err());
     }
 
     /// Trailing garbage after a complete message is rejected.
@@ -158,7 +294,7 @@ proptest! {
     }
 
     /// Corrupting any single header byte to an invalid value fails
-    /// the decode.
+    /// the decode — across both frame versions.
     #[test]
     fn corrupted_headers_are_rejected(req in arb_request(), byte in 0usize..3) {
         let mut payload = encode_request(&req);

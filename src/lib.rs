@@ -52,13 +52,26 @@ pub use lona_graph as graph;
 pub use lona_relational as relational;
 pub use lona_relevance as relevance;
 
+/// The stable serve surface: client, server builder, wire types, and
+/// stats — everything an application embedding (or talking to) a
+/// `lona serve` instance needs, re-exported under one path so
+/// downstream code is insulated from internal module moves.
+pub mod serve {
+    pub use lona_core::serve::{binary_scores, serve_algorithm, validate_request};
+    pub use lona_core::serve::{
+        AdmissionQueue, Admit, ClientBuilder, CodecError, ErrorCode, Inbound, LatencyHistogram,
+        Reply, Request, Response, ScoreRef, ServeClient, ServeMetrics, ServeOptions, ServeStats,
+        Server, ServerBuilder, StatsReport,
+    };
+}
+
 /// One-stop imports for applications.
 pub mod prelude {
     pub use lona_core::{
         Aggregate, Algorithm, BackwardOptions, BatchMode, BatchOptions, BatchQuery, BatchResult,
         CompiledGraph, CoordinatorStats, EngineState, ForwardOptions, GammaSpec, LonaEngine, Plan,
         PlanReason, PlannerConfig, ProcessingOrder, QueryResult, QueryStats, ServeClient,
-        ServeOptions, Server, ShardOptions, ShardedEngine, ShardedResult, TopKQuery,
+        ServeOptions, Server, ServerBuilder, ShardOptions, ShardedEngine, ShardedResult, TopKQuery,
     };
     pub use lona_gen::{DatasetKind, DatasetProfile};
     pub use lona_graph::{partition, CsrGraph, GraphBuilder, NodeId, PartitionStrategy};

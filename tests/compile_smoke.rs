@@ -88,8 +88,12 @@ fn topk_is_identical_between_compiled_and_edge_list() {
         AlgorithmChoice::Forward,
         AlgorithmChoice::Backward,
     ] {
-        let cold = execute(&topk_cmd(&edges, false, algorithm)).expect("edge-list topk");
-        let warm = execute(&topk_cmd(&packed, true, algorithm)).expect("compiled topk");
+        let cold = execute(&topk_cmd(&edges, false, algorithm))
+            .expect("edge-list topk")
+            .report;
+        let warm = execute(&topk_cmd(&packed, true, algorithm))
+            .expect("compiled topk")
+            .report;
         assert_eq!(
             ranked_lines(&cold),
             ranked_lines(&warm),
@@ -194,7 +198,7 @@ fn compiled_server_never_builds_an_index() {
     .expect("bind server");
     let addr = server.local_addr();
 
-    let mut client = ServeClient::connect(addr).expect("connect");
+    let mut client = ServeClient::connect(addr).open().expect("connect");
     for idx in 0..16usize {
         let sources: Vec<u32> = vec![(idx * 37 % 64) as u32, (idx * 13 % 64) as u32];
         let k = [1usize, 5, 17, 50][idx % 4];

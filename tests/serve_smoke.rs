@@ -108,7 +108,7 @@ fn concurrent_clients_are_bit_identical_to_sequential_loop() {
         // (A single request only warms its own plan's needs — e.g. a
         // k=1 SUM may never touch the differential index that a
         // large-k forward plan requires.)
-        let mut warm = ServeClient::connect(addr).unwrap();
+        let mut warm = ServeClient::connect(addr).open().unwrap();
         for (idx, expected) in expect.iter().enumerate() {
             let (sources, k, aggregate, include_self) = request_spec(idx, n);
             match warm
@@ -136,7 +136,7 @@ fn concurrent_clients_are_bit_identical_to_sequential_loop() {
             let handles: Vec<_> = (0..CLIENTS)
                 .map(|client| {
                     s.spawn(move || {
-                        let mut conn = ServeClient::connect(addr).unwrap();
+                        let mut conn = ServeClient::connect(addr).open().unwrap();
                         (0..REQUESTS_PER_CLIENT)
                             .map(|j| {
                                 let idx = client * REQUESTS_PER_CLIENT + j;
@@ -202,7 +202,7 @@ fn invalid_requests_are_rejected_without_killing_the_connection() {
         },
     )
     .unwrap();
-    let mut conn = ServeClient::connect(server.local_addr()).unwrap();
+    let mut conn = ServeClient::connect(server.local_addr()).open().unwrap();
 
     for (sources, k, hops, needle) in [
         (vec![0u32], 0usize, 2u32, "k must be at least 1"),
