@@ -25,8 +25,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lona_bench::{
-    ablations, figures::FIGURES, report, run_figure, scaling, serve_bench, shard_scaling, startup,
-    throughput,
+    ablations, figures::FIGURES, locality, report, run_figure, scaling, serve_bench, shard_scaling,
+    startup, throughput,
 };
 use lona_gen::{DatasetKind, DatasetProfile};
 
@@ -38,7 +38,9 @@ struct Args {
     shards: bool,
     serve: bool,
     startup: bool,
-    /// With --throughput, --shards, --serve or --startup: apply the
+    locality: bool,
+    /// With --throughput, --shards, --serve, --startup or --locality:
+    /// apply the
     /// deterministic work-counter gate and exit non-zero when the
     /// measured mode does too much work or results diverge (the CI
     /// `throughput-smoke` / `shard-smoke` / `serve-smoke` guards).
@@ -64,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         shards: false,
         serve: false,
         startup: false,
+        locality: false,
         check: false,
         queries: 512,
         scale: None,
@@ -90,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => args.shards = true,
             "--serve" => args.serve = true,
             "--startup" => args.startup = true,
+            "--locality" => args.locality = true,
             "--check" => args.check = true,
             "--queries" => {
                 args.queries = value("--queries")?
@@ -120,6 +124,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: figures [--fig N|all] [--ablation NAME|all] [--scaling] \
                             [--throughput [--check] [--queries N]] [--shards [--check]] \
                             [--serve [--check] [--queries N]] [--startup [--check]] \
+                            [--locality [--check]] \
                             [--scale F] [--seed N] [--reps N] [--out DIR] [--quick]"
                         .into(),
                 )
@@ -347,6 +352,46 @@ fn main() -> ExitCode {
                 "startup guard ok: results identical, mapped path built 0 indexes \
                  ({:.1}x time-to-first-result)",
                 data.startup_speedup()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Cache-locality invocation: compare natural-order Base scans
+    // against degree-/BFS-reordered copies (and both compiled
+    // container shapes), write the JSON trajectory file, and with
+    // --check apply the deterministic gate (identical Base work
+    // counters under every numbering, value/rank agreement, and
+    // container round-trips — never wall clock).
+    if args.locality {
+        let scale = args.scale.unwrap_or(if args.quick { 0.01 } else { 0.1 });
+        eprintln!("running cache-locality comparison at scale {scale}...");
+        let staging = std::env::temp_dir().join("lona-locality-bench");
+        let data = locality::run_locality(scale, args.seed, &staging);
+        println!("{}", locality::ascii_table(&data));
+        let path = match &args.out_dir {
+            Some(dir) => {
+                if std::fs::create_dir_all(dir).is_err() {
+                    eprintln!("cannot create output directory {dir:?}");
+                    return ExitCode::FAILURE;
+                }
+                dir.join("BENCH_locality.json")
+            }
+            None => PathBuf::from("BENCH_locality.json"),
+        };
+        if let Err(e) = std::fs::write(&path, locality::json(&data)) {
+            eprintln!("failed to write {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("  -> {path:?}");
+        if args.check {
+            if let Err(msg) = locality::guard(&data) {
+                eprintln!("locality guard FAILED: {msg}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "locality guard ok: Base counters identical under every numbering, \
+                 values and ranks agree, containers round-trip"
             );
         }
         return ExitCode::SUCCESS;

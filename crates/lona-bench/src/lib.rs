@@ -22,7 +22,11 @@
 //!   warm post-warm-up resident state), and `--startup` for the
 //!   cold-parse vs. compiled-mmap startup comparison (emits
 //!   `BENCH_startup.json`; `--check` gates on result identity and a
-//!   zero index-build counter on the mapped path);
+//!   zero index-build counter on the mapped path), and `--locality`
+//!   for the natural-vs-reordered Base-scan comparison (emits
+//!   `BENCH_locality.json`; `--check` gates on identical Base work
+//!   counters under every numbering, value/rank agreement, and both
+//!   compiled-container shapes round-tripping);
 //! * the criterion benches (`benches/fig*_*.rs`, `benches/ablations.rs`)
 //!   — statistically grounded microbenchmarks at smoke scale.
 
@@ -31,6 +35,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod locality;
 pub mod report;
 pub mod scaling;
 pub mod serve_bench;
@@ -40,6 +45,7 @@ pub mod throughput;
 pub mod workload;
 
 pub use figures::{run_figure, FigureData, FigureSpec, SeriesPoint, FIGURES, K_VALUES};
+pub use locality::{run_locality, LocalityData, OrderRun};
 pub use scaling::{run_scaling, ScalingData, ScalingPoint, THREAD_COUNTS};
 pub use serve_bench::{run_serve_bench, ServeBenchData, ServePoint, SERVE_CLIENTS, SERVE_WORKERS};
 pub use shard_scaling::{run_shard_scaling, ShardCell, ShardScalingData, SHARD_COUNTS};

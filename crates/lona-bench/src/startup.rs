@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 use lona_core::{compile_to_file, Algorithm, CompileSpec, CompiledGraph, LonaEngine, TopKQuery};
 use lona_gen::DatasetKind;
 use lona_graph::io::{read_edge_list, write_edge_list, EdgeListOptions};
+use lona_graph::NodeOrder;
 use lona_relevance::ScoreVec;
 
 use crate::report::format_duration;
@@ -116,6 +117,7 @@ pub fn run_startup(scale: f64, seed: u64, dir: &Path) -> StartupData {
             scores: Some(&scores),
             hops: &[HOPS],
             with_diff: true,
+            order: NodeOrder::Natural,
         },
         &compiled_path,
     )

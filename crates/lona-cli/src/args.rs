@@ -2,7 +2,7 @@
 
 use lona_core::Aggregate;
 use lona_gen::DatasetKind;
-use lona_graph::PartitionStrategy;
+use lona_graph::{NodeOrder, PartitionStrategy};
 
 /// Which algorithm the `topk` subcommand should run.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -84,6 +84,8 @@ pub enum Command {
         seed: u64,
         /// Hop radii to pre-build indexes for (default `[2]`).
         hops: Vec<u32>,
+        /// Node order to pack the container in (default natural).
+        order: NodeOrder,
     },
     /// `lona topk <edgelist> [flags]`
     TopK {
@@ -238,7 +240,7 @@ USAGE:
                  `lona serve` for counters and latency percentiles)
   lona generate <collaboration|citation|intrusion> --out FILE [--scale S] [--seed N]
   lona compile  <edgelist> --out FILE [--scores FILE | --blacking R [--binary]]
-                [--seed N] [--hops H1,H2,...]
+                [--seed N] [--hops H1,H2,...] [--order natural|degree|bfs]
   lona topk     <edgelist|compiled --compiled> [--k N] [--hops H]
                 [--aggregate sum|avg|max|dwsum]
                 [--algorithm base|parallel|forward|parallel-forward|backward|
@@ -313,6 +315,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 binary: has_flag(&rest, "--binary"),
                 seed: parse_flag(&rest, "--seed")?.unwrap_or(42),
                 hops,
+                order: parse_flag(&rest, "--order")?.unwrap_or(NodeOrder::Natural),
             })
         }
         "serve" => {
@@ -919,6 +922,7 @@ mod tests {
                 binary: false,
                 seed: 42,
                 hops: vec![2],
+                order: NodeOrder::Natural,
             }
         );
         let c = parse(&v(&[
@@ -938,6 +942,12 @@ mod tests {
         assert!(parse(&v(&["compile", "g.txt"])).is_err(), "--out required");
         assert!(parse(&v(&["compile", "g.txt", "--out", "x", "--hops", "0"])).is_err());
         assert!(parse(&v(&["compile", "g.txt", "--out", "x", "--hops", "2,x"])).is_err());
+        let c = parse(&v(&["compile", "g.txt", "--out", "x", "--order", "degree"])).unwrap();
+        match c {
+            Command::Compile { order, .. } => assert_eq!(order, NodeOrder::Degree),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["compile", "g.txt", "--out", "x", "--order", "zorder"])).is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lona_core::exec::resolve_threads;
+use lona_core::locality::{map_entries_to_original, permute_scores};
 use lona_core::serve::{
     histogram_count, histogram_quantile, ErrorCode, Reply, ServeClient, ServeOptions, Server,
     StatsReport,
@@ -27,7 +28,7 @@ use lona_graph::algo::{
 };
 use lona_graph::io::{read_edge_list, write_edge_list, write_snapshot, EdgeListOptions};
 use lona_graph::partition::{partition, PartitionStrategy, ShardedGraph};
-use lona_graph::{CsrGraph, GraphStore};
+use lona_graph::{CsrGraph, GraphStore, NodeOrder, Permutation};
 use lona_relevance::{MixtureBuilder, ScoreVec};
 
 use crate::args::{AlgorithmChoice, Command};
@@ -87,6 +88,7 @@ pub fn execute(command: &Command) -> Result<Execution, String> {
             binary,
             seed,
             hops,
+            order,
         } => compile_cmd(
             input,
             out,
@@ -95,6 +97,7 @@ pub fn execute(command: &Command) -> Result<Execution, String> {
             *binary,
             *seed,
             hops,
+            *order,
         )
         .map(Execution::done),
         Command::Shard {
@@ -138,11 +141,18 @@ pub fn execute(command: &Command) -> Result<Execution, String> {
             let summary = if *compiled {
                 let c = load_compiled(input)?;
                 let lines = parse_query_lines(&text, c.csr().num_nodes());
-                run_batch_file(&c, &lines, &opts, c.warm_states(), &mut lock)?
+                run_batch_file(
+                    &c,
+                    &lines,
+                    &opts,
+                    c.warm_states(),
+                    c.permutation(),
+                    &mut lock,
+                )?
             } else {
                 let g = load_graph(input)?;
                 let lines = parse_query_lines(&text, g.num_nodes());
-                run_batch_file(&g, &lines, &opts, BTreeMap::new(), &mut lock)?
+                run_batch_file(&g, &lines, &opts, BTreeMap::new(), None, &mut lock)?
             };
             lock.flush().map_err(|e| format!("stdout: {e}"))?;
             eprint!("{}", summary.describe());
@@ -221,8 +231,16 @@ pub fn execute(command: &Command) -> Result<Execution, String> {
         } => {
             if *compiled {
                 let c = load_compiled(input)?;
+                // External score files speak original ids; the file's
+                // own embedded scores are already in the packed order.
                 let score_vec = match scores {
-                    Some(path) => load_scores(path, c.csr().num_nodes())?,
+                    Some(path) => {
+                        let s = load_scores(path, c.csr().num_nodes())?;
+                        match c.permutation() {
+                            Some(p) => permute_scores(p, &s),
+                            None => s,
+                        }
+                    }
                     None => c.scores().cloned().ok_or_else(|| {
                         format!("{input} carries no score vector; pass --scores FILE")
                     })?,
@@ -239,6 +257,7 @@ pub fn execute(command: &Command) -> Result<Execution, String> {
                         *threads,
                         *shards,
                         *strategy,
+                        c.permutation(),
                     )
                     .map(Execution::done);
                 }
@@ -252,6 +271,7 @@ pub fn execute(command: &Command) -> Result<Execution, String> {
                     !*exclude_self,
                     *threads,
                     c.engine_state(*hops),
+                    c.permutation(),
                 )
                 .map(Execution::done);
             }
@@ -278,6 +298,7 @@ pub fn execute(command: &Command) -> Result<Execution, String> {
                     *threads,
                     *shards,
                     *strategy,
+                    None,
                 )
                 .map(Execution::done)
             } else {
@@ -290,6 +311,7 @@ pub fn execute(command: &Command) -> Result<Execution, String> {
                     *algorithm,
                     !*exclude_self,
                     *threads,
+                    None,
                     None,
                 )
                 .map(Execution::done)
@@ -478,6 +500,7 @@ fn shard_report(
 /// mmap-able file. The score default mirrors `lona topk`'s generation
 /// exactly, so a compiled run and an edge-list run of the same seed
 /// answer identically.
+#[allow(clippy::too_many_arguments)]
 fn compile_cmd(
     input: &str,
     out: &str,
@@ -486,6 +509,7 @@ fn compile_cmd(
     binary: bool,
     seed: u64,
     hops: &[u32],
+    order: NodeOrder,
 ) -> Result<String, String> {
     let g = load_graph(input)?;
     let score_vec = match scores {
@@ -503,13 +527,14 @@ fn compile_cmd(
         scores: Some(&score_vec),
         hops,
         with_diff: true,
+        order,
     };
     compile_to_file(&spec, Path::new(out)).map_err(|e| format!("compile failed: {e}"))?;
     let bytes = std::fs::metadata(out)
         .map(|m| m.len())
         .map_err(|e| format!("cannot stat {out}: {e}"))?;
     Ok(format!(
-        "{} nodes, {} edges, radii {hops:?} -> compiled {out} ({bytes} bytes)\n",
+        "{} nodes, {} edges, radii {hops:?}, {order} order -> compiled {out} ({bytes} bytes)\n",
         g.num_nodes(),
         g.num_edges(),
     ))
@@ -831,6 +856,7 @@ pub fn run_batch_file<G: GraphStore + ?Sized>(
     lines: &[QueryLine],
     opts: &BatchRunOptions,
     warm: BTreeMap<u32, EngineState>,
+    perm: Option<&Permutation>,
     sink: &mut dyn IoWrite,
 ) -> Result<BatchSummary, String> {
     let num_nodes = g.csr().num_nodes();
@@ -875,12 +901,18 @@ pub fn run_batch_file<G: GraphStore + ?Sized>(
             .collect();
 
         // Materialize this chunk's binary score vectors.
+        // Query files speak original ids; a permuted (`--order`
+        // compiled) graph takes its sources in the packed space.
         let score_vecs: Vec<ScoreVec> = valid
             .iter()
             .map(|(_, spec)| {
                 let mut values = vec![0.0; num_nodes];
                 for &u in &spec.sources {
-                    values[u as usize] = 1.0;
+                    let slot = match perm {
+                        Some(p) => p.to_new(lona_graph::NodeId(u)).0,
+                        None => u,
+                    };
+                    values[slot as usize] = 1.0;
                 }
                 ScoreVec::new(values)
             })
@@ -1023,10 +1055,13 @@ pub fn run_batch_file<G: GraphStore + ?Sized>(
         for (i, line) in chunk.iter().enumerate() {
             match &line.parsed {
                 Ok(spec) => {
-                    let entries = results
+                    let mut entries = results
                         .next()
                         .flatten()
                         .expect("every valid chunk query produced a result");
+                    if let Some(p) = perm {
+                        map_entries_to_original(p, &mut entries);
+                    }
                     write_result_line(sink, chunk_start + i, spec, &entries)?;
                     summary.queries += 1;
                 }
@@ -1043,6 +1078,7 @@ pub fn run_batch_file<G: GraphStore + ?Sized>(
 /// Configure and bind one [`Server`] from CLI-level inputs: the warm
 /// states (compiled path), every `--register NAME=SCOREFILE` pair,
 /// and the optional `--shards` routing.
+#[allow(clippy::too_many_arguments)]
 fn build_server<G: GraphStore + Send + Sync + 'static>(
     graph: Arc<G>,
     addr: &str,
@@ -1050,9 +1086,13 @@ fn build_server<G: GraphStore + Send + Sync + 'static>(
     sharding: Option<(usize, PartitionStrategy, u32)>,
     register: &[(String, String)],
     warm: BTreeMap<u32, EngineState>,
+    permutation: Option<Permutation>,
 ) -> Result<Server, String> {
     let num_nodes = graph.csr().num_nodes();
     let mut builder = Server::builder(graph).options(opts).warm(warm);
+    if let Some(p) = permutation {
+        builder = builder.permutation(p);
+    }
     for (name, path) in register {
         builder = builder.register(name.clone(), load_scores(path, num_nodes)?);
     }
@@ -1080,13 +1120,15 @@ fn serve_forever(
     let server = if compiled {
         let c = load_compiled(input)?;
         let warm = c.warm_states();
+        let perm = c.permutation().cloned();
         eprintln!(
-            "lona serve: {input}: {} nodes, {} edges (compiled, warm radii {:?})",
+            "lona serve: {input}: {} nodes, {} edges (compiled, warm radii {:?}, {} order)",
             c.csr().num_nodes(),
             c.csr().num_edges(),
             c.hops_list(),
+            c.order(),
         );
-        build_server(Arc::new(c), addr, opts, sharding, register, warm)?
+        build_server(Arc::new(c), addr, opts, sharding, register, warm, perm)?
     } else {
         let g = Arc::new(load_graph(input)?);
         eprintln!(
@@ -1094,7 +1136,7 @@ fn serve_forever(
             g.num_nodes(),
             g.num_edges()
         );
-        build_server(g, addr, opts, sharding, register, BTreeMap::new())?
+        build_server(g, addr, opts, sharding, register, BTreeMap::new(), None)?
     };
     let backend_note = match sharding {
         Some((shards, strategy, halo)) => format!("{shards} shards ({strategy}, halo {halo})"),
@@ -1245,6 +1287,7 @@ fn topk<G: GraphStore + ?Sized>(
     include_self: bool,
     threads: usize,
     warm: Option<EngineState>,
+    perm: Option<&Permutation>,
 ) -> Result<String, String> {
     let algorithm = choice_to_algorithm(choice, threads);
     let mut engine = match warm {
@@ -1252,7 +1295,10 @@ fn topk<G: GraphStore + ?Sized>(
         None => LonaEngine::new(g, hops),
     };
     let query = TopKQuery::new(k.max(1), aggregate).include_self(include_self);
-    let result = engine.run(&algorithm, &query, scores);
+    let mut result = engine.run(&algorithm, &query, scores);
+    if let Some(p) = perm {
+        map_entries_to_original(p, &mut result.entries);
+    }
 
     let mut out = String::new();
     let worker_note = match algorithm.threads() {
@@ -1290,6 +1336,7 @@ fn sharded_topk<G: GraphStore + ?Sized>(
     threads: usize,
     shards: usize,
     strategy: PartitionStrategy,
+    perm: Option<&Permutation>,
 ) -> Result<String, String> {
     if g.csr().is_directed() {
         return Err("--shards requires an undirected graph".into());
@@ -1302,7 +1349,10 @@ fn sharded_topk<G: GraphStore + ?Sized>(
         force: Some(choice_to_algorithm(choice, 1)),
         ..Default::default()
     };
-    let out = engine.run(&query, scores, &opts);
+    let mut out = engine.run(&query, scores, &opts);
+    if let Some(p) = perm {
+        map_entries_to_original(p, &mut out.result.entries);
+    }
 
     let mut text = String::new();
     let _ = writeln!(
@@ -1477,7 +1527,7 @@ mod tests {
         opts: &BatchRunOptions,
     ) -> (String, BatchSummary) {
         let mut sink = Vec::new();
-        let summary = run_batch_file(g, lines, opts, BTreeMap::new(), &mut sink).unwrap();
+        let summary = run_batch_file(g, lines, opts, BTreeMap::new(), None, &mut sink).unwrap();
         (String::from_utf8(sink).unwrap(), summary)
     }
 
@@ -1881,8 +1931,15 @@ mod tests {
 
         let compiled = load_compiled(&c).unwrap();
         let mut sink = Vec::new();
-        let summary =
-            run_batch_file(&compiled, &lines, &opts, compiled.warm_states(), &mut sink).unwrap();
+        let summary = run_batch_file(
+            &compiled,
+            &lines,
+            &opts,
+            compiled.warm_states(),
+            compiled.permutation(),
+            &mut sink,
+        )
+        .unwrap();
         let mapped = String::from_utf8(sink).unwrap();
         assert_eq!(mapped, plain, "compiled batch output diverged");
         assert_eq!(summary.queries, 3);
@@ -1900,6 +1957,7 @@ mod tests {
                 scores: None,
                 hops: &[2],
                 with_diff: true,
+                order: NodeOrder::Natural,
             },
             Path::new(&c),
         )

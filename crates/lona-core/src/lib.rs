@@ -53,6 +53,8 @@
 //! * [`compiled`] — the `lona compile` container: graph + scores +
 //!   indexes packed into one mmap-able file for zero-build startup;
 //! * [`engine`] — index lifecycle + dispatch;
+//! * [`locality`] — run on a cache-friendly renumbered copy of the
+//!   graph, answer in original node ids;
 //! * [`plan`] — the cost-based per-query planner (algorithm + thread
 //!   split, with an override escape hatch);
 //! * [`batch`] — multi-query execution over the worker pool
@@ -76,6 +78,7 @@ pub mod compiled;
 pub mod engine;
 pub mod exec;
 pub mod index;
+pub mod locality;
 pub mod neighborhood;
 pub mod plan;
 pub mod result;
@@ -92,6 +95,7 @@ pub use compiled::{compile_to_file, compile_to_vec, CompileSpec, CompiledGraph};
 pub use engine::{EngineState, LonaEngine, TopKQuery};
 pub use exec::SharedThreshold;
 pub use index::{DiffIndex, SizeIndex};
+pub use locality::ReorderedEngine;
 pub use plan::{plan_query, Plan, PlanReason, PlannerConfig};
 pub use result::QueryResult;
 pub use serve::{

@@ -2,9 +2,24 @@
 //!
 //! This is the single hot loop shared by every algorithm in the
 //! suite. Unlike the generic [`lona_graph::traversal::KhopCollector`],
-//! the scanner fuses score accumulation into the traversal and counts
-//! *edge accesses* — the cost unit of the paper's analysis ("the
-//! number of edges to be accessed could be around `m^h · |V|`").
+//! the scanner counts *edge accesses* — the cost unit of the paper's
+//! analysis ("the number of edges to be accessed could be around
+//! `m^h · |V|`").
+//!
+//! ## Canonical accumulation order
+//!
+//! Each BFS ply is split into two passes: **discovery** (walk the
+//! frontier's adjacency rows, dedup against the epoch set) and
+//! **accumulation** (a tight gather loop over the newly-visited ids,
+//! *sorted ascending*). The sort makes the f64 summation order a
+//! function of the visited *set* per depth — ascending id within each
+//! depth — instead of an accident of adjacency layout. That is what
+//! keeps serial results reproducible and lets a renumbered graph
+//! (see [`lona_graph::order`]) agree with the natural-order engine:
+//! under any numbering the scan accumulates depth-major, ascending-id
+//! within depth. It also turns the hot loop into a `&[u32]` gather
+//! over `&[f64]`, which the compiler can vectorize without caring how
+//! the ids were produced.
 
 use lona_graph::traversal::EpochSet;
 use lona_graph::{CsrView, NodeId};
@@ -43,31 +58,58 @@ impl NeighborhoodScanner {
         }
     }
 
-    /// Sum `scores` over `S_h(u)`.
-    pub fn sum_scan(&mut self, g: CsrView<'_>, u: NodeId, h: u32, scores: &[f64]) -> ScanResult {
-        let mut res = ScanResult::default();
+    /// Reset the epoch set and seed the frontier with `u`.
+    #[inline]
+    fn seed(&mut self, u: NodeId) {
         self.visited.clear();
         self.visited.insert(u.0);
         self.frontier.clear();
         self.frontier.push(u.0);
+    }
 
+    /// One BFS ply: expand the frontier's adjacency rows into the set
+    /// of newly-visited nodes, sorted ascending, and make that set
+    /// the new frontier. Returns the adjacency entries touched.
+    ///
+    /// The ascending sort is the canonical-accumulation contract (see
+    /// the module docs): callers gather scores over the returned
+    /// frontier in a separate tight loop, so the f64 summation order
+    /// per depth depends only on the visited set, not on adjacency
+    /// layout or node numbering.
+    #[inline]
+    fn discover(&mut self, g: CsrView<'_>) -> u64 {
+        let mut edges = 0u64;
+        self.next.clear();
+        for &x in &self.frontier {
+            let nbrs = g.neighbors(NodeId(x));
+            edges += nbrs.len() as u64;
+            for &v in nbrs {
+                if self.visited.insert(v.0) {
+                    self.next.push(v.0);
+                }
+            }
+        }
+        self.next.sort_unstable();
+        std::mem::swap(&mut self.frontier, &mut self.next);
+        edges
+    }
+
+    /// Sum `scores` over `S_h(u)`.
+    pub fn sum_scan(&mut self, g: CsrView<'_>, u: NodeId, h: u32, scores: &[f64]) -> ScanResult {
+        let mut res = ScanResult::default();
+        self.seed(u);
         for _ in 0..h {
             if self.frontier.is_empty() {
                 break;
             }
-            self.next.clear();
-            for &x in &self.frontier {
-                let nbrs = g.neighbors(NodeId(x));
-                res.edges += nbrs.len() as u64;
-                for &v in nbrs {
-                    if self.visited.insert(v.0) {
-                        res.count += 1;
-                        res.mass += scores[v.index()];
-                        self.next.push(v.0);
-                    }
-                }
+            res.edges += self.discover(g);
+            res.count += self.frontier.len();
+            // Tight gather over this depth's sorted ids.
+            let mut mass = 0.0;
+            for &v in &self.frontier {
+                mass += scores[v as usize];
             }
-            std::mem::swap(&mut self.frontier, &mut self.next);
+            res.mass += mass;
         }
         res.raw_mass = res.mass;
         res
@@ -83,31 +125,20 @@ impl NeighborhoodScanner {
         scores: &[f64],
     ) -> ScanResult {
         let mut res = ScanResult::default();
-        self.visited.clear();
-        self.visited.insert(u.0);
-        self.frontier.clear();
-        self.frontier.push(u.0);
-
+        self.seed(u);
         for depth in 1..=h {
             if self.frontier.is_empty() {
                 break;
             }
             let inv = 1.0 / depth as f64;
-            self.next.clear();
-            for &x in &self.frontier {
-                let nbrs = g.neighbors(NodeId(x));
-                res.edges += nbrs.len() as u64;
-                for &v in nbrs {
-                    if self.visited.insert(v.0) {
-                        res.count += 1;
-                        let f = scores[v.index()];
-                        res.mass += f * inv;
-                        res.raw_mass += f;
-                        self.next.push(v.0);
-                    }
-                }
+            res.edges += self.discover(g);
+            res.count += self.frontier.len();
+            let mut raw = 0.0;
+            for &v in &self.frontier {
+                raw += scores[v as usize];
             }
-            std::mem::swap(&mut self.frontier, &mut self.next);
+            res.mass += raw * inv;
+            res.raw_mass += raw;
         }
         res
     }
@@ -116,30 +147,20 @@ impl NeighborhoodScanner {
     /// carries the plain sum so SUM-based bounds stay available).
     pub fn max_scan(&mut self, g: CsrView<'_>, u: NodeId, h: u32, scores: &[f64]) -> ScanResult {
         let mut res = ScanResult::default();
-        self.visited.clear();
-        self.visited.insert(u.0);
-        self.frontier.clear();
-        self.frontier.push(u.0);
-
+        self.seed(u);
         for _ in 0..h {
             if self.frontier.is_empty() {
                 break;
             }
-            self.next.clear();
-            for &x in &self.frontier {
-                let nbrs = g.neighbors(NodeId(x));
-                res.edges += nbrs.len() as u64;
-                for &v in nbrs {
-                    if self.visited.insert(v.0) {
-                        res.count += 1;
-                        let f = scores[v.index()];
-                        res.mass = res.mass.max(f);
-                        res.raw_mass += f;
-                        self.next.push(v.0);
-                    }
-                }
+            res.edges += self.discover(g);
+            res.count += self.frontier.len();
+            let mut raw = 0.0;
+            for &v in &self.frontier {
+                let f = scores[v as usize];
+                res.mass = res.mass.max(f);
+                raw += f;
             }
-            std::mem::swap(&mut self.frontier, &mut self.next);
+            res.raw_mass += raw;
         }
         res
     }
@@ -156,28 +177,19 @@ impl NeighborhoodScanner {
     ) -> (usize, u64) {
         let mut count = 0usize;
         let mut edges = 0u64;
-        self.visited.clear();
-        self.visited.insert(u.0);
-        self.frontier.clear();
-        self.frontier.push(u.0);
-
+        self.seed(u);
         for depth in 1..=h {
             if self.frontier.is_empty() {
                 break;
             }
-            self.next.clear();
-            for &x in &self.frontier {
-                let nbrs = g.neighbors(NodeId(x));
-                edges += nbrs.len() as u64;
-                for &v in nbrs {
-                    if self.visited.insert(v.0) {
-                        count += 1;
-                        f(v.0, depth);
-                        self.next.push(v.0);
-                    }
-                }
+            edges += self.discover(g);
+            count += self.frontier.len();
+            // Callbacks fire in the canonical order too (ascending id
+            // within each depth), so distributions accumulate
+            // identically under any node numbering.
+            for &v in &self.frontier {
+                f(v, depth);
             }
-            std::mem::swap(&mut self.frontier, &mut self.next);
         }
         (count, edges)
     }
@@ -193,28 +205,16 @@ impl NeighborhoodScanner {
     ) -> (usize, u64) {
         let mut count = 0usize;
         let mut edges = 0u64;
-        self.visited.clear();
-        self.visited.insert(u.0);
-        self.frontier.clear();
-        self.frontier.push(u.0);
-
+        self.seed(u);
         for _ in 0..h {
             if self.frontier.is_empty() {
                 break;
             }
-            self.next.clear();
-            for &x in &self.frontier {
-                let nbrs = g.neighbors(NodeId(x));
-                edges += nbrs.len() as u64;
-                for &v in nbrs {
-                    if self.visited.insert(v.0) {
-                        count += 1;
-                        f(v.0);
-                        self.next.push(v.0);
-                    }
-                }
+            edges += self.discover(g);
+            count += self.frontier.len();
+            for &v in &self.frontier {
+                f(v);
             }
-            std::mem::swap(&mut self.frontier, &mut self.next);
         }
         (count, edges)
     }

@@ -105,12 +105,6 @@ impl ServeClient {
         }
     }
 
-    /// Connect with default settings.
-    #[deprecated(note = "use `ServeClient::connect(addr).open()`")]
-    pub fn dial(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
-        ServeClient::connect(addr).open()
-    }
-
     /// Send one binary-relevance query and block for its reply. A
     /// [`Reply::Err`] is a *per-request* rejection (bad k,
     /// out-of-range source, shed under load, …) — the connection

@@ -84,7 +84,8 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use lona_graph::{partition, CsrView, GraphStore, PartitionStrategy, ShardedGraph};
+use lona_graph::order::Permutation;
+use lona_graph::{partition, CsrView, GraphStore, NodeId, PartitionStrategy, ShardedGraph};
 use lona_relevance::ScoreVec;
 
 use crate::algo::Algorithm;
@@ -244,6 +245,7 @@ pub struct ServerBuilder<G> {
     warm: BTreeMap<u32, EngineState>,
     registry: BTreeMap<String, Arc<ScoreVec>>,
     sharding: Option<Sharding>,
+    permutation: Option<Arc<Permutation>>,
 }
 
 impl<G: GraphStore + Send + Sync + 'static> ServerBuilder<G> {
@@ -284,6 +286,17 @@ impl<G: GraphStore + Send + Sync + 'static> ServerBuilder<G> {
         self
     }
 
+    /// Declare that `graph` is numbered under `perm` (an `--order`
+    /// compiled file): inline source sets are mapped into the packed
+    /// id space on the way in, registered relevance vectors are
+    /// permuted once at bind, and every reply's entries are mapped
+    /// back to original ids (ties re-broken by original id) on the
+    /// way out — the renumbering is invisible on the wire.
+    pub fn permutation(mut self, perm: Permutation) -> Self {
+        self.permutation = Some(Arc::new(perm));
+        self
+    }
+
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// start the service threads.
     pub fn bind(self, addr: impl ToSocketAddrs) -> io::Result<Server> {
@@ -291,8 +304,9 @@ impl<G: GraphStore + Send + Sync + 'static> ServerBuilder<G> {
             graph,
             mut opts,
             warm,
-            registry,
+            mut registry,
             sharding,
+            permutation,
         } = self;
         let num_nodes = graph.csr().num_nodes();
         for (name, scores) in &registry {
@@ -305,6 +319,22 @@ impl<G: GraphStore + Send + Sync + 'static> ServerBuilder<G> {
                         scores.len()
                     ),
                 ));
+            }
+        }
+        if let Some(perm) = &permutation {
+            if perm.len() != num_nodes {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "permutation covers {} nodes but the graph has {num_nodes}",
+                        perm.len()
+                    ),
+                ));
+            }
+            // Registered vectors arrive in original ids; carry them
+            // into the packed space once, not per query.
+            for scores in registry.values_mut() {
+                *scores = Arc::new(crate::locality::permute_scores(perm, scores));
             }
         }
 
@@ -353,7 +383,18 @@ impl<G: GraphStore + Send + Sync + 'static> ServerBuilder<G> {
             let metrics = Arc::clone(&metrics);
             std::thread::Builder::new()
                 .name("lona-serve-accept".into())
-                .spawn(move || accept_loop(listener, graph, queue, stop, opts, metrics, registry))?
+                .spawn(move || {
+                    accept_loop(
+                        listener,
+                        graph,
+                        queue,
+                        stop,
+                        opts,
+                        metrics,
+                        registry,
+                        permutation,
+                    )
+                })?
         };
         let batcher = {
             let graph = Arc::clone(&graph);
@@ -412,6 +453,7 @@ impl Server {
             warm: BTreeMap::new(),
             registry: BTreeMap::new(),
             sharding: None,
+            permutation: None,
         }
     }
 
@@ -484,6 +526,7 @@ fn accept_loop<G: GraphStore + Send + Sync + 'static>(
     opts: ServeOptions,
     metrics: Arc<ServeMetrics>,
     registry: Arc<BTreeMap<String, Arc<ScoreVec>>>,
+    permutation: Option<Arc<Permutation>>,
 ) {
     let active = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
@@ -524,6 +567,7 @@ fn accept_loop<G: GraphStore + Send + Sync + 'static>(
         let queue = Arc::clone(&queue);
         let metrics = Arc::clone(&metrics);
         let registry = Arc::clone(&registry);
+        let permutation = permutation.clone();
         let active_in_handler = Arc::clone(&active);
         // Handlers are detached: they exit when their client closes
         // (or on shutdown, when the queue refuses admissions and the
@@ -531,7 +575,7 @@ fn accept_loop<G: GraphStore + Send + Sync + 'static>(
         let spawned = std::thread::Builder::new()
             .name("lona-serve-conn".into())
             .spawn(move || {
-                handle_connection(stream, graph, queue, opts, metrics, registry);
+                handle_connection(stream, graph, queue, opts, metrics, registry, permutation);
                 active_in_handler.fetch_sub(1, Ordering::SeqCst);
             });
         if spawned.is_err() {
@@ -559,6 +603,7 @@ fn retry_hint_micros(opts: &ServeOptions) -> u64 {
 /// connection (each rejected frame is logged and counted);
 /// framing/transport failures and timeouts close this connection
 /// only.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection<G: GraphStore + Send + Sync>(
     stream: TcpStream,
     graph: Arc<G>,
@@ -566,6 +611,7 @@ fn handle_connection<G: GraphStore + Send + Sync>(
     opts: ServeOptions,
     metrics: Arc<ServeMetrics>,
     registry: Arc<BTreeMap<String, Arc<ScoreVec>>>,
+    permutation: Option<Arc<Permutation>>,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(opts.io_timeout);
@@ -651,7 +697,14 @@ fn handle_connection<G: GraphStore + Send + Sync>(
             }
         };
 
-        let mut reply = answer(request, &graph, &registry, &queue, &opts);
+        let mut reply = answer(
+            request,
+            &graph,
+            &registry,
+            &queue,
+            &opts,
+            permutation.as_deref(),
+        );
         match &mut reply {
             Reply::Ok(r) => r.stats.serve_nanos = duration_nanos(received.elapsed()),
             Reply::Err { code, .. } => {
@@ -688,6 +741,7 @@ fn answer<G: GraphStore>(
     registry: &BTreeMap<String, Arc<ScoreVec>>,
     queue: &AdmissionQueue,
     opts: &ServeOptions,
+    perm: Option<&Permutation>,
 ) -> Reply {
     let id = request.id;
     let num_nodes = graph.csr().num_nodes();
@@ -695,7 +749,16 @@ fn answer<G: GraphStore>(
         return Reply::err(id, ErrorCode::BadRequest, message);
     }
     let scores = match &request.scores {
-        ScoreRef::Sources(sources) => Arc::new(binary_scores(sources, num_nodes)),
+        // Inline sources arrive in original ids; a permuted backend
+        // carries them into the packed space (same node count, so the
+        // validation above holds in either numbering).
+        ScoreRef::Sources(sources) => match perm {
+            Some(p) => {
+                let mapped: Vec<u32> = sources.iter().map(|&u| p.to_new(NodeId(u)).0).collect();
+                Arc::new(binary_scores(&mapped, num_nodes))
+            }
+            None => Arc::new(binary_scores(sources, num_nodes)),
+        },
         ScoreRef::Named(name) => match registry.get(name) {
             Some(v) => Arc::clone(v),
             None => {
@@ -726,7 +789,18 @@ fn answer<G: GraphStore>(
         Admit::Closed => return Reply::err(id, ErrorCode::Internal, "server is shutting down"),
     }
     match rx.recv() {
-        Ok(reply) => reply,
+        Ok(mut reply) => {
+            if let (Some(p), Reply::Ok(r)) = (perm, &mut reply) {
+                // Back to original ids, ties re-broken by original id
+                // so the wire result is numbering-independent.
+                for e in r.entries.iter_mut() {
+                    e.0 = p.to_old(NodeId(e.0)).0;
+                }
+                r.entries
+                    .sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            }
+            reply
+        }
         Err(_) => Reply::err(id, ErrorCode::Internal, "server is shutting down"),
     }
 }

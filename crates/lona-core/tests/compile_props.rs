@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use lona_core::{
     compile_to_vec, Aggregate, Algorithm, CompileSpec, CompiledGraph, LonaEngine, TopKQuery,
 };
-use lona_graph::{CsrGraph, GraphBuilder, GraphStore};
+use lona_graph::{CsrGraph, GraphBuilder, GraphStore, NodeOrder};
 use lona_relevance::ScoreVec;
 
 #[derive(Debug, Clone)]
@@ -107,6 +107,7 @@ fn compile_case(case: &Case) -> Vec<u8> {
         scores: Some(&case.scores),
         hops: &[case.h],
         with_diff: true,
+        order: NodeOrder::Natural,
     })
     .unwrap()
 }

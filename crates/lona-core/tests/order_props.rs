@@ -1,0 +1,177 @@
+//! Property tests for the cache-locality engine: on random graphs,
+//! every algorithm run on a degree-/BFS-reordered copy must agree
+//! with the natural-order engine (values within 1e-9 for SUM/AVG,
+//! bit-identical for MAX), the Base scan's work counters must be
+//! identical under every numbering, and the permutation itself must
+//! round-trip losslessly.
+//!
+//! Only Base's counters are gated: a full scan's work is a function
+//! of the graph, not the numbering. The pruned algorithms evaluate a
+//! numbering-dependent node set (their bound orders break ties by
+//! id), so they are value-gated only.
+
+use proptest::prelude::*;
+
+use lona_core::{
+    Aggregate, Algorithm, BackwardOptions, ForwardOptions, GammaSpec, LonaEngine, ProcessingOrder,
+    ReorderedEngine, TopKQuery,
+};
+use lona_graph::order::Permutation;
+use lona_graph::{CsrGraph, GraphBuilder, NodeId, NodeOrder};
+use lona_relevance::ScoreVec;
+
+#[derive(Debug, Clone)]
+struct Case {
+    g: CsrGraph,
+    scores: ScoreVec,
+    h: u32,
+    k: usize,
+}
+
+/// Every serial algorithm family and processing order.
+fn algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Base,
+        Algorithm::LonaForward(ForwardOptions {
+            order: ProcessingOrder::NodeId,
+        }),
+        Algorithm::LonaForward(ForwardOptions {
+            order: ProcessingOrder::DegreeDescending,
+        }),
+        Algorithm::LonaForward(ForwardOptions {
+            order: ProcessingOrder::ScoreDescending,
+        }),
+        Algorithm::BackwardNaive,
+        Algorithm::LonaBackward(BackwardOptions {
+            gamma: GammaSpec::Fixed(0.0),
+        }),
+        Algorithm::LonaBackward(BackwardOptions {
+            gamma: GammaSpec::NonzeroQuantile(0.9),
+        }),
+    ]
+}
+
+fn arb_order() -> impl Strategy<Value = NodeOrder> {
+    prop_oneof![Just(NodeOrder::Degree), Just(NodeOrder::Bfs)]
+}
+
+/// Random undirected graphs with a sparse score vector (the paper's
+/// regime: most nodes irrelevant).
+fn arb_case() -> impl Strategy<Value = Case> {
+    (3u32..24, 0usize..60)
+        .prop_flat_map(|(n, m)| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n, 0..n), m),
+                proptest::collection::vec(0.0f64..=1.0, n as usize),
+                1u32..4,
+                1usize..8,
+            )
+        })
+        .prop_map(|(n, edges, scores, h, k)| {
+            let scores: Vec<f64> = scores
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| if i % 3 == 0 { s } else { 0.0 })
+                .collect();
+            Case {
+                g: GraphBuilder::undirected()
+                    .with_num_nodes(n)
+                    .extend_edges(edges)
+                    .build()
+                    .unwrap(),
+                scores: ScoreVec::new(scores),
+                h,
+                k,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every algorithm × aggregate on a reordered copy agrees with
+    /// the natural engine; Base's counters are numbering-invariant.
+    #[test]
+    fn reordered_matches_natural(case in arb_case(), order in arb_order()) {
+        let mut natural = LonaEngine::new(&case.g, case.h);
+        let mut eng = ReorderedEngine::new(&case.g, order, case.h);
+        for aggregate in [Aggregate::Sum, Aggregate::Avg, Aggregate::Max] {
+            let query = TopKQuery::new(case.k, aggregate);
+            for algorithm in algorithms() {
+                let n = natural.run(&algorithm, &query, &case.scores);
+                let r = eng.run(&algorithm, &query, &case.scores);
+                if aggregate == Aggregate::Max {
+                    // MAX is computed by f64::max under every
+                    // numbering — not even the last bit may move.
+                    prop_assert_eq!(r.entries.len(), n.entries.len());
+                    for (a, b) in r.entries.iter().zip(n.entries.iter()) {
+                        prop_assert_eq!(
+                            a.1.to_bits(), b.1.to_bits(),
+                            "{} {:?} MAX diverged", order, algorithm
+                        );
+                    }
+                } else {
+                    prop_assert!(
+                        r.same_values(&n, 1e-9),
+                        "{} {:?} {:?} values diverged: {:?} vs {:?}",
+                        order, algorithm, aggregate, r.entries, n.entries
+                    );
+                }
+                if matches!(algorithm, Algorithm::Base) {
+                    prop_assert_eq!(r.stats.edges_traversed, n.stats.edges_traversed);
+                    prop_assert_eq!(r.stats.nodes_evaluated, n.stats.nodes_evaluated);
+                }
+            }
+        }
+    }
+
+    /// Entries always come back in the original id space.
+    #[test]
+    fn entries_stay_in_original_id_space(case in arb_case(), order in arb_order()) {
+        let n = case.g.num_nodes() as u32;
+        let mut eng = ReorderedEngine::new(&case.g, order, case.h);
+        let query = TopKQuery::new(case.k, Aggregate::Sum);
+        let r = eng.run(&Algorithm::Base, &query, &case.scores);
+        for &(u, _) in &r.entries {
+            prop_assert!(u.0 < n);
+        }
+        // Canonical output order: descending value, ties by original id.
+        for w in r.entries.windows(2) {
+            prop_assert!(
+                w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0.0 < w[1].0.0),
+                "entries out of canonical order: {:?}", r.entries
+            );
+        }
+    }
+
+    /// The permutation is a lossless bijection: new↔old round-trips
+    /// on every node, and serializing the new→old table rebuilds the
+    /// same permutation (the compiled container's Perm section does
+    /// exactly this).
+    #[test]
+    fn permutation_roundtrips(case in arb_case(), order in arb_order()) {
+        let perm = order.compute(case.g.view());
+        prop_assert_eq!(perm.len(), case.g.num_nodes());
+        for u in 0..case.g.num_nodes() as u32 {
+            prop_assert_eq!(perm.to_old(perm.to_new(NodeId(u))), NodeId(u));
+            prop_assert_eq!(perm.to_new(perm.to_old(NodeId(u))), NodeId(u));
+        }
+        let rebuilt = Permutation::from_new_to_old(perm.new_to_old().to_vec()).unwrap();
+        prop_assert_eq!(&rebuilt, &perm);
+    }
+
+    /// Renumbering is an isomorphism: same node/edge counts, and each
+    /// node keeps its degree across the mapping.
+    #[test]
+    fn reorder_preserves_structure(case in arb_case(), order in arb_order()) {
+        let (rg, perm) = case.g.reordered(order);
+        prop_assert_eq!(rg.num_nodes(), case.g.num_nodes());
+        prop_assert_eq!(rg.num_edges(), case.g.num_edges());
+        for u in 0..case.g.num_nodes() as u32 {
+            let old = case.g.view().neighbors(NodeId(u)).len();
+            let new = rg.view().neighbors(perm.to_new(NodeId(u))).len();
+            prop_assert_eq!(old, new, "node {} changed degree", u);
+        }
+    }
+}

@@ -21,6 +21,8 @@
 //! * [`view`] — induced subgraphs.
 //! * [`mod@partition`] — edge-cut sharding with halo replication, the
 //!   storage layer of the scatter-gather engine.
+//! * [`mod@order`] — cache-locality node renumbering (degree/BFS
+//!   orders applied through a lossless [`Permutation`]).
 //! * [`GraphStore`] / [`mapped`] — the storage abstraction: every
 //!   engine loop reads through a [`CsrView`] slice bundle, provided
 //!   either by the in-RAM [`CsrGraph`] or by [`CsrGraphMmap`] over a
@@ -52,6 +54,7 @@ mod error;
 pub mod io;
 pub mod mapped;
 mod node;
+pub mod order;
 pub mod partition;
 mod store;
 pub mod traversal;
@@ -62,6 +65,7 @@ pub use csr::{CsrGraph, CsrView, EdgeIter, NeighborIter};
 pub use error::GraphError;
 pub use mapped::{CsrGraphMmap, MapSlice, Pod};
 pub use node::NodeId;
+pub use order::{reorder, NodeOrder, Permutation};
 pub use partition::{partition, PartitionStrategy, Shard, ShardLoc, ShardedGraph};
 pub use store::GraphStore;
 

@@ -1,0 +1,420 @@
+//! Node reordering for cache locality.
+//!
+//! Every LONA inner loop walks `offsets[v]`/`scores[v]` in frontier
+//! order, so the *numbering* of nodes decides how the memory
+//! hierarchy sees a scan: neighbors with nearby ids share cache
+//! lines, neighbors with scattered ids each cost a miss. This module
+//! computes alternative numberings — [`NodeOrder::Degree`] packs hubs
+//! (the nodes every scan revisits) at the front of all arrays,
+//! [`NodeOrder::Bfs`] gives a Cuthill–McKee-flavored breadth-first
+//! numbering so h-hop neighborhoods occupy near-contiguous id ranges —
+//! and applies them through a lossless [`Permutation`].
+//!
+//! Renumbering is identity-preserving: [`reorder`] produces a
+//! [`CsrGraph`] whose adjacency rows are re-sorted under the new ids
+//! (the permutations here are *not* monotone, unlike the shard remap
+//! in [`crate::partition`], so rows must be re-sorted to keep the CSR
+//! sorted-row invariant), and the permutation maps every result back
+//! to original ids. Query answers over a reordered graph equal the
+//! natural-order answers as sets; f64 sums agree to summation-order
+//! tolerance because the engine accumulates each depth in ascending
+//! id order of *whichever* numbering is active.
+
+use std::cmp::Reverse;
+
+use crate::csr::{CsrGraph, CsrView};
+use crate::error::GraphError;
+use crate::node::NodeId;
+
+/// A node numbering the engine can run under.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum NodeOrder {
+    /// The input numbering, unchanged (the identity permutation).
+    #[default]
+    Natural,
+    /// Descending degree, ties by ascending original id: hubs first,
+    /// so the nodes every scan keeps revisiting share the first few
+    /// pages of `offsets`/`targets`/`scores`.
+    Degree,
+    /// Breadth-first (Cuthill–McKee-flavored) numbering: per
+    /// component, start from a minimum-degree node and number nodes
+    /// in BFS discovery order with neighbors enqueued by ascending
+    /// `(degree, id)`. Neighborhoods become near-contiguous id
+    /// ranges, which is what an h-hop scan actually touches.
+    Bfs,
+}
+
+impl NodeOrder {
+    /// Every order, in presentation order.
+    pub const ALL: [NodeOrder; 3] = [NodeOrder::Natural, NodeOrder::Degree, NodeOrder::Bfs];
+
+    /// Stable lowercase name (CLI flag value and bench label).
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeOrder::Natural => "natural",
+            NodeOrder::Degree => "degree",
+            NodeOrder::Bfs => "bfs",
+        }
+    }
+
+    /// Stable numeric code for on-disk storage (the compiled
+    /// container's permutation section tags itself with this).
+    pub fn code(self) -> u32 {
+        match self {
+            NodeOrder::Natural => 0,
+            NodeOrder::Degree => 1,
+            NodeOrder::Bfs => 2,
+        }
+    }
+
+    /// Inverse of [`NodeOrder::code`]; `None` for unknown codes (a
+    /// file written by a future revision).
+    pub fn from_code(code: u32) -> Option<NodeOrder> {
+        match code {
+            0 => Some(NodeOrder::Natural),
+            1 => Some(NodeOrder::Degree),
+            2 => Some(NodeOrder::Bfs),
+            _ => None,
+        }
+    }
+
+    /// Compute this order's permutation for `g`.
+    pub fn compute(self, g: CsrView<'_>) -> Permutation {
+        let n = g.num_nodes();
+        match self {
+            NodeOrder::Natural => Permutation::identity(n),
+            NodeOrder::Degree => {
+                let mut ids: Vec<u32> = (0..n as u32).collect();
+                ids.sort_unstable_by_key(|&u| (Reverse(g.degree(NodeId(u))), u));
+                Permutation::from_new_to_old(ids).expect("degree order is a bijection")
+            }
+            NodeOrder::Bfs => {
+                Permutation::from_new_to_old(bfs_order(g)).expect("bfs order is a bijection")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for NodeOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for NodeOrder {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "natural" | "none" | "identity" => Ok(NodeOrder::Natural),
+            "degree" => Ok(NodeOrder::Degree),
+            "bfs" | "rcm" => Ok(NodeOrder::Bfs),
+            other => Err(format!("unknown node order `{other}` (natural|degree|bfs)")),
+        }
+    }
+}
+
+/// Cuthill–McKee-flavored BFS numbering: deterministic for a given
+/// CSR, independent of anything but the graph structure.
+fn bfs_order(g: CsrView<'_>) -> Vec<u32> {
+    let n = g.num_nodes();
+    // Component starts in ascending (degree, id): the classic
+    // peripheral-ish seed, and a deterministic walk over components.
+    let mut seeds: Vec<u32> = (0..n as u32).collect();
+    seeds.sort_unstable_by_key(|&u| (g.degree(NodeId(u)), u));
+
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut scratch: Vec<u32> = Vec::new();
+    for &seed in &seeds {
+        if visited[seed as usize] {
+            continue;
+        }
+        visited[seed as usize] = true;
+        order.push(seed);
+        let mut head = order.len() - 1;
+        while head < order.len() {
+            let x = order[head];
+            head += 1;
+            scratch.clear();
+            for &v in g.neighbors(NodeId(x)) {
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    scratch.push(v.0);
+                }
+            }
+            scratch.sort_unstable_by_key(|&v| (g.degree(NodeId(v)), v));
+            order.extend_from_slice(&scratch);
+        }
+    }
+    order
+}
+
+/// A lossless node renumbering: `new_to_old[new] = old` and its
+/// inverse, both validated bijections over `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    new_to_old: Vec<u32>,
+    old_to_new: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation over `n` nodes.
+    pub fn identity(n: usize) -> Permutation {
+        let ids: Vec<u32> = (0..n as u32).collect();
+        Permutation {
+            new_to_old: ids.clone(),
+            old_to_new: ids,
+        }
+    }
+
+    /// Build from a `new -> old` map, validating that it is a
+    /// bijection over `0..len`. This is the entry point for
+    /// permutations read from disk, so a hostile map must come back
+    /// as an error, never a panic or an out-of-bounds index later.
+    pub fn from_new_to_old(new_to_old: Vec<u32>) -> Result<Permutation, GraphError> {
+        let n = new_to_old.len();
+        let mut old_to_new = vec![u32::MAX; n];
+        for (new, &old) in new_to_old.iter().enumerate() {
+            let slot = old_to_new.get_mut(old as usize).ok_or_else(|| {
+                GraphError::BadSnapshot(format!("permutation entry {old} out of range ({n} nodes)"))
+            })?;
+            if *slot != u32::MAX {
+                return Err(GraphError::BadSnapshot(format!(
+                    "permutation maps two new ids to old id {old}"
+                )));
+            }
+            *slot = new as u32;
+        }
+        Ok(Permutation {
+            new_to_old,
+            old_to_new,
+        })
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.new_to_old.len()
+    }
+
+    /// Whether the permutation covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.new_to_old.is_empty()
+    }
+
+    /// Whether this is the identity (reordering would be a no-op).
+    pub fn is_identity(&self) -> bool {
+        self.new_to_old
+            .iter()
+            .enumerate()
+            .all(|(i, &old)| i as u32 == old)
+    }
+
+    /// Map an original id into the reordered numbering.
+    #[inline(always)]
+    pub fn to_new(&self, old: NodeId) -> NodeId {
+        NodeId(self.old_to_new[old.index()])
+    }
+
+    /// Map a reordered id back to its original id.
+    #[inline(always)]
+    pub fn to_old(&self, new: NodeId) -> NodeId {
+        NodeId(self.new_to_old[new.index()])
+    }
+
+    /// The `new -> old` map (what the compiled container stores).
+    pub fn new_to_old(&self) -> &[u32] {
+        &self.new_to_old
+    }
+
+    /// The `old -> new` map.
+    pub fn old_to_new(&self) -> &[u32] {
+        &self.old_to_new
+    }
+}
+
+/// Renumber `g` under `perm`, producing an owned CSR with the same
+/// edges, weights, direction and logical edge count. Adjacency rows
+/// are re-sorted under the new ids (weights carried through the
+/// sort), so every CSR invariant — including the sorted-row binary
+/// searches — holds on the result.
+///
+/// Panics if `perm.len() != g.num_nodes()`.
+pub fn reorder(g: CsrView<'_>, perm: &Permutation) -> CsrGraph {
+    assert_eq!(
+        perm.len(),
+        g.num_nodes(),
+        "permutation covers {} nodes but the graph has {}",
+        perm.len(),
+        g.num_nodes()
+    );
+    let n = g.num_nodes();
+    let has_weights = g.has_weights();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut targets: Vec<NodeId> = Vec::with_capacity(g.num_adjacency_entries());
+    let mut weights: Option<Vec<f32>> = has_weights.then(|| Vec::with_capacity(targets.capacity()));
+    let mut row: Vec<(u32, f32)> = Vec::new();
+
+    offsets.push(0);
+    for new_u in 0..n as u32 {
+        let old_u = perm.to_old(NodeId(new_u));
+        row.clear();
+        for (v, w) in g.weighted_neighbors(old_u) {
+            row.push((perm.to_new(v).0, w));
+        }
+        // The permutation is not monotone, so the mapped row must be
+        // re-sorted to preserve the sorted-adjacency invariant.
+        row.sort_unstable_by_key(|&(v, _)| v);
+        for &(v, w) in &row {
+            targets.push(NodeId(v));
+            if let Some(ws) = weights.as_mut() {
+                ws.push(w);
+            }
+        }
+        offsets.push(targets.len() as u32);
+    }
+    CsrGraph::from_parts(offsets, targets, weights, g.num_edges(), g.is_directed())
+}
+
+impl CsrGraph {
+    /// Renumber this graph under `order`, returning the reordered CSR
+    /// and the permutation that maps between the two numberings.
+    pub fn reordered(&self, order: NodeOrder) -> (CsrGraph, Permutation) {
+        let perm = order.compute(self.view());
+        let g = reorder(self.view(), &perm);
+        (g, perm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn star_plus_path() -> CsrGraph {
+        // Hub 3 with spokes 0,1,2 plus a path 2-4-5.
+        GraphBuilder::undirected()
+            .extend_edges([(3, 0), (3, 1), (3, 2), (2, 4), (4, 5)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parsing_and_names() {
+        for order in NodeOrder::ALL {
+            assert_eq!(order.name().parse::<NodeOrder>().unwrap(), order);
+            assert_eq!(NodeOrder::from_code(order.code()), Some(order));
+            assert_eq!(format!("{order}"), order.name());
+        }
+        assert_eq!("rcm".parse::<NodeOrder>().unwrap(), NodeOrder::Bfs);
+        assert_eq!("none".parse::<NodeOrder>().unwrap(), NodeOrder::Natural);
+        assert!("hilbert".parse::<NodeOrder>().is_err());
+        assert_eq!(NodeOrder::from_code(99), None);
+    }
+
+    #[test]
+    fn degree_order_puts_hubs_first() {
+        let g = star_plus_path();
+        let perm = NodeOrder::Degree.compute(g.view());
+        // Degrees: 3 -> 3, 2 -> 2, 4 -> 2, rest 1; ties by id.
+        assert_eq!(perm.new_to_old(), &[3, 2, 4, 0, 1, 5]);
+        assert_eq!(perm.to_new(NodeId(3)), NodeId(0));
+        assert_eq!(perm.to_old(NodeId(0)), NodeId(3));
+    }
+
+    #[test]
+    fn bfs_order_visits_every_node_once() {
+        let g = star_plus_path();
+        for order in [NodeOrder::Bfs, NodeOrder::Degree] {
+            let perm = order.compute(g.view());
+            let mut seen = perm.new_to_old().to_vec();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..6).collect::<Vec<u32>>(), "{order}");
+        }
+        // BFS starts from a minimum-degree node (0, 1, 5 tie at
+        // degree 1; id breaks the tie -> 0).
+        let perm = NodeOrder::Bfs.compute(g.view());
+        assert_eq!(perm.to_old(NodeId(0)), NodeId(0));
+    }
+
+    #[test]
+    fn natural_is_identity() {
+        let g = star_plus_path();
+        let perm = NodeOrder::Natural.compute(g.view());
+        assert!(perm.is_identity());
+        assert!(!NodeOrder::Degree.compute(g.view()).is_identity());
+    }
+
+    #[test]
+    fn permutation_round_trips() {
+        let g = star_plus_path();
+        for order in NodeOrder::ALL {
+            let perm = order.compute(g.view());
+            for u in 0..g.num_nodes() as u32 {
+                assert_eq!(perm.to_new(perm.to_old(NodeId(u))), NodeId(u));
+                assert_eq!(perm.to_old(perm.to_new(NodeId(u))), NodeId(u));
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_maps_rejected() {
+        assert!(
+            Permutation::from_new_to_old(vec![0, 1, 5]).is_err(),
+            "out of range"
+        );
+        assert!(
+            Permutation::from_new_to_old(vec![0, 0, 1]).is_err(),
+            "duplicate"
+        );
+        assert!(Permutation::from_new_to_old(vec![]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reorder_preserves_structure() {
+        let g = star_plus_path();
+        for order in [NodeOrder::Degree, NodeOrder::Bfs] {
+            let (r, perm) = g.reordered(order);
+            assert_eq!(r.num_nodes(), g.num_nodes());
+            assert_eq!(r.num_edges(), g.num_edges());
+            assert_eq!(r.num_adjacency_entries(), g.num_adjacency_entries());
+            assert_eq!(r.is_directed(), g.is_directed());
+            for old_u in g.nodes() {
+                let new_u = perm.to_new(old_u);
+                assert_eq!(r.degree(new_u), g.degree(old_u));
+                // The mapped neighbor sets agree and stay sorted.
+                let mut mapped: Vec<NodeId> =
+                    g.neighbors(old_u).iter().map(|&v| perm.to_new(v)).collect();
+                mapped.sort_unstable();
+                assert_eq!(r.neighbors(new_u), &mapped[..], "{order}: node {old_u}");
+                assert!(r.neighbors(new_u).windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_carries_weights_through_the_row_sort() {
+        let g = GraphBuilder::undirected()
+            .add_weighted_edge(0, 1, 0.5)
+            .add_weighted_edge(0, 2, 2.5)
+            .add_weighted_edge(1, 2, 7.0)
+            .build()
+            .unwrap();
+        let (r, perm) = g.reordered(NodeOrder::Degree);
+        for (u, v, w) in g.edges() {
+            assert_eq!(
+                r.edge_weight(perm.to_new(u), perm.to_new(v)),
+                Some(w),
+                "edge {u}-{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn reorder_length_mismatch_panics() {
+        let g = star_plus_path();
+        let perm = Permutation::identity(3);
+        let err = std::panic::catch_unwind(|| reorder(g.view(), &perm));
+        assert!(err.is_err());
+    }
+}
