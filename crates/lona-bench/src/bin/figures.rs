@@ -26,7 +26,7 @@ use std::process::ExitCode;
 
 use lona_bench::{
     ablations, figures::FIGURES, locality, report, run_figure, scaling, serve_bench, shard_scaling,
-    startup, throughput,
+    startup, throughput, updates,
 };
 use lona_gen::{DatasetKind, DatasetProfile};
 
@@ -39,7 +39,9 @@ struct Args {
     serve: bool,
     startup: bool,
     locality: bool,
-    /// With --throughput, --shards, --serve, --startup or --locality:
+    updates: bool,
+    /// With --throughput, --shards, --serve, --startup, --locality or
+    /// --updates:
     /// apply the
     /// deterministic work-counter gate and exit non-zero when the
     /// measured mode does too much work or results diverge (the CI
@@ -67,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         serve: false,
         startup: false,
         locality: false,
+        updates: false,
         check: false,
         queries: 512,
         scale: None,
@@ -94,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
             "--serve" => args.serve = true,
             "--startup" => args.startup = true,
             "--locality" => args.locality = true,
+            "--updates" => args.updates = true,
             "--check" => args.check = true,
             "--queries" => {
                 args.queries = value("--queries")?
@@ -124,7 +128,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: figures [--fig N|all] [--ablation NAME|all] [--scaling] \
                             [--throughput [--check] [--queries N]] [--shards [--check]] \
                             [--serve [--check] [--queries N]] [--startup [--check]] \
-                            [--locality [--check]] \
+                            [--locality [--check]] [--updates [--check]] \
                             [--scale F] [--seed N] [--reps N] [--out DIR] [--quick]"
                         .into(),
                 )
@@ -392,6 +396,48 @@ fn main() -> ExitCode {
             eprintln!(
                 "locality guard ok: Base counters identical under every numbering, \
                  values and ranks agree, containers round-trip"
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Incremental-update invocation: apply a localized delta to a
+    // warm engine, repair its indexes in place, compare against a
+    // from-scratch rebuild, write the JSON trajectory file, and with
+    // --check apply the deterministic gate (result identity, a zero
+    // build counter on the repaired state, and repair counters proving
+    // the work stayed local — never wall clock).
+    if args.updates {
+        let scale = args.scale.unwrap_or(if args.quick { 0.01 } else { 0.1 });
+        eprintln!("running incremental-update comparison at scale {scale}...");
+        let data = updates::run_updates(scale, args.seed);
+        println!("{}", updates::ascii_table(&data));
+        let path = match &args.out_dir {
+            Some(dir) => {
+                if std::fs::create_dir_all(dir).is_err() {
+                    eprintln!("cannot create output directory {dir:?}");
+                    return ExitCode::FAILURE;
+                }
+                dir.join("BENCH_updates.json")
+            }
+            None => PathBuf::from("BENCH_updates.json"),
+        };
+        if let Err(e) = std::fs::write(&path, updates::json(&data)) {
+            eprintln!("failed to write {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("  -> {path:?}");
+        if args.check {
+            if let Err(msg) = updates::guard(&data) {
+                eprintln!("updates guard FAILED: {msg}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "updates guard ok: results identical, repaired state built 0 indexes, \
+                 {} of {} units repaired ({:.1}x repair speedup)",
+                data.entries_repaired,
+                data.full_units,
+                data.repair_speedup()
             );
         }
         return ExitCode::SUCCESS;

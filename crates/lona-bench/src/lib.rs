@@ -26,7 +26,11 @@
 //!   for the natural-vs-reordered Base-scan comparison (emits
 //!   `BENCH_locality.json`; `--check` gates on identical Base work
 //!   counters under every numbering, value/rank agreement, and both
-//!   compiled-container shapes round-tripping);
+//!   compiled-container shapes round-tripping), and `--updates` for
+//!   the incremental-update repair-vs-rebuild comparison (emits
+//!   `BENCH_updates.json`; `--check` gates on query-result identity,
+//!   a zero build counter on the repaired state, and repair counters
+//!   proving the work stayed local);
 //! * the criterion benches (`benches/fig*_*.rs`, `benches/ablations.rs`)
 //!   — statistically grounded microbenchmarks at smoke scale.
 
@@ -42,6 +46,7 @@ pub mod serve_bench;
 pub mod shard_scaling;
 pub mod startup;
 pub mod throughput;
+pub mod updates;
 pub mod workload;
 
 pub use figures::{run_figure, FigureData, FigureSpec, SeriesPoint, FIGURES, K_VALUES};
@@ -51,4 +56,5 @@ pub use serve_bench::{run_serve_bench, ServeBenchData, ServePoint, SERVE_CLIENTS
 pub use shard_scaling::{run_shard_scaling, ShardCell, ShardScalingData, SHARD_COUNTS};
 pub use startup::{run_startup, StartupData};
 pub use throughput::{run_throughput, ThroughputData, ThroughputPoint, BATCH_THREADS};
+pub use updates::{run_updates, UpdatesData};
 pub use workload::Workload;

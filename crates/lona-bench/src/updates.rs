@@ -1,0 +1,337 @@
+//! The incremental-update workload: apply a localized edge delta to a
+//! warm engine and repair its indexes in place, against the baseline
+//! of rebuilding both indexes from scratch.
+//!
+//! Wall-clock numbers go to `BENCH_updates.json` for the trajectory;
+//! the CI gate ([`guard`]) is deterministic only — query results on
+//! the repaired state bit-identical to a fresh engine on the mutated
+//! graph, a zero build counter on the repaired state, and the repair
+//! counters proving the work stayed local (`entries_repaired`
+//! strictly below the full-rebuild unit count, `rebuild_avoided_units`
+//! strictly positive). Timing is reported, never gated on.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use lona_core::delta::repair_engine_state;
+use lona_core::{Algorithm, EngineState, LonaEngine, TopKQuery};
+use lona_gen::DatasetKind;
+use lona_graph::{GraphDelta, GraphStore, NodeId, OverlayGraph};
+use lona_relevance::ScoreVec;
+
+use crate::report::format_duration;
+use crate::workload::Workload;
+
+/// Hop radius of the warm indexes and every query (the paper's 2).
+const HOPS: u32 = 2;
+
+/// One measured update-vs-rebuild comparison.
+#[derive(Clone, Debug)]
+pub struct UpdatesData {
+    /// Workload description line.
+    pub workload: String,
+    /// Hop radius the indexes cover.
+    pub hops: u32,
+    /// Edges before / after the delta.
+    pub edges_before: u64,
+    /// Edges after the delta.
+    pub edges_after: u64,
+    /// Edge inserts the delta carried.
+    pub inserted: u64,
+    /// Edge deletes the delta carried.
+    pub deleted: u64,
+    /// Nodes inside the repair's dirty region.
+    pub dirty_nodes: u64,
+    /// Index entries the repair recomputed.
+    pub entries_repaired: u64,
+    /// Index entries the repair copied instead of recomputing.
+    pub rebuild_avoided_units: u64,
+    /// Entries a from-scratch rebuild touches (`n` size slots plus
+    /// every adjacency slot of the new graph).
+    pub full_units: u64,
+    /// Wall clock: overlay apply + index repair.
+    pub repair: Duration,
+    /// Wall clock: from-scratch size+diff index build on the new graph.
+    pub rebuild: Duration,
+    /// Build counter of the repaired state — must be exactly zero
+    /// (deterministic, CI-gated).
+    pub repaired_builds: u32,
+    /// Whether repaired-state and fresh-engine query results were
+    /// bit-identical.
+    pub results_match: bool,
+}
+
+impl UpdatesData {
+    /// Full-rebuild wall clock / repair wall clock.
+    pub fn repair_speedup(&self) -> f64 {
+        let repair = self.repair.as_secs_f64();
+        if repair > 0.0 {
+            self.rebuild.as_secs_f64() / repair
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Fraction of the full-rebuild unit count the repair recomputed.
+    pub fn repaired_fraction(&self) -> f64 {
+        if self.full_units > 0 {
+            self.entries_repaired as f64 / self.full_units as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The deterministic CI gate: identical query results, a zero build
+/// counter on the repaired state, and counters proving the repair
+/// stayed local. Never wall clock.
+pub fn guard(data: &UpdatesData) -> Result<(), String> {
+    if !data.results_match {
+        return Err("repaired-state results diverged from a fresh engine".into());
+    }
+    if data.repaired_builds != 0 {
+        return Err(format!(
+            "the repaired state performed {} index build(s); repair must never rebuild",
+            data.repaired_builds
+        ));
+    }
+    if data.rebuild_avoided_units == 0 {
+        return Err("rebuild_avoided_units is 0: the repair recomputed everything".into());
+    }
+    if data.entries_repaired >= data.full_units {
+        return Err(format!(
+            "entries repaired ({}) is not below the full-rebuild unit count ({})",
+            data.entries_repaired, data.full_units
+        ));
+    }
+    if data.entries_repaired + data.rebuild_avoided_units != data.full_units {
+        return Err(format!(
+            "repair accounting broke: {} repaired + {} avoided != {} total units",
+            data.entries_repaired, data.rebuild_avoided_units, data.full_units
+        ));
+    }
+    Ok(())
+}
+
+/// The queries both states answer: one backward (size index) and one
+/// forward (differential index) top-10 SUM, so both repaired index
+/// sections are actually read.
+fn probe_queries<G: GraphStore + ?Sized>(
+    g: &G,
+    state: EngineState,
+    scores: &ScoreVec,
+) -> (Vec<(u32, u64)>, u32) {
+    let mut engine = LonaEngine::from_state(g, HOPS, state);
+    let query = TopKQuery::new(10, lona_core::Aggregate::Sum);
+    let mut out = Vec::new();
+    for algorithm in [Algorithm::backward(), Algorithm::forward()] {
+        let result = engine.run(&algorithm, &query, scores);
+        out.extend(result.entries.iter().map(|&(u, v)| (u.0, v.to_bits())));
+    }
+    (out, engine.state().index_builds())
+}
+
+/// A localized deterministic delta for `g`: delete the first edge of
+/// the middle node and insert one edge from it to a far node. No
+/// randomness — the same graph always yields the same delta.
+fn localized_delta(g: &lona_graph::CsrGraph) -> GraphDelta {
+    let n = g.num_nodes() as u32;
+    assert!(n >= 4, "workload too small for a localized delta");
+    let pivot = (0..n)
+        .map(|u| NodeId((u + n / 2) % n))
+        .find(|&u| g.degree(u) > 0)
+        .expect("workload has at least one edge");
+    let first_neighbor = g.neighbors(pivot)[0];
+    let insert_to = (0..n)
+        .map(|d| NodeId((pivot.0 + n / 3 + d) % n))
+        .find(|&v| v != pivot && !g.neighbors(pivot).contains(&v))
+        .expect("pivot is not connected to everything");
+    GraphDelta::new()
+        .delete(pivot.0, first_neighbor.0)
+        .insert(pivot.0, insert_to.0)
+}
+
+/// Run the comparison on the paper's citation workload at `scale`.
+pub fn run_updates(scale: f64, seed: u64) -> UpdatesData {
+    let workload = Workload::paper(DatasetKind::Citation, scale, 0.01, seed);
+    let (g, scores) = workload.build();
+    let description = workload.describe(&g, &scores);
+    let edges_before = g.num_edges() as u64;
+    let delta = localized_delta(&g);
+
+    // Warm state on the old graph: the thing a deployment holds when
+    // the delta arrives (size + diff index, two builds).
+    let mut warm = EngineState::new();
+    warm.prepare_diff_index(g.view(), HOPS);
+    debug_assert_eq!(warm.index_builds(), 2);
+
+    // --- Repair path: overlay apply + dirty-region index repair. ---
+    let t = Instant::now();
+    let mut overlay = OverlayGraph::new(&g);
+    let applied = overlay.apply(&delta).expect("delta applies");
+    let old = applied.old.as_ref().expect("edge delta changes the graph");
+    let (repaired, stats) = repair_engine_state(old.view(), overlay.csr(), &applied.touched, warm);
+    let repair = t.elapsed();
+    let edges_after = overlay.csr().num_edges() as u64;
+    let full_units = (overlay.csr().num_nodes() + overlay.csr().num_adjacency_entries()) as u64;
+
+    // --- Rebuild path: both indexes from scratch on the new graph. ---
+    let t = Instant::now();
+    let mut fresh = EngineState::new();
+    fresh.prepare_diff_index(overlay.csr(), HOPS);
+    let rebuild = t.elapsed();
+    debug_assert_eq!(fresh.index_builds(), 2);
+
+    let (repaired_entries, repaired_builds) = probe_queries(&overlay, repaired, &scores);
+    let (fresh_entries, _) = probe_queries(&overlay, fresh, &scores);
+
+    UpdatesData {
+        workload: description,
+        hops: HOPS,
+        edges_before,
+        edges_after,
+        inserted: applied.inserted,
+        deleted: applied.deleted,
+        dirty_nodes: stats.dirty_nodes,
+        entries_repaired: stats.entries_repaired,
+        rebuild_avoided_units: stats.rebuild_avoided_units,
+        full_units,
+        repair,
+        rebuild,
+        repaired_builds,
+        results_match: repaired_entries == fresh_entries,
+    }
+}
+
+/// Render the comparison as the ASCII table EXPERIMENTS.md embeds.
+pub fn ascii_table(data: &UpdatesData) -> String {
+    let mut out = String::from("Incremental update (delta repair vs. index rebuild)\n");
+    let _ = writeln!(out, "  workload: {}", data.workload);
+    let _ = writeln!(
+        out,
+        "  delta: +{} -{} edges ({} -> {})  results match: {}  repaired-state builds: {}",
+        data.inserted,
+        data.deleted,
+        data.edges_before,
+        data.edges_after,
+        data.results_match,
+        data.repaired_builds
+    );
+    let _ = writeln!(
+        out,
+        "  repair: dirty nodes {}  entries repaired {} of {} ({:.2}%)  avoided {}",
+        data.dirty_nodes,
+        data.entries_repaired,
+        data.full_units,
+        100.0 * data.repaired_fraction(),
+        data.rebuild_avoided_units
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  {:<10} {:>14}", "path", "wall clock");
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>14}",
+        "repair",
+        format_duration(data.repair)
+    );
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>14}",
+        "rebuild",
+        format_duration(data.rebuild)
+    );
+    let _ = writeln!(out, "\n  repair speedup: {:.1}x", data.repair_speedup());
+    out
+}
+
+/// Render as machine-readable JSON (`BENCH_updates.json`).
+/// Hand-rolled like the other reports: no serde, flat schema.
+pub fn json(data: &UpdatesData) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"updates\",");
+    let _ = writeln!(out, "  \"workload\": \"{}\",", escape(&data.workload));
+    let _ = writeln!(out, "  \"hops\": {},", data.hops);
+    let _ = writeln!(
+        out,
+        "  \"edges_before\": {}, \"edges_after\": {}, \"inserted\": {}, \"deleted\": {},",
+        data.edges_before, data.edges_after, data.inserted, data.deleted
+    );
+    let _ = writeln!(
+        out,
+        "  \"dirty_nodes\": {}, \"entries_repaired\": {}, \"rebuild_avoided_units\": {}, \
+         \"full_units\": {},",
+        data.dirty_nodes, data.entries_repaired, data.rebuild_avoided_units, data.full_units
+    );
+    let _ = writeln!(
+        out,
+        "  \"repair_s\": {:.9}, \"rebuild_s\": {:.9}, \"repaired_builds\": {},",
+        data.repair.as_secs_f64(),
+        data.rebuild.as_secs_f64(),
+        data.repaired_builds
+    );
+    let _ = writeln!(
+        out,
+        "  \"results_match\": {}, \"repair_speedup\": {:.3}",
+        data.results_match,
+        data.repair_speedup()
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> UpdatesData {
+        run_updates(0.004, 7)
+    }
+
+    #[test]
+    fn repair_stays_local_and_answers_identically() {
+        let data = tiny();
+        assert!(data.results_match, "repaired state must answer identically");
+        assert_eq!(data.repaired_builds, 0);
+        assert!(data.rebuild_avoided_units > 0);
+        assert!(data.entries_repaired < data.full_units);
+        assert!(guard(&data).is_ok(), "{:?}", guard(&data));
+    }
+
+    #[test]
+    fn guard_rejects_divergence_builds_and_global_repairs() {
+        let mut data = tiny();
+        data.results_match = false;
+        assert!(guard(&data).unwrap_err().contains("diverged"));
+        let mut data = tiny();
+        data.repaired_builds = 2;
+        assert!(guard(&data).unwrap_err().contains("index build"));
+        let mut data = tiny();
+        data.rebuild_avoided_units = 0;
+        assert!(guard(&data).unwrap_err().contains("recomputed everything"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let data = tiny();
+        let j = json(&data);
+        assert!(j.starts_with("{\n"));
+        assert!(j.trim_end().ends_with('}'));
+        assert!(j.contains("\"entries_repaired\""));
+        assert!(j.contains("\"repaired_builds\": 0"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn table_renders() {
+        let data = tiny();
+        let t = ascii_table(&data);
+        assert!(t.contains("Incremental update"));
+        assert!(t.contains("repair"));
+        assert!(t.contains("rebuild"));
+        assert!(t.contains("speedup"));
+    }
+}

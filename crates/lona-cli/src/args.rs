@@ -87,6 +87,47 @@ pub enum Command {
         /// Node order to pack the container in (default natural).
         order: NodeOrder,
     },
+    /// `lona update <edgelist> <deltafile> [--out FILE]
+    /// [--hops H1,H2,...] [--scores FILE] [--scores-out FILE]
+    /// [--verify]` — apply a batch of edge inserts/deletes (and score
+    /// overrides when `--scores` is given) through the CSR overlay,
+    /// repair the per-radius indexes incrementally, print the
+    /// deterministic repair counters, and write the updated graph.
+    Update {
+        /// Input edge-list path.
+        input: String,
+        /// Delta file: `add u v [w]` / `del u v` / `score u x` lines,
+        /// `#` comments and blank lines ignored.
+        delta: String,
+        /// Updated edge-list output path (`None` = don't write).
+        out: Option<String>,
+        /// Hop radii whose indexes are built pre-delta and repaired
+        /// (default `[2]`).
+        hops: Vec<u32>,
+        /// Score file the delta's `score` lines override (required
+        /// when the delta has any).
+        scores: Option<String>,
+        /// Where to write the post-override scores.
+        scores_out: Option<String>,
+        /// Cross-check every repaired index against a from-scratch
+        /// rebuild of the updated graph.
+        verify: bool,
+    },
+    /// `lona compact <compiled> --out FILE [--delta FILE]
+    /// [--hops H1,H2,...]` — re-emit a compiled container, optionally
+    /// applying a delta (edges and score overrides) first; the output
+    /// loads with the same zero-build startup as `lona compile`.
+    Compact {
+        /// Input compiled-file path.
+        input: String,
+        /// Output compiled-file path.
+        out: String,
+        /// Delta file to apply before re-packing.
+        delta: Option<String>,
+        /// Hop radii to pre-build indexes for (`None` = the radii the
+        /// input container carries).
+        hops: Option<Vec<u32>>,
+    },
     /// `lona topk <edgelist> [flags]`
     TopK {
         /// Input edge-list path.
@@ -241,6 +282,12 @@ USAGE:
   lona generate <collaboration|citation|intrusion> --out FILE [--scale S] [--seed N]
   lona compile  <edgelist> --out FILE [--scores FILE | --blacking R [--binary]]
                 [--seed N] [--hops H1,H2,...] [--order natural|degree|bfs]
+  lona update   <edgelist> <deltafile> [--out FILE] [--hops H1,H2,...]
+                [--scores FILE [--scores-out FILE]] [--verify]
+                (delta lines: `add u v [w]`, `del u v`, `score u x`;
+                 prints the deterministic index-repair counters)
+  lona compact  <compiled> --out FILE [--delta FILE] [--hops H1,H2,...]
+                (re-pack a compiled container, applying a delta first)
   lona topk     <edgelist|compiled --compiled> [--k N] [--hops H]
                 [--aggregate sum|avg|max|dwsum]
                 [--algorithm base|parallel|forward|parallel-forward|backward|
@@ -288,24 +335,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let out = flag_value(&rest, "--out")?.ok_or("compile requires --out FILE")?;
             let hops = match flag_value(&rest, "--hops")? {
                 None => vec![2],
-                Some(list) => {
-                    let parsed: Result<Vec<u32>, String> = list
-                        .split(',')
-                        .map(|s| {
-                            let s = s.trim();
-                            s.parse::<u32>()
-                                .map_err(|e| format!("bad --hops entry `{s}`: {e}"))
-                                .and_then(|h| {
-                                    if h == 0 {
-                                        Err("hop radius 0 cannot be indexed".into())
-                                    } else {
-                                        Ok(h)
-                                    }
-                                })
-                        })
-                        .collect();
-                    parsed?
-                }
+                Some(list) => parse_hops_list(&list)?,
             };
             Ok(Command::Compile {
                 input,
@@ -316,6 +346,37 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 seed: parse_flag(&rest, "--seed")?.unwrap_or(42),
                 hops,
                 order: parse_flag(&rest, "--order")?.unwrap_or(NodeOrder::Natural),
+            })
+        }
+        "update" => {
+            let input = positional(&rest, 0, "edgelist path")?;
+            let delta = positional(&rest, 1, "delta file path")?;
+            let hops = match flag_value(&rest, "--hops")? {
+                None => vec![2],
+                Some(list) => parse_hops_list(&list)?,
+            };
+            Ok(Command::Update {
+                input,
+                delta,
+                out: flag_value(&rest, "--out")?,
+                hops,
+                scores: flag_value(&rest, "--scores")?,
+                scores_out: flag_value(&rest, "--scores-out")?,
+                verify: has_flag(&rest, "--verify"),
+            })
+        }
+        "compact" => {
+            let input = positional(&rest, 0, "compiled file path")?;
+            let out = flag_value(&rest, "--out")?.ok_or("compact requires --out FILE")?;
+            let hops = match flag_value(&rest, "--hops")? {
+                None => None,
+                Some(list) => Some(parse_hops_list(&list)?),
+            };
+            Ok(Command::Compact {
+                input,
+                out,
+                delta: flag_value(&rest, "--delta")?,
+                hops,
             })
         }
         "serve" => {
@@ -455,6 +516,31 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
 }
 
+/// Parse a `--hops` radius list: comma-separated positive integers.
+/// Duplicates collapse and out-of-order entries are sorted, so
+/// `2,2,1` builds the same indexes as `1,2` — per-radius index state
+/// is keyed by radius, so order and multiplicity carry no meaning.
+pub fn parse_hops_list(list: &str) -> Result<Vec<u32>, String> {
+    let mut hops = list
+        .split(',')
+        .map(|s| {
+            let s = s.trim();
+            s.parse::<u32>()
+                .map_err(|e| format!("bad --hops entry `{s}`: {e}"))
+                .and_then(|h| {
+                    if h == 0 {
+                        Err("hop radius 0 cannot be indexed".into())
+                    } else {
+                        Ok(h)
+                    }
+                })
+        })
+        .collect::<Result<Vec<u32>, String>>()?;
+    hops.sort_unstable();
+    hops.dedup();
+    Ok(hops)
+}
+
 /// The i-th non-flag argument.
 fn positional(rest: &[&str], index: usize, what: &str) -> Result<String, String> {
     let mut seen = 0usize;
@@ -465,7 +551,7 @@ fn positional(rest: &[&str], index: usize, what: &str) -> Result<String, String>
             // Boolean flags take no value; skip the value of the rest.
             if !matches!(
                 a,
-                "--binary" | "--exclude-self" | "--sequential" | "--compiled"
+                "--binary" | "--exclude-self" | "--sequential" | "--compiled" | "--verify"
             ) {
                 i += 1;
             }
@@ -987,6 +1073,108 @@ mod tests {
                 assert_eq!(input, "g.lona");
                 assert!(compiled);
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_parses_with_defaults_and_flags() {
+        let c = parse(&v(&["update", "g.txt", "d.txt"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Update {
+                input: "g.txt".into(),
+                delta: "d.txt".into(),
+                out: None,
+                hops: vec![2],
+                scores: None,
+                scores_out: None,
+                verify: false,
+            }
+        );
+        let c = parse(&v(&[
+            "update",
+            "g.txt",
+            "d.txt",
+            "--out",
+            "g2.txt",
+            "--hops",
+            "1,3",
+            "--scores",
+            "s.txt",
+            "--scores-out",
+            "s2.txt",
+            "--verify",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Update {
+                input: "g.txt".into(),
+                delta: "d.txt".into(),
+                out: Some("g2.txt".into()),
+                hops: vec![1, 3],
+                scores: Some("s.txt".into()),
+                scores_out: Some("s2.txt".into()),
+                verify: true,
+            }
+        );
+        // --verify is boolean: a positional after it must survive.
+        let c = parse(&v(&["update", "--verify", "g.txt", "d.txt"])).unwrap();
+        match c {
+            Command::Update { input, verify, .. } => {
+                assert_eq!(input, "g.txt");
+                assert!(verify);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["update", "g.txt"])).is_err(), "delta required");
+        assert!(parse(&v(&["update", "g.txt", "d.txt", "--hops", "0"])).is_err());
+    }
+
+    #[test]
+    fn compact_parses() {
+        let c = parse(&v(&["compact", "g.lona", "--out", "g2.lona"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Compact {
+                input: "g.lona".into(),
+                out: "g2.lona".into(),
+                delta: None,
+                hops: None,
+            }
+        );
+        let c = parse(&v(&[
+            "compact", "g.lona", "--out", "g2.lona", "--delta", "d.txt", "--hops", "3,1",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Compact {
+                input: "g.lona".into(),
+                out: "g2.lona".into(),
+                delta: Some("d.txt".into()),
+                hops: Some(vec![1, 3]),
+            }
+        );
+        assert!(parse(&v(&["compact", "g.lona"])).is_err(), "--out required");
+        assert!(parse(&v(&["compact", "g.lona", "--out", "x", "--hops", "0"])).is_err());
+    }
+
+    #[test]
+    fn hops_lists_are_sorted_deduped_and_validated() {
+        assert_eq!(parse_hops_list("2").unwrap(), vec![2]);
+        assert_eq!(parse_hops_list("2,2,1").unwrap(), vec![1, 2]);
+        assert_eq!(parse_hops_list(" 3 , 1 , 2 , 1 ").unwrap(), vec![1, 2, 3]);
+        // Hostile shapes fail with a message, never panic.
+        for bad in ["0", "1,0", "", ",", "1,,2", "x", "1,x", "-1", "4294967296"] {
+            let err = parse_hops_list(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad:?}");
+        }
+        // The compile and update paths both route through the helper.
+        let c = parse(&v(&["compile", "g.txt", "--out", "x", "--hops", "2,1,2"])).unwrap();
+        match c {
+            Command::Compile { hops, .. } => assert_eq!(hops, vec![1, 2]),
             other => panic!("{other:?}"),
         }
     }

@@ -11,11 +11,12 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use lona_core::delta::{apply_score_overrides, repair_engine_state, RepairStats};
 use lona_core::exec::resolve_threads;
 use lona_core::locality::{map_entries_to_original, permute_scores};
 use lona_core::serve::{
-    histogram_count, histogram_quantile, ErrorCode, Reply, ServeClient, ServeOptions, Server,
-    StatsReport,
+    histogram_count, histogram_quantile_checked, ErrorCode, Reply, ServeClient, ServeOptions,
+    Server, StatsReport,
 };
 use lona_core::{
     compile_to_file, Aggregate, Algorithm, BatchOptions, BatchQuery, CompileSpec, CompiledGraph,
@@ -28,7 +29,9 @@ use lona_graph::algo::{
 };
 use lona_graph::io::{read_edge_list, write_edge_list, write_snapshot, EdgeListOptions};
 use lona_graph::partition::{partition, PartitionStrategy, ShardedGraph};
-use lona_graph::{CsrGraph, GraphStore, NodeOrder, Permutation};
+use lona_graph::{
+    CsrGraph, GraphBuilder, GraphDelta, GraphStore, NodeId, NodeOrder, OverlayGraph, Permutation,
+};
 use lona_relevance::{MixtureBuilder, ScoreVec};
 
 use crate::args::{AlgorithmChoice, Command};
@@ -100,6 +103,30 @@ pub fn execute(command: &Command) -> Result<Execution, String> {
             *order,
         )
         .map(Execution::done),
+        Command::Update {
+            input,
+            delta,
+            out,
+            hops,
+            scores,
+            scores_out,
+            verify,
+        } => update_cmd(
+            input,
+            delta,
+            out.as_deref(),
+            hops,
+            scores.as_deref(),
+            scores_out.as_deref(),
+            *verify,
+        )
+        .map(Execution::done),
+        Command::Compact {
+            input,
+            out,
+            delta,
+            hops,
+        } => compact_cmd(input, out, delta.as_deref(), hops.as_deref()).map(Execution::done),
         Command::Shard {
             input,
             shards,
@@ -406,12 +433,18 @@ fn stats(input: &str) -> Result<String, String> {
 /// cheap enough to record on every request.
 fn stats_line(out: &mut String, label: &str, buckets: &[u64], unit: &str) {
     let n = histogram_count(buckets);
+    // A histogram with no observations has no quantiles; render `-`
+    // rather than a fabricated 0µs latency.
+    let q = |q: f64| match histogram_quantile_checked(buckets, q) {
+        Some(v) => format!("{v}{unit}"),
+        None => "-".to_string(),
+    };
     let _ = writeln!(
         out,
-        "  {label:<11} p50 {}{unit}  p95 {}{unit}  p99 {}{unit}  ({n} samples)",
-        histogram_quantile(buckets, 0.50),
-        histogram_quantile(buckets, 0.95),
-        histogram_quantile(buckets, 0.99),
+        "  {label:<11} p50 {}  p95 {}  p99 {}  ({n} samples)",
+        q(0.50),
+        q(0.95),
+        q(0.99),
     );
 }
 
@@ -537,6 +570,236 @@ fn compile_cmd(
         "{} nodes, {} edges, radii {hops:?}, {order} order -> compiled {out} ({bytes} bytes)\n",
         g.num_nodes(),
         g.num_edges(),
+    ))
+}
+
+/// `lona update`: apply a text delta to an edge-list graph and repair
+/// per-radius indexes incrementally instead of rebuilding them. The
+/// report prints the deterministic repair counters (dirty nodes,
+/// entries repaired, rebuild-avoided units) so scripts and CI can gate
+/// on "the repair stayed local" without trusting wall-clock.
+fn update_cmd(
+    input: &str,
+    delta_path: &str,
+    out: Option<&str>,
+    hops: &[u32],
+    scores: Option<&str>,
+    scores_out: Option<&str>,
+    verify: bool,
+) -> Result<String, String> {
+    let g = load_graph(input)?;
+    let delta =
+        GraphDelta::parse_str(&read_text(delta_path)?).map_err(|e| format!("{delta_path}: {e}"))?;
+    if delta.is_empty() {
+        return Err(format!("{delta_path} contains no operations"));
+    }
+    if !delta.score_overrides.is_empty() && scores.is_none() {
+        return Err(format!(
+            "{delta_path} contains score overrides; pass --scores FILE to apply them"
+        ));
+    }
+    if scores_out.is_some() && scores.is_none() {
+        return Err("--scores-out requires --scores".into());
+    }
+    let score_vec = scores.map(|p| load_scores(p, g.num_nodes())).transpose()?;
+    let (n, old_edges) = (g.num_nodes(), g.num_edges());
+
+    // Build the per-radius indexes on the *old* graph first — this is
+    // the warm state a long-running deployment already holds, and the
+    // thing delta-repair exists to preserve.
+    let mut states: BTreeMap<u32, EngineState> = BTreeMap::new();
+    for &h in hops {
+        let mut st = EngineState::new();
+        st.prepare_size_index(g.view(), h);
+        st.prepare_diff_index(g.view(), h);
+        states.insert(h, st);
+    }
+
+    let mut overlay = OverlayGraph::new(g);
+    let applied = overlay.apply(&delta).map_err(|e| e.to_string())?;
+
+    let mut out_text = String::new();
+    let _ = writeln!(
+        out_text,
+        "update {input} + {delta_path}: +{} -{} edges, {} score overrides",
+        applied.inserted, applied.deleted, applied.scores_overridden
+    );
+    let _ = writeln!(
+        out_text,
+        "  nodes {n}  edges {old_edges} -> {}",
+        overlay.csr().num_edges()
+    );
+
+    let mut repaired: BTreeMap<u32, EngineState> = BTreeMap::new();
+    let mut total = RepairStats::default();
+    for (h, st) in states {
+        match &applied.old {
+            Some(old) => {
+                let (st, stats) =
+                    repair_engine_state(old.view(), overlay.csr(), &applied.touched, st);
+                let _ = writeln!(
+                    out_text,
+                    "  radius {h}: dirty nodes {}  entries repaired {}  rebuild avoided {} units",
+                    stats.dirty_nodes, stats.entries_repaired, stats.rebuild_avoided_units
+                );
+                // A repaired state counts zero builds — the gate that
+                // proves no full rebuild hid inside the repair.
+                if st.index_builds() != 0 {
+                    return Err(format!(
+                        "radius {h}: repair triggered {} full index builds",
+                        st.index_builds()
+                    ));
+                }
+                total.merge(&stats);
+                repaired.insert(h, st);
+            }
+            None => {
+                let _ = writeln!(
+                    out_text,
+                    "  radius {h}: score-only delta, indexes untouched"
+                );
+                repaired.insert(h, st);
+            }
+        }
+    }
+    if applied.old.is_some() && hops.len() > 1 {
+        let _ = writeln!(
+            out_text,
+            "  total: dirty nodes {}  entries repaired {}  rebuild avoided {} units",
+            total.dirty_nodes, total.entries_repaired, total.rebuild_avoided_units
+        );
+    }
+
+    if verify {
+        for (&h, st) in &repaired {
+            let mut fresh = EngineState::new();
+            fresh.prepare_size_index(overlay.csr(), h);
+            fresh.prepare_diff_index(overlay.csr(), h);
+            if fresh.size_index() != st.size_index() {
+                return Err(format!("radius {h}: repaired size index != fresh rebuild"));
+            }
+            if fresh.diff_index() != st.diff_index() {
+                return Err(format!("radius {h}: repaired diff index != fresh rebuild"));
+            }
+        }
+        let _ = writeln!(
+            out_text,
+            "  verify: repaired indexes match a fresh rebuild at radii {hops:?}"
+        );
+    }
+
+    if let Some(base) = &score_vec {
+        let updated = apply_score_overrides(base, overlay.score_overrides());
+        if let Some(path) = scores_out {
+            let mut text = String::new();
+            for s in updated.as_slice() {
+                let _ = writeln!(text, "{s}");
+            }
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let _ = writeln!(out_text, "  updated scores -> {path}");
+        }
+    }
+
+    if let Some(path) = out {
+        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        write_edge_list(&overlay.into_graph(), BufWriter::new(file))
+            .map_err(|e| format!("write failed: {e}"))?;
+        let _ = writeln!(out_text, "  updated graph -> {path}");
+    }
+    Ok(out_text)
+}
+
+/// `lona compact`: fold an optional delta into a compiled container
+/// and re-emit it as a fresh file — the offline companion to the
+/// in-memory [`OverlayGraph::compact`]. Deltas speak original node
+/// ids, so a reordered container is un-permuted first and recompiled
+/// under its original order policy (or the same natural order).
+fn compact_cmd(
+    input: &str,
+    out: &str,
+    delta: Option<&str>,
+    hops: Option<&[u32]>,
+) -> Result<String, String> {
+    let c = load_compiled(input)?;
+    let packed = c.csr();
+    let orig = |id: NodeId| -> u32 {
+        match c.permutation() {
+            Some(p) => p.to_old(id).0,
+            None => id.0,
+        }
+    };
+    let mut b = if packed.is_directed() {
+        GraphBuilder::directed()
+    } else {
+        GraphBuilder::undirected()
+    }
+    .with_num_nodes(packed.num_nodes() as u32);
+    for (u, v, w) in packed.edges() {
+        b = if packed.has_weights() {
+            b.add_weighted_edge(orig(u), orig(v), w)
+        } else {
+            b.add_edge(orig(u), orig(v))
+        };
+    }
+    let g = b
+        .build()
+        .map_err(|e| format!("cannot rebuild {input}: {e}"))?;
+    // Embedded scores are stored packed; bring them back to original
+    // order alongside the graph.
+    let mut score_vec = c.scores().map(|s| match c.permutation() {
+        Some(p) => {
+            let packed_scores = s.as_slice();
+            let mut v = vec![0.0; packed_scores.len()];
+            for (i, &x) in packed_scores.iter().enumerate() {
+                v[p.to_old(NodeId(i as u32)).index()] = x;
+            }
+            ScoreVec::new(v)
+        }
+        None => s.clone(),
+    });
+    let (n, old_edges) = (g.num_nodes(), g.num_edges());
+
+    let mut overlay = OverlayGraph::new(g);
+    let mut applied_line = String::new();
+    if let Some(path) = delta {
+        let d = GraphDelta::parse_str(&read_text(path)?).map_err(|e| format!("{path}: {e}"))?;
+        let applied = overlay.apply(&d).map_err(|e| e.to_string())?;
+        if applied.scores_overridden > 0 {
+            let base = score_vec.as_ref().ok_or_else(|| {
+                format!("{input} carries no score vector; cannot apply score overrides")
+            })?;
+            score_vec = Some(apply_score_overrides(base, overlay.score_overrides()));
+        }
+        let _ = writeln!(
+            applied_line,
+            "  applied {path}: +{} -{} edges, {} score overrides",
+            applied.inserted, applied.deleted, applied.scores_overridden
+        );
+    }
+    let new_g = overlay.into_graph();
+
+    let radii: Vec<u32> = match hops {
+        Some(h) => h.to_vec(),
+        None => c.hops_list(),
+    };
+    let spec = CompileSpec {
+        graph: new_g.view(),
+        scores: score_vec.as_ref(),
+        hops: &radii,
+        with_diff: true,
+        order: c.order(),
+    };
+    compile_to_file(&spec, Path::new(out)).map_err(|e| format!("compile failed: {e}"))?;
+    // The whole point is a loadable container; prove it.
+    let reloaded = load_compiled(out)?;
+    let bytes = std::fs::metadata(out)
+        .map(|m| m.len())
+        .map_err(|e| format!("cannot stat {out}: {e}"))?;
+    Ok(format!(
+        "compact {input} -> {out}: {n} nodes, {old_edges} -> {} edges, radii {radii:?}, \
+         {} order ({bytes} bytes)\n{applied_line}",
+        reloaded.csr().num_edges(),
+        reloaded.order(),
     ))
 }
 
@@ -1906,6 +2169,156 @@ mod tests {
         // The compiled path starts warm at the default radius: no
         // index-build line can appear.
         assert!(!mapped.contains("index build charged"), "{mapped}");
+    }
+
+    #[test]
+    fn update_repairs_indexes_and_writes_outputs() {
+        let p = tmp("update_graph.txt");
+        write_sample_graph(&p);
+        let d = tmp("update_delta.txt");
+        std::fs::write(&d, "# delta\nadd 0 4\ndel 2 3\nscore 1 0.5\n").unwrap();
+        let s = tmp("update_scores.txt");
+        std::fs::write(&s, "1.0\n0.0\n0.5\n0.0\n1.0\n").unwrap();
+        let g_out = tmp("update_graph_out.txt");
+        let s_out = tmp("update_scores_out.txt");
+        let cmd = parse(&[
+            "update".into(),
+            p,
+            d,
+            "--hops".into(),
+            "1,2".into(),
+            "--scores".into(),
+            s,
+            "--scores-out".into(),
+            s_out.clone(),
+            "--out".into(),
+            g_out.clone(),
+            "--verify".into(),
+        ])
+        .unwrap();
+        let out = execute(&cmd).unwrap().report;
+        assert!(out.contains("+1 -1 edges, 1 score overrides"), "{out}");
+        assert!(out.contains("entries repaired"), "{out}");
+        assert!(out.contains("rebuild avoided"), "{out}");
+        assert!(out.contains("verify: repaired indexes match"), "{out}");
+        // add 0-4 and del 2-3 cancel out in count but not in shape.
+        let g2 = load_graph(&g_out).unwrap();
+        assert_eq!(g2.num_nodes(), 5);
+        assert_eq!(g2.num_edges(), 5);
+        let scores2 = load_scores(&s_out, 5).unwrap();
+        assert_eq!(scores2.as_slice()[1], 0.5);
+    }
+
+    #[test]
+    fn update_rejects_score_delta_without_scores() {
+        let p = tmp("update_noscores.txt");
+        write_sample_graph(&p);
+        let d = tmp("update_noscores_delta.txt");
+        std::fs::write(&d, "score 0 0.25\n").unwrap();
+        let cmd = parse(&["update".into(), p, d]).unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.contains("--scores"), "{err}");
+    }
+
+    #[test]
+    fn compact_folds_delta_and_answers_like_a_plain_engine() {
+        let p = tmp("compact_graph.txt");
+        write_sample_graph(&p);
+        // Distinct 1-hop sums everywhere: ties would break in packed
+        // id order on the compiled path and mask nothing.
+        let s = tmp("compact_scores.txt");
+        std::fs::write(&s, "0.9\n0.1\n0.5\n0.3\n0.7\n").unwrap();
+        // BFS order exercises the un-permute path: the delta speaks
+        // original ids against a reordered container.
+        let c1 = tmp("compact_in.lona");
+        execute(
+            &parse(&[
+                "compile".into(),
+                p,
+                "--out".into(),
+                c1.clone(),
+                "--scores".into(),
+                s,
+                "--order".into(),
+                "bfs".into(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let d = tmp("compact_delta.txt");
+        std::fs::write(&d, "add 0 4\nscore 3 0.8\n").unwrap();
+        let c2 = tmp("compact_out.lona");
+        let out = execute(
+            &parse(&[
+                "compact".into(),
+                c1,
+                "--out".into(),
+                c2.clone(),
+                "--delta".into(),
+                d,
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+        .report;
+        assert!(out.contains("5 -> 6 edges"), "{out}");
+        assert!(out.contains("+1 -0 edges, 1 score overrides"), "{out}");
+
+        // The compacted container must answer exactly like a plain
+        // engine on the hand-mutated graph and scores.
+        let p2 = tmp("compact_graph_mut.txt");
+        std::fs::write(&p2, "0 1\n1 2\n2 0\n2 3\n3 4\n0 4\n").unwrap();
+        let s2 = tmp("compact_scores_mut.txt");
+        std::fs::write(&s2, "0.9\n0.1\n0.5\n0.8\n0.7\n").unwrap();
+        let plain = execute(
+            &parse(&[
+                "topk".into(),
+                p2,
+                "--k".into(),
+                "3".into(),
+                "--hops".into(),
+                "1".into(),
+                "--scores".into(),
+                s2,
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+        .report;
+        let mapped = execute(
+            &parse(&[
+                "topk".into(),
+                c2,
+                "--compiled".into(),
+                "--k".into(),
+                "3".into(),
+                "--hops".into(),
+                "1".into(),
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+        .report;
+        let ranked = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| l.trim_start().starts_with('#'))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(ranked(&mapped), ranked(&plain));
+    }
+
+    #[test]
+    fn stats_report_renders_dashes_for_empty_histograms() {
+        let r = StatsReport {
+            queue_wait: vec![0; 40],
+            dispatch: vec![0; 40],
+            end_to_end: vec![0; 40],
+            batch_size: vec![0; 40],
+            ..Default::default()
+        };
+        let out = format_stats_report("127.0.0.1:0", &r);
+        assert!(out.contains("p50 -  p95 -  p99 -  (0 samples)"), "{out}");
     }
 
     #[test]

@@ -134,6 +134,15 @@ impl DiffIndex {
         }
     }
 
+    /// Wrap an already-computed payload (the delta-repair path, which
+    /// patches entries of an existing index instead of rebuilding).
+    pub(crate) fn from_owned(hops: u32, deltas: Vec<u32>) -> Self {
+        DiffIndex {
+            hops,
+            deltas: U32Store::Owned(deltas),
+        }
+    }
+
     /// Wrap a zero-copy view of a compiled file's differential-index
     /// section. No build, no copy; the compiled loader cross-checks
     /// the length against the mapped graph's adjacency array first.

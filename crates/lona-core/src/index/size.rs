@@ -56,6 +56,15 @@ impl SizeIndex {
         }
     }
 
+    /// Wrap an already-computed payload (the delta-repair path, which
+    /// patches a copy of an existing index instead of rebuilding).
+    pub(crate) fn from_owned(hops: u32, sizes: Vec<u32>) -> Self {
+        SizeIndex {
+            hops,
+            sizes: U32Store::Owned(sizes),
+        }
+    }
+
     /// Wrap a zero-copy view of a compiled file's size section. No
     /// build, no copy; the compiled loader cross-checks the length
     /// against the mapped graph before calling this.

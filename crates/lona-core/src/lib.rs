@@ -52,6 +52,9 @@
 //!   their thread-parallel variants;
 //! * [`compiled`] — the `lona compile` container: graph + scores +
 //!   indexes packed into one mmap-able file for zero-build startup;
+//! * [`delta`] — incremental index maintenance: repair the ≤h-hop
+//!   dirty region of a [`SizeIndex`] / [`DiffIndex`] after an
+//!   [`lona_graph::OverlayGraph`] delta instead of rebuilding;
 //! * [`engine`] — index lifecycle + dispatch;
 //! * [`locality`] — run on a cache-friendly renumbered copy of the
 //!   graph, answer in original node ids;
@@ -75,6 +78,7 @@ pub mod algo;
 pub mod batch;
 pub mod bounds;
 pub mod compiled;
+pub mod delta;
 pub mod engine;
 pub mod exec;
 pub mod index;
@@ -92,6 +96,7 @@ pub use aggregate::Aggregate;
 pub use algo::{Algorithm, BackwardOptions, ForwardOptions, GammaSpec, ProcessingOrder};
 pub use batch::{BatchMode, BatchOptions, BatchQuery, BatchResult};
 pub use compiled::{compile_to_file, compile_to_vec, CompileSpec, CompiledGraph};
+pub use delta::{repair_engine_state, GraphDelta, OverlayGraph, RepairStats};
 pub use engine::{EngineState, LonaEngine, TopKQuery};
 pub use exec::SharedThreshold;
 pub use index::{DiffIndex, SizeIndex};

@@ -28,11 +28,14 @@ use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use lona_graph::GraphDelta;
+
 use crate::aggregate::Aggregate;
 
 use super::codec::{
-    decode_reply, decode_stats_reply, encode_request_v2, encode_stats_request, read_frame,
-    write_frame, ErrorCode, Reply, Request, ScoreRef, StatsReport, MAX_FRAME,
+    decode_reply, decode_stats_reply, decode_update_reply, encode_request_v2, encode_stats_request,
+    encode_update_request, read_frame, write_frame, CodecError, ErrorCode, Reply, Request,
+    ScoreRef, StatsReport, UpdateReport, MAX_FRAME,
 };
 
 /// Deferred connection settings; made by [`ServeClient::connect`].
@@ -162,6 +165,74 @@ impl ServeClient {
             return Err(id_mismatch(got_id, id));
         }
         Ok(report)
+    }
+
+    /// Apply a graph delta on the server and block for its repair
+    /// report, retrying `Busy` replies up to the configured retry
+    /// budget. The delta executes at its exact admission position, so
+    /// `query; update; query` on one connection observes the first
+    /// answer on the old graph and the second on the new one.
+    ///
+    /// Score overrides are rejected client-side: the serving path
+    /// owns relevance through the server's registry. A server-side
+    /// rejection (bad endpoint, sharded backend, …) comes back as an
+    /// `io::Error` carrying the wire message.
+    pub fn update(&mut self, delta: &GraphDelta) -> io::Result<UpdateReport> {
+        if !delta.score_overrides.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "score overrides are not accepted over the wire; register a relevance \
+                 function instead",
+            ));
+        }
+        let mut attempts_left = self.retries;
+        loop {
+            let id = self.take_id();
+            write_frame(
+                &mut self.writer,
+                &encode_update_request(id, delta),
+                self.max_frame,
+            )?;
+            self.writer.flush()?;
+            let payload = self.read_reply_payload()?;
+            match decode_update_reply(&payload) {
+                Ok((got_id, report)) => {
+                    if got_id != id {
+                        return Err(id_mismatch(got_id, id));
+                    }
+                    return Ok(report);
+                }
+                // Rejections arrive as regular error replies; decode
+                // those on the BadKind fallback.
+                Err(CodecError::BadKind(_)) => {
+                    let reply = decode_reply(&payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                    if reply.id() != id {
+                        return Err(id_mismatch(reply.id(), id));
+                    }
+                    match reply {
+                        Reply::Err {
+                            code: ErrorCode::Busy,
+                            retry_after_micros,
+                            ..
+                        } if attempts_left > 0 => {
+                            attempts_left -= 1;
+                            std::thread::sleep(Duration::from_micros(retry_after_micros));
+                        }
+                        Reply::Err { message, .. } => {
+                            return Err(io::Error::other(format!("update rejected: {message}")))
+                        }
+                        Reply::Ok(_) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "server answered an update with a query response",
+                            ))
+                        }
+                    }
+                }
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            }
+        }
     }
 
     /// Send a fully-specified request and block for the reply with

@@ -62,6 +62,8 @@ use std::io::{self, Read, Write};
 
 use bytes::{Buf, BufMut};
 
+use lona_graph::GraphDelta;
+
 use crate::aggregate::Aggregate;
 use crate::stats::QueryStats;
 
@@ -82,6 +84,8 @@ const KIND_OK: u8 = 2;
 const KIND_ERROR: u8 = 3;
 const KIND_STATS_REQ: u8 = 4;
 const KIND_STATS_REPLY: u8 = 5;
+const KIND_UPDATE: u8 = 6;
+const KIND_UPDATE_REPLY: u8 = 7;
 
 /// Number of `u64` counters in a stats reply, in wire order.
 const STATS_COUNTERS: usize = 9;
@@ -223,8 +227,8 @@ pub struct Request {
     pub include_self: bool,
 }
 
-/// A decoded inbound frame: a query, or a stats poll.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A decoded inbound frame: a query, a stats poll, or a graph update.
+#[derive(Clone, Debug, PartialEq)]
 pub enum Inbound {
     /// A top-k query to admit.
     Query(Request),
@@ -232,6 +236,15 @@ pub enum Inbound {
     Stats {
         /// Correlation id echoed in the stats reply.
         id: u64,
+    },
+    /// A graph delta to apply between micro-batches (wire v2 only).
+    Update {
+        /// Correlation id echoed in the update reply.
+        id: u64,
+        /// The edge mutations. The wire carries score overrides too,
+        /// but the server rejects them (named-score resolution happens
+        /// at admission, so an override could not apply FIFO).
+        delta: GraphDelta,
     },
 }
 
@@ -428,6 +441,17 @@ pub fn histogram_quantile(buckets: &[u64], q: f64) -> u64 {
     bucket_upper_bound(buckets.len().saturating_sub(1))
 }
 
+/// [`histogram_quantile`] that distinguishes "no observations" from a
+/// genuine 0-bound estimate: `None` on an empty histogram. Renderers
+/// use this to print `-` instead of a fake p99.
+pub fn histogram_quantile_checked(buckets: &[u64], q: f64) -> Option<u64> {
+    if histogram_count(buckets) == 0 {
+        None
+    } else {
+        Some(histogram_quantile(buckets, q))
+    }
+}
+
 /// Largest value a bucket can hold: `2^(i+1) − 1` (bucket 0 covers
 /// values 0 and 1).
 pub fn bucket_upper_bound(i: usize) -> u64 {
@@ -603,6 +627,96 @@ pub fn encode_stats_request(id: u64) -> Vec<u8> {
     out
 }
 
+/// What a server-side update did, echoed back in the UPDATE reply.
+/// All counters are deterministic (see `delta::RepairStats`), so
+/// clients and CI can gate on them exactly.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Edges actually inserted (no-op inserts excluded).
+    pub inserted: u64,
+    /// Edges actually deleted (no-op deletes excluded).
+    pub deleted: u64,
+    /// Nodes in the ≤h-hop dirty region, summed over repaired states.
+    pub dirty_nodes: u64,
+    /// Index entries recomputed, summed over repaired states.
+    pub entries_repaired: u64,
+    /// Index entries a full rebuild would have recomputed but the
+    /// repair copied, summed over repaired states.
+    pub rebuild_avoided_units: u64,
+    /// Warm engine states whose indexes were repaired in place.
+    pub states_repaired: u32,
+}
+
+/// Encode a graph-update request (always version 2). Edge weights
+/// travel as `f64` (lossless for the graph's `f32` weights).
+pub fn encode_update_request(id: u64, delta: &GraphDelta) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        3 + 8
+            + 4
+            + 16 * delta.inserts.len()
+            + 4
+            + 8 * delta.deletes.len()
+            + 4
+            + 12 * delta.score_overrides.len(),
+    );
+    put_header(&mut out, VERSION_2, KIND_UPDATE);
+    out.put_u64_le(id);
+    out.put_u32_le(delta.inserts.len() as u32);
+    for &(u, v, w) in &delta.inserts {
+        out.put_u32_le(u);
+        out.put_u32_le(v);
+        out.put_f64_le(w as f64);
+    }
+    out.put_u32_le(delta.deletes.len() as u32);
+    for &(u, v) in &delta.deletes {
+        out.put_u32_le(u);
+        out.put_u32_le(v);
+    }
+    out.put_u32_le(delta.score_overrides.len() as u32);
+    for &(u, s) in &delta.score_overrides {
+        out.put_u32_le(u);
+        out.put_f64_le(s);
+    }
+    out
+}
+
+/// Encode an UPDATE reply (always version 2; the request kind itself
+/// requires v2).
+pub fn encode_update_reply(id: u64, report: &UpdateReport) -> Vec<u8> {
+    let mut out = Vec::with_capacity(3 + 8 + 5 * 8 + 4);
+    put_header(&mut out, VERSION_2, KIND_UPDATE_REPLY);
+    out.put_u64_le(id);
+    out.put_u64_le(report.inserted);
+    out.put_u64_le(report.deleted);
+    out.put_u64_le(report.dirty_nodes);
+    out.put_u64_le(report.entries_repaired);
+    out.put_u64_le(report.rebuild_avoided_units);
+    out.put_u32_le(report.states_repaired);
+    out
+}
+
+/// Decode an UPDATE reply payload. Error frames arrive as regular
+/// [`Reply::Err`] replies — callers fall back to [`decode_reply`] on
+/// [`CodecError::BadKind`].
+pub fn decode_update_reply(payload: &[u8]) -> Result<(u64, UpdateReport), CodecError> {
+    let mut t = Take { rest: payload };
+    let (_, kind) = take_header(&mut t)?;
+    if kind != KIND_UPDATE_REPLY {
+        return Err(CodecError::BadKind(kind));
+    }
+    let id = t.u64()?;
+    let report = UpdateReport {
+        inserted: t.u64()?,
+        deleted: t.u64()?,
+        dirty_nodes: t.u64()?,
+        entries_repaired: t.u64()?,
+        rebuild_avoided_units: t.u64()?,
+        states_repaired: t.u32()?,
+    };
+    t.finish()?;
+    Ok((id, report))
+}
+
 /// Decode any inbound (client → server) payload. Returns the message
 /// and the wire version it arrived under, so replies can mirror it.
 pub fn decode_inbound(payload: &[u8]) -> Result<(Inbound, u8), CodecError> {
@@ -649,6 +763,38 @@ pub fn decode_inbound(payload: &[u8]) -> Result<(Inbound, u8), CodecError> {
             t.finish()?;
             Ok((Inbound::Stats { id }, version))
         }
+        KIND_UPDATE => {
+            if version != VERSION_2 {
+                return Err(CodecError::KindNeedsV2(kind));
+            }
+            let id = t.u64()?;
+            let mut delta = GraphDelta::new();
+            // Hostile-count guard: every count must be coverable by
+            // the remaining bytes before a Vec is sized from it.
+            let n_inserts = t.u32()? as usize;
+            t.need(n_inserts.saturating_mul(16))?;
+            delta.inserts.reserve(n_inserts);
+            for _ in 0..n_inserts {
+                let (u, v) = (t.u32()?, t.u32()?);
+                delta.inserts.push((u, v, t.f64()? as f32));
+            }
+            let n_deletes = t.u32()? as usize;
+            t.need(n_deletes.saturating_mul(8))?;
+            delta.deletes.reserve(n_deletes);
+            for _ in 0..n_deletes {
+                let (u, v) = (t.u32()?, t.u32()?);
+                delta.deletes.push((u, v));
+            }
+            let n_scores = t.u32()? as usize;
+            t.need(n_scores.saturating_mul(12))?;
+            delta.score_overrides.reserve(n_scores);
+            for _ in 0..n_scores {
+                let u = t.u32()?;
+                delta.score_overrides.push((u, t.f64()?));
+            }
+            t.finish()?;
+            Ok((Inbound::Update { id, delta }, version))
+        }
         other => Err(CodecError::BadKind(other)),
     }
 }
@@ -672,6 +818,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
     match decode_inbound(payload)? {
         (Inbound::Query(req), _) => Ok(req),
         (Inbound::Stats { .. }, _) => Err(CodecError::BadKind(KIND_STATS_REQ)),
+        (Inbound::Update { .. }, _) => Err(CodecError::BadKind(KIND_UPDATE)),
     }
 }
 
@@ -1108,6 +1255,83 @@ mod tests {
         assert_eq!(decode_stats_reply(&payload).unwrap(), (42, report));
     }
 
+    fn sample_delta() -> GraphDelta {
+        GraphDelta::new()
+            .insert(3, 17)
+            .insert_weighted(4, 18, 2.5)
+            .delete(0, 9)
+            .override_score(17, 0.85)
+    }
+
+    fn sample_update_report() -> UpdateReport {
+        UpdateReport {
+            inserted: 2,
+            deleted: 1,
+            dirty_nodes: 12,
+            entries_repaired: 40,
+            rebuild_avoided_units: 960,
+            states_repaired: 3,
+        }
+    }
+
+    #[test]
+    fn update_frames_round_trip() {
+        let delta = sample_delta();
+        let (inb, v) = decode_inbound(&encode_update_request(9, &delta)).unwrap();
+        assert_eq!((inb, v), (Inbound::Update { id: 9, delta }, VERSION_2));
+        // Empty deltas are legal frames.
+        let (inb, _) = decode_inbound(&encode_update_request(1, &GraphDelta::new())).unwrap();
+        assert_eq!(
+            inb,
+            Inbound::Update {
+                id: 1,
+                delta: GraphDelta::new()
+            }
+        );
+        let report = sample_update_report();
+        let payload = encode_update_reply(9, &report);
+        assert_eq!(decode_update_reply(&payload).unwrap(), (9, report));
+    }
+
+    #[test]
+    fn update_rejected_under_v1() {
+        let mut payload = encode_update_request(9, &sample_delta());
+        payload[1] = VERSION;
+        assert_eq!(
+            decode_inbound(&payload).unwrap_err(),
+            CodecError::KindNeedsV2(KIND_UPDATE)
+        );
+        // And decode_request never yields an update.
+        let payload = encode_update_request(9, &sample_delta());
+        assert_eq!(
+            decode_request(&payload).unwrap_err(),
+            CodecError::BadKind(KIND_UPDATE)
+        );
+    }
+
+    #[test]
+    fn hostile_update_counts_do_not_allocate() {
+        // A frame claiming u32::MAX inserts with no bytes behind it
+        // must fail on the length check, not in Vec::with_capacity.
+        let mut payload = Vec::new();
+        put_header(&mut payload, VERSION_2, KIND_UPDATE);
+        payload.put_u64_le(1);
+        payload.put_u32_le(u32::MAX);
+        assert!(matches!(
+            decode_inbound(&payload).unwrap_err(),
+            CodecError::Truncated
+        ));
+    }
+
+    #[test]
+    fn update_reply_decoder_rejects_other_kinds() {
+        let err_frame = encode_reply_v2(&Reply::err(9, ErrorCode::Unsupported, "no"));
+        assert_eq!(
+            decode_update_reply(&err_frame).unwrap_err(),
+            CodecError::BadKind(KIND_ERROR)
+        );
+    }
+
     #[test]
     fn every_truncation_is_rejected_not_panicking() {
         let frames = [
@@ -1115,6 +1339,8 @@ mod tests {
             encode_request_v2(&sample_request()),
             encode_request(&named_request()),
             encode_stats_request(42),
+            encode_update_request(9, &sample_delta()),
+            encode_update_reply(9, &sample_update_report()),
             encode_reply(&Reply::Ok(sample_response())),
             encode_reply_v2(&Reply::busy(1, 9, "x")),
             encode_reply(&Reply::err(1, ErrorCode::BadRequest, "x")),
@@ -1126,8 +1352,9 @@ mod tests {
                 let inb = decode_inbound(prefix);
                 let rep = decode_reply(prefix);
                 let sta = decode_stats_reply(prefix);
+                let upd = decode_update_reply(prefix);
                 assert!(
-                    inb.is_err() && rep.is_err() && sta.is_err(),
+                    inb.is_err() && rep.is_err() && sta.is_err() && upd.is_err(),
                     "prefix of {cut} accepted"
                 );
             }
@@ -1146,6 +1373,18 @@ mod tests {
         payload.push(0);
         assert_eq!(
             decode_stats_reply(&payload).unwrap_err(),
+            CodecError::TrailingBytes(1)
+        );
+        let mut payload = encode_update_request(1, &sample_delta());
+        payload.push(0);
+        assert_eq!(
+            decode_inbound(&payload).unwrap_err(),
+            CodecError::TrailingBytes(1)
+        );
+        let mut payload = encode_update_reply(1, &sample_update_report());
+        payload.push(0);
+        assert_eq!(
+            decode_update_reply(&payload).unwrap_err(),
             CodecError::TrailingBytes(1)
         );
     }
@@ -1278,8 +1517,13 @@ mod tests {
 
     #[test]
     fn histogram_quantiles_hit_bucket_upper_bounds() {
+        // Pinned: empty histograms report 0, never a garbage bucket
+        // bound; the checked variant makes the emptiness explicit.
         assert_eq!(histogram_quantile(&[], 0.5), 0);
         assert_eq!(histogram_quantile(&[0, 0, 0], 0.5), 0);
+        assert_eq!(histogram_quantile_checked(&[], 0.99), None);
+        assert_eq!(histogram_quantile_checked(&[0; 40], 0.99), None);
+        assert_eq!(histogram_quantile_checked(&[0, 1], 0.99), Some(3));
         // 10 observations in bucket 3 ([8, 16)): every quantile lands
         // on its upper bound 15.
         let mut h = vec![0u64; 8];

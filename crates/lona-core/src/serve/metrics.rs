@@ -89,6 +89,10 @@ pub struct ServeMetrics {
     pub timeouts: AtomicU64,
     /// Index builds charged to micro-batches.
     pub index_builds: AtomicU64,
+    /// Graph deltas applied via UPDATE frames. Deliberately not part
+    /// of the wire [`StatsReport`] — its encoding is pinned by golden
+    /// bytes; this counter is for in-process observability and tests.
+    pub updates_applied: AtomicU64,
     /// Queue-wait latency (µs).
     pub queue_wait: LatencyHistogram,
     /// Engine dispatch latency (µs).
@@ -129,7 +133,7 @@ impl ServeMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::serve::codec::{histogram_count, histogram_quantile};
+    use crate::serve::codec::{histogram_count, histogram_quantile, histogram_quantile_checked};
 
     #[test]
     fn buckets_are_log2_with_clamping() {
@@ -157,6 +161,19 @@ mod tests {
         assert_eq!(snap[19], 1); // 1_000_000
                                  // The median of {0,1,2,100,100,1e6} sits in bucket 1 → 3.
         assert_eq!(histogram_quantile(&snap, 0.5), 3);
+    }
+
+    #[test]
+    fn fresh_histogram_has_no_quantiles() {
+        // An empty histogram must not invent a latency: the unchecked
+        // quantile pins to 0 and the checked variant says "no data".
+        let h = LatencyHistogram::new();
+        let snap = h.snapshot();
+        assert_eq!(histogram_count(&snap), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(histogram_quantile(&snap, q), 0);
+            assert_eq!(histogram_quantile_checked(&snap, q), None);
+        }
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //!   stats frames), with total decoding — malformed bytes become
 //!   typed errors, never panics;
 //! * [`queue`] — the **bounded** admission queue, which coalesces
-//!   requests arriving within a short window into micro-batches and
-//!   sheds with `Busy` once full;
+//!   requests arriving within a short window into micro-batches,
+//!   sheds with `Busy` once full, and carries graph updates in the
+//!   same FIFO so admission order is execution order;
 //! * [`metrics`] — lock-cheap counters and base-2 log latency
 //!   histograms, answered by the `Stats` wire request even under
 //!   full load;
@@ -48,11 +49,12 @@ pub mod server;
 
 pub use client::{ClientBuilder, ServeClient};
 pub use codec::{
-    bucket_upper_bound, histogram_count, histogram_quantile, CodecError, ErrorCode, Inbound, Reply,
-    Request, Response, ScoreRef, ServeStats, StatsReport,
+    bucket_upper_bound, histogram_count, histogram_quantile, histogram_quantile_checked,
+    CodecError, ErrorCode, Inbound, Reply, Request, Response, ScoreRef, ServeStats, StatsReport,
+    UpdateReport,
 };
 pub use metrics::{LatencyHistogram, ServeMetrics};
-pub use queue::{AdmissionQueue, Admit};
+pub use queue::{AdmissionQueue, Admit, Pending, UpdateJob, Work};
 pub use server::{
     binary_scores, serve_algorithm, validate_request, ServeOptions, Server, ServerBuilder,
 };

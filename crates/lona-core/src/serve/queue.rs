@@ -34,9 +34,10 @@ use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use lona_graph::GraphDelta;
 use lona_relevance::ScoreVec;
 
-use super::codec::{Reply, Request};
+use super::codec::{Reply, Request, UpdateReport};
 
 /// One admitted request waiting for a micro-batch: the decoded,
 /// validated request, its resolved relevance scores, and the channel
@@ -57,6 +58,32 @@ pub struct Pending {
     pub reply: Sender<Reply>,
 }
 
+/// One admitted graph update waiting for its FIFO slot. Updates ride
+/// the same queue as queries, so a client that issues
+/// `query; update; query` observes the first query on the old graph
+/// and the second on the new one — admission order is execution order.
+pub struct UpdateJob {
+    /// Correlation id echoed in the update reply.
+    pub id: u64,
+    /// The validated delta (endpoints range-checked, no score
+    /// overrides — the handler rejects those before admission).
+    pub delta: GraphDelta,
+    /// When the update entered the queue.
+    pub enqueued: Instant,
+    /// Where the outcome goes: repair counters on success, a
+    /// ready-to-encode error reply otherwise.
+    pub reply: Sender<Result<UpdateReport, Reply>>,
+}
+
+/// A unit of admitted work: a query to micro-batch, or a graph update
+/// that acts as a barrier at its queue position.
+pub enum Work {
+    /// A top-k query (coalescible with its neighbors).
+    Query(Pending),
+    /// A graph update (applied between query groups, in FIFO order).
+    Update(UpdateJob),
+}
+
 /// Outcome of an admission attempt.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Admit {
@@ -74,7 +101,7 @@ pub enum Admit {
 
 #[derive(Default)]
 struct Inner {
-    pending: VecDeque<Pending>,
+    pending: VecDeque<Work>,
     closed: bool,
 }
 
@@ -114,7 +141,7 @@ impl AdmissionQueue {
     /// Attempt to admit one request. Never blocks: a full queue sheds
     /// with [`Admit::Busy`] (counted), a closed queue returns
     /// [`Admit::Closed`]. Only [`Admit::Admitted`] keeps the request.
-    pub fn push(&self, p: Pending) -> Admit {
+    pub fn push(&self, p: Work) -> Admit {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
             return Admit::Closed;
@@ -159,7 +186,7 @@ impl AdmissionQueue {
     /// dequeue) elapses or `max_batch` requests are in hand. Returns
     /// `None` only when the queue is closed **and** empty — the
     /// batcher's signal to exit.
-    pub fn next_batch(&self, window: Duration, max_batch: usize) -> Option<Vec<Pending>> {
+    pub fn next_batch(&self, window: Duration, max_batch: usize) -> Option<Vec<Work>> {
         let max_batch = max_batch.max(1);
         let mut inner = self.inner.lock().unwrap();
         loop {
@@ -205,10 +232,30 @@ mod tests {
     use crate::serve::codec::ScoreRef;
     use std::sync::mpsc::channel;
 
-    fn pending(id: u64) -> (Pending, std::sync::mpsc::Receiver<Reply>) {
+    fn qid(w: &Work) -> u64 {
+        match w {
+            Work::Query(p) => p.request.id,
+            Work::Update(j) => j.id,
+        }
+    }
+
+    fn update_job(id: u64) -> (Work, std::sync::mpsc::Receiver<Result<UpdateReport, Reply>>) {
         let (tx, rx) = channel();
         (
-            Pending {
+            Work::Update(UpdateJob {
+                id,
+                delta: GraphDelta::new().insert(0, 1),
+                enqueued: Instant::now(),
+                reply: tx,
+            }),
+            rx,
+        )
+    }
+
+    fn pending(id: u64) -> (Work, std::sync::mpsc::Receiver<Reply>) {
+        let (tx, rx) = channel();
+        (
+            Work::Query(Pending {
                 request: Request {
                     id,
                     scores: ScoreRef::Sources(vec![0]),
@@ -220,7 +267,7 @@ mod tests {
                 scores: Arc::new(ScoreVec::zeros(4)),
                 enqueued: Instant::now(),
                 reply: tx,
-            },
+            }),
             rx,
         )
     }
@@ -235,7 +282,7 @@ mod tests {
             rxs.push(rx);
         }
         let batch = q.next_batch(Duration::ZERO, 64).unwrap();
-        let ids: Vec<u64> = batch.iter().map(|p| p.request.id).collect();
+        let ids: Vec<u64> = batch.iter().map(qid).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4], "FIFO order");
         assert!(q.is_empty());
     }
@@ -297,7 +344,7 @@ mod tests {
         let (p, _rx) = pending(9);
         q.push(p);
         let batch = t.join().unwrap().unwrap();
-        assert_eq!(batch[0].request.id, 9);
+        assert_eq!(qid(&batch[0]), 9);
     }
 
     #[test]
@@ -327,6 +374,21 @@ mod tests {
             q.next_batch(Duration::ZERO, 64).is_none(),
             "drained + closed"
         );
+    }
+
+    #[test]
+    fn updates_and_queries_share_fifo_order() {
+        let q = AdmissionQueue::new();
+        let (w, _rx0) = pending(0);
+        assert_eq!(q.push(w), Admit::Admitted);
+        let (w, _rx1) = update_job(1);
+        assert_eq!(q.push(w), Admit::Admitted);
+        let (w, _rx2) = pending(2);
+        assert_eq!(q.push(w), Admit::Admitted);
+        let batch = q.next_batch(Duration::ZERO, 64).unwrap();
+        let ids: Vec<u64> = batch.iter().map(qid).collect();
+        assert_eq!(ids, vec![0, 1, 2], "updates keep their queue position");
+        assert!(matches!(batch[1], Work::Update(_)));
     }
 
     #[test]

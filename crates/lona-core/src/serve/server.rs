@@ -85,22 +85,26 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lona_graph::order::Permutation;
-use lona_graph::{partition, CsrView, GraphStore, NodeId, PartitionStrategy, ShardedGraph};
+use lona_graph::{
+    partition, CsrView, GraphDelta, GraphStore, NodeId, OverlayGraph, PartitionStrategy,
+    ShardedGraph,
+};
 use lona_relevance::ScoreVec;
 
 use crate::algo::Algorithm;
 use crate::batch::{BatchOptions, BatchQuery};
+use crate::delta::{repair_engine_state, RepairStats};
 use crate::engine::{EngineState, LonaEngine, TopKQuery};
 use crate::plan::{plan_query, PlannerConfig};
 use crate::shard::{ShardOptions, ShardedEngine};
 
 use super::codec::{
-    decode_inbound, duration_nanos, encode_reply_version, encode_stats_reply, peek_request_id,
-    read_frame, write_frame, ErrorCode, Inbound, Reply, Request, Response, ScoreRef, ServeStats,
-    MAX_FRAME, VERSION, VERSION_2,
+    decode_inbound, duration_nanos, encode_reply_version, encode_stats_reply, encode_update_reply,
+    peek_request_id, read_frame, write_frame, ErrorCode, Inbound, Reply, Request, Response,
+    ScoreRef, ServeStats, UpdateReport, MAX_FRAME, VERSION, VERSION_2,
 };
 use super::metrics::ServeMetrics;
-use super::queue::{AdmissionQueue, Admit, Pending};
+use super::queue::{AdmissionQueue, Admit, Pending, UpdateJob, Work};
 
 /// Server knobs.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -671,6 +675,40 @@ fn handle_connection<G: GraphStore + Send + Sync>(
                 }
                 continue;
             }
+            Ok((Inbound::Update { id, delta }, _)) => {
+                // Updates ride the admission queue like queries, so
+                // a client's `query; update; query` executes in
+                // exactly that order on the batcher thread.
+                let outcome =
+                    admit_update(id, delta, &graph, &queue, &opts, permutation.as_deref());
+                metrics
+                    .end_to_end
+                    .record(received.elapsed().as_micros() as u64);
+                let frame = match outcome {
+                    Ok(report) => encode_update_reply(id, &report),
+                    Err(reply) => {
+                        ServeMetrics::bump(&metrics.error_replies);
+                        if matches!(
+                            reply,
+                            Reply::Err {
+                                code: ErrorCode::Busy,
+                                ..
+                            }
+                        ) {
+                            ServeMetrics::bump(&metrics.shed);
+                        }
+                        // The UPDATE kind itself is v2-only, so the
+                        // error reply can always carry v2 fields.
+                        encode_reply_version(&reply, VERSION_2)
+                    }
+                };
+                let ok =
+                    write_frame(&mut writer, &frame, opts.max_frame).and_then(|_| writer.flush());
+                if ok.is_err() {
+                    return;
+                }
+                continue;
+            }
             Ok((Inbound::Query(req), version)) => (req, version),
             Err(e) => {
                 // The frame was well-delimited but its payload does
@@ -771,12 +809,12 @@ fn answer<G: GraphStore>(
         },
     };
     let (tx, rx) = mpsc::channel();
-    match queue.push(Pending {
+    match queue.push(Work::Query(Pending {
         request,
         scores,
         enqueued: Instant::now(),
         reply: tx,
-    }) {
+    })) {
         Admit::Admitted => {}
         Admit::Busy { waiting } => {
             let retry = retry_hint_micros(opts);
@@ -805,9 +843,106 @@ fn answer<G: GraphStore>(
     }
 }
 
-/// The batcher: pull micro-batches, group by hop radius (indexes and
-/// engines are per-radius), run each group through one batch call
-/// against the warm backend state, and fan the results back out.
+/// Validate and admit one graph update, blocking on the batcher for
+/// the applied outcome. Wire score overrides are rejected here: the
+/// serving path owns relevance through the registry, and silently
+/// mutating a registered vector would change other clients' answers.
+fn admit_update<G: GraphStore>(
+    id: u64,
+    mut delta: GraphDelta,
+    graph: &Arc<G>,
+    queue: &AdmissionQueue,
+    opts: &ServeOptions,
+    perm: Option<&Permutation>,
+) -> Result<UpdateReport, Reply> {
+    if !delta.score_overrides.is_empty() {
+        return Err(Reply::err(
+            id,
+            ErrorCode::Unsupported,
+            "score overrides are not accepted over the wire; register a relevance \
+             function instead",
+        ));
+    }
+    // Endpoint validation happens in original ids, so error messages
+    // match what the client sent (the overlay would reject the same
+    // ops later, but in the packed numbering).
+    let num_nodes = graph.csr().num_nodes();
+    let check = |u: u32, v: u32| -> Result<(), Reply> {
+        for e in [u, v] {
+            if (e as usize) >= num_nodes {
+                return Err(Reply::err(
+                    id,
+                    ErrorCode::BadRequest,
+                    format!("delta endpoint {e} out of range (graph has {num_nodes} nodes)"),
+                ));
+            }
+        }
+        if u == v {
+            return Err(Reply::err(
+                id,
+                ErrorCode::BadRequest,
+                format!("delta self-loop ({u}, {v}) is not allowed"),
+            ));
+        }
+        Ok(())
+    };
+    for &(u, v, _) in &delta.inserts {
+        check(u, v)?;
+    }
+    for &(u, v) in &delta.deletes {
+        check(u, v)?;
+    }
+    if let Some(p) = perm {
+        // Endpoints arrive in original ids; carry them into the
+        // packed space like inline source sets.
+        for e in delta.inserts.iter_mut() {
+            e.0 = p.to_new(NodeId(e.0)).0;
+            e.1 = p.to_new(NodeId(e.1)).0;
+        }
+        for e in delta.deletes.iter_mut() {
+            e.0 = p.to_new(NodeId(e.0)).0;
+            e.1 = p.to_new(NodeId(e.1)).0;
+        }
+    }
+    let (tx, rx) = mpsc::channel();
+    match queue.push(Work::Update(UpdateJob {
+        id,
+        delta,
+        enqueued: Instant::now(),
+        reply: tx,
+    })) {
+        Admit::Admitted => {}
+        Admit::Busy { waiting } => {
+            let retry = retry_hint_micros(opts);
+            return Err(Reply::busy(
+                id,
+                retry,
+                format!("admission queue is full ({waiting} waiting); retry in {retry} µs"),
+            ));
+        }
+        Admit::Closed => {
+            return Err(Reply::err(
+                id,
+                ErrorCode::Internal,
+                "server is shutting down",
+            ))
+        }
+    }
+    match rx.recv() {
+        Ok(outcome) => outcome,
+        Err(_) => Err(Reply::err(
+            id,
+            ErrorCode::Internal,
+            "server is shutting down",
+        )),
+    }
+}
+
+/// The batcher: pull micro-batches, split them into FIFO segments at
+/// update boundaries, run each contiguous query segment grouped by
+/// hop radius (indexes and engines are per-radius) against the warm
+/// backend state, apply each update at its exact queue position, and
+/// fan the results back out.
 fn batch_loop<G: GraphStore>(
     graph: Arc<G>,
     mut backend: Backend,
@@ -815,59 +950,163 @@ fn batch_loop<G: GraphStore>(
     opts: ServeOptions,
     metrics: Arc<ServeMetrics>,
 ) {
+    // All graph mutation goes through the overlay; `compact()` after
+    // each applied delta keeps the hot path scanning a plain CSR.
+    let mut overlay = OverlayGraph::new(graph);
     while let Some(batch) = queue.next_batch(opts.window, opts.max_batch) {
         let exec_start = Instant::now();
         metrics.batch_size.record(batch.len() as u64);
-        for p in &batch {
+        for w in &batch {
             metrics.admitted.fetch_add(1, Ordering::Relaxed);
+            let enqueued = match w {
+                Work::Query(p) => p.enqueued,
+                Work::Update(j) => j.enqueued,
+            };
             metrics
                 .queue_wait
-                .record(exec_start.saturating_duration_since(p.enqueued).as_micros() as u64);
+                .record(exec_start.saturating_duration_since(enqueued).as_micros() as u64);
         }
-        let mut by_hops: BTreeMap<u32, Vec<Pending>> = BTreeMap::new();
-        for p in batch {
-            by_hops.entry(p.request.hops).or_default().push(p);
-        }
-        for (hops, group) in by_hops {
-            let dispatch_start = Instant::now();
-            match &mut backend {
-                Backend::Single { states } => {
-                    let state = states.remove(&hops).unwrap_or_default();
-                    let state = run_group_single(
-                        graph.csr(),
-                        hops,
-                        state,
-                        group,
+        // FIFO segments: queries coalesce as before, but an update
+        // acts as a barrier at its queue position — a client's
+        // `query; update; query` observes the first answer on the
+        // old graph and the second on the new one.
+        let mut run: Vec<Pending> = Vec::new();
+        for w in batch {
+            match w {
+                Work::Query(p) => run.push(p),
+                Work::Update(job) => {
+                    run_queries(
+                        overlay.csr(),
+                        &mut backend,
+                        std::mem::take(&mut run),
                         exec_start,
                         &opts,
                         &metrics,
                     );
-                    states.insert(hops, state);
-                }
-                Backend::Sharded { sharded, states } => {
-                    let shard_states = states.remove(&hops).unwrap_or_else(|| {
-                        (0..sharded.num_shards())
-                            .map(|_| EngineState::new())
-                            .collect()
-                    });
-                    let shard_states = run_group_sharded(
-                        graph.csr(),
-                        sharded,
-                        hops,
-                        shard_states,
-                        group,
-                        exec_start,
-                        &opts,
-                        &metrics,
-                    );
-                    states.insert(hops, shard_states);
+                    apply_update(&mut overlay, &mut backend, job, &metrics);
                 }
             }
-            metrics
-                .dispatch
-                .record(dispatch_start.elapsed().as_micros() as u64);
+        }
+        run_queries(
+            overlay.csr(),
+            &mut backend,
+            run,
+            exec_start,
+            &opts,
+            &metrics,
+        );
+    }
+}
+
+/// Run one contiguous query segment: group by hop radius and push
+/// each group through the warm backend state.
+fn run_queries(
+    graph: CsrView<'_>,
+    backend: &mut Backend,
+    segment: Vec<Pending>,
+    exec_start: Instant,
+    opts: &ServeOptions,
+    metrics: &ServeMetrics,
+) {
+    if segment.is_empty() {
+        return;
+    }
+    let mut by_hops: BTreeMap<u32, Vec<Pending>> = BTreeMap::new();
+    for p in segment {
+        by_hops.entry(p.request.hops).or_default().push(p);
+    }
+    for (hops, group) in by_hops {
+        let dispatch_start = Instant::now();
+        match backend {
+            Backend::Single { states } => {
+                let state = states.remove(&hops).unwrap_or_default();
+                let state = run_group_single(graph, hops, state, group, exec_start, opts, metrics);
+                states.insert(hops, state);
+            }
+            Backend::Sharded { sharded, states } => {
+                let shard_states = states.remove(&hops).unwrap_or_else(|| {
+                    (0..sharded.num_shards())
+                        .map(|_| EngineState::new())
+                        .collect()
+                });
+                let shard_states = run_group_sharded(
+                    graph,
+                    sharded,
+                    hops,
+                    shard_states,
+                    group,
+                    exec_start,
+                    opts,
+                    metrics,
+                );
+                states.insert(hops, shard_states);
+            }
+        }
+        metrics
+            .dispatch
+            .record(dispatch_start.elapsed().as_micros() as u64);
+    }
+}
+
+/// Apply one admitted delta to the overlay, repair every warm engine
+/// state's indexes incrementally (the dirty-region walk in
+/// [`crate::delta`]), compact the overlay back into a plain CSR, and
+/// reply with the deterministic repair counters.
+fn apply_update<B: GraphStore>(
+    overlay: &mut OverlayGraph<B>,
+    backend: &mut Backend,
+    job: UpdateJob,
+    metrics: &ServeMetrics,
+) {
+    let Backend::Single { states } = backend else {
+        // A sharded backend would need halo re-partitioning, not
+        // index repair; sharded serving stays read-only for now.
+        let _ = job.reply.send(Err(Reply::err(
+            job.id,
+            ErrorCode::Unsupported,
+            "graph updates are not supported by the sharded backend",
+        )));
+        return;
+    };
+    let applied = match overlay.apply(&job.delta) {
+        Ok(a) => a,
+        Err(e) => {
+            let _ = job.reply.send(Err(Reply::err(
+                job.id,
+                ErrorCode::BadRequest,
+                e.to_string(),
+            )));
+            return;
+        }
+    };
+    let mut stats = RepairStats::default();
+    let mut states_repaired = 0u32;
+    if let Some(old) = &applied.old {
+        let keys: Vec<u32> = states.keys().copied().collect();
+        for hops in keys {
+            let state = states.remove(&hops).expect("key just listed");
+            let repairable = state.size_index().is_some() && !applied.touched.is_empty();
+            let (state, st) =
+                repair_engine_state(old.view(), overlay.csr(), &applied.touched, state);
+            if repairable {
+                states_repaired += 1;
+                stats.merge(&st);
+            }
+            states.insert(hops, state);
         }
     }
+    // Fold the log back into a contiguous CSR so subsequent query
+    // segments scan plain adjacency, not an overlay.
+    overlay.compact();
+    ServeMetrics::bump(&metrics.updates_applied);
+    let _ = job.reply.send(Ok(UpdateReport {
+        inserted: applied.inserted,
+        deleted: applied.deleted,
+        dirty_nodes: stats.dirty_nodes,
+        entries_repaired: stats.entries_repaired,
+        rebuild_avoided_units: stats.rebuild_avoided_units,
+        states_repaired,
+    }));
 }
 
 /// Force every request in `group` to its [`serve_algorithm`],

@@ -470,6 +470,27 @@ mod tests {
     }
 
     #[test]
+    fn mean_degree_of_empty_graph_is_zero_not_nan() {
+        // 0/0 would be NaN; the empty graph must pin to 0.0 on both
+        // the owned graph and its borrowed view.
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(0)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+        assert_eq!(g.view().mean_degree(), 0.0);
+        // Edgeless-but-nonempty exercises the same ratio without the
+        // guard: still finite, still zero.
+        let g = GraphBuilder::undirected()
+            .with_num_nodes(3)
+            .build()
+            .unwrap();
+        assert_eq!(g.mean_degree(), 0.0);
+        assert!(g.view().mean_degree().is_finite());
+    }
+
+    #[test]
     fn view_matches_owner() {
         let g = triangle_plus_tail();
         let v = g.view();

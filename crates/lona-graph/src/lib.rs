@@ -23,6 +23,9 @@
 //!   storage layer of the scatter-gather engine.
 //! * [`mod@order`] — cache-locality node renumbering (degree/BFS
 //!   orders applied through a lossless [`Permutation`]).
+//! * [`OverlayGraph`] — sorted insert/tombstone logs plus a
+//!   score-override map layered over an immutable base, so a running
+//!   engine can apply [`GraphDelta`] batches without a rebuild.
 //! * [`GraphStore`] / [`mapped`] — the storage abstraction: every
 //!   engine loop reads through a [`CsrView`] slice bundle, provided
 //!   either by the in-RAM [`CsrGraph`] or by [`CsrGraphMmap`] over a
@@ -55,6 +58,7 @@ pub mod io;
 pub mod mapped;
 mod node;
 pub mod order;
+mod overlay;
 pub mod partition;
 mod store;
 pub mod traversal;
@@ -66,6 +70,7 @@ pub use error::GraphError;
 pub use mapped::{CsrGraphMmap, MapSlice, Pod};
 pub use node::NodeId;
 pub use order::{reorder, NodeOrder, Permutation};
+pub use overlay::{AppliedDelta, GraphDelta, OverlayGraph};
 pub use partition::{partition, PartitionStrategy, Shard, ShardLoc, ShardedGraph};
 pub use store::GraphStore;
 

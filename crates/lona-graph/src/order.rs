@@ -13,7 +13,7 @@
 //! Renumbering is identity-preserving: [`reorder`] produces a
 //! [`CsrGraph`] whose adjacency rows are re-sorted under the new ids
 //! (the permutations here are *not* monotone, unlike the shard remap
-//! in [`crate::partition`], so rows must be re-sorted to keep the CSR
+//! in [`mod@crate::partition`], so rows must be re-sorted to keep the CSR
 //! sorted-row invariant), and the permutation maps every result back
 //! to original ids. Query answers over a reordered graph equal the
 //! natural-order answers as sets; f64 sums agree to summation-order

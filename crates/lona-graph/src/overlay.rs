@@ -1,0 +1,708 @@
+//! Delta overlay over an immutable CSR base.
+//!
+//! Every ROADMAP scenario assumes the graph mutates, yet [`CsrGraph`]
+//! and the compiled container are write-once. [`OverlayGraph`] closes
+//! that gap: it layers sorted insert / tombstone edge logs and a
+//! score-override map over an immutable base — the in-RAM
+//! [`CsrGraph`], a memory-mapped [`crate::CsrGraphMmap`], or anything
+//! else implementing [`GraphStore`] — and re-exposes the merged graph
+//! through the same [`GraphStore`] trait. The seven query algorithms,
+//! the planner and the sharded engine all read through
+//! [`CsrView`](crate::CsrView) slices, so they run on an overlay
+//! unchanged and at full speed: after a batch of mutations the overlay
+//! materializes one merged CSR (an `O(E log E)` builder pass), and
+//! queries never pay a per-edge log lookup.
+//!
+//! That trade is deliberate. Re-merging the adjacency arrays is cheap
+//! next to rebuilding the h-hop indexes (the startup benchmark puts
+//! the index build at ~14× the parse+build cost); the expensive part
+//! of an update is index maintenance, which `lona-core`'s delta repair
+//! limits to the ≤h-hop dirty region around mutated endpoints.
+//!
+//! ## Semantics
+//!
+//! * The node set is **fixed** at the base's `num_nodes`; deltas may
+//!   only rewire edges among existing nodes. Out-of-range endpoints
+//!   are rejected with [`GraphError::NodeOutOfRange`].
+//! * Within one [`GraphDelta`], deletes apply before inserts, so a
+//!   delete+insert pair re-weights an edge.
+//! * Inserting an edge that is already live is a no-op (the existing
+//!   weight wins, matching [`GraphBuilder`]'s first-weight-wins rule);
+//!   deleting an absent edge is a no-op.
+//! * Self-loop mutations are rejected with [`GraphError::SelfLoop`]
+//!   (the paper's networks are simple graphs).
+//! * [`GraphDelta::apply`] via [`OverlayGraph::apply`] is atomic: a
+//!   rejected delta leaves the overlay untouched.
+//! * Score overrides follow `ScoreVec` semantics: NaN becomes 0 and
+//!   values clamp into `[0, 1]`.
+
+use std::collections::BTreeMap;
+
+use crate::builder::{GraphBuilder, SelfLoopPolicy};
+use crate::csr::{CsrGraph, CsrView};
+use crate::error::GraphError;
+use crate::node::NodeId;
+use crate::store::GraphStore;
+use crate::Result;
+
+/// A batch of graph mutations: edge inserts, edge deletes and
+/// relevance-score overrides, applied atomically by
+/// [`OverlayGraph::apply`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GraphDelta {
+    /// Edges to insert, with weights (`1.0` for unweighted edges).
+    pub inserts: Vec<(u32, u32, f32)>,
+    /// Edges to delete.
+    pub deletes: Vec<(u32, u32)>,
+    /// Per-node relevance-score overrides.
+    pub score_overrides: Vec<(u32, f64)>,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the delta contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty() && self.score_overrides.is_empty()
+    }
+
+    /// Total number of operations.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len() + self.score_overrides.len()
+    }
+
+    /// Stage an unweighted edge insert.
+    pub fn insert(mut self, u: u32, v: u32) -> Self {
+        self.inserts.push((u, v, 1.0));
+        self
+    }
+
+    /// Stage a weighted edge insert.
+    pub fn insert_weighted(mut self, u: u32, v: u32, w: f32) -> Self {
+        self.inserts.push((u, v, w));
+        self
+    }
+
+    /// Stage an edge delete.
+    pub fn delete(mut self, u: u32, v: u32) -> Self {
+        self.deletes.push((u, v));
+        self
+    }
+
+    /// Stage a relevance-score override.
+    pub fn override_score(mut self, u: u32, score: f64) -> Self {
+        self.score_overrides.push((u, score));
+        self
+    }
+
+    /// Parse the text delta format:
+    ///
+    /// ```text
+    /// # comments and blank lines are skipped
+    /// add 3 17        # insert edge (weight 1.0)
+    /// add 3 18 0.5    # insert weighted edge
+    /// del 0 9         # delete edge
+    /// score 17 0.85   # override node 17's relevance score
+    /// ```
+    ///
+    /// Endpoint range is checked later, at apply time, against the
+    /// target graph; this parser rejects malformed lines, non-finite
+    /// weights and out-of-`[0, 1]` scores with 1-based line numbers.
+    pub fn parse_str(text: &str) -> Result<Self> {
+        let mut delta = GraphDelta::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let t = raw.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let mut tok = t.split_whitespace();
+            let op = tok.next().expect("non-empty line has a first token");
+            let bad = |msg: String| GraphError::Parse { line, msg };
+            let node = |what: &str, tok: &mut dyn Iterator<Item = &str>| -> Result<u32> {
+                let s = tok
+                    .next()
+                    .ok_or_else(|| bad_parse(line, format!("missing {what}")))?;
+                s.parse::<u32>()
+                    .map_err(|_| bad_parse(line, format!("bad {what} {s:?}")))
+            };
+            match op {
+                "add" => {
+                    let u = node("source id", &mut tok)?;
+                    let v = node("target id", &mut tok)?;
+                    let w = match tok.next() {
+                        None => 1.0f32,
+                        Some(s) => {
+                            let w = s
+                                .parse::<f32>()
+                                .map_err(|_| bad(format!("bad weight {s:?}")))?;
+                            if !w.is_finite() {
+                                return Err(bad(format!("weight {s:?} is not finite")));
+                            }
+                            w
+                        }
+                    };
+                    delta.inserts.push((u, v, w));
+                }
+                "del" => {
+                    let u = node("source id", &mut tok)?;
+                    let v = node("target id", &mut tok)?;
+                    delta.deletes.push((u, v));
+                }
+                "score" => {
+                    let u = node("node id", &mut tok)?;
+                    let s = tok.next().ok_or_else(|| bad("missing score".into()))?;
+                    let x = s
+                        .parse::<f64>()
+                        .map_err(|_| bad(format!("bad score {s:?}")))?;
+                    if !(0.0..=1.0).contains(&x) {
+                        return Err(bad(format!("score {x} outside [0, 1]")));
+                    }
+                    delta.score_overrides.push((u, x));
+                }
+                other => {
+                    return Err(bad(format!(
+                        "unknown delta op {other:?} (expected add/del/score)"
+                    )));
+                }
+            }
+            if let Some(extra) = tok.next() {
+                return Err(GraphError::Parse {
+                    line,
+                    msg: format!("trailing token {extra:?}"),
+                });
+            }
+        }
+        Ok(delta)
+    }
+}
+
+fn bad_parse(line: usize, msg: String) -> GraphError {
+    GraphError::Parse { line, msg }
+}
+
+/// What [`OverlayGraph::apply`] actually changed.
+///
+/// `old` carries an owned copy of the pre-delta graph whenever edges
+/// changed — exactly what index delta-repair needs to walk the *old*
+/// h-hop neighborhoods of the touched endpoints. Score-only deltas
+/// leave it `None` (indexes are score-independent, nothing to repair).
+#[derive(Debug)]
+pub struct AppliedDelta {
+    /// The graph as it was before this delta, if any edge changed.
+    pub old: Option<CsrGraph>,
+    /// Endpoints of edges that actually changed, sorted and unique.
+    pub touched: Vec<NodeId>,
+    /// Edges inserted (no-op inserts excluded).
+    pub inserted: u64,
+    /// Edges deleted (no-op deletes excluded).
+    pub deleted: u64,
+    /// Score overrides recorded.
+    pub scores_overridden: u64,
+}
+
+/// A mutable delta overlay over an immutable base graph.
+///
+/// The semantics are spelled out in the module docs above. The
+/// overlay keeps the
+/// logical delta as sorted logs (`inserts` not in the base,
+/// `tombstones` of suppressed base edges) plus a materialized merged
+/// CSR; [`GraphStore::csr`] always returns the merged view, so query
+/// code is oblivious to the layering. [`OverlayGraph::compact`] folds
+/// the logs into a fresh CSR base in place.
+pub struct OverlayGraph<B> {
+    base: B,
+    /// Replaces `base` as the effective base after [`Self::compact`].
+    compacted: Option<CsrGraph>,
+    /// Live inserted edges not present in the effective base
+    /// (canonical `(min, max)` when undirected, sorted).
+    inserts: Vec<(u32, u32, f32)>,
+    /// Effective-base edges currently deleted (canonical, sorted).
+    tombstones: Vec<(u32, u32)>,
+    /// Per-node relevance-score overrides (clamped into `[0, 1]`).
+    score_overrides: BTreeMap<u32, f64>,
+    /// Merged materialization; `Some` whenever the logs are non-empty.
+    merged: Option<CsrGraph>,
+}
+
+impl<B: GraphStore> OverlayGraph<B> {
+    /// Wrap a base graph. Until the first effective mutation the
+    /// overlay is a zero-cost passthrough: [`GraphStore::csr`] returns
+    /// the base's own view, no copy.
+    pub fn new(base: B) -> Self {
+        OverlayGraph {
+            base,
+            compacted: None,
+            inserts: Vec::new(),
+            tombstones: Vec::new(),
+            score_overrides: BTreeMap::new(),
+            merged: None,
+        }
+    }
+
+    /// The wrapped base store.
+    pub fn base(&self) -> &B {
+        &self.base
+    }
+
+    /// Number of nodes (fixed for the overlay's lifetime).
+    pub fn num_nodes(&self) -> usize {
+        self.csr().num_nodes()
+    }
+
+    /// Number of log entries pending compaction.
+    pub fn log_len(&self) -> usize {
+        self.inserts.len() + self.tombstones.len()
+    }
+
+    /// Iterate the current score overrides.
+    pub fn score_overrides(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.score_overrides.iter().map(|(&u, &s)| (u, s))
+    }
+
+    /// The effective base: the compacted CSR if [`Self::compact`] ran,
+    /// else the original base.
+    fn base_view(&self) -> CsrView<'_> {
+        match &self.compacted {
+            Some(g) => g.view(),
+            None => self.base.csr(),
+        }
+    }
+
+    /// Apply a delta atomically: validate every operation first, then
+    /// update the logs, re-materialize the merged CSR, and report what
+    /// changed (with the pre-delta graph for index repair).
+    pub fn apply(&mut self, delta: &GraphDelta) -> Result<AppliedDelta> {
+        let n = self.csr().num_nodes() as u32;
+        let check = |u: u32, v: u32| -> Result<()> {
+            for e in [u, v] {
+                if e >= n {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: e,
+                        num_nodes: n,
+                    });
+                }
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            Ok(())
+        };
+        for &(u, v, _) in &delta.inserts {
+            check(u, v)?;
+        }
+        for &(u, v) in &delta.deletes {
+            check(u, v)?;
+        }
+        for &(u, _) in &delta.score_overrides {
+            if u >= n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: u,
+                    num_nodes: n,
+                });
+            }
+        }
+
+        // Borrow the effective base at field granularity so the logs
+        // stay mutable while the view is live.
+        let base = match &self.compacted {
+            Some(g) => g.view(),
+            None => self.base.csr(),
+        };
+        let directed = base.is_directed();
+        let canon = |u: u32, v: u32| if !directed && u > v { (v, u) } else { (u, v) };
+        let mut touched = Vec::new();
+        let mut deleted = 0u64;
+        let mut inserted = 0u64;
+
+        // Deletes first (see module docs): drop insert-log edges, or
+        // tombstone base edges; deleting an absent edge is a no-op.
+        for &(u, v) in &delta.deletes {
+            let e = canon(u, v);
+            if let Ok(i) = self.inserts.binary_search_by_key(&e, |x| (x.0, x.1)) {
+                self.inserts.remove(i);
+            } else if base.has_edge(NodeId(e.0), NodeId(e.1))
+                && self.tombstones.binary_search(&e).is_err()
+            {
+                let at = self.tombstones.partition_point(|&t| t < e);
+                self.tombstones.insert(at, e);
+            } else {
+                continue;
+            }
+            deleted += 1;
+            touched.push(NodeId(e.0));
+            touched.push(NodeId(e.1));
+        }
+
+        // Inserts: skip live edges; a tombstoned base edge re-inserts
+        // through the insert log (with the new weight) so the logs
+        // stay disjoint from the live base.
+        for &(u, v, w) in &delta.inserts {
+            let e = canon(u, v);
+            let in_log = self.inserts.binary_search_by_key(&e, |x| (x.0, x.1));
+            let live_in_base = base.has_edge(NodeId(e.0), NodeId(e.1))
+                && self.tombstones.binary_search(&e).is_err();
+            if in_log.is_ok() || live_in_base {
+                continue;
+            }
+            let at = in_log.unwrap_err();
+            self.inserts.insert(at, (e.0, e.1, w));
+            inserted += 1;
+            touched.push(NodeId(e.0));
+            touched.push(NodeId(e.1));
+        }
+
+        let old = if deleted + inserted > 0 {
+            let old = match self.merged.take() {
+                Some(g) => g,
+                None => copy_view(base),
+            };
+            self.merged = Some(self.materialize()?);
+            touched.sort_unstable();
+            touched.dedup();
+            Some(old)
+        } else {
+            None
+        };
+
+        let mut scores_overridden = 0u64;
+        for &(u, s) in &delta.score_overrides {
+            // ScoreVec semantics: NaN means "not relevant".
+            let s = if s.is_nan() { 0.0 } else { s.clamp(0.0, 1.0) };
+            self.score_overrides.insert(u, s);
+            scores_overridden += 1;
+        }
+
+        Ok(AppliedDelta {
+            old,
+            touched,
+            inserted,
+            deleted,
+            scores_overridden,
+        })
+    }
+
+    /// Rebuild the merged CSR from the effective base plus the logs.
+    fn materialize(&self) -> Result<CsrGraph> {
+        let base = self.base_view();
+        let n = base.num_nodes() as u32;
+        // Stay unweighted when the base is and every insert carries
+        // the default weight, so a merged graph is indistinguishable
+        // from one built directly from the same edge list.
+        let weighted = base.has_weights() || self.inserts.iter().any(|&(_, _, w)| w != 1.0);
+        let mut b = if base.is_directed() {
+            GraphBuilder::directed()
+        } else {
+            GraphBuilder::undirected()
+        }
+        .with_num_nodes(n)
+        // Keep: a base built with `SelfLoopPolicy::Keep` must survive
+        // the merge (the logs themselves never contain self-loops).
+        .self_loops(SelfLoopPolicy::Keep)
+        .reserve(base.num_edges() + self.inserts.len());
+        for (u, v, w) in base.edges() {
+            if self.tombstones.binary_search(&(u.0, v.0)).is_ok() {
+                continue;
+            }
+            if weighted {
+                b.push_weighted_edge(u.0, v.0, w);
+            } else {
+                b.push_edge(u.0, v.0);
+            }
+        }
+        for &(u, v, w) in &self.inserts {
+            if weighted {
+                b.push_weighted_edge(u, v, w);
+            } else {
+                b.push_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    /// Fold the logs into a fresh CSR base, in place. After this the
+    /// overlay is clean (`log_len() == 0`) and [`GraphStore::csr`]
+    /// serves the compacted arrays directly; score overrides persist
+    /// (they are not part of the graph). Idempotent and cheap when
+    /// already clean.
+    pub fn compact(&mut self) {
+        if let Some(m) = self.merged.take() {
+            self.compacted = Some(m);
+            self.inserts.clear();
+            self.tombstones.clear();
+        }
+        debug_assert!(self.inserts.is_empty() && self.tombstones.is_empty());
+    }
+
+    /// Consume the overlay, returning the fully compacted owned graph
+    /// (for re-compilation or snapshotting).
+    pub fn into_graph(mut self) -> CsrGraph {
+        self.compact();
+        match (self.merged, self.compacted) {
+            (Some(g), _) | (None, Some(g)) => g,
+            (None, None) => copy_view(self.base.csr()),
+        }
+    }
+}
+
+impl<B: GraphStore> GraphStore for OverlayGraph<B> {
+    fn csr(&self) -> CsrView<'_> {
+        if let Some(m) = &self.merged {
+            return m.view();
+        }
+        self.base_view()
+    }
+}
+
+/// Owned deep copy of a view (the overlay needs the pre-delta graph to
+/// outlive the mutation).
+fn copy_view(v: CsrView<'_>) -> CsrGraph {
+    CsrGraph::from_parts(
+        v.offsets().to_vec(),
+        v.targets().to_vec(),
+        v.weights().map(|w| w.to_vec()),
+        v.num_edges(),
+        v.is_directed(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CsrGraph {
+        // 0-1, 1-2, 2-0 triangle, plus 2-3 tail and isolated 4.
+        GraphBuilder::undirected()
+            .with_num_nodes(5)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .add_edge(2, 3)
+            .build()
+            .unwrap()
+    }
+
+    fn edge_set(v: CsrView<'_>) -> Vec<(u32, u32, u32)> {
+        v.edges().map(|(u, w, x)| (u.0, w.0, x.to_bits())).collect()
+    }
+
+    #[test]
+    fn passthrough_before_first_mutation() {
+        let g = base();
+        let o = OverlayGraph::new(&g);
+        assert_eq!(edge_set(o.csr()), edge_set(g.view()));
+        assert_eq!(o.log_len(), 0);
+        assert_eq!(o.num_nodes(), 5);
+    }
+
+    #[test]
+    fn insert_and_delete_match_rebuilt_reference() {
+        let g = base();
+        let mut o = OverlayGraph::new(&g);
+        let d = GraphDelta::new().insert(3, 4).delete(0, 1).delete(1, 2);
+        let applied = o.apply(&d).unwrap();
+        assert_eq!(applied.inserted, 1);
+        assert_eq!(applied.deleted, 2);
+        assert_eq!(
+            applied.touched,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        assert_eq!(edge_set(applied.old.unwrap().view()), edge_set(g.view()));
+
+        let want = GraphBuilder::undirected()
+            .with_num_nodes(5)
+            .add_edge(2, 0)
+            .add_edge(2, 3)
+            .add_edge(3, 4)
+            .build()
+            .unwrap();
+        assert_eq!(edge_set(o.csr()), edge_set(want.view()));
+        assert!(!o.csr().has_weights());
+    }
+
+    #[test]
+    fn noop_operations_touch_nothing() {
+        let g = base();
+        let mut o = OverlayGraph::new(&g);
+        // Edge (0,1) exists; edge (0,3) does not.
+        let d = GraphDelta::new().insert(1, 0).delete(0, 3);
+        let applied = o.apply(&d).unwrap();
+        assert_eq!(applied.inserted + applied.deleted, 0);
+        assert!(applied.old.is_none());
+        assert!(applied.touched.is_empty());
+        assert_eq!(o.log_len(), 0);
+        assert_eq!(edge_set(o.csr()), edge_set(g.view()));
+    }
+
+    #[test]
+    fn delete_of_logged_insert_cancels_it() {
+        let g = base();
+        let mut o = OverlayGraph::new(&g);
+        o.apply(&GraphDelta::new().insert(0, 4)).unwrap();
+        assert!(o.csr().has_edge(NodeId(0), NodeId(4)));
+        let applied = o.apply(&GraphDelta::new().delete(4, 0)).unwrap();
+        assert_eq!(applied.deleted, 1);
+        assert!(!o.csr().has_edge(NodeId(0), NodeId(4)));
+        assert_eq!(o.log_len(), 0);
+        assert_eq!(edge_set(o.csr()), edge_set(g.view()));
+    }
+
+    #[test]
+    fn delete_then_reinsert_takes_new_weight() {
+        let g = GraphBuilder::undirected()
+            .add_weighted_edge(0, 1, 2.0)
+            .add_weighted_edge(1, 2, 3.0)
+            .build()
+            .unwrap();
+        let mut o = OverlayGraph::new(&g);
+        let d = GraphDelta::new().delete(0, 1).insert_weighted(0, 1, 9.0);
+        let applied = o.apply(&d).unwrap();
+        assert_eq!((applied.deleted, applied.inserted), (1, 1));
+        assert_eq!(o.csr().edge_weight(NodeId(0), NodeId(1)), Some(9.0));
+        assert_eq!(o.csr().edge_weight(NodeId(1), NodeId(2)), Some(3.0));
+    }
+
+    #[test]
+    fn insert_of_live_edge_keeps_existing_weight() {
+        let g = GraphBuilder::undirected()
+            .add_weighted_edge(0, 1, 2.0)
+            .build()
+            .unwrap();
+        let mut o = OverlayGraph::new(&g);
+        o.apply(&GraphDelta::new().insert_weighted(1, 0, 7.0))
+            .unwrap();
+        assert_eq!(o.csr().edge_weight(NodeId(0), NodeId(1)), Some(2.0));
+    }
+
+    #[test]
+    fn rejected_delta_leaves_overlay_untouched() {
+        let g = base();
+        let mut o = OverlayGraph::new(&g);
+        let err = o
+            .apply(&GraphDelta::new().insert(0, 4).insert(1, 99))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 99,
+                num_nodes: 5
+            }
+        ));
+        assert_eq!(o.log_len(), 0);
+        assert_eq!(edge_set(o.csr()), edge_set(g.view()));
+
+        let err = o.apply(&GraphDelta::new().delete(3, 3)).unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop(3)));
+        let err = o
+            .apply(&GraphDelta::new().override_score(5, 0.5))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 5, .. }));
+    }
+
+    #[test]
+    fn score_overrides_clamp_and_accumulate() {
+        let g = base();
+        let mut o = OverlayGraph::new(&g);
+        let d = GraphDelta::new()
+            .override_score(0, 0.25)
+            .override_score(1, 7.0)
+            .override_score(2, f64::NAN);
+        let applied = o.apply(&d).unwrap();
+        assert_eq!(applied.scores_overridden, 3);
+        assert!(applied.old.is_none());
+        let got: Vec<_> = o.score_overrides().collect();
+        assert_eq!(got, vec![(0, 0.25), (1, 1.0), (2, 0.0)]);
+        // Later overrides win.
+        o.apply(&GraphDelta::new().override_score(0, 0.75)).unwrap();
+        assert_eq!(o.score_overrides().next(), Some((0, 0.75)));
+    }
+
+    #[test]
+    fn compact_folds_logs_and_further_deltas_stack() {
+        let g = base();
+        let mut o = OverlayGraph::new(&g);
+        o.apply(&GraphDelta::new().insert(3, 4).delete(0, 1))
+            .unwrap();
+        let before = edge_set(o.csr());
+        o.compact();
+        assert_eq!(o.log_len(), 0);
+        assert_eq!(edge_set(o.csr()), before);
+        // Mutations after compaction layer over the compacted base.
+        o.apply(&GraphDelta::new().insert(0, 1)).unwrap();
+        assert!(o.csr().has_edge(NodeId(0), NodeId(1)));
+        assert!(o.csr().has_edge(NodeId(3), NodeId(4)));
+        o.compact();
+        o.compact(); // idempotent
+        assert!(o.csr().has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn into_graph_returns_compacted_owned_graph() {
+        let g = base();
+        let mut o = OverlayGraph::new(&g);
+        o.apply(&GraphDelta::new().insert(3, 4)).unwrap();
+        let folded = o.into_graph();
+        assert!(folded.has_edge(NodeId(3), NodeId(4)));
+        assert_eq!(folded.num_edges(), 5);
+        // Clean overlay: an owned copy of the base.
+        let clean = OverlayGraph::new(&g).into_graph();
+        assert_eq!(edge_set(clean.view()), edge_set(g.view()));
+    }
+
+    #[test]
+    fn directed_overlay_keeps_arc_orientation() {
+        let g = GraphBuilder::directed()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .build()
+            .unwrap();
+        let mut o = OverlayGraph::new(&g);
+        // Deleting the reverse arc is a no-op; deleting the arc works.
+        let applied = o.apply(&GraphDelta::new().delete(1, 0)).unwrap();
+        assert_eq!(applied.deleted, 0);
+        let applied = o
+            .apply(&GraphDelta::new().delete(0, 1).insert(2, 0))
+            .unwrap();
+        assert_eq!((applied.deleted, applied.inserted), (1, 1));
+        assert!(!o.csr().has_edge(NodeId(0), NodeId(1)));
+        assert!(o.csr().has_edge(NodeId(2), NodeId(0)));
+        assert!(!o.csr().has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_format() {
+        let d = GraphDelta::parse_str(
+            "# a comment\n\nadd 3 17\nadd 3 18 0.5\ndel 0 9\nscore 17 0.85\n",
+        )
+        .unwrap();
+        assert_eq!(d.inserts, vec![(3, 17, 1.0), (3, 18, 0.5)]);
+        assert_eq!(d.deletes, vec![(0, 9)]);
+        assert_eq!(d.score_overrides, vec![(17, 0.85)]);
+        assert_eq!(d.len(), 4);
+        assert!(GraphDelta::parse_str("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_hostile_lines_with_line_numbers() {
+        for (text, want_line) in [
+            ("frob 1 2", 1),
+            ("add 1", 1),
+            ("\nadd 1 x", 2),
+            ("del 1 2 3", 1),
+            ("add 1 2 nan", 1),
+            ("score 1 1.5", 1),
+            ("score 1 oops", 1),
+            ("add 1 2 1.0 extra", 1),
+        ] {
+            match GraphDelta::parse_str(text) {
+                Err(GraphError::Parse { line, .. }) => {
+                    assert_eq!(line, want_line, "wrong line for {text:?}")
+                }
+                other => panic!("{text:?} parsed as {other:?}"),
+            }
+        }
+    }
+}

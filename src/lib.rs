@@ -61,7 +61,7 @@ pub mod serve {
     pub use lona_core::serve::{
         AdmissionQueue, Admit, ClientBuilder, CodecError, ErrorCode, Inbound, LatencyHistogram,
         Reply, Request, Response, ScoreRef, ServeClient, ServeMetrics, ServeOptions, ServeStats,
-        Server, ServerBuilder, StatsReport,
+        Server, ServerBuilder, StatsReport, UpdateReport,
     };
 }
 
@@ -76,7 +76,8 @@ pub mod prelude {
     };
     pub use lona_gen::{DatasetKind, DatasetProfile};
     pub use lona_graph::{
-        partition, CsrGraph, GraphBuilder, NodeId, NodeOrder, PartitionStrategy, Permutation,
+        partition, CsrGraph, GraphBuilder, GraphDelta, NodeId, NodeOrder, OverlayGraph,
+        PartitionStrategy, Permutation,
     };
     pub use lona_relevance::{binary_blacking, MixtureBuilder, Relevance, ScoreVec};
 }
